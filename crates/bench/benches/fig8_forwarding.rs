@@ -1,0 +1,69 @@
+//! Criterion bench for Fig. 8(a): end-to-end tuple forwarding through a
+//! live two-worker topology, Storm baseline vs Typhoon.
+//!
+//! Measured as time per delivered tuple at the sink (iter_custom waits for
+//! the sink counter to advance by the requested number of iterations while
+//! the pipeline runs at full speed).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::{Duration, Instant};
+use typhoon_bench::workloads::{forwarding_topology, register_standard, SinkCounter};
+use typhoon_core::{TyphoonCluster, TyphoonConfig};
+use typhoon_model::ComponentRegistry;
+use typhoon_storm::{StormCluster, StormConfig};
+
+fn wait_delivered(sink: &SinkCounter, n: u64) -> Duration {
+    let start_count = sink.count();
+    let t0 = Instant::now();
+    while sink.count() < start_count + n {
+        std::hint::spin_loop();
+    }
+    t0.elapsed()
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8-forwarding");
+    g.throughput(Throughput::Elements(1));
+
+    {
+        let mut reg = ComponentRegistry::new();
+        let (sink, _) = register_standard(&mut reg, 100, 64);
+        let cluster = StormCluster::new(StormConfig::local(1), reg);
+        let _h = cluster.submit(forwarding_topology()).expect("submit");
+        // Let the pipeline warm up before sampling.
+        std::thread::sleep(Duration::from_millis(300));
+        g.bench_function("storm-local", |b| {
+            b.iter_custom(|iters| wait_delivered(&sink, iters))
+        });
+        cluster.shutdown();
+    }
+
+    {
+        let mut reg = ComponentRegistry::new();
+        let (sink, _) = register_standard(&mut reg, 100, 64);
+        let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(250), reg)
+            .expect("cluster");
+        let _h = cluster.submit(forwarding_topology()).expect("submit");
+        std::thread::sleep(Duration::from_millis(300));
+        g.bench_function("typhoon-local-batch250", |b| {
+            b.iter_custom(|iters| wait_delivered(&sink, iters))
+        });
+        cluster.shutdown();
+    }
+
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = fig8;
+    config = configured();
+    targets = bench_forwarding
+}
+criterion_main!(fig8);

@@ -1,0 +1,70 @@
+//! Criterion bench for Fig. 9: one-to-many delivery through a live
+//! broadcast topology (4 sinks), Storm baseline vs Typhoon.
+//!
+//! Measured as time per *delivered copy* at the sinks. Storm serializes
+//! once per destination; Typhoon serializes once and lets the switch
+//! replicate the refcounted payload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::{Duration, Instant};
+use typhoon_bench::workloads::{broadcast_topology, register_standard, SinkCounter};
+use typhoon_core::{TyphoonCluster, TyphoonConfig};
+use typhoon_model::ComponentRegistry;
+use typhoon_storm::{StormCluster, StormConfig};
+
+const SINKS: usize = 4;
+
+fn wait_delivered(sink: &SinkCounter, n: u64) -> Duration {
+    let start_count = sink.count();
+    let t0 = Instant::now();
+    while sink.count() < start_count + n {
+        std::hint::spin_loop();
+    }
+    t0.elapsed()
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9-broadcast");
+    g.throughput(Throughput::Elements(1));
+
+    {
+        let mut reg = ComponentRegistry::new();
+        let (sink, _) = register_standard(&mut reg, 100, 64);
+        let cluster = StormCluster::new(StormConfig::local(1), reg);
+        let _h = cluster.submit(broadcast_topology(SINKS)).expect("submit");
+        std::thread::sleep(Duration::from_millis(300));
+        g.bench_function("storm-4-sinks", |b| {
+            b.iter_custom(|iters| wait_delivered(&sink, iters))
+        });
+        cluster.shutdown();
+    }
+
+    {
+        let mut reg = ComponentRegistry::new();
+        let (sink, _) = register_standard(&mut reg, 100, 64);
+        let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(250), reg)
+            .expect("cluster");
+        let _h = cluster.submit(broadcast_topology(SINKS)).expect("submit");
+        std::thread::sleep(Duration::from_millis(300));
+        g.bench_function("typhoon-4-sinks", |b| {
+            b.iter_custom(|iters| wait_delivered(&sink, iters))
+        });
+        cluster.shutdown();
+    }
+
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = fig9;
+    config = configured();
+    targets = bench_broadcast
+}
+criterion_main!(fig9);

@@ -1,0 +1,178 @@
+//! Microbenchmarks of the substrates every end-to-end number is built on:
+//! tuple serialization (the cost Typhoon avoids repeating), packetization,
+//! flow-table lookup, group WRR selection, ring transfer and the OpenFlow
+//! wire codec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+use typhoon_model::{Grouping, RoutingState, TaskId};
+use typhoon_net::{Depacketizer, Frame, MacAddr, Packetizer};
+use typhoon_openflow::{
+    wire, Action, FlowMatch, FlowMod, FrameMeta, OfMessage, PortNo, WrrSelector,
+};
+use typhoon_switch::FlowTable;
+use typhoon_tuple::ser::{decode_tuple, encode_tuple_vec, SerStats};
+use typhoon_tuple::{Tuple, Value};
+
+fn sample_tuple() -> Tuple {
+    Tuple::new(
+        TaskId(7),
+        vec![
+            Value::Int(123_456),
+            Value::Str("the quick brown fox jumps over the lazy dog".into()),
+            Value::Float(3.25),
+        ],
+    )
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let stats = SerStats::default();
+    let tuple = sample_tuple();
+    let encoded = encode_tuple_vec(&tuple, &stats);
+    let mut g = c.benchmark_group("tuple-ser");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| encode_tuple_vec(black_box(&tuple), &stats))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| decode_tuple(black_box(&encoded), &stats).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_packetizer(c: &mut Criterion) {
+    let stats = SerStats::default();
+    let blobs: Vec<bytes::Bytes> = (0..100)
+        .map(|_| bytes::Bytes::from(encode_tuple_vec(&sample_tuple(), &stats)))
+        .collect();
+    let p = Packetizer::default();
+    let src = MacAddr::worker(1, TaskId(1));
+    let dst = MacAddr::worker(1, TaskId(2));
+    let frames = p.pack(src, dst, &blobs);
+    let mut g = c.benchmark_group("packetizer");
+    g.throughput(Throughput::Elements(blobs.len() as u64));
+    g.bench_function("pack-100-tuples", |b| b.iter(|| p.pack(src, dst, &blobs)));
+    g.bench_function("depacketize-100-tuples", |b| {
+        b.iter(|| {
+            let mut d = Depacketizer::new();
+            let mut n = 0;
+            for f in &frames {
+                n += d.push(f).unwrap().len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut table = FlowTable::new();
+    let now = Instant::now();
+    // 100 unicast rules + one broadcast rule, like a mid-size deployment.
+    for i in 0..100u32 {
+        table.apply(
+            &FlowMod::add(
+                50,
+                FlowMatch::any()
+                    .in_port(PortNo(i % 8))
+                    .dl_src(MacAddr::worker(1, TaskId(i)))
+                    .dl_dst(MacAddr::worker(1, TaskId(i + 100)))
+                    .ether_type(0xffff),
+                vec![Action::Output(PortNo(i % 8 + 1))],
+            ),
+            now,
+        );
+    }
+    let hit = FrameMeta {
+        in_port: PortNo(3),
+        dl_src: MacAddr::worker(1, TaskId(3)),
+        dl_dst: MacAddr::worker(1, TaskId(103)),
+        ether_type: 0xffff,
+    };
+    let miss = FrameMeta {
+        in_port: PortNo(9),
+        dl_src: MacAddr::worker(9, TaskId(9)),
+        dl_dst: MacAddr::worker(9, TaskId(9)),
+        ether_type: 0x0800,
+    };
+    let mut g = c.benchmark_group("flow-table");
+    g.bench_function("lookup-hit-100-rules", |b| {
+        b.iter(|| table.lookup(black_box(&hit), 64, now))
+    });
+    g.bench_function("lookup-miss-100-rules", |b| {
+        b.iter(|| table.lookup(black_box(&miss), 64, now))
+    });
+    g.finish();
+}
+
+fn bench_routing_and_wrr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    let tuple = sample_tuple();
+    let hops: Vec<TaskId> = (0..8).map(TaskId).collect();
+    let mut shuffle = RoutingState::new(Grouping::Shuffle, hops.clone(), vec![]);
+    g.bench_function("shuffle-route", |b| b.iter(|| shuffle.route(black_box(&tuple))));
+    let mut fields = RoutingState::new(
+        Grouping::Fields(vec!["w".into()]),
+        hops.clone(),
+        vec![1],
+    );
+    g.bench_function("fields-route", |b| b.iter(|| fields.route(black_box(&tuple))));
+    let mut wrr = WrrSelector::new(&[5, 3, 2, 1]);
+    g.bench_function("wrr-select", |b| b.iter(|| wrr.next()));
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push-pop", |b| {
+        let (tx, rx) = typhoon_net::ring(1024);
+        let frame = Frame::typhoon(
+            MacAddr::worker(1, TaskId(1)),
+            MacAddr::worker(1, TaskId(2)),
+            bytes::Bytes::from_static(&[0u8; 64]),
+        );
+        b.iter(|| {
+            tx.push(frame.clone()).unwrap();
+            rx.pop().unwrap().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_openflow_wire(c: &mut Criterion) {
+    let msg = OfMessage::FlowMod(
+        FlowMod::add(
+            50,
+            FlowMatch::any()
+                .in_port(PortNo(1))
+                .dl_src(MacAddr::worker(1, TaskId(1)))
+                .dl_dst(MacAddr::worker(1, TaskId(2)))
+                .ether_type(0xffff),
+            vec![Action::SetTunDst(2), Action::Output(PortNo::TUNNEL)],
+        )
+        .with_idle_timeout(std::time::Duration::from_secs(30)),
+    );
+    let encoded = wire::encode(&msg);
+    let mut g = c.benchmark_group("openflow-wire");
+    g.bench_function("encode-flowmod", |b| b.iter(|| wire::encode(black_box(&msg))));
+    g.bench_function("decode-flowmod", |b| {
+        b.iter(|| wire::decode(black_box(encoded.clone())).unwrap())
+    });
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = micro;
+    config = configured();
+    targets = bench_serialization, bench_packetizer, bench_flow_table,
+              bench_routing_and_wrr, bench_ring, bench_openflow_wire
+}
+criterion_main!(micro);

@@ -1,0 +1,142 @@
+//! Experiment: Fig. 10 — fault detection and recovery.
+//!
+//! The word-count topology (1 source, 2 split, 4 count) runs on three
+//! hosts; at a known instant one split worker dies.
+//!
+//! * **Storm** (Fig. 10(a)): the death is only visible as a missing
+//!   heartbeat. The supervisor restarts the worker, but the replacement is
+//!   equally faulty (the paper injects a `NullPointerException` in the
+//!   split logic), so the aggregate count-worker throughput drops to half
+//!   and stays there.
+//! * **Typhoon** (Fig. 10(b)): the switch reports an unexpected
+//!   `PortStatus` delete; the fault-detector app immediately rewrites the
+//!   predecessors' routing toward the surviving split worker, so aggregate
+//!   throughput recovers at once (the survivor absorbs double load).
+//!
+//! Timeline compressed: the paper's 70 s / 30 s-heartbeat becomes
+//! 24 s / 5 s-heartbeat; the ordering (Typhoon recovers ≪ heartbeat
+//! timeout, Storm never recovers) is scale-free.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use typhoon_bench::harness::print_aggregate_timeline;
+use typhoon_bench::workloads::{word_count_topology, SentenceSpout, SplitBolt};
+use typhoon_controller::apps::FaultDetector;
+use typhoon_core::{TyphoonCluster, TyphoonConfig};
+use typhoon_metrics::RateMeter;
+use typhoon_model::{Bolt, ComponentRegistry, Emitter};
+use typhoon_tuple::Tuple;
+use typhoon_storm::{StormCluster, StormConfig};
+
+const TOTAL_SECS: usize = 24;
+const FAULT_AT: Duration = Duration::from_secs(8);
+const HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(5);
+const INPUT_RATE: u32 = 20_000; // sentences/sec; ~6 words each (input-bound on purpose)
+
+/// A split bolt that is healthy unless created while the poison flag is
+/// up — modelling the paper's persistently faulty split logic: every
+/// restart after the fault produces another crashing worker.
+struct PoisonableSplit {
+    poisoned: bool,
+    inner: SplitBolt,
+}
+
+impl Bolt for PoisonableSplit {
+    fn prepare(&mut self) {
+        if self.poisoned {
+            panic!("simulated NullPointerException in split worker");
+        }
+    }
+
+    fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+        self.inner.execute(input, out);
+    }
+}
+
+fn register(reg: &mut ComponentRegistry, poison: Arc<AtomicBool>) {
+    reg.register_spout("sentence-spout", || SentenceSpout::new(32));
+    let p = poison.clone();
+    reg.register_bolt("split", move || PoisonableSplit {
+        poisoned: p.load(Ordering::Acquire),
+        inner: SplitBolt,
+    });
+    reg.register_bolt("count", typhoon_bench::workloads::CountBolt::new);
+}
+
+fn run_storm(poison: Arc<AtomicBool>) -> Vec<RateMeter> {
+    let mut reg = ComponentRegistry::new();
+    register(&mut reg, poison.clone());
+    let config = StormConfig {
+        hosts: 3,
+        heartbeat_timeout: HEARTBEAT_TIMEOUT,
+        monitor_interval: Duration::from_millis(100),
+        ..StormConfig::local(3)
+    };
+    let cluster = StormCluster::new(config, reg);
+    let topo = {
+        // Drop the aggregator: Fig. 10 measures the count workers.
+        word_count_topology(2, 4)
+    };
+    let handle = cluster.submit(topo).expect("submit");
+    let spout = handle.tasks_of("input")[0];
+    handle.set_input_rate(spout, Some(INPUT_RATE));
+    let meters: Vec<RateMeter> = handle
+        .tasks_of("count")
+        .into_iter()
+        .filter_map(|t| handle.meter(t))
+        .collect();
+    let victim = handle.tasks_of("split")[0];
+    std::thread::sleep(FAULT_AT);
+    // The fault: poison future instances, then kill the running worker.
+    poison.store(true, Ordering::Release);
+    handle.crash_task(victim);
+    std::thread::sleep(Duration::from_secs(TOTAL_SECS as u64) - FAULT_AT);
+    let restarts = handle.restarts(victim);
+    println!("# storm: split worker restarted {restarts} times (each replacement faulty)");
+    cluster.shutdown();
+    meters
+}
+
+fn run_typhoon(poison: Arc<AtomicBool>) -> Vec<RateMeter> {
+    let mut reg = ComponentRegistry::new();
+    register(&mut reg, poison);
+    let mut config = TyphoonConfig::new(3).with_batch_size(100);
+    config.slots_per_host = 4;
+    let cluster = TyphoonCluster::new(config, reg).expect("cluster");
+    cluster
+        .controller()
+        .add_app(Box::new(FaultDetector::new()));
+    let handle = cluster.submit(word_count_topology(2, 4)).expect("submit");
+    let spout = handle.tasks_of("input")[0];
+    cluster.controller().send_control(
+        handle.app(),
+        spout,
+        &typhoon_controller::ControlTuple::InputRate {
+            tuples_per_sec: INPUT_RATE,
+        },
+    );
+    let meters: Vec<RateMeter> = handle
+        .tasks_of("count")
+        .into_iter()
+        .filter_map(|t| handle.worker(t).map(|w| w.meter))
+        .collect();
+    let victim = handle.tasks_of("split")[0];
+    std::thread::sleep(FAULT_AT);
+    handle.crash_task(victim).expect("crash");
+    std::thread::sleep(Duration::from_secs(TOTAL_SECS as u64) - FAULT_AT);
+    println!("# typhoon: fault detector rerouted predecessors on PortStatus delete");
+    cluster.shutdown();
+    meters
+}
+
+fn main() {
+    println!("== Fig. 10: fault evaluation (split worker dies at t={}s) ==", FAULT_AT.as_secs());
+    println!("# storm heartbeat timeout: {}s (paper: 30s, compressed)", HEARTBEAT_TIMEOUT.as_secs());
+    let meters = run_storm(Arc::new(AtomicBool::new(false)));
+    print_aggregate_timeline("fig10a/storm-count-workers", &meters, TOTAL_SECS);
+    let meters = run_typhoon(Arc::new(AtomicBool::new(false)));
+    print_aggregate_timeline("fig10b/typhoon-count-workers", &meters, TOTAL_SECS);
+    println!("# expected shape: storm drops to ~half at the fault and stays there;");
+    println!("# typhoon dips briefly and returns to the pre-fault aggregate.");
+}

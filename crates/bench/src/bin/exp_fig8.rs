@@ -1,0 +1,169 @@
+//! Experiment: Fig. 8 — baseline performance, Storm vs Typhoon.
+//!
+//! * `exp_fig8 a`  — Fig. 8(a): tuple-forwarding throughput, LOCAL and
+//!   REMOTE, Storm vs Typhoon with I/O batch sizes {100, 250, 500, 1000}.
+//! * `exp_fig8 b`  — Fig. 8(b): the same with guaranteed processing (one
+//!   acker), plus
+//! * `exp_fig8 cd` — Figs. 8(c)/(d): end-to-end latency CDFs measured at
+//!   the source on ack completion.
+//! * `exp_fig8 all` (default) — everything.
+//!
+//! Expected shape (per the paper): throughput is comparable between the
+//! two systems in both placements; acking costs roughly half the
+//! throughput on both; Typhoon's latency falls below Storm's at small
+//! batch sizes and above it at large ones.
+
+use std::time::Duration;
+use typhoon_bench::harness::{measure_rate, print_cdf, print_rate_row};
+use typhoon_bench::workloads::{forwarding_topology, register_standard};
+use typhoon_core::{TyphoonCluster, TyphoonConfig};
+use typhoon_model::ComponentRegistry;
+use typhoon_storm::{StormCluster, StormConfig};
+
+const PAYLOAD: usize = 100;
+const SPOUT_BATCH: usize = 64;
+const WARMUP: Duration = Duration::from_secs(1);
+const MEASURE: Duration = Duration::from_secs(3);
+const BATCH_SIZES: [usize; 4] = [100, 250, 500, 1000];
+
+fn storm_forwarding(remote: bool, acking: bool, rate_cap: Option<u32>) -> (f64, Vec<(u64, f64)>) {
+    let mut reg = ComponentRegistry::new();
+    let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
+    let mut config = if remote {
+        StormConfig::tcp(2)
+    } else {
+        StormConfig::local(1)
+    };
+    if acking {
+        config = config.with_acking(Duration::from_secs(10), 2048);
+    }
+    let cluster = StormCluster::new(config, reg);
+    let handle = cluster.submit(forwarding_topology()).expect("submit");
+    if rate_cap.is_some() {
+        handle.set_input_rate(handle.tasks_of("source")[0], rate_cap);
+    }
+    let rate = measure_rate(|| sink.count(), WARMUP, MEASURE);
+    let cdf = handle
+        .registry(handle.tasks_of("source")[0])
+        .map(|r| r.histogram("latency").cdf())
+        .unwrap_or_default();
+    cluster.shutdown();
+    (rate, cdf)
+}
+
+fn typhoon_forwarding(
+    remote: bool,
+    acking: bool,
+    batch: usize,
+    rate_cap: Option<u32>,
+) -> (f64, Vec<(u64, f64)>) {
+    let mut reg = ComponentRegistry::new();
+    let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
+    let mut config = if remote {
+        // One slot per host forces source and sink onto different hosts
+        // (plus a third host for the acker when enabled).
+        let mut c = TyphoonConfig::new(3).with_tcp_tunnels();
+        c.slots_per_host = 1;
+        c
+    } else {
+        TyphoonConfig::new(1)
+    };
+    config = config.with_batch_size(batch);
+    if rate_cap.is_some() {
+        // The latency run: batch fill time, not the flush deadline, should
+        // dominate, so widen the deadline (the paper's I/O layer trades
+        // latency for throughput purely via batch size).
+        config.io.batch_delay = Duration::from_millis(50);
+    }
+    if acking {
+        config = config.with_acking(Duration::from_secs(10), 2048);
+    }
+    let cluster = TyphoonCluster::new(config, reg).expect("cluster");
+    let handle = cluster.submit(forwarding_topology()).expect("submit");
+    if let Some(cap) = rate_cap {
+        cluster.controller().send_control(
+            handle.app(),
+            handle.tasks_of("source")[0],
+            &typhoon_controller::ControlTuple::InputRate {
+                tuples_per_sec: cap,
+            },
+        );
+    }
+    let rate = measure_rate(|| sink.count(), WARMUP, MEASURE);
+    let cdf = handle
+        .worker(handle.tasks_of("source")[0])
+        .map(|w| w.registry.histogram("latency").cdf())
+        .unwrap_or_default();
+    cluster.shutdown();
+    (rate, cdf)
+}
+
+fn fig8a() {
+    println!("== Fig. 8(a): tuple forwarding throughput (no acking) ==");
+    for remote in [false, true] {
+        let place = if remote { "REMOTE" } else { "LOCAL" };
+        let (storm, _) = storm_forwarding(remote, false, None);
+        print_rate_row(&format!("STORM          ({place})"), storm);
+        for batch in BATCH_SIZES {
+            let (typhoon, _) = typhoon_forwarding(remote, false, batch, None);
+            print_rate_row(&format!("TYPHOON({batch:<4})  ({place})"), typhoon);
+        }
+    }
+}
+
+fn fig8b_cd(print_throughput: bool, print_latency: bool) {
+    if print_throughput {
+        println!("== Fig. 8(b): tuple forwarding with ACK (guaranteed processing) ==");
+    }
+    // Latency runs are input-capped below either system's capacity so the
+    // CDF measures pipeline residence (batching), not queueing delay.
+    let rate_cap = if print_latency { Some(50_000) } else { None };
+    let mut cdfs: Vec<(String, bool, Vec<(u64, f64)>)> = Vec::new();
+    for remote in [false, true] {
+        let place = if remote { "REMOTE" } else { "LOCAL" };
+        let (storm, storm_cdf) = storm_forwarding(remote, true, rate_cap);
+        if print_throughput {
+            print_rate_row(&format!("STORM+ACK      ({place})"), storm);
+        }
+        cdfs.push(("STORM".into(), remote, storm_cdf));
+        for batch in BATCH_SIZES {
+            let (typhoon, cdf) = typhoon_forwarding(remote, true, batch, rate_cap);
+            if print_throughput {
+                print_rate_row(&format!("TYPHOON({batch:<4})+ACK ({place})"), typhoon);
+            }
+            cdfs.push((format!("TYPHOON({batch})"), remote, cdf));
+        }
+    }
+    if print_latency {
+        println!("== Fig. 8(c): end-to-end tuple latency CDF (LOCAL) ==");
+        for (label, remote, cdf) in &cdfs {
+            if !remote {
+                print_cdf(&format!("local/{label}"), cdf);
+            }
+        }
+        println!("== Fig. 8(d): end-to-end tuple latency CDF (REMOTE) ==");
+        for (label, remote, cdf) in &cdfs {
+            if *remote {
+                print_cdf(&format!("remote/{label}"), cdf);
+            }
+        }
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match mode.as_str() {
+        "a" => fig8a(),
+        "b" => fig8b_cd(true, false),
+        "cd" => fig8b_cd(false, true),
+        "all" => {
+            fig8a();
+            fig8b_cd(true, false);
+            fig8b_cd(false, true);
+        }
+        other => {
+            eprintln!("usage: exp_fig8 [a|b|cd|all] (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}

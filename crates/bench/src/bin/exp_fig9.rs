@@ -1,0 +1,104 @@
+//! Experiment: Fig. 9 — one-to-many communication.
+//!
+//! "Fig. 9 shows the throughput performance of Storm and Typhoon when the
+//! number of sink workers increases from two to six. The figure clearly
+//! shows the increasing performance gap: while the throughput of the
+//! former significantly drops with more sink workers due to multiple
+//! serializations, data copies and TCP overhead, the latter shows similar
+//! throughput regardless of the number of sink workers."
+//!
+//! Besides wall-clock throughput, this binary prints the *serialization
+//! counters* — the mechanism itself: Storm performs `fanout` spout-side
+//! serializations per tuple; Typhoon performs exactly one.
+
+use std::time::Duration;
+use typhoon_bench::harness::{measure_rate, print_rate_row};
+use typhoon_bench::workloads::{broadcast_topology, register_standard};
+use typhoon_core::{TyphoonCluster, TyphoonConfig};
+use typhoon_model::ComponentRegistry;
+use typhoon_storm::{StormCluster, StormConfig};
+
+const PAYLOAD: usize = 100;
+const SPOUT_BATCH: usize = 64;
+const WARMUP: Duration = Duration::from_secs(1);
+const MEASURE: Duration = Duration::from_secs(3);
+
+/// Runs one configuration; returns (per-sink rate, spout serializations
+/// per emitted tuple).
+fn storm_broadcast(remote: bool, sinks: usize) -> (f64, f64) {
+    let mut reg = ComponentRegistry::new();
+    let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
+    let config = if remote {
+        StormConfig::tcp(2)
+    } else {
+        StormConfig::local(1)
+    };
+    let cluster = StormCluster::new(config, reg);
+    let handle = cluster.submit(broadcast_topology(sinks)).expect("submit");
+    let rate = measure_rate(|| sink.count(), WARMUP, MEASURE) / sinks as f64;
+    let spout_task = handle.tasks_of("source")[0];
+    let emitted_roots = handle
+        .registry(spout_task)
+        .map(|r| r.snapshot().counter("tuples.emitted"))
+        .unwrap_or(0);
+    let (serializations, _) = cluster.ser_stats().counts();
+    // Sink-side work adds deserializations only; spout-side serializations
+    // dominate the counter. Ratio ≈ serializations per broadcast emission.
+    let ser_per_tuple = if emitted_roots > 0 {
+        serializations as f64 / (emitted_roots as f64 / sinks as f64)
+    } else {
+        0.0
+    };
+    cluster.shutdown();
+    (rate, ser_per_tuple)
+}
+
+fn typhoon_broadcast(remote: bool, sinks: usize) -> (f64, f64) {
+    let mut reg = ComponentRegistry::new();
+    let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
+    let config = if remote {
+        let mut c = TyphoonConfig::new(2).with_tcp_tunnels();
+        c.slots_per_host = 1 + sinks / 2;
+        c.with_batch_size(250)
+    } else {
+        TyphoonConfig::new(1).with_batch_size(250)
+    };
+    let cluster = TyphoonCluster::new(config, reg).expect("cluster");
+    let handle = cluster.submit(broadcast_topology(sinks)).expect("submit");
+    let rate = measure_rate(|| sink.count(), WARMUP, MEASURE) / sinks as f64;
+    let spout_task = handle.tasks_of("source")[0];
+    let roots = handle
+        .worker(spout_task)
+        .map(|w| w.registry.snapshot().counter("tuples.emitted"))
+        .unwrap_or(0);
+    let (serializations, _) = cluster.ser_stats().counts();
+    let ser_per_tuple = if roots > 0 {
+        serializations as f64 / roots as f64
+    } else {
+        0.0
+    };
+    cluster.shutdown();
+    (rate, ser_per_tuple)
+}
+
+fn main() {
+    println!("== Fig. 9: one-to-many communication, 2..6 sink workers ==");
+    println!("(rates are per-sink delivered tuples/sec, as in the paper's y-axis)");
+    for remote in [false, true] {
+        let place = if remote { "REMOTE" } else { "LOCAL" };
+        for sinks in 2..=6 {
+            let (storm, storm_ser) = storm_broadcast(remote, sinks);
+            print_rate_row(
+                &format!("STORM   ({place}) sinks={sinks} ser/tuple={storm_ser:.1}"),
+                storm,
+            );
+        }
+        for sinks in 2..=6 {
+            let (typhoon, ty_ser) = typhoon_broadcast(remote, sinks);
+            print_rate_row(
+                &format!("TYPHOON ({place}) sinks={sinks} ser/tuple={ty_ser:.1}"),
+                typhoon,
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Measurement helpers shared by the experiment binaries.
+
+use std::time::{Duration, Instant};
+use typhoon_metrics::RateMeter;
+
+/// Waits `dur` while the workload runs.
+pub fn run_for(dur: Duration) {
+    std::thread::sleep(dur);
+}
+
+/// Measures the steady-state rate of a shared counter: samples `counter`
+/// at start and end of `dur`, returns events/sec.
+pub fn measure_rate(counter: impl Fn() -> u64, warmup: Duration, dur: Duration) -> f64 {
+    std::thread::sleep(warmup);
+    let start_count = counter();
+    let start = Instant::now();
+    std::thread::sleep(dur);
+    let elapsed = start.elapsed().as_secs_f64();
+    (counter() - start_count) as f64 / elapsed
+}
+
+/// Prints one paper-style throughput row.
+pub fn print_rate_row(label: &str, tuples_per_sec: f64) {
+    println!("{label:<40} {:>12.0} tuples/sec", tuples_per_sec);
+}
+
+/// Prints a per-second timeline from a meter (the Fig. 10–12/14 series).
+pub fn print_timeline(label: &str, meter: &RateMeter, from: usize, to: usize) {
+    println!("# {label}: time_sec tuples_per_sec");
+    for (i, rate) in meter.rates_per_sec().iter().enumerate() {
+        if i >= from && i < to {
+            println!("{label} {i:>4} {rate:>12.0}");
+        }
+    }
+}
+
+/// Prints the sum-of-meters timeline (aggregate sink throughput).
+pub fn print_aggregate_timeline(label: &str, meters: &[RateMeter], seconds: usize) {
+    println!("# {label}: time_sec aggregate_tuples_per_sec");
+    let series: Vec<Vec<f64>> = meters.iter().map(|m| m.rates_per_sec()).collect();
+    for t in 0..seconds {
+        let total: f64 = series
+            .iter()
+            .map(|s| s.get(t).copied().unwrap_or(0.0))
+            .sum();
+        println!("{label} {t:>4} {total:>12.0}");
+    }
+}
+
+/// Prints CDF points `(latency_ms, fraction)` like Figs. 8(c)/(d).
+pub fn print_cdf(label: &str, cdf: &[(u64, f64)]) {
+    println!("# {label}: latency_ms cdf");
+    for (nanos, frac) in cdf {
+        println!("{label} {:>10.3} {frac:>7.4}", *nanos as f64 / 1e6);
+    }
+}
+
+/// Geometric helper: ratio between two rates, guarding zero.
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        f64::INFINITY
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn measure_rate_tracks_counter_growth() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let stop = Arc::new(AtomicU64::new(0));
+        let s2 = stop.clone();
+        let t = std::thread::spawn(move || {
+            while s2.load(Ordering::Relaxed) == 0 {
+                c2.fetch_add(10, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let rate = measure_rate(
+            || counter.load(Ordering::Relaxed),
+            Duration::from_millis(20),
+            Duration::from_millis(200),
+        );
+        stop.store(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert!(rate > 1000.0, "rate {rate}");
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert_eq!(ratio(4.0, 2.0), 2.0);
+        assert!(ratio(1.0, 0.0).is_infinite());
+    }
+}

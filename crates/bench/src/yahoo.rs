@@ -1,0 +1,427 @@
+//! The Yahoo advertisement-analytics benchmark (Fig. 13).
+//!
+//! "Simulating an advertisement analytics pipeline, the benchmark
+//! application performs six distinct computations in its pipeline, with
+//! Kafka as an input source and Redis as a database for join and
+//! aggregation workers": kafka-client(1) → parse(1) → filter(3) →
+//! projection(3) → join(3) → aggregation&store(1).
+//!
+//! Events are `ad_id|event_type|event_time_ms` strings; `typhoon-kv` holds
+//! the ad→campaign mapping (join) and the per-campaign 10-second window
+//! counts (aggregation), matching the original benchmark's Redis usage.
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use typhoon_kv::KvStore;
+use typhoon_model::{Bolt, ComponentRegistry, Emitter, Fields, Grouping, LogicalTopology, Spout};
+use typhoon_mq::MessageQueue;
+use typhoon_tuple::{Tuple, Value};
+
+/// The three ad event types the benchmark generates.
+pub const EVENT_TYPES: &[&str] = &["view", "click", "purchase"];
+
+/// The aggregation window (the benchmark's 10-second tuple window).
+pub const WINDOW_MS: u64 = 10_000;
+
+/// Populates the broker with `n` events across `ads` ads and seeds the
+/// ad→campaign mapping (`campaigns` campaigns) into the store.
+pub fn generate_events(
+    mq: &MessageQueue,
+    kv: &KvStore,
+    topic: &str,
+    ads: usize,
+    campaigns: usize,
+    n: usize,
+    seed: u64,
+) {
+    mq.create_topic(topic, 1);
+    for ad in 0..ads {
+        kv.set(&format!("ad:{ad}"), &format!("campaign:{}", ad % campaigns));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        let ad = rng.gen_range(0..ads);
+        let event = EVENT_TYPES[rng.gen_range(0..EVENT_TYPES.len())];
+        let time_ms = (i as u64) * 2; // 2ms apart: ~5k events/sec of data time
+        let line = format!("{ad}|{event}|{time_ms}");
+        mq.produce(topic, None, Bytes::from(line)).unwrap();
+    }
+}
+
+/// The Kafka-client spout: polls the broker as consumer group `typhoon`.
+pub struct KafkaClientSpout {
+    mq: Arc<MessageQueue>,
+    topic: String,
+    batch: usize,
+}
+
+impl KafkaClientSpout {
+    /// A spout over one topic (partition 0; the benchmark uses one client).
+    pub fn new(mq: Arc<MessageQueue>, topic: &str, batch: usize) -> Self {
+        KafkaClientSpout {
+            mq,
+            topic: topic.to_owned(),
+            batch: batch.max(1),
+        }
+    }
+}
+
+impl Spout for KafkaClientSpout {
+    fn next_batch(&mut self, out: &mut dyn Emitter) -> bool {
+        let records = match self.mq.poll("typhoon", &self.topic, 0, self.batch) {
+            Ok(r) => r,
+            Err(_) => return false,
+        };
+        let got = !records.is_empty();
+        for r in records {
+            out.emit(vec![Value::Blob(r.to_vec())]);
+        }
+        got
+    }
+}
+
+/// Parses raw event lines into `(ad_id, event_type, event_time)`.
+pub struct ParseBolt;
+
+impl Bolt for ParseBolt {
+    fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+        let raw = match input.get(0).and_then(Value::as_blob) {
+            Some(b) => b,
+            None => return,
+        };
+        let line = match std::str::from_utf8(raw) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut parts = line.split('|');
+        if let (Some(ad), Some(event), Some(time)) = (parts.next(), parts.next(), parts.next()) {
+            if let Ok(time_ms) = time.parse::<i64>() {
+                out.emit(vec![
+                    Value::Str(ad.to_owned()),
+                    Value::Str(event.to_owned()),
+                    Value::Int(time_ms),
+                ]);
+            }
+        }
+    }
+}
+
+/// Event-type filter. `v1` passes only `view` events (the initial
+/// deployment of §6.2); `v2` passes `view` **and** `click` — the logic
+/// swapped in at runtime for Fig. 14.
+pub struct FilterBolt {
+    allowed: Vec<&'static str>,
+}
+
+impl FilterBolt {
+    /// The initial filter: views only.
+    pub fn v1() -> Self {
+        FilterBolt {
+            allowed: vec!["view"],
+        }
+    }
+
+    /// The replacement filter: views and clicks.
+    pub fn v2() -> Self {
+        FilterBolt {
+            allowed: vec!["view", "click"],
+        }
+    }
+}
+
+impl Bolt for FilterBolt {
+    fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+        if let Some(event) = input.get(1).and_then(Value::as_str) {
+            if self.allowed.contains(&event) {
+                out.emit(input.values);
+            }
+        }
+    }
+}
+
+/// Projects `(ad_id, event_type, event_time)` down to `(ad_id,
+/// event_time)`.
+pub struct ProjectionBolt;
+
+impl Bolt for ProjectionBolt {
+    fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+        if let (Some(ad), Some(time)) = (
+            input.get(0).and_then(Value::as_str),
+            input.get(2).and_then(Value::as_int),
+        ) {
+            out.emit(vec![Value::Str(ad.to_owned()), Value::Int(time)]);
+        }
+    }
+}
+
+/// Joins ad IDs to campaign IDs through the store (stateful per Table 4:
+/// it caches lookups in memory).
+pub struct JoinBolt {
+    kv: Arc<KvStore>,
+    cache: std::collections::HashMap<String, String>,
+}
+
+impl JoinBolt {
+    /// A join bolt over the shared store.
+    pub fn new(kv: Arc<KvStore>) -> Self {
+        JoinBolt {
+            kv,
+            cache: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl Bolt for JoinBolt {
+    fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+        let (ad, time) = match (
+            input.get(0).and_then(Value::as_str),
+            input.get(1).and_then(Value::as_int),
+        ) {
+            (Some(a), Some(t)) => (a.to_owned(), t),
+            _ => return,
+        };
+        let campaign = match self.cache.get(&ad) {
+            Some(c) => c.clone(),
+            None => match self.kv.get(&format!("ad:{ad}")) {
+                Some(c) => {
+                    self.cache.insert(ad.clone(), c.clone());
+                    c
+                }
+                None => return, // unknown ad: drop (benchmark semantics)
+            },
+        };
+        out.emit(vec![Value::Str(campaign), Value::Int(time)]);
+    }
+
+    fn on_signal(&mut self, _out: &mut dyn Emitter) {
+        self.cache.clear();
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+}
+
+/// Aggregates per-campaign counts into 10-second windows and stores them
+/// (the "aggregation & store" sink of Fig. 13). Emits `(campaign, window,
+/// count)` so downstream meters can plot Fig. 14's windowed-count series.
+pub struct AggStoreBolt {
+    kv: Arc<KvStore>,
+}
+
+impl AggStoreBolt {
+    /// An aggregator over the shared store.
+    pub fn new(kv: Arc<KvStore>) -> Self {
+        AggStoreBolt { kv }
+    }
+}
+
+impl Bolt for AggStoreBolt {
+    fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+        if let (Some(campaign), Some(time)) = (
+            input.get(0).and_then(Value::as_str),
+            input.get(1).and_then(Value::as_int),
+        ) {
+            let window = (time.max(0) as u64) / WINDOW_MS;
+            let count = self.kv.wincr(campaign, window, 1);
+            out.emit(vec![
+                Value::Str(campaign.to_owned()),
+                Value::Int(window as i64),
+                Value::Int(count),
+            ]);
+        }
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+}
+
+/// Registers the Yahoo components (`kafka-client`, `parse`, `filter-v1`,
+/// `filter-v2`, `projection`, `join`, `agg-store`).
+pub fn register_yahoo(
+    reg: &mut ComponentRegistry,
+    mq: Arc<MessageQueue>,
+    kv: Arc<KvStore>,
+    topic: &str,
+    spout_batch: usize,
+) {
+    let topic = topic.to_owned();
+    let mq2 = mq.clone();
+    reg.register_spout("kafka-client", move || {
+        KafkaClientSpout::new(mq2.clone(), &topic, spout_batch)
+    });
+    reg.register_bolt("parse", || ParseBolt);
+    reg.register_bolt("filter-v1", FilterBolt::v1);
+    reg.register_bolt("filter-v2", FilterBolt::v2);
+    reg.register_bolt("projection", || ProjectionBolt);
+    let kv2 = kv.clone();
+    reg.register_bolt("join", move || JoinBolt::new(kv2.clone()));
+    let kv3 = kv;
+    reg.register_bolt("agg-store", move || AggStoreBolt::new(kv3.clone()));
+}
+
+/// The Fig. 13 topology: kafka-client(1) → parse(1) → filter(3) →
+/// projection(3) → join(3) → aggregation&store(1).
+pub fn yahoo_topology() -> LogicalTopology {
+    LogicalTopology::builder("yahoo-ads")
+        .spout("kafka-client", "kafka-client", 1, Fields::new(["raw"]))
+        .bolt("parse", "parse", 1, Fields::new(["ad", "event", "time"]))
+        .bolt("filter", "filter-v1", 3, Fields::new(["ad", "event", "time"]))
+        .bolt("projection", "projection", 3, Fields::new(["ad", "time"]))
+        .bolt_with_state("join", "join", 3, Fields::new(["campaign", "time"]), true)
+        .bolt_with_state(
+            "store",
+            "agg-store",
+            1,
+            Fields::new(["campaign", "window", "count"]),
+            true,
+        )
+        .edge("kafka-client", "parse", Grouping::Shuffle)
+        .edge("parse", "filter", Grouping::Shuffle)
+        .edge("filter", "projection", Grouping::Shuffle)
+        .edge("projection", "join", Grouping::Fields(vec!["ad".into()]))
+        .edge("join", "store", Grouping::Global)
+        .build()
+        .expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typhoon_model::VecEmitter;
+    use typhoon_tuple::tuple::TaskId;
+
+    fn event_tuple(ad: &str, event: &str, time: i64) -> Tuple {
+        Tuple::new(
+            TaskId(0),
+            vec![
+                Value::Str(ad.into()),
+                Value::Str(event.into()),
+                Value::Int(time),
+            ],
+        )
+    }
+
+    #[test]
+    fn parse_extracts_fields() {
+        let mut b = ParseBolt;
+        let mut out = VecEmitter::default();
+        b.execute(
+            Tuple::new(TaskId(0), vec![Value::Blob(b"17|click|12345".to_vec())]),
+            &mut out,
+        );
+        assert_eq!(out.emitted.len(), 1);
+        assert_eq!(out.emitted[0].1[0].as_str(), Some("17"));
+        assert_eq!(out.emitted[0].1[1].as_str(), Some("click"));
+        assert_eq!(out.emitted[0].1[2].as_int(), Some(12345));
+        // Malformed lines drop silently.
+        b.execute(
+            Tuple::new(TaskId(0), vec![Value::Blob(b"garbage".to_vec())]),
+            &mut out,
+        );
+        assert_eq!(out.emitted.len(), 1);
+    }
+
+    #[test]
+    fn filter_v1_vs_v2() {
+        let mut v1 = FilterBolt::v1();
+        let mut v2 = FilterBolt::v2();
+        for (bolt, expected) in [(&mut v1, 1usize), (&mut v2, 2usize)] {
+            let mut out = VecEmitter::default();
+            for e in ["view", "click", "purchase"] {
+                bolt.execute(event_tuple("1", e, 0), &mut out);
+            }
+            assert_eq!(out.emitted.len(), expected);
+        }
+    }
+
+    #[test]
+    fn join_resolves_and_caches() {
+        let kv = Arc::new(KvStore::new());
+        kv.set("ad:5", "campaign:2");
+        let mut b = JoinBolt::new(kv.clone());
+        let mut out = VecEmitter::default();
+        let projected = Tuple::new(TaskId(0), vec![Value::Str("5".into()), Value::Int(100)]);
+        b.execute(projected.clone(), &mut out);
+        kv.del("ad:5"); // cache must now serve the lookup
+        b.execute(projected, &mut out);
+        assert_eq!(out.emitted.len(), 2);
+        assert_eq!(out.emitted[1].1[0].as_str(), Some("campaign:2"));
+        // Unknown ads drop.
+        b.execute(
+            Tuple::new(TaskId(0), vec![Value::Str("404".into()), Value::Int(1)]),
+            &mut out,
+        );
+        assert_eq!(out.emitted.len(), 2);
+    }
+
+    #[test]
+    fn agg_store_windows_counts() {
+        let kv = Arc::new(KvStore::new());
+        let mut b = AggStoreBolt::new(kv.clone());
+        let mut out = VecEmitter::default();
+        for t in [0i64, 5_000, 12_000] {
+            b.execute(
+                Tuple::new(TaskId(0), vec![Value::Str("c1".into()), Value::Int(t)]),
+                &mut out,
+            );
+        }
+        assert_eq!(kv.wget("c1", 0), 2, "0ms and 5000ms share window 0");
+        assert_eq!(kv.wget("c1", 1), 1);
+    }
+
+    #[test]
+    fn generated_events_flow_through_the_whole_chain() {
+        let mq = Arc::new(MessageQueue::new());
+        let kv = Arc::new(KvStore::new());
+        generate_events(&mq, &kv, "ads", 10, 3, 200, 1);
+        let mut spout = KafkaClientSpout::new(mq, "ads", 64);
+        let mut parse = ParseBolt;
+        let mut filter = FilterBolt::v1();
+        let mut proj = ProjectionBolt;
+        let mut join = JoinBolt::new(kv.clone());
+        let mut agg = AggStoreBolt::new(kv.clone());
+        let mut drained = 0;
+        loop {
+            let mut raw = VecEmitter::default();
+            if !spout.next_batch(&mut raw) {
+                break;
+            }
+            for (_, values) in raw.emitted {
+                drained += 1;
+                let mut parsed = VecEmitter::default();
+                parse.execute(Tuple::new(TaskId(0), values), &mut parsed);
+                for (_, values) in parsed.emitted {
+                    let mut filtered = VecEmitter::default();
+                    filter.execute(Tuple::new(TaskId(1), values), &mut filtered);
+                    for (_, values) in filtered.emitted {
+                        let mut projected = VecEmitter::default();
+                        proj.execute(Tuple::new(TaskId(2), values), &mut projected);
+                        for (_, values) in projected.emitted {
+                            let mut joined = VecEmitter::default();
+                            join.execute(Tuple::new(TaskId(3), values), &mut joined);
+                            for (_, values) in joined.emitted {
+                                let mut stored = VecEmitter::default();
+                                agg.execute(Tuple::new(TaskId(4), values), &mut stored);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(drained, 200);
+        // Roughly a third of events are views; all land in window 0
+        // (200 events × 2ms < 10s).
+        let total: i64 = (0..3).map(|c| kv.wget(&format!("campaign:{c}"), 0)).sum();
+        assert!(total > 30 && total < 120, "views stored: {total}");
+    }
+
+    #[test]
+    fn yahoo_topology_validates() {
+        yahoo_topology().validate().unwrap();
+        assert_eq!(yahoo_topology().total_tasks(), 12);
+    }
+}

@@ -1,0 +1,219 @@
+//! The auto-scaler app (§4, evaluated in Fig. 11).
+//!
+//! "The auto-scaler app leverages application-layer metrics (e.g., tuple
+//! queue level and tuple processing time) retrieved from ZooKeeper or
+//! workers, and initiates scale up/down operations via control tuples when
+//! the metrics reach predefined maximum and minimum thresholds."
+//!
+//! Each tick the app polls the watched node's workers with `METRIC_REQ`
+//! control tuples; when the maximum reported queue depth crosses the high
+//! threshold it submits a `SetParallelism(n+1)` reconfiguration request to
+//! the coordinator (which the streaming manager executes via the §3.5
+//! stable-update procedure); below the low threshold it scales down.
+
+use crate::apps::ControlPlaneApp;
+use crate::control::ControlTuple;
+use crate::controller::Controller;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use typhoon_model::{AppId, ReconfigOp, ReconfigRequest, TaskId};
+
+/// Scaling policy for one watched node.
+#[derive(Debug, Clone)]
+pub struct AutoScalerConfig {
+    /// Topology name.
+    pub topology: String,
+    /// The node whose parallelism is managed.
+    pub node: String,
+    /// Metric name polled from workers.
+    pub metric: String,
+    /// Scale up when the max reported value exceeds this.
+    pub high_watermark: i64,
+    /// Scale down when the max reported value falls below this.
+    pub low_watermark: i64,
+    /// Never fewer tasks than this.
+    pub min_parallelism: usize,
+    /// Never more tasks than this.
+    pub max_parallelism: usize,
+    /// Minimum time between scaling actions (damping).
+    pub cooldown: Duration,
+}
+
+/// The auto-scaler.
+pub struct AutoScaler {
+    config: AutoScalerConfig,
+    watched_app: Option<AppId>,
+    readings: HashMap<TaskId, i64>,
+    last_action: Option<Instant>,
+    next_request: u64,
+    /// Scale-ups issued (observability).
+    pub scale_ups: u64,
+    /// Scale-downs issued (observability).
+    pub scale_downs: u64,
+}
+
+impl AutoScaler {
+    /// A scaler for one node.
+    pub fn new(config: AutoScalerConfig) -> Self {
+        AutoScaler {
+            config,
+            watched_app: None,
+            readings: HashMap::new(),
+            last_action: None,
+            next_request: 1,
+            scale_ups: 0,
+            scale_downs: 0,
+        }
+    }
+
+    fn in_cooldown(&self) -> bool {
+        self.last_action
+            .map_or(false, |t| t.elapsed() < self.config.cooldown)
+    }
+
+    /// The scaling decision given current readings and parallelism;
+    /// factored out for direct unit testing.
+    fn decide(&self, current: usize) -> Option<usize> {
+        let max_depth = *self.readings.values().max()?;
+        if max_depth > self.config.high_watermark && current < self.config.max_parallelism {
+            Some(current + 1)
+        } else if max_depth < self.config.low_watermark && current > self.config.min_parallelism {
+            Some(current - 1)
+        } else {
+            None
+        }
+    }
+}
+
+impl ControlPlaneApp for AutoScaler {
+    fn name(&self) -> &'static str {
+        "auto-scaler"
+    }
+
+    fn on_metric_resp(
+        &mut self,
+        _ctl: &Controller,
+        app: AppId,
+        task: TaskId,
+        _request_id: u64,
+        metrics: &[(String, i64)],
+    ) {
+        if self.watched_app.is_some() && self.watched_app != Some(app) {
+            return; // another application's worker
+        }
+        if let Some((_, v)) = metrics.iter().find(|(k, _)| *k == self.config.metric) {
+            self.readings.insert(task, *v);
+        }
+    }
+
+    fn on_tick(&mut self, ctl: &Controller) {
+        let global = ctl.global().clone();
+        let (logical, physical) = match (
+            global.get_logical(&self.config.topology),
+            global.get_physical(&self.config.topology),
+        ) {
+            (Ok(l), Ok(p)) => (l, p),
+            _ => return,
+        };
+        self.watched_app = Some(physical.app);
+        let tasks = physical.tasks_of(&self.config.node);
+        // Drop readings from tasks that no longer exist (post-reschedule).
+        self.readings.retain(|t, _| tasks.contains(t));
+        // Poll for the next round.
+        let req = ControlTuple::MetricReq {
+            request_id: self.next_request,
+        };
+        self.next_request += 1;
+        ctl.send_control_many(physical.app, &tasks, &req);
+
+        if self.in_cooldown() {
+            return;
+        }
+        let current = logical
+            .node(&self.config.node)
+            .map(|n| n.parallelism)
+            .unwrap_or(tasks.len());
+        if let Some(target) = self.decide(current) {
+            let _ = global.submit_reconfig(&ReconfigRequest::single(
+                &self.config.topology,
+                ReconfigOp::SetParallelism {
+                    node: self.config.node.clone(),
+                    parallelism: target,
+                },
+            ));
+            if target > current {
+                self.scale_ups += 1;
+            } else {
+                self.scale_downs += 1;
+            }
+            self.last_action = Some(Instant::now());
+            self.readings.clear(); // stale after a scale event
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler() -> AutoScaler {
+        AutoScaler::new(AutoScalerConfig {
+            topology: "t".into(),
+            node: "split".into(),
+            metric: "queue.depth".into(),
+            high_watermark: 100,
+            low_watermark: 10,
+            min_parallelism: 1,
+            max_parallelism: 4,
+            cooldown: Duration::from_secs(5),
+        })
+    }
+
+    #[test]
+    fn scales_up_above_high_watermark() {
+        let mut s = scaler();
+        s.readings.insert(TaskId(1), 150);
+        s.readings.insert(TaskId(2), 20);
+        assert_eq!(s.decide(2), Some(3));
+    }
+
+    #[test]
+    fn scales_down_below_low_watermark() {
+        let mut s = scaler();
+        s.readings.insert(TaskId(1), 2);
+        s.readings.insert(TaskId(2), 5);
+        assert_eq!(s.decide(3), Some(2));
+    }
+
+    #[test]
+    fn holds_between_watermarks() {
+        let mut s = scaler();
+        s.readings.insert(TaskId(1), 50);
+        assert_eq!(s.decide(2), None);
+    }
+
+    #[test]
+    fn respects_parallelism_bounds() {
+        let mut s = scaler();
+        s.readings.insert(TaskId(1), 1_000);
+        assert_eq!(s.decide(4), None, "max reached");
+        s.readings.insert(TaskId(1), 0);
+        assert_eq!(s.decide(1), None, "min reached");
+    }
+
+    #[test]
+    fn no_readings_means_no_decision() {
+        let s = scaler();
+        assert_eq!(s.decide(2), None);
+    }
+
+    #[test]
+    fn cooldown_suppresses_actions() {
+        let mut s = scaler();
+        assert!(!s.in_cooldown());
+        s.last_action = Some(Instant::now());
+        assert!(s.in_cooldown());
+        s.last_action = Some(Instant::now() - Duration::from_secs(10));
+        assert!(!s.in_cooldown());
+    }
+}

@@ -1,0 +1,182 @@
+//! The SDN load-balancer app (§4).
+//!
+//! "A worker populates destination IDs for outgoing tuples randomly,
+//! instead of applying any routing, and the SDN switch rewrites their
+//! destination IDs in a weighted round robin fashion … the weight
+//! associated with each destination can be dynamically adjusted by the SDN
+//! controller based on application-level (e.g., node's CPU load) and
+//! network-level (e.g., port statistics) information."
+//!
+//! The data-plane side (select group + destination rewrite) is installed by
+//! [`crate::rules::build_rules`] for [`typhoon_model::Grouping::SdnOffloaded`]
+//! edges. This app closes the loop: each tick it polls the downstream
+//! workers' queue depths via `METRIC_REQ` control tuples and retunes the
+//! bucket weights inversely to queue depth, so stragglers receive less.
+
+use crate::apps::ControlPlaneApp;
+use crate::control::ControlTuple;
+use crate::controller::Controller;
+use crate::rules::group_id_for;
+use std::collections::HashMap;
+use typhoon_model::{AppId, TaskId};
+use typhoon_net::MacAddr;
+use typhoon_openflow::{Action, Bucket, GroupMod, PortNo};
+
+/// Configuration of one balanced edge.
+#[derive(Debug, Clone)]
+pub struct LoadBalancerConfig {
+    /// Topology name.
+    pub topology: String,
+    /// Upstream node (whose tasks own the select groups).
+    pub from: String,
+    /// Downstream node (whose tasks are the buckets).
+    pub to: String,
+    /// Metric polled from downstream workers (typically `"queue.depth"`).
+    pub metric: String,
+}
+
+/// The load balancer.
+pub struct LoadBalancer {
+    config: LoadBalancerConfig,
+    watched_app: Option<AppId>,
+    /// Latest reported metric per downstream task.
+    depths: HashMap<TaskId, i64>,
+    next_request: u64,
+    /// Weight updates issued (observability for tests).
+    pub retunes: u64,
+}
+
+impl LoadBalancer {
+    /// A balancer for one edge.
+    pub fn new(config: LoadBalancerConfig) -> Self {
+        LoadBalancer {
+            config,
+            watched_app: None,
+            depths: HashMap::new(),
+            next_request: 1,
+            retunes: 0,
+        }
+    }
+
+    /// Weight for a reported queue depth: deeper queue → lighter weight.
+    /// Weights stay ≥ 1 so no worker is starved entirely (a starved
+    /// stateful worker could otherwise never drain).
+    fn weight_for(depth: i64) -> u32 {
+        const MAX_WEIGHT: i64 = 100;
+        (MAX_WEIGHT - depth.clamp(0, MAX_WEIGHT - 1)).max(1) as u32
+    }
+}
+
+impl ControlPlaneApp for LoadBalancer {
+    fn name(&self) -> &'static str {
+        "load-balancer"
+    }
+
+    fn on_metric_resp(
+        &mut self,
+        _ctl: &Controller,
+        app: AppId,
+        task: TaskId,
+        _request_id: u64,
+        metrics: &[(String, i64)],
+    ) {
+        if self.watched_app.is_some() && self.watched_app != Some(app) {
+            return;
+        }
+        if let Some((_, v)) = metrics.iter().find(|(k, _)| *k == self.config.metric) {
+            self.depths.insert(task, *v);
+        }
+    }
+
+    fn on_tick(&mut self, ctl: &Controller) {
+        let global = ctl.global().clone();
+        let (logical, physical) = match (
+            global.get_logical(&self.config.topology),
+            global.get_physical(&self.config.topology),
+        ) {
+            (Ok(l), Ok(p)) => (l, p),
+            _ => return,
+        };
+        let _ = logical;
+        self.watched_app = Some(physical.app);
+        let dst_tasks = physical.tasks_of(&self.config.to);
+        // Poll downstream queue depths for the next round.
+        let req = ControlTuple::MetricReq {
+            request_id: self.next_request,
+        };
+        self.next_request += 1;
+        ctl.send_control_many(physical.app, &dst_tasks, &req);
+
+        // Retune weights from what we know so far.
+        if self.depths.is_empty() {
+            return;
+        }
+        for src in physical.tasks_of(&self.config.from) {
+            let src_host = match physical.assignment(src) {
+                Some(a) => a.host,
+                None => continue,
+            };
+            let buckets: Vec<Bucket> = dst_tasks
+                .iter()
+                .filter_map(|&dst| {
+                    let a = physical.assignment(dst)?;
+                    let mut actions =
+                        vec![Action::SetDlDst(MacAddr::worker(physical.app.0, dst))];
+                    if a.host == src_host {
+                        actions.push(Action::Output(PortNo(a.switch_port)));
+                    } else {
+                        actions.push(Action::SetTunDst(a.host.0));
+                        actions.push(Action::Output(PortNo::TUNNEL));
+                    }
+                    let depth = self.depths.get(&dst).copied().unwrap_or(0);
+                    Some(Bucket {
+                        weight: Self::weight_for(depth),
+                        actions,
+                    })
+                })
+                .collect();
+            ctl.send_group_mod(
+                src_host,
+                GroupMod::modify(group_id_for(physical.app.0, src), buckets),
+            );
+            self.retunes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_inverse_to_depth_and_never_zero() {
+        assert_eq!(LoadBalancer::weight_for(0), 100);
+        assert!(LoadBalancer::weight_for(10) < LoadBalancer::weight_for(1));
+        assert_eq!(LoadBalancer::weight_for(1_000_000), 1);
+        assert_eq!(LoadBalancer::weight_for(-5), 100, "negative clamps");
+    }
+
+    #[test]
+    fn metric_responses_update_depths() {
+        let mut lb = LoadBalancer::new(LoadBalancerConfig {
+            topology: "t".into(),
+            from: "a".into(),
+            to: "b".into(),
+            metric: "queue.depth".into(),
+        });
+        let global = typhoon_coordinator::global::GlobalState::new(
+            typhoon_coordinator::Coordinator::new(),
+        );
+        let ctl = Controller::new(global);
+        lb.on_metric_resp(
+            &ctl,
+            AppId(1),
+            TaskId(3),
+            1,
+            &[("queue.depth".into(), 42), ("other".into(), 7)],
+        );
+        assert_eq!(lb.depths[&TaskId(3)], 42);
+        lb.on_metric_resp(&ctl, AppId(1), TaskId(4), 1, &[("other".into(), 7)]);
+        assert!(!lb.depths.contains_key(&TaskId(4)), "wrong metric ignored");
+    }
+}

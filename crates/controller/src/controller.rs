@@ -1,0 +1,571 @@
+//! The controller core: switch sessions, event pump, app dispatch.
+//!
+//! Per §3.4 the controller is *stateless* about deployments: everything it
+//! needs (logical/physical topologies, agent registry) is read from the
+//! central coordinator, and flow rules are regenerated from that state.
+//! What it does keep is operational plumbing: the per-switch control
+//! channels, latest stats snapshots, and the registered control-plane apps.
+
+use crate::apps::ControlPlaneApp;
+use crate::control::{ControlTuple, CONTROLLER_TASK};
+use crate::rules::build_rules;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use typhoon_coordinator::global::GlobalState;
+use typhoon_model::{AppId, HostId, LogicalTopology, PhysicalTopology, TaskId};
+use typhoon_net::{Depacketizer, Frame, MacAddr, Packetizer};
+use typhoon_openflow::{
+    wire, DatapathId, FlowMod, FlowStats, OfMessage, PortNo, PortStats, PortStatusReason,
+};
+use typhoon_switch::ControlChannel;
+use typhoon_tuple::ser::{encode_tuple_vec, SerStats};
+use typhoon_tuple::Tuple;
+
+/// One connected switch: its host, datapath ID and control channel.
+#[derive(Debug, Clone)]
+pub struct SwitchBinding {
+    /// The compute host the switch runs on.
+    pub host: HostId,
+    /// The switch's datapath ID.
+    pub dpid: DatapathId,
+    /// The control channel (encoded OpenFlow both ways).
+    pub channel: ControlChannel,
+}
+
+struct CtlInner {
+    global: GlobalState,
+    switches: RwLock<BTreeMap<HostId, SwitchBinding>>,
+    apps: Mutex<Vec<Box<dyn ControlPlaneApp>>>,
+    port_stats: Mutex<HashMap<HostId, Vec<PortStats>>>,
+    flow_stats: Mutex<HashMap<HostId, Vec<FlowStats>>>,
+    depacketizers: Mutex<HashMap<HostId, Depacketizer>>,
+    barrier_waiters: Mutex<HashMap<u32, crossbeam::channel::Sender<()>>>,
+    ser: Arc<SerStats>,
+    packetizer: Packetizer,
+    next_xid: AtomicU32,
+    shutdown: AtomicBool,
+}
+
+/// The Typhoon SDN controller.
+#[derive(Clone)]
+pub struct Controller {
+    inner: Arc<CtlInner>,
+}
+
+impl Controller {
+    /// Creates a controller bound to the cluster's coordinator state.
+    pub fn new(global: GlobalState) -> Self {
+        Controller {
+            inner: Arc::new(CtlInner {
+                global,
+                switches: RwLock::new(BTreeMap::new()),
+                apps: Mutex::new(Vec::new()),
+                port_stats: Mutex::new(HashMap::new()),
+                flow_stats: Mutex::new(HashMap::new()),
+                depacketizers: Mutex::new(HashMap::new()),
+                barrier_waiters: Mutex::new(HashMap::new()),
+                ser: SerStats::shared(),
+                packetizer: Packetizer::default(),
+                next_xid: AtomicU32::new(1),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The coordinator-backed global state (Table 1).
+    pub fn global(&self) -> &GlobalState {
+        &self.inner.global
+    }
+
+    /// Serialization meter for controller-generated control tuples.
+    pub fn ser_stats(&self) -> &Arc<SerStats> {
+        &self.inner.ser
+    }
+
+    /// Registers a switch session (the OpenFlow handshake of a real
+    /// deployment, collapsed to channel registration here).
+    pub fn register_switch(&self, host: HostId, dpid: DatapathId, channel: ControlChannel) {
+        self.inner
+            .switches
+            .write()
+            .insert(host, SwitchBinding { host, dpid, channel });
+    }
+
+    /// Registers a control-plane application (§4).
+    pub fn add_app(&self, app: Box<dyn ControlPlaneApp>) {
+        self.inner.apps.lock().push(app);
+    }
+
+    /// Hosts with a registered switch.
+    pub fn hosts(&self) -> Vec<HostId> {
+        self.inner.switches.read().keys().copied().collect()
+    }
+
+    fn send_to_switch(&self, host: HostId, msg: &OfMessage) -> bool {
+        let switches = self.inner.switches.read();
+        match switches.get(&host) {
+            Some(b) => b.channel.to_switch.send(wire::encode(msg)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Installs the full Table 3 rule plan for a scheduled topology
+    /// (§3.2 step (iii), "Network setup"), then fences each switch with a
+    /// barrier so callers know the rules are active.
+    pub fn install_topology(&self, logical: &LogicalTopology, physical: &PhysicalTopology) {
+        let plan = build_rules(logical, physical);
+        for (host, groups) in &plan.groups {
+            for gm in groups {
+                self.send_to_switch(*host, &OfMessage::GroupMod(gm.clone()));
+            }
+        }
+        for (host, flows) in &plan.flows {
+            for fm in flows {
+                self.send_to_switch(*host, &OfMessage::FlowMod(fm.clone()));
+            }
+        }
+        let hosts: Vec<HostId> = plan.flows.keys().copied().collect();
+        for host in hosts {
+            self.sync_switch(host, Duration::from_secs(5));
+        }
+    }
+
+    /// Removes every rule of a topology by sending per-rule strict deletes.
+    pub fn uninstall_topology(&self, logical: &LogicalTopology, physical: &PhysicalTopology) {
+        let plan = build_rules(logical, physical);
+        for (host, flows) in &plan.flows {
+            for fm in flows {
+                let mut del = FlowMod::delete(fm.matcher);
+                del.priority = fm.priority;
+                self.send_to_switch(*host, &OfMessage::FlowMod(del));
+            }
+        }
+    }
+
+    /// Sends one raw `FlowMod` to a host's switch (used by apps).
+    pub fn send_flow_mod(&self, host: HostId, fm: FlowMod) -> bool {
+        self.send_to_switch(host, &OfMessage::FlowMod(fm))
+    }
+
+    /// Sends one raw `GroupMod` to a host's switch (used by apps).
+    pub fn send_group_mod(&self, host: HostId, gm: typhoon_openflow::GroupMod) -> bool {
+        self.send_to_switch(host, &OfMessage::GroupMod(gm))
+    }
+
+    /// Fences a switch: sends a barrier and waits for its reply (or the
+    /// timeout). The reply may be consumed by any pumping thread (the
+    /// spawned controller loop or this caller) — a waiter registry routes
+    /// it back here either way.
+    pub fn sync_switch(&self, host: HostId, timeout: Duration) -> bool {
+        let xid = self.inner.next_xid.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.inner.barrier_waiters.lock().insert(xid, tx);
+        if !self.send_to_switch(host, &OfMessage::Barrier { xid }) {
+            self.inner.barrier_waiters.lock().remove(&xid);
+            return false;
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            if rx.try_recv().is_ok() {
+                return true;
+            }
+            // Pump ourselves too, so fencing works without a spawned loop.
+            self.pump_once(host);
+            if Instant::now() > deadline {
+                self.inner.barrier_waiters.lock().remove(&xid);
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// Injects a control tuple to one worker via `PacketOut` (§3.4).
+    pub fn send_control(&self, app: AppId, task: TaskId, ct: &ControlTuple) -> bool {
+        let physical = match self.find_physical_for_task(app, task) {
+            Some(p) => p,
+            None => return false,
+        };
+        let assignment = match physical.assignment(task) {
+            Some(a) => a.clone(),
+            None => return false,
+        };
+        let tuple = ct.to_tuple(CONTROLLER_TASK);
+        let blob = Bytes::from(encode_tuple_vec(&tuple, &self.inner.ser));
+        let dst = MacAddr::worker(app.0, task);
+        let frames = self
+            .inner
+            .packetizer
+            .pack(MacAddr::CONTROLLER, dst, std::slice::from_ref(&blob));
+        for frame in frames {
+            let ok = self.send_to_switch(
+                assignment.host,
+                &OfMessage::PacketOut {
+                    in_port: PortNo::CONTROLLER,
+                    frame: frame.encode(),
+                },
+            );
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Injects a control tuple to many workers.
+    pub fn send_control_many(&self, app: AppId, tasks: &[TaskId], ct: &ControlTuple) -> usize {
+        tasks
+            .iter()
+            .filter(|&&t| self.send_control(app, t, ct))
+            .count()
+    }
+
+    fn find_physical_for_task(&self, app: AppId, task: TaskId) -> Option<PhysicalTopology> {
+        for name in self.inner.global.list_topologies().ok()? {
+            if let Ok(p) = self.inner.global.get_physical(&name) {
+                if p.app == app && p.assignment(task).is_some() {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// Fires async stats requests at one switch (answers land in the
+    /// caches read by [`Controller::port_stats`]/[`Controller::flow_stats`]).
+    pub fn request_stats(&self, host: HostId) {
+        self.send_to_switch(host, &OfMessage::PortStatsRequest);
+        self.send_to_switch(host, &OfMessage::FlowStatsRequest);
+    }
+
+    /// Latest port stats received from `host`.
+    pub fn port_stats(&self, host: HostId) -> Vec<PortStats> {
+        self.inner
+            .port_stats
+            .lock()
+            .get(&host)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Latest flow stats received from `host`.
+    pub fn flow_stats(&self, host: HostId) -> Vec<FlowStats> {
+        self.inner
+            .flow_stats
+            .lock()
+            .get(&host)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Drains pending switch events, dispatching to apps. Returns the
+    /// number of messages handled.
+    pub fn pump(&self) -> usize {
+        let hosts = self.hosts();
+        let mut handled = 0;
+        for host in hosts {
+            while self.pump_once(host) {
+                handled += 1;
+            }
+        }
+        handled
+    }
+
+    /// Handles at most one pending message from `host`; returns whether
+    /// one was handled.
+    fn pump_once(&self, host: HostId) -> bool {
+        let raw: Option<Bytes> = {
+            let switches = self.inner.switches.read();
+            match switches.get(&host) {
+                Some(b) => b.channel.from_switch.try_recv().ok(),
+                None => None,
+            }
+        };
+        let raw = match raw {
+            Some(r) => r,
+            None => return false,
+        };
+        let msg = match wire::decode(raw) {
+            Ok((m, _)) => m,
+            Err(_) => return true,
+        };
+        match &msg {
+            OfMessage::BarrierReply { xid } => {
+                if let Some(tx) = self.inner.barrier_waiters.lock().remove(xid) {
+                    let _ = tx.send(());
+                }
+            }
+            OfMessage::PortStatsReply(stats) => {
+                self.inner.port_stats.lock().insert(host, stats.clone());
+            }
+            OfMessage::FlowStatsReply(stats) => {
+                self.inner.flow_stats.lock().insert(host, stats.clone());
+            }
+            OfMessage::PortStatus { reason, port } => {
+                self.dispatch_port_status(host, *reason, *port);
+            }
+            OfMessage::PacketIn { frame, .. } => {
+                if let Ok(f) = Frame::decode(frame.clone()) {
+                    self.dispatch_packet_in(host, f);
+                }
+            }
+            _ => {}
+        }
+        true
+    }
+
+    fn dispatch_port_status(&self, host: HostId, reason: PortStatusReason, port: PortNo) {
+        let mut apps = self.inner.apps.lock();
+        for app in apps.iter_mut() {
+            app.on_port_status(self, host, reason, port);
+        }
+    }
+
+    fn dispatch_packet_in(&self, host: HostId, frame: Frame) {
+        // Reassemble tuples (control responses are packetized like data).
+        let blobs = {
+            let mut depkts = self.inner.depacketizers.lock();
+            match depkts.entry(host).or_default().push(&frame) {
+                Ok(b) => b,
+                Err(_) => return,
+            }
+        };
+        for (src, blob) in blobs {
+            let tuple: Tuple =
+                match typhoon_tuple::ser::decode_tuple(&blob, &self.inner.ser) {
+                    Ok((t, _)) => t,
+                    Err(_) => continue,
+                };
+            if let Some(ControlTuple::MetricResp {
+                request_id,
+                task,
+                metrics,
+            }) = ControlTuple::from_tuple(&tuple)
+            {
+                // The worker's MAC prefix identifies its application.
+                let app_id = AppId(src.app());
+                let mut apps = self.inner.apps.lock();
+                for app in apps.iter_mut() {
+                    app.on_metric_resp(self, app_id, task, request_id, &metrics);
+                }
+            }
+        }
+        let mut apps = self.inner.apps.lock();
+        for app in apps.iter_mut() {
+            app.on_packet_in(self, host, &frame);
+        }
+    }
+
+    /// Ticks every registered app (periodic work: stats polls, scaling
+    /// decisions, weight retuning).
+    pub fn tick_apps(&self) {
+        let mut apps = self.inner.apps.lock();
+        for app in apps.iter_mut() {
+            app.on_tick(self);
+        }
+    }
+
+    /// Spawns the controller loop: pump events continuously, tick apps at
+    /// `tick_interval`.
+    pub fn spawn(&self, tick_interval: Duration) -> ControllerHandle {
+        let ctl = self.clone();
+        let thread = std::thread::Builder::new()
+            .name("sdn-controller".into())
+            .spawn(move || {
+                let mut last_tick = Instant::now();
+                while !ctl.inner.shutdown.load(Ordering::Acquire) {
+                    let handled = ctl.pump();
+                    if last_tick.elapsed() >= tick_interval {
+                        last_tick = Instant::now();
+                        ctl.tick_apps();
+                    }
+                    if handled == 0 {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            })
+            .expect("spawn controller");
+        ControllerHandle {
+            controller: self.clone(),
+            thread: Some(thread),
+        }
+    }
+
+    /// Requests the controller loop to stop.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Controller({} switches)", self.inner.switches.read().len())
+    }
+}
+
+/// Join handle for a spawned controller loop.
+pub struct ControllerHandle {
+    controller: Controller,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ControllerHandle {
+    /// Stops the loop and joins the thread.
+    pub fn stop(mut self) {
+        self.controller.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ControllerHandle {
+    fn drop(&mut self) {
+        self.controller.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typhoon_coordinator::Coordinator;
+    use typhoon_model::logical::word_count_example;
+    use typhoon_model::{HostInfo, LocalityScheduler, Scheduler};
+    use typhoon_switch::{Switch, SwitchConfig};
+
+    fn setup_one_host() -> (Controller, Switch, GlobalState) {
+        let global = GlobalState::new(Coordinator::new());
+        let ctl = Controller::new(global.clone());
+        let (sw, ch) = Switch::new(SwitchConfig::new(0));
+        ctl.register_switch(HostId(0), sw.dpid(), ch);
+        (ctl, sw, global)
+    }
+
+    fn deploy_word_count(ctl: &Controller, sw: &Switch, global: &GlobalState) -> PhysicalTopology {
+        let logical = word_count_example();
+        let phys = LocalityScheduler
+            .schedule(AppId(1), &logical, &[HostInfo::new(0, "h0", 8)])
+            .unwrap();
+        global.set_logical(&logical).unwrap();
+        global.set_physical(&phys).unwrap();
+        // Pre-attach the workers' ports so rules have endpoints.
+        for a in &phys.assignments {
+            let _wp = sw.attach_worker(PortNo(a.switch_port));
+            std::mem::forget(_wp); // keep rings alive for the test
+        }
+        // Install concurrently with a helper thread driving the switch,
+        // because install_topology blocks on a barrier.
+        let sw2 = sw.clone();
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = done.clone();
+        let driver = std::thread::spawn(move || {
+            while !done2.load(Ordering::Acquire) {
+                sw2.process_round();
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        });
+        ctl.install_topology(&word_count_example(), &phys);
+        done.store(true, Ordering::Release);
+        driver.join().unwrap();
+        phys
+    }
+
+    #[test]
+    fn install_topology_programs_rules_and_fences() {
+        let (ctl, sw, global) = setup_one_host();
+        deploy_word_count(&ctl, &sw, &global);
+        assert!(sw.rule_count() > 6, "data + control rules installed");
+    }
+
+    #[test]
+    fn uninstall_topology_removes_rules() {
+        let (ctl, sw, global) = setup_one_host();
+        let phys = deploy_word_count(&ctl, &sw, &global);
+        let before = sw.rule_count();
+        ctl.uninstall_topology(&word_count_example(), &phys);
+        for _ in 0..10 {
+            sw.process_round();
+        }
+        assert!(sw.rule_count() < before);
+        assert_eq!(sw.rule_count(), 0, "strict deletes cover the whole plan");
+    }
+
+    #[test]
+    fn stats_round_trip_into_cache() {
+        let (ctl, sw, global) = setup_one_host();
+        deploy_word_count(&ctl, &sw, &global);
+        ctl.request_stats(HostId(0));
+        sw.process_round();
+        ctl.pump();
+        assert!(!ctl.port_stats(HostId(0)).is_empty());
+        assert!(!ctl.flow_stats(HostId(0)).is_empty());
+    }
+
+    #[test]
+    fn send_control_reaches_worker_port() {
+        let global = GlobalState::new(Coordinator::new());
+        let ctl = Controller::new(global.clone());
+        let (sw, ch) = Switch::new(SwitchConfig::new(0));
+        ctl.register_switch(HostId(0), sw.dpid(), ch);
+        let logical = word_count_example();
+        let phys = LocalityScheduler
+            .schedule(AppId(1), &logical, &[HostInfo::new(0, "h0", 8)])
+            .unwrap();
+        global.set_logical(&logical).unwrap();
+        global.set_physical(&phys).unwrap();
+        // Attach only the target worker's port and keep its endpoints.
+        let target = phys.tasks_of("split")[0];
+        let port = PortNo(phys.assignment(target).unwrap().switch_port);
+        let wp = sw.attach_worker(port);
+        // Install only the control rules by installing the whole plan
+        // (driver thread for the barrier).
+        let sw2 = sw.clone();
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = done.clone();
+        let driver = std::thread::spawn(move || {
+            while !done2.load(Ordering::Acquire) {
+                sw2.process_round();
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        });
+        ctl.install_topology(&logical, &phys);
+        assert!(ctl.send_control(
+            AppId(1),
+            target,
+            &ControlTuple::BatchSize { size: 250 }
+        ));
+        // Wait for the frame to arrive at the worker port.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let frame = loop {
+            if let Ok(Some(f)) = wp.rx.pop() {
+                break f;
+            }
+            assert!(Instant::now() < deadline, "control tuple never arrived");
+            std::thread::sleep(Duration::from_micros(100));
+        };
+        done.store(true, Ordering::Release);
+        driver.join().unwrap();
+        // Depacketize and decode it back into the control tuple.
+        let mut d = Depacketizer::new();
+        let blobs = d.push(&frame).unwrap();
+        assert_eq!(blobs.len(), 1);
+        let stats = SerStats::default();
+        let (tuple, _) = typhoon_tuple::ser::decode_tuple(&blobs[0].1, &stats).unwrap();
+        assert_eq!(
+            ControlTuple::from_tuple(&tuple),
+            Some(ControlTuple::BatchSize { size: 250 })
+        );
+    }
+
+    #[test]
+    fn send_control_to_unknown_task_fails_cleanly() {
+        let (ctl, _sw, _global) = setup_one_host();
+        assert!(!ctl.send_control(AppId(9), TaskId(1), &ControlTuple::Signal));
+    }
+}

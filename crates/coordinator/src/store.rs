@@ -1,0 +1,537 @@
+//! The znode store: a hierarchical, versioned, watched key-value tree.
+
+use crate::session::{SessionId, SessionState};
+use crate::watch::{WatchEvent, WatchKind, WatchTable};
+use crate::{CoordError, Result};
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Whether a created node outlives its creator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateMode {
+    /// The node persists until explicitly deleted.
+    Persistent,
+    /// The node is deleted automatically when the owning session expires.
+    Ephemeral(SessionId),
+}
+
+/// Metadata returned alongside node data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStat {
+    /// Data version, starting at 1 and bumped by every set.
+    pub version: u64,
+    /// Owning session for ephemerals.
+    pub ephemeral_owner: Option<SessionId>,
+}
+
+#[derive(Debug)]
+struct Node {
+    data: Vec<u8>,
+    version: u64,
+    ephemeral_owner: Option<SessionId>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    nodes: BTreeMap<String, Node>,
+    watches: WatchTable,
+    sessions: HashMap<SessionId, SessionState>,
+    next_session: u64,
+}
+
+/// The coordination service. Clones share the same tree; it is safe to hand
+/// a clone to every thread in the cluster (the paper's components all talk
+/// to one ZooKeeper ensemble).
+#[derive(Debug, Clone, Default)]
+pub struct Coordinator {
+    state: Arc<Mutex<State>>,
+}
+
+fn validate_path(path: &str) -> &str {
+    assert!(
+        path.starts_with('/') && (path.len() == 1 || !path.ends_with('/')),
+        "znode paths are absolute and have no trailing slash: {path:?}"
+    );
+    path
+}
+
+fn parent_of(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/"),
+        Some(i) => Some(&path[..i]),
+        None => None,
+    }
+}
+
+impl Coordinator {
+    /// A fresh, empty coordinator with a root node.
+    pub fn new() -> Self {
+        let coord = Coordinator::default();
+        coord.state.lock().nodes.insert(
+            "/".to_owned(),
+            Node {
+                data: Vec::new(),
+                version: 1,
+                ephemeral_owner: None,
+            },
+        );
+        coord
+    }
+
+    /// Creates a node. The parent must exist; intermediate nodes are *not*
+    /// auto-created (use [`Coordinator::ensure_path`]).
+    pub fn create(&self, path: &str, data: Vec<u8>, mode: CreateMode) -> Result<()> {
+        validate_path(path);
+        let mut st = self.state.lock();
+        if st.nodes.contains_key(path) {
+            return Err(CoordError::NodeExists(path.to_owned()));
+        }
+        let parent = parent_of(path).ok_or_else(|| CoordError::NoParent(path.to_owned()))?;
+        if !st.nodes.contains_key(parent) {
+            return Err(CoordError::NoParent(path.to_owned()));
+        }
+        let ephemeral_owner = match mode {
+            CreateMode::Persistent => None,
+            CreateMode::Ephemeral(sid) => {
+                let session = st
+                    .sessions
+                    .get_mut(&sid)
+                    .ok_or(CoordError::NoSession(sid))?;
+                session.ephemerals.push(path.to_owned());
+                Some(sid)
+            }
+        };
+        st.nodes.insert(
+            path.to_owned(),
+            Node {
+                data,
+                version: 1,
+                ephemeral_owner,
+            },
+        );
+        let event = WatchEvent {
+            path: path.to_owned(),
+            kind: WatchKind::Created,
+            version: 1,
+        };
+        st.watches.deliver(&event);
+        Ok(())
+    }
+
+    /// Creates every missing ancestor of `path` (and `path` itself) as an
+    /// empty persistent node. Existing nodes are left untouched.
+    pub fn ensure_path(&self, path: &str) -> Result<()> {
+        validate_path(path);
+        let mut prefix = String::new();
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            prefix.push('/');
+            prefix.push_str(seg);
+            match self.create(&prefix, Vec::new(), CreateMode::Persistent) {
+                Ok(()) | Err(CoordError::NodeExists(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a node's data and stat.
+    pub fn get(&self, path: &str) -> Result<(Vec<u8>, NodeStat)> {
+        let st = self.state.lock();
+        let node = st
+            .nodes
+            .get(validate_path(path))
+            .ok_or_else(|| CoordError::NoNode(path.to_owned()))?;
+        Ok((
+            node.data.clone(),
+            NodeStat {
+                version: node.version,
+                ephemeral_owner: node.ephemeral_owner,
+            },
+        ))
+    }
+
+    /// True when the node exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.state.lock().nodes.contains_key(validate_path(path))
+    }
+
+    /// Overwrites a node's data, bumping its version. With
+    /// `expected_version = Some(v)` the write is a compare-and-set.
+    /// Returns the new version.
+    pub fn set(&self, path: &str, data: Vec<u8>, expected_version: Option<u64>) -> Result<u64> {
+        let mut st = self.state.lock();
+        let node = st
+            .nodes
+            .get_mut(validate_path(path))
+            .ok_or_else(|| CoordError::NoNode(path.to_owned()))?;
+        if let Some(expected) = expected_version {
+            if node.version != expected {
+                return Err(CoordError::BadVersion {
+                    expected,
+                    actual: node.version,
+                });
+            }
+        }
+        node.data = data;
+        node.version += 1;
+        let event = WatchEvent {
+            path: path.to_owned(),
+            kind: WatchKind::DataChanged,
+            version: node.version,
+        };
+        st.watches.deliver(&event);
+        Ok(event.version)
+    }
+
+    /// Creates the node if absent, otherwise overwrites it (persistent only).
+    pub fn put(&self, path: &str, data: Vec<u8>) -> Result<u64> {
+        match self.create(path, data.clone(), CreateMode::Persistent) {
+            Ok(()) => Ok(1),
+            Err(CoordError::NodeExists(_)) => self.set(path, data, None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Deletes a node. Children must be deleted first.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        validate_path(path);
+        let mut st = self.state.lock();
+        if !st.nodes.contains_key(path) {
+            return Err(CoordError::NoNode(path.to_owned()));
+        }
+        let child_prefix = format!("{path}/");
+        if st.nodes.keys().any(|k| k.starts_with(&child_prefix)) {
+            // Mirror ZooKeeper's NotEmpty by refusing; callers use
+            // delete_recursive when they mean it.
+            return Err(CoordError::NodeExists(format!("{path}/* (children)")));
+        }
+        let node = st.nodes.remove(path).expect("checked above");
+        if let Some(sid) = node.ephemeral_owner {
+            if let Some(session) = st.sessions.get_mut(&sid) {
+                session.ephemerals.retain(|p| p != path);
+            }
+        }
+        let event = WatchEvent {
+            path: path.to_owned(),
+            kind: WatchKind::Deleted,
+            version: 0,
+        };
+        st.watches.deliver(&event);
+        Ok(())
+    }
+
+    /// Deletes a node and everything under it.
+    pub fn delete_recursive(&self, path: &str) -> Result<()> {
+        validate_path(path);
+        let victims: Vec<String> = {
+            let st = self.state.lock();
+            let child_prefix = format!("{path}/");
+            let mut v: Vec<String> = st
+                .nodes
+                .keys()
+                .filter(|k| k.as_str() == path || k.starts_with(&child_prefix))
+                .cloned()
+                .collect();
+            // Depth-first: longest paths first so children go before parents.
+            v.sort_by_key(|p| std::cmp::Reverse(p.len()));
+            v
+        };
+        if victims.is_empty() {
+            return Err(CoordError::NoNode(path.to_owned()));
+        }
+        for p in victims {
+            self.delete(&p)?;
+        }
+        Ok(())
+    }
+
+    /// Names of the direct children of `path`, sorted.
+    pub fn children(&self, path: &str) -> Result<Vec<String>> {
+        validate_path(path);
+        let st = self.state.lock();
+        if !st.nodes.contains_key(path) {
+            return Err(CoordError::NoNode(path.to_owned()));
+        }
+        let prefix = if path == "/" {
+            "/".to_owned()
+        } else {
+            format!("{path}/")
+        };
+        Ok(st
+            .nodes
+            .keys()
+            .filter(|k| k.starts_with(&prefix) && *k != path)
+            .filter_map(|k| {
+                let rest = &k[prefix.len()..];
+                (!rest.is_empty() && !rest.contains('/')).then(|| rest.to_owned())
+            })
+            .collect())
+    }
+
+    /// Subscribes to every change under `prefix` (persistent prefix watch).
+    pub fn watch(&self, prefix: &str) -> Receiver<WatchEvent> {
+        self.state.lock().watches.subscribe(prefix)
+    }
+
+    /// Opens a new session.
+    pub fn create_session(&self) -> SessionId {
+        let mut st = self.state.lock();
+        st.next_session += 1;
+        let sid = SessionId(st.next_session);
+        st.sessions.insert(sid, SessionState::new(Instant::now()));
+        sid
+    }
+
+    /// Refreshes a session's liveness.
+    pub fn heartbeat(&self, sid: SessionId) -> Result<()> {
+        let mut st = self.state.lock();
+        let session = st
+            .sessions
+            .get_mut(&sid)
+            .ok_or(CoordError::NoSession(sid))?;
+        session.last_heartbeat = Instant::now();
+        Ok(())
+    }
+
+    /// Expires every session silent for longer than `timeout`, deleting its
+    /// ephemerals (with watch notifications). Returns the expired sessions.
+    /// The streaming manager calls this periodically — the heartbeat-timeout
+    /// fault-detection path of the baseline (§6.2, Fig. 10(a)).
+    pub fn expire_stale_sessions(&self, timeout: Duration) -> Vec<SessionId> {
+        let now = Instant::now();
+        let expired: Vec<SessionId> = {
+            let st = self.state.lock();
+            st.sessions
+                .iter()
+                .filter(|(_, s)| s.is_expired(now, timeout))
+                .map(|(&sid, _)| sid)
+                .collect()
+        };
+        for &sid in &expired {
+            self.close_session(sid);
+        }
+        expired
+    }
+
+    /// Closes a session immediately, deleting its ephemerals.
+    pub fn close_session(&self, sid: SessionId) {
+        let ephemerals = {
+            let mut st = self.state.lock();
+            match st.sessions.remove(&sid) {
+                Some(s) => s.ephemerals,
+                None => return,
+            }
+        };
+        for path in ephemerals {
+            // The session is gone, so delete bypasses ephemeral bookkeeping.
+            let _ = self.delete(&path);
+        }
+    }
+
+    /// Number of live sessions (observability hook).
+    pub fn session_count(&self) -> usize {
+        self.state.lock().sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord() -> Coordinator {
+        Coordinator::new()
+    }
+
+    #[test]
+    fn create_get_set_delete_lifecycle() {
+        let c = coord();
+        c.create("/a", b"one".to_vec(), CreateMode::Persistent).unwrap();
+        let (data, stat) = c.get("/a").unwrap();
+        assert_eq!(data, b"one");
+        assert_eq!(stat.version, 1);
+        let v = c.set("/a", b"two".to_vec(), None).unwrap();
+        assert_eq!(v, 2);
+        c.delete("/a").unwrap();
+        assert!(matches!(c.get("/a"), Err(CoordError::NoNode(_))));
+    }
+
+    #[test]
+    fn create_requires_parent() {
+        let c = coord();
+        assert!(matches!(
+            c.create("/a/b", vec![], CreateMode::Persistent),
+            Err(CoordError::NoParent(_))
+        ));
+        c.ensure_path("/a/b/c").unwrap();
+        assert!(c.exists("/a/b/c"));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let c = coord();
+        c.create("/a", vec![], CreateMode::Persistent).unwrap();
+        assert!(matches!(
+            c.create("/a", vec![], CreateMode::Persistent),
+            Err(CoordError::NodeExists(_))
+        ));
+    }
+
+    #[test]
+    fn compare_and_set_enforces_version() {
+        let c = coord();
+        c.create("/a", vec![], CreateMode::Persistent).unwrap();
+        c.set("/a", b"x".to_vec(), Some(1)).unwrap();
+        let err = c.set("/a", b"y".to_vec(), Some(1)).unwrap_err();
+        assert_eq!(
+            err,
+            CoordError::BadVersion {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn put_upserts() {
+        let c = coord();
+        assert_eq!(c.put("/a", b"1".to_vec()).unwrap(), 1);
+        assert_eq!(c.put("/a", b"2".to_vec()).unwrap(), 2);
+        assert_eq!(c.get("/a").unwrap().0, b"2");
+    }
+
+    #[test]
+    fn children_lists_direct_descendants_only() {
+        let c = coord();
+        c.ensure_path("/t/wc/logical").unwrap();
+        c.ensure_path("/t/wc/physical").unwrap();
+        c.ensure_path("/t/other").unwrap();
+        assert_eq!(c.children("/t").unwrap(), vec!["other", "wc"]);
+        assert_eq!(c.children("/t/wc").unwrap(), vec!["logical", "physical"]);
+    }
+
+    #[test]
+    fn delete_refuses_non_empty_then_recursive_works() {
+        let c = coord();
+        c.ensure_path("/t/a/b").unwrap();
+        assert!(c.delete("/t").is_err());
+        c.delete_recursive("/t").unwrap();
+        assert!(!c.exists("/t"));
+        assert!(c.exists("/"), "root survives");
+    }
+
+    #[test]
+    fn watches_fire_for_create_set_delete_under_prefix() {
+        let c = coord();
+        let rx = c.watch("/jobs");
+        c.ensure_path("/jobs").unwrap();
+        c.create("/jobs/wc", b"v1".to_vec(), CreateMode::Persistent).unwrap();
+        c.set("/jobs/wc", b"v2".to_vec(), None).unwrap();
+        c.delete("/jobs/wc").unwrap();
+        let kinds: Vec<WatchKind> = rx.try_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                WatchKind::Created,     // /jobs
+                WatchKind::Created,     // /jobs/wc
+                WatchKind::DataChanged, // /jobs/wc v2
+                WatchKind::Deleted,     // /jobs/wc
+            ]
+        );
+    }
+
+    #[test]
+    fn ephemerals_vanish_on_session_close() {
+        let c = coord();
+        c.ensure_path("/agents").unwrap();
+        let sid = c.create_session();
+        c.create("/agents/h0", vec![], CreateMode::Ephemeral(sid)).unwrap();
+        let rx = c.watch("/agents/h0");
+        c.close_session(sid);
+        assert!(!c.exists("/agents/h0"));
+        assert_eq!(rx.try_iter().next().unwrap().kind, WatchKind::Deleted);
+    }
+
+    #[test]
+    fn ephemeral_requires_live_session() {
+        let c = coord();
+        assert!(matches!(
+            c.create("/x", vec![], CreateMode::Ephemeral(SessionId(99))),
+            Err(CoordError::NoSession(_))
+        ));
+    }
+
+    #[test]
+    fn stale_sessions_expire_and_fresh_survive() {
+        let c = coord();
+        c.ensure_path("/agents").unwrap();
+        let stale = c.create_session();
+        let fresh = c.create_session();
+        c.create("/agents/stale", vec![], CreateMode::Ephemeral(stale)).unwrap();
+        c.create("/agents/fresh", vec![], CreateMode::Ephemeral(fresh)).unwrap();
+        // Force the stale session's heartbeat into the past.
+        {
+            let mut st = c.state.lock();
+            st.sessions.get_mut(&stale).unwrap().last_heartbeat =
+                Instant::now() - Duration::from_secs(60);
+        }
+        c.heartbeat(fresh).unwrap();
+        let expired = c.expire_stale_sessions(Duration::from_secs(30));
+        assert_eq!(expired, vec![stale]);
+        assert!(!c.exists("/agents/stale"));
+        assert!(c.exists("/agents/fresh"));
+        assert_eq!(c.session_count(), 1);
+    }
+
+    #[test]
+    fn explicit_delete_of_ephemeral_unregisters_it() {
+        let c = coord();
+        c.ensure_path("/e").unwrap();
+        let sid = c.create_session();
+        c.create("/e/x", vec![], CreateMode::Ephemeral(sid)).unwrap();
+        c.delete("/e/x").unwrap();
+        // Closing the session must not panic or double-delete.
+        c.close_session(sid);
+        assert!(!c.exists("/e/x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute")]
+    fn relative_paths_are_rejected() {
+        let c = coord();
+        let _ = c.exists("no-slash");
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let c = coord();
+        c.create("/ctr", b"0".to_vec(), CreateMode::Persistent).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        loop {
+                            let (data, stat) = c.get("/ctr").unwrap();
+                            let n: u64 = String::from_utf8(data).unwrap().parse().unwrap();
+                            let next = (n + 1).to_string().into_bytes();
+                            if c.set("/ctr", next, Some(stat.version)).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (data, _) = c.get("/ctr").unwrap();
+        assert_eq!(String::from_utf8(data).unwrap(), "400");
+    }
+}

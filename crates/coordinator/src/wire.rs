@@ -1,0 +1,133 @@
+//! Minimal length-delimited codec helpers for the typed global states.
+//!
+//! The paper stores logical/physical topologies as language-agnostic Thrift
+//! objects in ZooKeeper (§5); this module plays the Thrift role with an
+//! explicit little-endian format so stored state is bytes, not shared
+//! memory — components could live in separate processes without change.
+
+use crate::CoordError;
+
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Reader { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoordError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CoordError::Corrupt(self.what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, CoordError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, CoordError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, CoordError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, CoordError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, CoordError> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() {
+            return Err(CoordError::Corrupt(self.what));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CoordError::Corrupt(self.what))
+    }
+
+    pub(crate) fn finish(self) -> Result<(), CoordError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CoordError::Corrupt(self.what))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.str("héllo");
+        let mut r = Reader::new(&w.buf, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_are_corruption() {
+        let mut w = Writer::new();
+        w.u8(1);
+        w.u8(2);
+        let mut r = Reader::new(&w.buf, "test");
+        let _ = r.u8().unwrap();
+        assert_eq!(r.finish(), Err(CoordError::Corrupt("test")));
+    }
+
+    #[test]
+    fn truncation_is_corruption() {
+        let mut w = Writer::new();
+        w.str("abcdef");
+        let mut r = Reader::new(&w.buf[..3], "test");
+        assert!(r.str().is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests on the znode store: random operation sequences keep the
+//! tree consistent (parents exist, children lists match, versions grow),
+//! and the typed codecs round-trip arbitrary topologies.
+
+use proptest::prelude::*;
+use typhoon_coordinator::global::{
+    decode_logical, decode_physical, encode_logical, encode_physical,
+};
+use typhoon_coordinator::{CoordError, Coordinator, CreateMode};
+use typhoon_model::{
+    AppId, Fields, Grouping, HostId, LogicalTopology, PhysicalTopology, TaskAssignment,
+};
+use typhoon_tuple::tuple::TaskId;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Set(u8),
+    Delete(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..12).prop_map(Op::Create),
+            (0u8..12).prop_map(Op::Set),
+            (0u8..12).prop_map(Op::Delete),
+        ],
+        0..60,
+    )
+}
+
+/// A small fixed path universe with nesting: /n0../n3 at the root, each
+/// with children /nX/c0../c2.
+fn path_for(i: u8) -> String {
+    let parent = i % 4;
+    if i < 4 {
+        format!("/n{parent}")
+    } else {
+        format!("/n{parent}/c{}", (i - 4) % 3)
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_op_sequences_keep_the_tree_consistent(ops in arb_ops()) {
+        let c = Coordinator::new();
+        let mut model: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new(); // path -> version
+        for op in ops {
+            match op {
+                Op::Create(i) => {
+                    let path = path_for(i);
+                    let parent_exists = match path.rfind('/') {
+                        Some(0) => true,
+                        Some(k) => model.contains_key(&path[..k]),
+                        None => false,
+                    };
+                    let result = c.create(&path, vec![i], CreateMode::Persistent);
+                    if model.contains_key(&path) {
+                        prop_assert!(matches!(result, Err(CoordError::NodeExists(_))));
+                    } else if !parent_exists {
+                        prop_assert!(matches!(result, Err(CoordError::NoParent(_))));
+                    } else {
+                        prop_assert!(result.is_ok());
+                        model.insert(path, 1);
+                    }
+                }
+                Op::Set(i) => {
+                    let path = path_for(i);
+                    let result = c.set(&path, vec![i, i], None);
+                    match model.get_mut(&path) {
+                        Some(v) => {
+                            *v += 1;
+                            prop_assert_eq!(result.unwrap(), *v);
+                        }
+                        None => prop_assert!(matches!(result, Err(CoordError::NoNode(_)))),
+                    }
+                }
+                Op::Delete(i) => {
+                    let path = path_for(i);
+                    let has_children = model
+                        .keys()
+                        .any(|k| k.starts_with(&format!("{path}/")));
+                    let result = c.delete(&path);
+                    if !model.contains_key(&path) {
+                        prop_assert!(matches!(result, Err(CoordError::NoNode(_))));
+                    } else if has_children {
+                        prop_assert!(result.is_err(), "non-empty delete must fail");
+                    } else {
+                        prop_assert!(result.is_ok());
+                        model.remove(&path);
+                    }
+                }
+            }
+        }
+        // Final consistency: the store agrees with the model exactly.
+        for (path, version) in &model {
+            let (_, stat) = c.get(path).expect("modelled node exists");
+            prop_assert_eq!(stat.version, *version);
+        }
+        for i in 0..12u8 {
+            let path = path_for(i);
+            prop_assert_eq!(c.exists(&path), model.contains_key(&path));
+        }
+    }
+
+    #[test]
+    fn logical_codec_roundtrips_arbitrary_pipelines(
+        layers in proptest::collection::vec((1usize..6, 0u8..5), 1..6),
+        stateful_mask in any::<u8>(),
+    ) {
+        let mut b = LogicalTopology::builder("p")
+            .spout("l0", "spout-comp", 1, Fields::new(["a", "b", "c"]));
+        let mut prev = "l0".to_owned();
+        for (i, (par, gtag)) in layers.into_iter().enumerate() {
+            let name = format!("l{}", i + 1);
+            let grouping = match gtag {
+                0 => Grouping::Shuffle,
+                1 => Grouping::Fields(vec!["a".into(), "c".into()]),
+                2 => Grouping::Global,
+                3 => Grouping::All,
+                _ => Grouping::SdnOffloaded,
+            };
+            b = b
+                .bolt_with_state(
+                    &name,
+                    &format!("comp-{i}"),
+                    par,
+                    Fields::new(["a", "b", "c"]),
+                    stateful_mask & (1 << (i % 8)) != 0,
+                )
+                .edge(&prev, &name, grouping);
+            prev = name;
+        }
+        let topo = b.build().unwrap();
+        let decoded = decode_logical(&encode_logical(&topo)).expect("roundtrip");
+        prop_assert_eq!(decoded.name, topo.name);
+        prop_assert_eq!(decoded.nodes.len(), topo.nodes.len());
+        for (a, b) in decoded.nodes.iter().zip(topo.nodes.iter()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.component, &b.component);
+            prop_assert_eq!(a.parallelism, b.parallelism);
+            prop_assert_eq!(a.stateful, b.stateful);
+        }
+        for (a, b) in decoded.edges.iter().zip(topo.edges.iter()) {
+            prop_assert_eq!(&a.grouping, &b.grouping);
+        }
+    }
+
+    #[test]
+    fn physical_codec_roundtrips_arbitrary_assignments(
+        assignments in proptest::collection::vec(
+            (any::<u32>(), ".{0,12}", ".{0,12}", any::<u32>(), any::<u32>()),
+            0..32
+        ),
+        app in any::<u16>(),
+        version in any::<u64>(),
+        watermark in any::<u32>(),
+    ) {
+        let phys = PhysicalTopology {
+            app: AppId(app),
+            name: "arb".into(),
+            version,
+            task_watermark: watermark,
+            assignments: assignments
+                .into_iter()
+                .map(|(task, node, component, host, port)| TaskAssignment {
+                    task: TaskId(task),
+                    node,
+                    component,
+                    host: HostId(host),
+                    switch_port: port,
+                })
+                .collect(),
+        };
+        let decoded = decode_physical(&encode_physical(&phys)).expect("roundtrip");
+        prop_assert_eq!(decoded.app, phys.app);
+        prop_assert_eq!(decoded.version, phys.version);
+        prop_assert_eq!(decoded.task_watermark, phys.task_watermark);
+        prop_assert_eq!(decoded.assignments, phys.assignments);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_logical(&bytes);
+        let _ = decode_physical(&bytes);
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-host worker agents.
+//!
+//! The agent is the Typhoon counterpart of Storm's supervisor (§2, §3.2
+//! step (iv)): it registers its host with the coordinator (ephemeral
+//! session), "fetches application binaries" (resolves component factories
+//! from the shared registry), launches scheduled workers attached to the
+//! host's software SDN switch, and kills them on reconfiguration. It also
+//! owns the host's switch-port allocation so that concurrent topologies
+//! never collide on ports.
+
+use crate::worker::{self, Role, Route, WorkerConfig, WorkerShared};
+use crate::{CoreError, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use typhoon_coordinator::global::GlobalState;
+use typhoon_model::{AppId, ComponentRegistry, HostInfo, NodeKind, TaskId};
+use typhoon_openflow::PortNo;
+use typhoon_switch::Switch;
+use typhoon_tuple::ser::SerStats;
+
+/// A running worker's bookkeeping.
+pub struct WorkerEntry {
+    /// Control handles shared with the worker thread.
+    pub shared: WorkerShared,
+    /// The switch port the worker occupies.
+    pub port: PortNo,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The per-host worker agent.
+pub struct WorkerAgent {
+    info: HostInfo,
+    switch: Switch,
+    components: Arc<RwLock<ComponentRegistry>>,
+    ser: Arc<SerStats>,
+    workers: Mutex<HashMap<(AppId, TaskId), WorkerEntry>>,
+    next_port: AtomicU32,
+}
+
+impl WorkerAgent {
+    /// Creates an agent for `info`'s host, registering it with the
+    /// coordinator under an ephemeral session.
+    pub fn new(
+        info: HostInfo,
+        switch: Switch,
+        components: Arc<RwLock<ComponentRegistry>>,
+        ser: Arc<SerStats>,
+        global: &GlobalState,
+    ) -> Result<Arc<WorkerAgent>> {
+        let session = global.coordinator().create_session();
+        global.register_agent(&info, session)?;
+        Ok(Arc::new(WorkerAgent {
+            info,
+            switch,
+            components,
+            ser,
+            workers: Mutex::new(HashMap::new()),
+            next_port: AtomicU32::new(1),
+        }))
+    }
+
+    /// This agent's host description.
+    pub fn info(&self) -> &HostInfo {
+        &self.info
+    }
+
+    /// The host's switch.
+    pub fn switch(&self) -> &Switch {
+        &self.switch
+    }
+
+    /// Allocates the next free switch port on this host (port 0 is the
+    /// tunnel port, per Table 3).
+    pub fn alloc_port(&self) -> PortNo {
+        PortNo(self.next_port.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Number of workers currently running.
+    pub fn used_slots(&self) -> usize {
+        self.workers.lock().len()
+    }
+
+    /// Launches a worker: resolve the component, attach to the switch,
+    /// spawn the worker thread. The `PortStatus` add event this generates
+    /// is the controller's cue that the port is live.
+    pub fn launch(
+        &self,
+        kind: NodeKind,
+        is_acker: bool,
+        port: PortNo,
+        config: WorkerConfig,
+        routes: Vec<Route>,
+    ) -> Result<WorkerShared> {
+        let role = if is_acker {
+            Role::Acker
+        } else {
+            let components = self.components.read();
+            match kind {
+                NodeKind::Spout => Role::Spout(components.make_spout(&config.component)?),
+                NodeKind::Bolt => Role::Bolt(components.make_bolt(&config.component)?),
+            }
+        };
+        let worker_port = self.switch.attach_worker(port);
+        let shared = WorkerShared::new();
+        let shared2 = shared.clone();
+        let ser = self.ser.clone();
+        let key = (config.app, config.task);
+        let thread = std::thread::Builder::new()
+            .name(format!("typhoon-{}-{}", config.node, config.task))
+            .spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker::run_worker(config, role, worker_port, routes, ser, shared2);
+                }));
+            })
+            .expect("spawn typhoon worker");
+        self.workers.lock().insert(
+            key,
+            WorkerEntry {
+                shared: shared.clone(),
+                port,
+                thread: Some(thread),
+            },
+        );
+        Ok(shared)
+    }
+
+    /// Waits for a launched worker to signal readiness.
+    pub fn wait_ready(&self, app: AppId, task: TaskId, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let workers = self.workers.lock();
+                if let Some(e) = workers.get(&(app, task)) {
+                    if e.shared.ready.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(CoreError::Timeout("worker readiness"));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Access to a worker's shared handles.
+    pub fn worker(&self, app: AppId, task: TaskId) -> Option<WorkerShared> {
+        self.workers.lock().get(&(app, task)).map(|e| e.shared.clone())
+    }
+
+    /// The switch port of a worker.
+    pub fn worker_port(&self, app: AppId, task: TaskId) -> Option<PortNo> {
+        self.workers.lock().get(&(app, task)).map(|e| e.port)
+    }
+
+    /// Gracefully stops a worker: flag it, join the thread (it flushes
+    /// in-flight batches first), then detach the port (a *deliberate*
+    /// `PortStatus` delete).
+    pub fn kill(&self, app: AppId, task: TaskId) {
+        let entry = self.workers.lock().remove(&(app, task));
+        if let Some(mut e) = entry {
+            e.shared.shutdown.store(true, Ordering::Release);
+            if let Some(t) = e.thread.take() {
+                let _ = t.join();
+            }
+            self.switch.detach_worker(e.port);
+        }
+    }
+
+    /// Simulates a worker crash: the thread exits immediately, dropping
+    /// its ring endpoints; the switch datapath discovers the dead port and
+    /// emits the *unexpected* `PortStatus` delete the fault detector keys
+    /// on (§4, Fig. 10).
+    pub fn crash(&self, app: AppId, task: TaskId) {
+        let entry = self.workers.lock().remove(&(app, task));
+        if let Some(mut e) = entry {
+            e.shared.crash.store(true, Ordering::Release);
+            if let Some(t) = e.thread.take() {
+                let _ = t.join();
+            }
+            // No detach_worker: the datapath must discover it.
+        }
+    }
+
+    /// Stops every worker on this host.
+    pub fn kill_all(&self) {
+        let keys: Vec<(AppId, TaskId)> = self.workers.lock().keys().copied().collect();
+        for (app, task) in keys {
+            self.kill(app, task);
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WorkerAgent({}, {} workers)",
+            self.info.name,
+            self.used_slots()
+        )
+    }
+}

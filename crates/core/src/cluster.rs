@@ -1,0 +1,648 @@
+//! `TyphoonCluster` — the whole system, assembled.
+//!
+//! Builds the operating environment of Fig. 3: per-host software SDN
+//! switches joined by host-level tunnels, the SDN controller with its
+//! control channels, the central coordinator, per-host worker agents, and
+//! the streaming manager. The submission API mirrors the Storm baseline's
+//! so every experiment runs the same application code on both systems.
+
+use crate::agent::WorkerAgent;
+use crate::manager::{ManagerConfig, SchedulerKind, StreamingManager};
+use crate::worker::{IoConfig, WorkerShared};
+use crate::{CoreError, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use typhoon_controller::{Controller, ControllerHandle};
+use typhoon_coordinator::global::GlobalState;
+use typhoon_coordinator::Coordinator;
+use typhoon_model::{
+    AppId, ComponentRegistry, HostId, HostInfo, LogicalTopology, PhysicalTopology,
+    ReconfigRequest, TaskId,
+};
+use typhoon_net::{InMemoryTunnel, TcpTunnel, Tunnel};
+use typhoon_switch::{Switch, SwitchConfig, SwitchHandle};
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct TyphoonConfig {
+    /// Number of simulated compute hosts (one switch + one agent each).
+    pub hosts: usize,
+    /// Worker slots per host.
+    pub slots_per_host: usize,
+    /// Use real loopback-TCP host tunnels (the paper's REMOTE setting)
+    /// instead of in-memory pipes.
+    pub remote_tcp: bool,
+    /// Worker I/O defaults (batch size etc.).
+    pub io: IoConfig,
+    /// Guaranteed processing.
+    pub acking: bool,
+    /// Ack replay timeout.
+    pub ack_timeout: Duration,
+    /// Max in-flight spout roots when acking.
+    pub max_pending: usize,
+    /// Controller app tick interval.
+    pub controller_tick: Duration,
+    /// Switch port ring capacity (frames). §8 of the paper recommends
+    /// large TX/RX queues to avoid switch-level drops under bursts.
+    pub ring_capacity: usize,
+    /// Placement strategy (ablation hook: Typhoon ships locality).
+    pub scheduler: SchedulerKind,
+}
+
+impl TyphoonConfig {
+    /// Sensible defaults for `hosts` hosts with in-memory tunnels.
+    pub fn new(hosts: usize) -> Self {
+        TyphoonConfig {
+            hosts,
+            slots_per_host: 16,
+            remote_tcp: false,
+            io: IoConfig::default(),
+            acking: false,
+            ack_timeout: Duration::from_secs(30),
+            max_pending: 1024,
+            controller_tick: Duration::from_millis(100),
+            ring_capacity: 8192,
+            scheduler: SchedulerKind::Locality,
+        }
+    }
+
+    /// Builder: real TCP tunnels between hosts.
+    pub fn with_tcp_tunnels(mut self) -> Self {
+        self.remote_tcp = true;
+        self
+    }
+
+    /// Builder: set the I/O batch size (the Fig. 8 sweep parameter).
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.io.batch_size = n;
+        self
+    }
+
+    /// Builder: enable guaranteed processing.
+    pub fn with_acking(mut self, timeout: Duration, max_pending: usize) -> Self {
+        self.acking = true;
+        self.ack_timeout = timeout;
+        self.max_pending = max_pending;
+        self
+    }
+}
+
+struct HostRuntime {
+    switch: Switch,
+    _switch_handle: SwitchHandle,
+    agent: Arc<WorkerAgent>,
+}
+
+struct ClusterInner {
+    ser: Arc<typhoon_tuple::ser::SerStats>,
+    global: GlobalState,
+    controller: Controller,
+    _controller_handle: ControllerHandle,
+    hosts: BTreeMap<HostId, HostRuntime>,
+    components: Arc<RwLock<ComponentRegistry>>,
+    manager: Arc<StreamingManager>,
+    manager_shutdown: Arc<AtomicBool>,
+    manager_thread: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// A complete, running Typhoon deployment.
+#[derive(Clone)]
+pub struct TyphoonCluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl TyphoonCluster {
+    /// Boots coordinator, switches, tunnels, controller, agents, manager.
+    pub fn new(config: TyphoonConfig, components: ComponentRegistry) -> Result<TyphoonCluster> {
+        let coordinator = Coordinator::new();
+        let global = GlobalState::new(coordinator);
+        let controller = Controller::new(global.clone());
+        let components = Arc::new(RwLock::new(components));
+        let ser = typhoon_tuple::ser::SerStats::shared();
+
+        // Hosts: one switch each, registered with the controller.
+        let mut switches = Vec::new();
+        for h in 0..config.hosts {
+            let mut sw_config = SwitchConfig::new(h as u64);
+            sw_config.ring_capacity = config.ring_capacity;
+            let (switch, channel) = Switch::new(sw_config);
+            controller.register_switch(HostId(h as u32), switch.dpid(), channel);
+            switches.push(switch);
+        }
+        // Full-mesh host tunnels (Fig. 3's inter-host fabric).
+        for i in 0..config.hosts {
+            for j in (i + 1)..config.hosts {
+                let (a, b): (Box<dyn Tunnel + Send>, Box<dyn Tunnel + Send>) =
+                    if config.remote_tcp {
+                        let (a, b) = TcpTunnel::pair()?;
+                        (Box::new(a), Box::new(b))
+                    } else {
+                        let (a, b) = InMemoryTunnel::pair();
+                        (Box::new(a), Box::new(b))
+                    };
+                switches[i].add_tunnel(j as u32, a);
+                switches[j].add_tunnel(i as u32, b);
+            }
+        }
+        // Agents + datapath threads.
+        let mut hosts = BTreeMap::new();
+        for (h, switch) in switches.into_iter().enumerate() {
+            let host = HostId(h as u32);
+            let info = HostInfo::new(h as u32, &format!("host{h}"), config.slots_per_host);
+            let agent = WorkerAgent::new(info, switch.clone(), components.clone(), ser.clone(), &global)?;
+            let handle = switch.spawn();
+            hosts.insert(
+                host,
+                HostRuntime {
+                    switch,
+                    _switch_handle: handle,
+                    agent,
+                },
+            );
+        }
+        let agents: BTreeMap<HostId, Arc<WorkerAgent>> = hosts
+            .iter()
+            .map(|(&h, rt)| (h, rt.agent.clone()))
+            .collect();
+        let manager = Arc::new(StreamingManager::new(
+            global.clone(),
+            controller.clone(),
+            agents,
+            ManagerConfig {
+                io: config.io.clone(),
+                acking: config.acking,
+                ack_timeout: config.ack_timeout,
+                max_pending: config.max_pending,
+                scheduler: config.scheduler,
+                ..ManagerConfig::default()
+            },
+        ));
+        let controller_handle = controller.spawn(config.controller_tick);
+
+        // The dynamic-topology-manager loop: drain reconfiguration
+        // requests submitted via the coordinator (REST API, auto-scaler).
+        let manager_shutdown = Arc::new(AtomicBool::new(false));
+        let manager2 = manager.clone();
+        let shutdown2 = manager_shutdown.clone();
+        let manager_thread = std::thread::Builder::new()
+            .name("typhoon-manager".into())
+            .spawn(move || {
+                while !shutdown2.load(Ordering::Acquire) {
+                    manager2.process_pending();
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            })
+            .expect("spawn manager loop");
+
+        Ok(TyphoonCluster {
+            inner: Arc::new(ClusterInner {
+                ser,
+                global,
+                controller,
+                _controller_handle: controller_handle,
+                hosts,
+                components,
+                manager,
+                manager_shutdown,
+                manager_thread: parking_lot::Mutex::new(Some(manager_thread)),
+            }),
+        })
+    }
+
+    /// Cluster-wide worker serialization counters (the Fig. 9 evidence).
+    pub fn ser_stats(&self) -> &Arc<typhoon_tuple::ser::SerStats> {
+        &self.inner.ser
+    }
+
+    /// The SDN controller (register control-plane apps here).
+    pub fn controller(&self) -> &Controller {
+        &self.inner.controller
+    }
+
+    /// The coordinator-backed global state.
+    pub fn global(&self) -> &GlobalState {
+        &self.inner.global
+    }
+
+    /// The streaming manager (direct reconfiguration calls).
+    pub fn manager(&self) -> &StreamingManager {
+        &self.inner.manager
+    }
+
+    /// A host's switch (experiments inspect rule/mis counters).
+    pub fn switch(&self, host: HostId) -> Option<&Switch> {
+        self.inner.hosts.get(&host).map(|rt| &rt.switch)
+    }
+
+    /// A host's agent.
+    pub fn agent(&self, host: HostId) -> Option<&Arc<WorkerAgent>> {
+        self.inner.hosts.get(&host).map(|rt| &rt.agent)
+    }
+
+    /// Registers (or replaces) a bolt component at runtime — the
+    /// prerequisite for the §6.2 computation-logic swap.
+    pub fn register_bolt<F, B>(&self, name: &str, f: F)
+    where
+        F: Fn() -> B + Send + Sync + 'static,
+        B: typhoon_model::Bolt + 'static,
+    {
+        self.inner.components.write().register_bolt(name, f);
+    }
+
+    /// Registers (or replaces) a spout component at runtime.
+    pub fn register_spout<F, S>(&self, name: &str, f: F)
+    where
+        F: Fn() -> S + Send + Sync + 'static,
+        S: typhoon_model::Spout + 'static,
+    {
+        self.inner.components.write().register_spout(name, f);
+    }
+
+    /// Submits a topology; returns a handle for experiments.
+    pub fn submit(&self, logical: LogicalTopology) -> Result<TyphoonTopologyHandle> {
+        let name = logical.name.clone();
+        let app = self.inner.manager.submit(logical)?;
+        Ok(TyphoonTopologyHandle {
+            cluster: self.clone(),
+            name,
+            app,
+        })
+    }
+
+    fn find_worker(&self, app: AppId, task: TaskId) -> Option<(HostId, WorkerShared)> {
+        for (&host, rt) in &self.inner.hosts {
+            if let Some(shared) = rt.agent.worker(app, task) {
+                return Some((host, shared));
+            }
+        }
+        None
+    }
+
+    /// Stops the manager loop, every worker, every switch.
+    pub fn shutdown(&self) {
+        self.inner.manager_shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.inner.manager_thread.lock().take() {
+            let _ = t.join();
+        }
+        for rt in self.inner.hosts.values() {
+            rt.agent.kill_all();
+        }
+        self.inner.controller.shutdown();
+        for rt in self.inner.hosts.values() {
+            rt.switch.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for TyphoonCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TyphoonCluster({} hosts)", self.inner.hosts.len())
+    }
+}
+
+/// Handle to one running Typhoon topology.
+#[derive(Clone)]
+pub struct TyphoonTopologyHandle {
+    cluster: TyphoonCluster,
+    name: String,
+    app: AppId,
+}
+
+impl TyphoonTopologyHandle {
+    /// Topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Application ID.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The latest physical topology from the coordinator.
+    pub fn physical(&self) -> Result<PhysicalTopology> {
+        Ok(self.cluster.inner.global.get_physical(&self.name)?)
+    }
+
+    /// Current tasks of one node.
+    pub fn tasks_of(&self, node: &str) -> Vec<TaskId> {
+        self.physical()
+            .map(|p| p.tasks_of(node))
+            .unwrap_or_default()
+    }
+
+    /// The shared handles (meter, registry) of one worker.
+    pub fn worker(&self, task: TaskId) -> Option<WorkerShared> {
+        self.cluster.find_worker(self.app, task).map(|(_, w)| w)
+    }
+
+    /// Reconfigures the topology synchronously.
+    pub fn reconfigure(&self, req: ReconfigRequest) -> Result<()> {
+        self.cluster.inner.manager.reconfigure(&req)
+    }
+
+    /// Submits a reconfiguration asynchronously through the coordinator
+    /// (the REST-API path; the manager loop picks it up).
+    pub fn reconfigure_async(&self, req: ReconfigRequest) -> Result<()> {
+        Ok(self.cluster.inner.global.submit_reconfig(&req)?)
+    }
+
+    /// Crashes one worker abruptly (fault injection for Fig. 10): the
+    /// switch discovers the dead port and the fault-detector app reacts.
+    pub fn crash_task(&self, task: TaskId) -> Result<()> {
+        let (host, _) = self
+            .cluster
+            .find_worker(self.app, task)
+            .ok_or(CoreError::Timeout("worker to crash"))?;
+        self.cluster
+            .agent(host)
+            .ok_or(CoreError::Timeout("agent"))?
+            .crash(self.app, task);
+        Ok(())
+    }
+
+    /// Kills the topology.
+    pub fn kill(&self) -> Result<()> {
+        self.cluster.inner.manager.kill(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+    use std::time::Instant;
+    use typhoon_model::{Bolt, Emitter, Fields, Grouping, ReconfigOp, Spout};
+    use typhoon_tuple::{Tuple, Value};
+
+    struct NumberSpout {
+        next: i64,
+        limit: i64,
+    }
+
+    impl Spout for NumberSpout {
+        fn next_batch(&mut self, out: &mut dyn Emitter) -> bool {
+            if self.next >= self.limit {
+                return false;
+            }
+            out.emit(vec![Value::Int(self.next)]);
+            self.next += 1;
+            true
+        }
+    }
+
+    struct DoubleBolt;
+
+    impl Bolt for DoubleBolt {
+        fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+            let v = input.get(0).and_then(Value::as_int).unwrap_or(0);
+            out.emit(vec![Value::Int(v * 2)]);
+        }
+    }
+
+    #[derive(Clone, Default)]
+    struct SinkState {
+        seen: Arc<PMutex<Vec<i64>>>,
+    }
+
+    struct SinkBolt {
+        state: SinkState,
+    }
+
+    impl Bolt for SinkBolt {
+        fn execute(&mut self, input: Tuple, _out: &mut dyn Emitter) {
+            if let Some(v) = input.get(0).and_then(Value::as_int) {
+                self.state.seen.lock().push(v);
+            }
+        }
+    }
+
+    fn registry(limit: i64) -> (ComponentRegistry, SinkState) {
+        let mut reg = ComponentRegistry::new();
+        let sink = SinkState::default();
+        reg.register_spout("numbers", move || NumberSpout { next: 0, limit });
+        reg.register_bolt("double", || DoubleBolt);
+        let s = sink.clone();
+        reg.register_bolt("sink", move || SinkBolt { state: s.clone() });
+        (reg, sink)
+    }
+
+    fn pipeline() -> LogicalTopology {
+        LogicalTopology::builder("pipeline")
+            .spout("src", "numbers", 1, Fields::new(["n"]))
+            .bolt("mid", "double", 2, Fields::new(["n2"]))
+            .bolt("out", "sink", 1, Fields::new(["n2"]))
+            .edge("src", "mid", Grouping::Shuffle)
+            .edge("mid", "out", Grouping::Global)
+            .build()
+            .unwrap()
+    }
+
+    fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let end = Instant::now() + timeout;
+        while Instant::now() < end {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn pipeline_processes_all_tuples_one_host() {
+        let (reg, sink) = registry(400);
+        let cluster = TyphoonCluster::new(
+            TyphoonConfig::new(1).with_batch_size(10),
+            reg,
+        )
+        .unwrap();
+        let _h = cluster.submit(pipeline()).unwrap();
+        assert!(
+            wait_until(Duration::from_secs(15), || sink.seen.lock().len() == 400),
+            "saw {} of 400",
+            sink.seen.lock().len()
+        );
+        let mut seen = sink.seen.lock().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..400).map(|n| n * 2).collect::<Vec<_>>());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pipeline_spans_hosts_via_tunnels() {
+        let (reg, sink) = registry(300);
+        // 3 hosts with 2 slots each force cross-host edges even under the
+        // locality scheduler.
+        let mut config = TyphoonConfig::new(3).with_batch_size(10);
+        config.slots_per_host = 2;
+        let cluster = TyphoonCluster::new(config, reg).unwrap();
+        let _h = cluster.submit(pipeline()).unwrap();
+        assert!(
+            wait_until(Duration::from_secs(15), || sink.seen.lock().len() == 300),
+            "saw {} of 300",
+            sink.seen.lock().len()
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn acking_completes_roots_end_to_end() {
+        let (reg, sink) = registry(200);
+        let cluster = TyphoonCluster::new(
+            TyphoonConfig::new(1)
+                .with_batch_size(5)
+                .with_acking(Duration::from_secs(10), 64),
+            reg,
+        )
+        .unwrap();
+        let h = cluster.submit(pipeline()).unwrap();
+        let spout = h.tasks_of("src")[0];
+        assert!(
+            wait_until(Duration::from_secs(20), || {
+                h.worker(spout)
+                    .map(|w| w.registry.snapshot().counter("acks.completed"))
+                    .unwrap_or(0)
+                    == 200
+            }),
+            "completed {:?} of 200",
+            h.worker(spout)
+                .map(|w| w.registry.snapshot().counter("acks.completed"))
+        );
+        assert_eq!(sink.seen.lock().len(), 200);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn scale_up_reconfigures_live_topology() {
+        let (reg, sink) = registry(i64::MAX);
+        let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(10), reg).unwrap();
+        let h = cluster.submit(pipeline()).unwrap();
+        assert!(wait_until(Duration::from_secs(10), || !sink.seen.lock().is_empty()));
+        assert_eq!(h.tasks_of("mid").len(), 2);
+        h.reconfigure(ReconfigRequest::single(
+            "pipeline",
+            ReconfigOp::SetParallelism {
+                node: "mid".into(),
+                parallelism: 3,
+            },
+        ))
+        .unwrap();
+        assert_eq!(h.tasks_of("mid").len(), 3);
+        // The new worker actually receives traffic.
+        let new_task = *h.tasks_of("mid").last().unwrap();
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                h.worker(new_task)
+                    .map(|w| w.registry.snapshot().counter("tuples.received") > 0)
+                    .unwrap_or(false)
+            }),
+            "scaled-up worker never received tuples"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn logic_swap_changes_output_at_runtime() {
+        let (reg, sink) = registry(i64::MAX);
+        let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(10), reg).unwrap();
+        let h = cluster.submit(pipeline()).unwrap();
+        assert!(wait_until(Duration::from_secs(10), || sink.seen.lock().len() > 100));
+        // Register new logic and swap it in: now values are negated, not
+        // doubled.
+        struct NegateBolt;
+        impl Bolt for NegateBolt {
+            fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+                let v = input.get(0).and_then(Value::as_int).unwrap_or(0);
+                out.emit(vec![Value::Int(-v)]);
+            }
+        }
+        cluster.register_bolt("negate", || NegateBolt);
+        h.reconfigure(ReconfigRequest::single(
+            "pipeline",
+            ReconfigOp::SwapLogic {
+                node: "mid".into(),
+                component: "negate".into(),
+            },
+        ))
+        .unwrap();
+        // Negative values start appearing; doubled values stop.
+        assert!(
+            wait_until(Duration::from_secs(10), || sink
+                .seen
+                .lock()
+                .iter()
+                .any(|&v| v < 0)),
+            "new logic never took effect"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sequential_reconfigs_then_logic_swap() {
+        let (reg, sink) = registry(i64::MAX);
+        let cluster = TyphoonCluster::new(TyphoonConfig::new(2).with_batch_size(10), reg).unwrap();
+        struct TimesTen;
+        impl Bolt for TimesTen {
+            fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+                let v = input.get(0).and_then(Value::as_int).unwrap_or(0);
+                out.emit(vec![Value::Int(v * 10)]);
+            }
+        }
+        cluster.register_bolt("times-ten", || TimesTen);
+        let h = cluster.submit(pipeline()).unwrap();
+        assert!(wait_until(Duration::from_secs(10), || !sink.seen.lock().is_empty()));
+        h.reconfigure_async(ReconfigRequest::single(
+            "pipeline",
+            ReconfigOp::SetParallelism { node: "mid".into(), parallelism: 3 },
+        ))
+        .expect("parallelism");
+        std::thread::sleep(Duration::from_secs(2));
+        h.reconfigure_async(ReconfigRequest::single(
+            "pipeline",
+            ReconfigOp::SetGrouping {
+                from: "src".into(),
+                to: "mid".into(),
+                grouping: Grouping::Fields(vec!["n".into()]),
+            },
+        ))
+        .expect("grouping");
+        std::thread::sleep(Duration::from_secs(2));
+        h.reconfigure_async(ReconfigRequest::single(
+            "pipeline",
+            ReconfigOp::SwapLogic { node: "mid".into(), component: "times-ten".into() },
+        ))
+        .expect("logic swap");
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                sink.seen.lock().iter().rev().take(50).any(|&v| v != 0 && v % 10 == 0)
+            }),
+            "x10 logic never took effect"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn async_reconfigure_via_coordinator_path() {
+        let (reg, sink) = registry(i64::MAX);
+        let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(10), reg).unwrap();
+        let h = cluster.submit(pipeline()).unwrap();
+        assert!(wait_until(Duration::from_secs(10), || !sink.seen.lock().is_empty()));
+        h.reconfigure_async(ReconfigRequest::single(
+            "pipeline",
+            ReconfigOp::SetParallelism {
+                node: "mid".into(),
+                parallelism: 4,
+            },
+        ))
+        .unwrap();
+        assert!(
+            wait_until(Duration::from_secs(10), || h.tasks_of("mid").len() == 4),
+            "manager loop never applied the request"
+        );
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,536 @@
+//! The streaming manager (Nimbus's Typhoon counterpart, §5) and the
+//! dynamic topology manager (§3.2).
+//!
+//! Submission executes the five-step deployment workflow of §3.2:
+//! (i) build + schedule (locality-aware), (ii) notification (coordinator
+//! writes), (iii) network setup (controller installs Table 3 rules),
+//! (iv) application setup (agents launch workers attached to switches),
+//! (v) data flows.
+//!
+//! Reconfiguration executes the four-step workflow: request → topology
+//! reschedule → notification → network/application reconfiguration, using
+//! the §3.5 stable-update ordering computed by [`crate::update`].
+
+use crate::agent::WorkerAgent;
+use crate::update::{plan_update, UpdatePlan};
+use crate::worker::{IoConfig, Route};
+use crate::{CoreError, Result, ACKER_NODE};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::time::Duration;
+use typhoon_controller::{rules, ControlTuple, Controller};
+use typhoon_coordinator::global::GlobalState;
+use typhoon_model::{
+    AppId, Grouping, HostId, LocalityScheduler, LogicalTopology, NodeKind, PhysicalTopology,
+    ReconfigRequest, RoundRobinScheduler, RoutingState, Scheduler, TaskAssignment, TaskId,
+};
+use typhoon_net::MacAddr;
+use typhoon_openflow::{FlowMatch, FlowMod};
+
+/// Which placement strategy the manager schedules with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Typhoon's locality scheduler (§5): co-locate topological neighbours.
+    #[default]
+    Locality,
+    /// Storm's default round-robin spread (the ablation baseline).
+    RoundRobin,
+}
+
+impl SchedulerKind {
+    fn as_scheduler(self) -> &'static dyn Scheduler {
+        match self {
+            SchedulerKind::Locality => &LocalityScheduler,
+            SchedulerKind::RoundRobin => &RoundRobinScheduler,
+        }
+    }
+}
+
+/// Manager-level configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Default I/O layer settings for launched workers.
+    pub io: IoConfig,
+    /// Guaranteed-processing mode for submitted topologies.
+    pub acking: bool,
+    /// Ack replay timeout.
+    pub ack_timeout: Duration,
+    /// Max in-flight spout roots.
+    pub max_pending: usize,
+    /// Wait for launched workers to become ready.
+    pub ready_timeout: Duration,
+    /// Settling time after `SIGNAL` flushes before routing updates.
+    pub signal_wait: Duration,
+    /// Drain time between rerouting and killing removed workers.
+    pub drain_wait: Duration,
+    /// Placement strategy (ablation hook; Typhoon defaults to locality).
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            io: IoConfig::default(),
+            acking: false,
+            ack_timeout: Duration::from_secs(30),
+            max_pending: 1024,
+            ready_timeout: Duration::from_secs(10),
+            signal_wait: Duration::from_millis(50),
+            drain_wait: Duration::from_millis(100),
+            scheduler: SchedulerKind::default(),
+        }
+    }
+}
+
+/// The streaming manager.
+pub struct StreamingManager {
+    global: GlobalState,
+    controller: Controller,
+    agents: BTreeMap<HostId, std::sync::Arc<WorkerAgent>>,
+    config: ManagerConfig,
+    next_app: Mutex<u16>,
+}
+
+impl StreamingManager {
+    /// Creates a manager over the cluster's agents.
+    pub fn new(
+        global: GlobalState,
+        controller: Controller,
+        agents: BTreeMap<HostId, std::sync::Arc<WorkerAgent>>,
+        config: ManagerConfig,
+    ) -> Self {
+        StreamingManager {
+            global,
+            controller,
+            agents,
+            config,
+            next_app: Mutex::new(1),
+        }
+    }
+
+    /// The cluster's global state handle.
+    pub fn global(&self) -> &GlobalState {
+        &self.global
+    }
+
+    fn agent(&self, host: HostId) -> Result<&std::sync::Arc<WorkerAgent>> {
+        self.agents
+            .get(&host)
+            .ok_or(CoreError::Timeout("agent for host"))
+    }
+
+    /// Builds the outgoing routes for one node from topology state.
+    fn build_routes(
+        logical: &LogicalTopology,
+        physical: &PhysicalTopology,
+        node: &str,
+    ) -> Vec<Route> {
+        let mut routes = Vec::new();
+        for edge in logical.edges_from(node) {
+            let hops = physical.tasks_of(&edge.to);
+            let key_indices = match &edge.grouping {
+                Grouping::Fields(keys) => logical
+                    .node(node)
+                    .and_then(|n| n.output_fields.resolve(keys).ok())
+                    .unwrap_or_default(),
+                _ => Vec::new(),
+            };
+            routes.push(Route {
+                stream: edge.stream,
+                downstream: edge.to.clone(),
+                state: RoutingState::new(edge.grouping.clone(), hops, key_indices),
+            });
+        }
+        routes
+    }
+
+    fn launch_assignment(
+        &self,
+        logical: &LogicalTopology,
+        physical: &PhysicalTopology,
+        assignment: &TaskAssignment,
+        acker: Option<TaskId>,
+    ) -> Result<()> {
+        let agent = self.agent(assignment.host)?;
+        let is_acker = assignment.node == ACKER_NODE;
+        let kind = if is_acker {
+            NodeKind::Bolt
+        } else {
+            logical
+                .node(&assignment.node)
+                .map(|n| n.kind)
+                .ok_or_else(|| CoreError::UnknownTopology(assignment.node.clone()))?
+        };
+        let routes = if is_acker {
+            Vec::new()
+        } else {
+            Self::build_routes(logical, physical, &assignment.node)
+        };
+        let config = crate::worker::WorkerConfig {
+            app: physical.app,
+            task: assignment.task,
+            node: assignment.node.clone(),
+            component: assignment.component.clone(),
+            io: self.config.io.clone(),
+            acking: self.config.acking,
+            acker: acker.filter(|&a| a != assignment.task),
+            ack_timeout: self.config.ack_timeout,
+            max_pending: self.config.max_pending,
+            // Spouts start deactivated; the manager sends ACTIVATE once the
+            // whole topology is deployed (Table 2, step (v) of §3.2).
+            start_active: false,
+        };
+        agent.launch(
+            kind,
+            is_acker,
+            typhoon_openflow::PortNo(assignment.switch_port),
+            config,
+            routes,
+        )?;
+        agent.wait_ready(physical.app, assignment.task, self.config.ready_timeout)?;
+        Ok(())
+    }
+
+    /// Submits a topology (the §3.2 deployment workflow). Returns the
+    /// assigned application ID.
+    pub fn submit(&self, logical: LogicalTopology) -> Result<AppId> {
+        logical.validate()?;
+        let app = {
+            let mut next = self.next_app.lock();
+            let id = AppId(*next);
+            *next += 1;
+            id
+        };
+        // (i) Schedule with the Typhoon locality scheduler over the
+        // currently registered agents, then let each agent assign the
+        // actual switch ports it owns.
+        let host_infos: Vec<typhoon_model::HostInfo> = self
+            .agents
+            .values()
+            .map(|a| {
+                let mut info = a.info().clone();
+                info.slots = info.slots.saturating_sub(a.used_slots());
+                info
+            })
+            .collect();
+        let mut physical = self
+            .config
+            .scheduler
+            .as_scheduler()
+            .schedule(app, &logical, &host_infos)?;
+        for a in &mut physical.assignments {
+            a.switch_port = self.agent(a.host)?.alloc_port().0;
+        }
+        // Guaranteed processing: append the system acker.
+        let acker = if self.config.acking {
+            let host = physical.assignments[0].host;
+            let task = physical.alloc_task_id();
+            let port = self.agent(host)?.alloc_port().0;
+            physical.assignments.push(TaskAssignment {
+                task,
+                node: ACKER_NODE.into(),
+                component: ACKER_NODE.into(),
+                host,
+                switch_port: port,
+            });
+            Some(task)
+        } else {
+            None
+        };
+        // (ii) Notification: write the global states.
+        self.global.set_logical(&logical)?;
+        self.global.set_physical(&physical)?;
+        // (iii) Network setup: Table 3 rules (+ acker channels).
+        self.controller.install_topology(&logical, &physical);
+        if let Some(acker) = acker {
+            self.install_ack_rules(&physical, acker);
+        }
+        // (iv) Application setup: launch workers.
+        for assignment in &physical.assignments {
+            self.launch_assignment(&logical, &physical, assignment, acker)?;
+        }
+        // (v) Activate the topology: unthrottle the first workers.
+        self.activate_spouts(app, &logical, &physical);
+        Ok(app)
+    }
+
+    fn activate_spouts(
+        &self,
+        app: AppId,
+        logical: &LogicalTopology,
+        physical: &PhysicalTopology,
+    ) {
+        for node in logical.nodes.iter().filter(|n| n.kind == NodeKind::Spout) {
+            for task in physical.tasks_of(&node.name) {
+                self.controller
+                    .send_control(app, task, &ControlTuple::Activate);
+            }
+        }
+    }
+
+    /// Pauses the topology by throttling its first workers (`DEACTIVATE`,
+    /// Table 2) — the "pause" half of the §8 pause-and-resume relocation.
+    fn deactivate_spouts(
+        &self,
+        app: AppId,
+        logical: &LogicalTopology,
+        physical: &PhysicalTopology,
+    ) {
+        for node in logical.nodes.iter().filter(|n| n.kind == NodeKind::Spout) {
+            for task in physical.tasks_of(&node.name) {
+                self.controller
+                    .send_control(app, task, &ControlTuple::Deactivate);
+            }
+        }
+    }
+
+    fn install_ack_rules(&self, physical: &PhysicalTopology, acker: TaskId) {
+        for a in &physical.assignments {
+            if a.task == acker {
+                continue;
+            }
+            for (host, fm) in rules::unicast_rules(physical, a.task, acker) {
+                self.controller.send_flow_mod(host, fm);
+            }
+            for (host, fm) in rules::unicast_rules(physical, acker, a.task) {
+                self.controller.send_flow_mod(host, fm);
+            }
+        }
+        for host in self.controller.hosts() {
+            self.controller.sync_switch(host, Duration::from_secs(5));
+        }
+    }
+
+    /// Incremental reschedule: preserve every surviving task's placement,
+    /// add tasks for grown/ re-logic'd nodes, drop tasks for shrunk nodes.
+    fn reschedule(
+        &self,
+        old_physical: &PhysicalTopology,
+        new_logical: &LogicalTopology,
+    ) -> Result<PhysicalTopology> {
+        let mut physical = old_physical.clone();
+        physical.version += 1;
+        for node in &new_logical.nodes {
+            let existing: Vec<TaskAssignment> = physical
+                .assignments
+                .iter()
+                .filter(|a| a.node == node.name)
+                .cloned()
+                .collect();
+            let logic_changed = existing.iter().any(|a| a.component != node.component);
+            let keep: Vec<TaskAssignment> = if logic_changed {
+                // §6.2: deploy new-logic workers, kill old ones.
+                physical.assignments.retain(|a| a.node != node.name);
+                Vec::new()
+            } else if existing.len() > node.parallelism {
+                // Shrink: retire the highest task IDs.
+                let mut sorted = existing.clone();
+                sorted.sort_by_key(|a| a.task);
+                let keep: Vec<TaskAssignment> =
+                    sorted[..node.parallelism].to_vec();
+                let keep_ids: Vec<TaskId> = keep.iter().map(|a| a.task).collect();
+                physical
+                    .assignments
+                    .retain(|a| a.node != node.name || keep_ids.contains(&a.task));
+                keep
+            } else {
+                existing
+            };
+            // Grow to the target parallelism.
+            let mut need = node.parallelism.saturating_sub(keep.len());
+            while need > 0 {
+                let host = self.pick_host(&physical)?;
+                let task = physical.alloc_task_id();
+                let port = self.agent(host)?.alloc_port().0;
+                physical.assignments.push(TaskAssignment {
+                    task,
+                    node: node.name.clone(),
+                    component: node.component.clone(),
+                    host,
+                    switch_port: port,
+                });
+                need -= 1;
+            }
+        }
+        Ok(physical)
+    }
+
+    /// The host with the most free slots (greedy).
+    fn pick_host(&self, physical: &PhysicalTopology) -> Result<HostId> {
+        let by_host = physical.by_host();
+        self.agents
+            .values()
+            .map(|agent| {
+                let planned = by_host.get(&agent.info().id).map_or(0, Vec::len);
+                let used = agent.used_slots().max(planned);
+                (agent.info().id, agent.info().slots.saturating_sub(used))
+            })
+            .max_by_key(|&(_, free)| free)
+            .filter(|&(_, free)| free > 0)
+            .map(|(h, _)| h)
+            .ok_or(CoreError::Timeout("free worker slot"))
+    }
+
+    /// Executes one reconfiguration request — the dynamic topology manager
+    /// (§3.2 reconfiguration workflow + §3.5 stable update).
+    pub fn reconfigure(&self, req: &ReconfigRequest) -> Result<()> {
+        let name = &req.topology;
+        let old_logical = self.global.get_logical(name)?;
+        let old_physical = self.global.get_physical(name)?;
+        let app = old_physical.app;
+        let acker = old_physical
+            .assignments
+            .iter()
+            .find(|a| a.node == ACKER_NODE)
+            .map(|a| a.task);
+
+        let mut new_logical = old_logical.clone();
+        req.apply(&mut new_logical)?;
+        let mut new_physical = self.reschedule(&old_physical, &new_logical)?;
+        // §8 relocations: placement-only moves. The relocated worker gets a
+        // fresh task ID on the target host (IDs are never reused); the
+        // normal stable-update plan then launches/reroutes/retires it, with
+        // SIGNAL flushes for stateful nodes.
+        let relocating = req.ops.iter().any(|op| matches!(op, typhoon_model::ReconfigOp::Relocate { .. }));
+        for op in &req.ops {
+            if let typhoon_model::ReconfigOp::Relocate { task, target } = op {
+                let old = new_physical
+                    .assignment(*task)
+                    .cloned()
+                    .ok_or_else(|| CoreError::UnknownTopology(format!("task {task}")))?;
+                new_physical.assignments.retain(|a| a.task != *task);
+                let new_task = new_physical.alloc_task_id();
+                let port = self.agent(*target)?.alloc_port().0;
+                new_physical.assignments.push(TaskAssignment {
+                    task: new_task,
+                    node: old.node,
+                    component: old.component,
+                    host: *target,
+                    switch_port: port,
+                });
+                new_physical.version += 1;
+            }
+        }
+        let plan = plan_update(&old_logical, &new_logical, &old_physical, &new_physical);
+
+        // 0. Pause the stream for relocations (pause-and-resume, §8).
+        if relocating {
+            self.deactivate_spouts(app, &old_logical, &old_physical);
+            std::thread::sleep(self.config.signal_wait);
+        }
+        // 1. Launch the new workers first (Fig. 6(a) step 1) — they are
+        //    born with the *new* routing table.
+        for assignment in &plan.launches {
+            self.launch_assignment(&new_logical, &new_physical, assignment, acker)?;
+        }
+        // 2. Notification + network setup for the new shape.
+        self.global.set_logical(&new_logical)?;
+        self.global.set_physical(&new_physical)?;
+        self.controller.install_topology(&new_logical, &new_physical);
+        if let Some(acker) = acker {
+            self.install_ack_rules(&new_physical, acker);
+        }
+        self.execute_plan(app, &plan)?;
+        // Newly launched spout tasks (spout scale-up) need activation.
+        self.activate_spouts(app, &new_logical, &new_physical);
+        Ok(())
+    }
+
+    /// Applies the control-tuple + removal phases of a stable update.
+    fn execute_plan(&self, app: AppId, plan: &UpdatePlan) -> Result<()> {
+        // 3a. SIGNAL stateful workers so caches flush under old routing.
+        for &task in &plan.signals {
+            self.controller.send_control(app, task, &ControlTuple::Signal);
+        }
+        if !plan.signals.is_empty() {
+            std::thread::sleep(self.config.signal_wait);
+        }
+        // 3b/3c. Re-route the predecessors via ROUTING control tuples.
+        for (task, downstream, hops) in &plan.routing_updates {
+            self.controller.send_control(
+                app,
+                *task,
+                &ControlTuple::Routing {
+                    downstream: downstream.clone(),
+                    next_hops: Some(hops.clone()),
+                    policy: None,
+                },
+            );
+        }
+        for (task, downstream, grouping, keys) in &plan.policy_updates {
+            self.controller.send_control(
+                app,
+                *task,
+                &ControlTuple::Routing {
+                    downstream: downstream.clone(),
+                    next_hops: None,
+                    policy: Some((grouping.clone(), keys.clone())),
+                },
+            );
+        }
+        // 4. Drain, then retire removed workers and their rules.
+        if !plan.removals.is_empty() {
+            std::thread::sleep(self.config.drain_wait);
+            for assignment in &plan.removals {
+                if let Ok(agent) = self.agent(assignment.host) {
+                    agent.kill(app, assignment.task);
+                }
+                let mac = MacAddr::worker(app.0, assignment.task);
+                for host in self.controller.hosts() {
+                    self.controller
+                        .send_flow_mod(host, FlowMod::delete(FlowMatch::any().dl_dst(mac)));
+                    self.controller
+                        .send_flow_mod(host, FlowMod::delete(FlowMatch::any().dl_src(mac)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains and executes every pending reconfiguration request (the
+    /// coordinator is the hand-off point from the REST API and the
+    /// auto-scaler app). Returns how many were executed.
+    pub fn process_pending(&self) -> usize {
+        let mut executed = 0;
+        let topologies = match self.global.list_topologies() {
+            Ok(t) => t,
+            Err(_) => return 0,
+        };
+        for name in topologies {
+            if let Ok(requests) = self.global.take_reconfigs(&name) {
+                for req in requests {
+                    match self.reconfigure(&req) {
+                        Ok(()) => executed += 1,
+                        Err(e) => {
+                            // Failed requests are reported, not retried: the
+                            // user resubmits after fixing the cause (e.g.
+                            // freeing capacity).
+                            eprintln!("typhoon: reconfiguration of {name:?} failed: {e}");
+                        }
+                    }
+                }
+            }
+        }
+        executed
+    }
+
+    /// Kills a topology: stop workers, remove rules and global state.
+    pub fn kill(&self, name: &str) -> Result<()> {
+        let logical = self.global.get_logical(name)?;
+        let physical = self.global.get_physical(name)?;
+        for assignment in &physical.assignments {
+            if let Ok(agent) = self.agent(assignment.host) {
+                agent.kill(physical.app, assignment.task);
+            }
+        }
+        self.controller.uninstall_topology(&logical, &physical);
+        self.global.remove_topology(name)?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for StreamingManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StreamingManager({} agents)", self.agents.len())
+    }
+}

@@ -1,0 +1,344 @@
+//! The Typhoon framework layer (§3.3.2, Fig. 4).
+//!
+//! Owns the worker's routing state (Listing 1), performs tuple
+//! de/serialization, classifies incoming tuples (data vs Table 2 control
+//! streams), and applies SDN-driven reconfigurations: `ROUTING` updates
+//! rewrite `nextHops`/policy in place, `INPUT_RATE`/`ACTIVATE`/`DEACTIVATE`
+//! gate the spout, `BATCH_SIZE` retunes the I/O layer.
+//!
+//! The crucial difference from the Storm executor: [`FrameworkLayer::route`]
+//! serializes a tuple **once**, even for one-to-many delivery — a broadcast
+//! is one blob addressed to `ff:ff:ff:ff:ff:ff`, replicated by the switch.
+
+use bytes::Bytes;
+use std::sync::Arc;
+use typhoon_controller::ControlTuple;
+use typhoon_metrics::Registry;
+use typhoon_model::{AppId, Grouping, RouteDecision, RoutingState, TaskId};
+use typhoon_net::MacAddr;
+use typhoon_tuple::ser::{encode_tuple_vec, SerStats};
+use typhoon_tuple::{MessageId, StreamId, Tuple};
+
+/// One outgoing edge of this worker's node.
+pub struct Route {
+    /// Stream this edge subscribes to.
+    pub stream: StreamId,
+    /// Downstream logical node.
+    pub downstream: String,
+    /// Live routing state, reconfigurable via `ROUTING` control tuples.
+    pub state: RoutingState,
+}
+
+/// A serialized, addressed emission ready for the I/O layer.
+#[derive(Debug, Clone)]
+pub struct Addressed {
+    /// Destination worker (or broadcast) address.
+    pub dst: MacAddr,
+    /// The serialized tuple.
+    pub blob: Bytes,
+    /// The anchor XOR contribution of this emission (acking).
+    pub anchor_xor: u64,
+}
+
+/// The framework layer.
+pub struct FrameworkLayer {
+    app: AppId,
+    task: TaskId,
+    routes: Vec<Route>,
+    ser: Arc<SerStats>,
+    registry: Registry,
+    rng_state: u64,
+}
+
+impl FrameworkLayer {
+    /// Builds the layer for one worker.
+    pub fn new(
+        app: AppId,
+        task: TaskId,
+        routes: Vec<Route>,
+        ser: Arc<SerStats>,
+        registry: Registry,
+    ) -> Self {
+        FrameworkLayer {
+            app,
+            task,
+            routes,
+            ser,
+            registry,
+            rng_state: (task.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    /// This worker's address on the SDN fabric.
+    pub fn mac(&self) -> MacAddr {
+        MacAddr::worker(self.app.0, self.task)
+    }
+
+    fn next_anchor(&mut self) -> u64 {
+        // xorshift64*: deterministic per task, cheap, never zero.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1
+    }
+
+    /// Routes one outgoing tuple, returning serialized, addressed blobs.
+    ///
+    /// * Unicast decision → one serialization, one blob.
+    /// * Broadcast decision → **one serialization**, one blob addressed to
+    ///   broadcast; the SDN data plane replicates it (§3.3.1). When the
+    ///   tuple is anchored (acking), broadcast falls back to
+    ///   per-destination blobs because each copy needs a distinct anchor —
+    ///   the paper never combines broadcast and guaranteed processing.
+    pub fn route(&mut self, mut tuple: Tuple, acking: bool) -> Vec<Addressed> {
+        let mut out = Vec::new();
+        let anchored = acking && tuple.meta.message_id.root != 0;
+        let root = tuple.meta.message_id.root;
+        // Collect decisions first: routing mutates per-route state.
+        let mut unicasts: Vec<TaskId> = Vec::new();
+        let mut broadcast_hops: Option<Vec<TaskId>> = None;
+        for route in &mut self.routes {
+            if route.stream != tuple.meta.stream {
+                continue;
+            }
+            match route.state.route(&tuple) {
+                RouteDecision::One(dst) => unicasts.push(dst),
+                RouteDecision::Broadcast => {
+                    broadcast_hops
+                        .get_or_insert_with(Vec::new)
+                        .extend_from_slice(route.state.next_hops());
+                }
+                RouteDecision::Drop => {
+                    self.registry.counter("tuples.unroutable").inc();
+                }
+            }
+        }
+        for dst in unicasts {
+            if anchored {
+                let anchor = self.next_anchor();
+                tuple.meta.message_id = MessageId { root, anchor };
+                out.push(Addressed {
+                    dst: MacAddr::worker(self.app.0, dst),
+                    blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
+                    anchor_xor: anchor,
+                });
+            } else {
+                out.push(Addressed {
+                    dst: MacAddr::worker(self.app.0, dst),
+                    blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
+                    anchor_xor: 0,
+                });
+            }
+        }
+        if let Some(hops) = broadcast_hops {
+            if anchored {
+                // Per-destination anchors require per-destination blobs.
+                for dst in hops {
+                    let anchor = self.next_anchor();
+                    tuple.meta.message_id = MessageId { root, anchor };
+                    out.push(Addressed {
+                        dst: MacAddr::worker(self.app.0, dst),
+                        blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
+                        anchor_xor: anchor,
+                    });
+                }
+            } else if !hops.is_empty() {
+                // The Typhoon fast path: serialize once, broadcast address,
+                // network-layer replication.
+                tuple.meta.message_id = MessageId::NONE;
+                out.push(Addressed {
+                    dst: MacAddr::BROADCAST,
+                    blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
+                    anchor_xor: 0,
+                });
+            }
+        }
+        out
+    }
+
+    /// Serializes a tuple addressed to one explicit task (framework
+    /// messages: acks, metric responses).
+    pub fn direct(&mut self, tuple: &Tuple, dst: TaskId) -> Addressed {
+        Addressed {
+            dst: MacAddr::worker(self.app.0, dst),
+            blob: Bytes::from(encode_tuple_vec(tuple, &self.ser)),
+            anchor_xor: 0,
+        }
+    }
+
+    /// Serializes a tuple addressed to the SDN controller (`METRIC_RESP`).
+    pub fn to_controller(&mut self, tuple: &Tuple) -> Addressed {
+        Addressed {
+            dst: MacAddr::CONTROLLER,
+            blob: Bytes::from(encode_tuple_vec(tuple, &self.ser)),
+            anchor_xor: 0,
+        }
+    }
+
+    /// Applies a `ROUTING` control tuple: replace `nextHops` and/or the
+    /// routing policy for the edge toward `downstream` (§3.3.2).
+    pub fn apply_routing(
+        &mut self,
+        downstream: &str,
+        next_hops: Option<Vec<TaskId>>,
+        policy: Option<(Grouping, Vec<usize>)>,
+    ) -> bool {
+        let mut applied = false;
+        for route in self
+            .routes
+            .iter_mut()
+            .filter(|r| r.downstream == downstream)
+        {
+            if let Some(hops) = &next_hops {
+                route.state.set_next_hops(hops.clone());
+                applied = true;
+            }
+            if let Some((grouping, key_indices)) = &policy {
+                route.state.set_policy(grouping.clone(), key_indices.clone());
+                applied = true;
+            }
+        }
+        if applied {
+            self.registry.counter("control.routing_applied").inc();
+        }
+        applied
+    }
+
+    /// Classifies an incoming decoded tuple.
+    pub fn classify(&self, tuple: &Tuple) -> Classified {
+        if let Some(ct) = ControlTuple::from_tuple(tuple) {
+            Classified::Control(ct)
+        } else if tuple.meta.stream == StreamId::ACK {
+            Classified::Ack
+        } else if tuple.meta.stream == StreamId::ACK_RESULT {
+            Classified::AckResult
+        } else {
+            Classified::Data
+        }
+    }
+
+    /// Read access to the routes (tests, drain checks).
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+}
+
+/// The framework layer's tuple classification (Fig. 4's tuple classifier).
+#[derive(Debug)]
+pub enum Classified {
+    /// Deliver to the application computation layer.
+    Data,
+    /// A Table 2 control tuple, consumed by the framework layer (or, for
+    /// `SIGNAL`, forwarded to a stateful bolt's flush hook).
+    Control(ControlTuple),
+    /// Acker bookkeeping input.
+    Ack,
+    /// Acker verdict for a spout.
+    AckResult,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typhoon_tuple::Value;
+
+    fn layer(grouping: Grouping, hops: Vec<u32>) -> FrameworkLayer {
+        FrameworkLayer::new(
+            AppId(1),
+            TaskId(7),
+            vec![Route {
+                stream: StreamId::DEFAULT,
+                downstream: "sink".into(),
+                state: RoutingState::new(
+                    grouping,
+                    hops.into_iter().map(TaskId).collect(),
+                    vec![],
+                ),
+            }],
+            SerStats::shared(),
+            Registry::new(),
+        )
+    }
+
+    fn data_tuple() -> Tuple {
+        Tuple::new(TaskId(7), vec![Value::Int(1)])
+    }
+
+    #[test]
+    fn broadcast_serializes_exactly_once() {
+        let mut fw = layer(Grouping::All, vec![1, 2, 3, 4, 5, 6]);
+        let out = fw.route(data_tuple(), false);
+        assert_eq!(out.len(), 1, "one blob regardless of fanout");
+        assert_eq!(out[0].dst, MacAddr::BROADCAST);
+        assert_eq!(fw.ser.counts().0, 1, "single serialization — the Fig. 9 win");
+    }
+
+    #[test]
+    fn unicast_serializes_once_per_tuple() {
+        let mut fw = layer(Grouping::Shuffle, vec![1, 2, 3]);
+        for _ in 0..6 {
+            let out = fw.route(data_tuple(), false);
+            assert_eq!(out.len(), 1);
+            assert_ne!(out[0].dst, MacAddr::BROADCAST);
+        }
+        assert_eq!(fw.ser.counts().0, 6);
+    }
+
+    #[test]
+    fn anchored_broadcast_falls_back_to_per_destination() {
+        let mut fw = layer(Grouping::All, vec![1, 2, 3]);
+        let t = data_tuple().with_message_id(MessageId { root: 9, anchor: 0 });
+        let out = fw.route(t, true);
+        assert_eq!(out.len(), 3);
+        let xor = out.iter().fold(0u64, |acc, a| acc ^ a.anchor_xor);
+        assert_ne!(xor, 0);
+        let anchors: std::collections::HashSet<u64> =
+            out.iter().map(|a| a.anchor_xor).collect();
+        assert_eq!(anchors.len(), 3, "distinct anchors per copy");
+    }
+
+    #[test]
+    fn routing_control_updates_next_hops_in_place() {
+        let mut fw = layer(Grouping::Shuffle, vec![1, 2]);
+        assert!(fw.apply_routing("sink", Some(vec![TaskId(1), TaskId(2), TaskId(3)]), None));
+        let seen: std::collections::HashSet<MacAddr> = (0..3)
+            .map(|_| fw.route(data_tuple(), false)[0].dst)
+            .collect();
+        assert_eq!(seen.len(), 3, "new hop is in rotation");
+    }
+
+    #[test]
+    fn routing_control_updates_policy_type() {
+        let mut fw = layer(Grouping::Fields(vec!["k".into()]), vec![1, 2]);
+        assert!(fw.apply_routing("sink", None, Some((Grouping::Shuffle, vec![]))));
+        let a = fw.route(data_tuple(), false)[0].dst;
+        let b = fw.route(data_tuple(), false)[0].dst;
+        assert_ne!(a, b, "shuffle alternates identical keys");
+    }
+
+    #[test]
+    fn routing_update_for_unknown_downstream_is_a_noop() {
+        let mut fw = layer(Grouping::Shuffle, vec![1]);
+        assert!(!fw.apply_routing("ghost", Some(vec![]), None));
+    }
+
+    #[test]
+    fn classify_separates_control_ack_and_data() {
+        let fw = layer(Grouping::Shuffle, vec![1]);
+        assert!(matches!(fw.classify(&data_tuple()), Classified::Data));
+        let ct = ControlTuple::Signal.to_tuple(TaskId(0));
+        assert!(matches!(fw.classify(&ct), Classified::Control(ControlTuple::Signal)));
+        let ack = Tuple::on_stream(TaskId(0), StreamId::ACK, vec![]);
+        assert!(matches!(fw.classify(&ack), Classified::Ack));
+        let res = Tuple::on_stream(TaskId(0), StreamId::ACK_RESULT, vec![]);
+        assert!(matches!(fw.classify(&res), Classified::AckResult));
+    }
+
+    #[test]
+    fn empty_broadcast_hops_produce_nothing() {
+        let mut fw = layer(Grouping::All, vec![]);
+        assert!(fw.route(data_tuple(), false).is_empty());
+    }
+}

@@ -1,0 +1,509 @@
+//! The Typhoon worker: computation ∘ framework ∘ I/O (Fig. 4).
+//!
+//! A worker is one OS thread attached to its host switch through a
+//! dedicated port. The loop polls the I/O layer for frames, lets the
+//! framework layer classify and deserialize them, hands data tuples to the
+//! unchanged application computation layer, and routes emissions back down
+//! through framework serialization and I/O batching. Table 2 control
+//! tuples — injected by the SDN controller — reconfigure all of this at
+//! runtime without stopping the loop.
+
+pub mod framework;
+pub mod io;
+
+pub use framework::{Addressed, Classified, FrameworkLayer, Route};
+pub use io::{IoConfig, IoLayer};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use typhoon_controller::ControlTuple;
+use typhoon_metrics::{RateMeter, Registry};
+use typhoon_model::{AppId, Bolt, Emitter, Spout, TaskId};
+use typhoon_storm::acker::{AckOutcome, AckerLedger};
+use typhoon_switch::WorkerPort;
+use typhoon_tuple::ser::{decode_tuple, SerStats};
+use typhoon_tuple::{MessageId, StreamId, Tuple, Value};
+
+/// What the worker computes.
+pub enum Role {
+    /// A data source.
+    Spout(Box<dyn Spout>),
+    /// A processing node.
+    Bolt(Box<dyn Bolt>),
+    /// The system acker (guaranteed processing; Typhoon reuses the Storm
+    /// acker design and "supports Storm's guaranteed processing by
+    /// installing SDN flow rules for ackers", §6.1).
+    Acker,
+}
+
+/// Per-worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Owning application.
+    pub app: AppId,
+    /// This worker's task.
+    pub task: TaskId,
+    /// Logical node name.
+    pub node: String,
+    /// Registered component implementing the computation.
+    pub component: String,
+    /// I/O layer tunables.
+    pub io: IoConfig,
+    /// Guaranteed-processing mode.
+    pub acking: bool,
+    /// The topology's acker task (required when `acking`).
+    pub acker: Option<TaskId>,
+    /// Replay timeout.
+    pub ack_timeout: Duration,
+    /// Max in-flight spout roots.
+    pub max_pending: usize,
+    /// Whether the spout starts active (`ACTIVATE`/`DEACTIVATE` toggle it).
+    pub start_active: bool,
+}
+
+/// Shared handles the agent (and experiments) keep for a running worker.
+#[derive(Clone)]
+pub struct WorkerShared {
+    /// Set by the worker once it is attached and processing.
+    pub ready: Arc<AtomicBool>,
+    /// Graceful stop: drain egress, then exit.
+    pub shutdown: Arc<AtomicBool>,
+    /// Abrupt stop: exit immediately, dropping the switch port — the
+    /// switch reports an unexpected `PortStatus` delete (fault injection).
+    pub crash: Arc<AtomicBool>,
+    /// Data-tuple meter (spout: emitted; bolt: received).
+    pub meter: RateMeter,
+    /// Worker metrics.
+    pub registry: Registry,
+}
+
+impl WorkerShared {
+    /// Fresh handles.
+    pub fn new() -> Self {
+        WorkerShared {
+            ready: Arc::new(AtomicBool::new(false)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            crash: Arc::new(AtomicBool::new(false)),
+            meter: RateMeter::per_second(),
+            registry: Registry::new(),
+        }
+    }
+}
+
+impl Default for WorkerShared {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct WorkerCtx {
+    config: WorkerConfig,
+    fw: FrameworkLayer,
+    io: IoLayer,
+    shared: WorkerShared,
+    ser: Arc<SerStats>,
+    active: bool,
+    input_rate: Option<u32>,
+    rate_window_start: Instant,
+    rate_window_count: u32,
+    // acking scratch
+    current_root: u64,
+    accum_xor: u64,
+    pending: std::collections::HashMap<u64, Instant>,
+    root_seed: u64,
+}
+
+impl WorkerCtx {
+    fn next_root(&mut self) -> u64 {
+        let mut x = self.root_seed;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.root_seed = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1
+    }
+
+    /// True when the current 100 ms window still has emission budget.
+    fn rate_allows(&mut self) -> bool {
+        let cap = match self.input_rate {
+            Some(c) => c,
+            None => return true,
+        };
+        let now = Instant::now();
+        if now.duration_since(self.rate_window_start) >= Duration::from_millis(100) {
+            self.rate_window_start = now;
+            self.rate_window_count = 0;
+        }
+        self.rate_window_count < cap / 10
+    }
+
+    /// Debits actual emissions from the window budget.
+    fn rate_consume(&mut self, n: u32) {
+        self.rate_window_count += n;
+    }
+
+    fn dispatch(&mut self, addressed: Vec<Addressed>) {
+        for a in addressed {
+            self.accum_xor ^= a.anchor_xor;
+            self.io.enqueue(a.dst, a.blob);
+        }
+    }
+
+    fn send_ack(&mut self, root: u64, xor: u64, spout: Option<TaskId>) {
+        if let Some(acker) = self.config.acker {
+            let msg = Tuple::on_stream(
+                self.config.task,
+                StreamId::ACK,
+                vec![
+                    Value::Int(root as i64),
+                    Value::Int(xor as i64),
+                    spout.map_or(Value::Nil, |s| Value::Int(s.0 as i64)),
+                ],
+            );
+            let a = self.fw.direct(&msg, acker);
+            self.io.enqueue(a.dst, a.blob);
+        }
+    }
+
+    fn handle_control(&mut self, ct: ControlTuple, bolt: Option<&mut Box<dyn Bolt>>) {
+        self.shared.registry.counter("control.received").inc();
+        match ct {
+            ControlTuple::Routing {
+                downstream,
+                next_hops,
+                policy,
+            } => {
+                self.fw.apply_routing(&downstream, next_hops, policy);
+            }
+            ControlTuple::Signal => {
+                if let Some(bolt) = bolt {
+                    // The stateful flush of Listing 2 / Fig. 6(b): emitted
+                    // tuples take the ordinary routed path.
+                    let mut sink = SignalEmitter::default();
+                    bolt.on_signal(&mut sink);
+                    for (stream, values) in sink.emitted {
+                        let tuple =
+                            Tuple::on_stream(self.config.task, stream, values);
+                        let addressed = self.fw.route(tuple, false);
+                        self.dispatch(addressed);
+                    }
+                    self.io.flush_all();
+                }
+            }
+            ControlTuple::MetricReq { request_id } => {
+                let snap = self.shared.registry.snapshot();
+                let mut metrics: Vec<(String, i64)> = vec![
+                    ("queue.depth".into(), self.io.queue_depth() as i64),
+                    (
+                        "tuples.emitted".into(),
+                        snap.counter("tuples.emitted") as i64,
+                    ),
+                    (
+                        "tuples.received".into(),
+                        snap.counter("tuples.received") as i64,
+                    ),
+                ];
+                metrics.sort();
+                let resp = ControlTuple::MetricResp {
+                    request_id,
+                    task: self.config.task,
+                    metrics,
+                }
+                .to_tuple(self.config.task);
+                let a = self.fw.to_controller(&resp);
+                self.io.enqueue(a.dst, a.blob);
+                // Metric responses should not linger in a batch.
+                self.io.flush_all();
+            }
+            ControlTuple::InputRate { tuples_per_sec } => {
+                self.input_rate = (tuples_per_sec > 0).then_some(tuples_per_sec);
+            }
+            ControlTuple::Activate => self.active = true,
+            ControlTuple::Deactivate => self.active = false,
+            ControlTuple::BatchSize { size } => self.io.set_batch_size(size as usize),
+            ControlTuple::MetricResp { .. } => { /* controller-bound only */ }
+        }
+    }
+}
+
+/// Collects a bolt's emissions during control handling.
+#[derive(Default)]
+struct SignalEmitter {
+    emitted: Vec<(StreamId, Vec<Value>)>,
+}
+
+impl Emitter for SignalEmitter {
+    fn emit_on(&mut self, stream: StreamId, values: Vec<Value>) {
+        self.emitted.push((stream, values));
+    }
+}
+
+/// An emitter that routes through the framework + I/O layers.
+struct RoutedEmitter<'a> {
+    ctx: &'a mut WorkerCtx,
+}
+
+impl Emitter for RoutedEmitter<'_> {
+    fn emit_on(&mut self, stream: StreamId, values: Vec<Value>) {
+        let mut tuple = Tuple::on_stream(self.ctx.config.task, stream, values);
+        if self.ctx.config.acking && self.ctx.current_root != 0 {
+            tuple.meta.message_id = MessageId {
+                root: self.ctx.current_root,
+                anchor: 0,
+            };
+        }
+        let acking = self.ctx.config.acking;
+        let addressed = self.ctx.fw.route(tuple, acking);
+        self.ctx.shared.registry.counter("tuples.emitted").inc();
+        self.ctx.dispatch(addressed);
+    }
+}
+
+/// Runs a Typhoon worker until shutdown/crash. Call on a dedicated thread.
+pub fn run_worker(
+    config: WorkerConfig,
+    role: Role,
+    port: WorkerPort,
+    routes: Vec<Route>,
+    ser: Arc<SerStats>,
+    shared: WorkerShared,
+) {
+    let fw = FrameworkLayer::new(
+        config.app,
+        config.task,
+        routes,
+        ser.clone(),
+        shared.registry.clone(),
+    );
+    let io = IoLayer::new(fw.mac(), port, &config.io, shared.registry.clone());
+    let mut ctx = WorkerCtx {
+        root_seed: (config.task.0 as u64).wrapping_mul(0xa076_1d64_78bd_642f) | 1,
+        active: config.start_active,
+        input_rate: None,
+        rate_window_start: Instant::now(),
+        rate_window_count: 0,
+        current_root: 0,
+        accum_xor: 0,
+        pending: std::collections::HashMap::new(),
+        config,
+        fw,
+        io,
+        shared,
+        ser,
+    };
+    match role {
+        Role::Spout(spout) => run_spout(&mut ctx, spout),
+        Role::Bolt(bolt) => run_bolt(&mut ctx, bolt),
+        Role::Acker => run_acker(&mut ctx),
+    }
+}
+
+const INGRESS_BUDGET: usize = 256;
+
+/// Drains and decodes pending ingress into (classification, tuple) pairs.
+fn drain_ingress(ctx: &mut WorkerCtx) -> Option<Vec<Tuple>> {
+    let mut blobs = Vec::new();
+    match ctx.io.poll_ingress(&mut blobs, INGRESS_BUDGET) {
+        Ok(_) => {}
+        Err(_) => return None, // port detached: the worker was killed
+    }
+    let mut tuples = Vec::with_capacity(blobs.len());
+    for (_src, blob) in blobs {
+        if let Ok((tuple, _)) = decode_tuple(&blob, &ctx.ser) {
+            tuples.push(tuple);
+        } else {
+            ctx.shared.registry.counter("tuples.undecodable").inc();
+        }
+    }
+    Some(tuples)
+}
+
+fn run_spout(ctx: &mut WorkerCtx, mut spout: Box<dyn Spout>) {
+    spout.open();
+    ctx.shared.ready.store(true, Ordering::Release);
+    loop {
+        if ctx.shared.crash.load(Ordering::Acquire) {
+            return; // abrupt: port drops, PortStatus delete fires
+        }
+        if ctx.shared.shutdown.load(Ordering::Acquire) {
+            ctx.io.flush_all();
+            return;
+        }
+        let mut busy = false;
+        let tuples = match drain_ingress(ctx) {
+            Some(t) => t,
+            None => return,
+        };
+        for tuple in tuples {
+            busy = true;
+            match ctx.fw.classify(&tuple) {
+                Classified::Control(ct) => ctx.handle_control(ct, None),
+                Classified::AckResult => {
+                    let root = tuple.get(0).and_then(Value::as_int).unwrap_or(0) as u64;
+                    let ok = tuple.get(1).and_then(Value::as_bool).unwrap_or(false);
+                    if let Some(born) = ctx.pending.remove(&root) {
+                        if ok {
+                            ctx.shared.registry.counter("acks.completed").inc();
+                            ctx.shared
+                                .registry
+                                .histogram("latency")
+                                .record_duration(born.elapsed());
+                            spout.ack(root);
+                        } else {
+                            ctx.shared.registry.counter("acks.failed").inc();
+                            spout.fail(root);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let throttled = ctx.config.acking && ctx.pending.len() >= ctx.config.max_pending;
+        if ctx.active && !throttled && ctx.rate_allows() {
+            busy |= spout_batch(ctx, spout.as_mut());
+        }
+        ctx.io.flush_due();
+        ctx.shared
+            .registry
+            .gauge("queue.depth")
+            .set(ctx.io.queue_depth() as i64);
+        if !busy {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+fn spout_batch(ctx: &mut WorkerCtx, spout: &mut dyn Spout) -> bool {
+    struct Collect(Vec<(StreamId, Vec<Value>)>);
+    impl Emitter for Collect {
+        fn emit_on(&mut self, stream: StreamId, values: Vec<Value>) {
+            self.0.push((stream, values));
+        }
+    }
+    let mut collect = Collect(Vec::new());
+    let produced = spout.next_batch(&mut collect);
+    let had = !collect.0.is_empty();
+    ctx.rate_consume(collect.0.len() as u32);
+    for (index, (stream, values)) in collect.0.into_iter().enumerate() {
+        if ctx.config.acking {
+            let root = ctx.next_root();
+            ctx.current_root = root;
+            ctx.accum_xor = 0;
+            RoutedEmitter { ctx }.emit_on(stream, values);
+            let xor = ctx.accum_xor;
+            ctx.send_ack(root, xor, Some(ctx.config.task));
+            ctx.pending.insert(root, Instant::now());
+            ctx.current_root = 0;
+            spout.emitted(index, root);
+        } else {
+            RoutedEmitter { ctx }.emit_on(stream, values);
+        }
+        ctx.shared.meter.mark(1);
+    }
+    produced || had
+}
+
+fn run_bolt(ctx: &mut WorkerCtx, mut bolt: Box<dyn Bolt>) {
+    bolt.prepare();
+    ctx.shared.ready.store(true, Ordering::Release);
+    loop {
+        if ctx.shared.crash.load(Ordering::Acquire) {
+            return;
+        }
+        if ctx.shared.shutdown.load(Ordering::Acquire) {
+            ctx.io.flush_all();
+            return;
+        }
+        let mut busy = false;
+        let tuples = match drain_ingress(ctx) {
+            Some(t) => t,
+            None => return,
+        };
+        for tuple in tuples {
+            busy = true;
+            match ctx.fw.classify(&tuple) {
+                Classified::Control(ct) => ctx.handle_control(ct, Some(&mut bolt)),
+                Classified::Data => {
+                    ctx.shared.registry.counter("tuples.received").inc();
+                    ctx.shared.meter.mark(1);
+                    let input_id = tuple.meta.message_id;
+                    ctx.current_root = input_id.root;
+                    ctx.accum_xor = 0;
+                    bolt.execute(tuple, &mut RoutedEmitter { ctx });
+                    if ctx.config.acking && input_id.is_anchored() {
+                        let xor = input_id.anchor ^ ctx.accum_xor;
+                        ctx.send_ack(input_id.root, xor, None);
+                    }
+                    ctx.current_root = 0;
+                }
+                _ => {}
+            }
+        }
+        ctx.io.flush_due();
+        ctx.shared
+            .registry
+            .gauge("queue.depth")
+            .set(ctx.io.queue_depth() as i64);
+        if !busy {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+fn run_acker(ctx: &mut WorkerCtx) {
+    let mut ledger = AckerLedger::new();
+    let mut last_expire = Instant::now();
+    ctx.shared.ready.store(true, Ordering::Release);
+    loop {
+        if ctx.shared.crash.load(Ordering::Acquire)
+            || ctx.shared.shutdown.load(Ordering::Acquire)
+        {
+            return;
+        }
+        let mut busy = false;
+        let tuples = match drain_ingress(ctx) {
+            Some(t) => t,
+            None => return,
+        };
+        for tuple in tuples {
+            if tuple.meta.stream != StreamId::ACK {
+                continue;
+            }
+            busy = true;
+            let root = tuple.get(0).and_then(Value::as_int).unwrap_or(0) as u64;
+            let xor = tuple.get(1).and_then(Value::as_int).unwrap_or(0) as u64;
+            let spout = tuple
+                .get(2)
+                .and_then(Value::as_int)
+                .map(|s| TaskId(s as u32));
+            if let Some((owner, outcome)) = ledger.apply(root, xor, spout, Instant::now()) {
+                acker_notify(ctx, owner, root, outcome);
+            }
+        }
+        if last_expire.elapsed() >= Duration::from_millis(100) {
+            last_expire = Instant::now();
+            for (root, owner, outcome) in ledger.expire(ctx.config.ack_timeout, Instant::now()) {
+                acker_notify(ctx, owner, root, outcome);
+            }
+        }
+        ctx.io.flush_due();
+        if !busy {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+fn acker_notify(ctx: &mut WorkerCtx, spout: TaskId, root: u64, outcome: AckOutcome) {
+    let msg = Tuple::on_stream(
+        ctx.config.task,
+        StreamId::ACK_RESULT,
+        vec![
+            Value::Int(root as i64),
+            Value::Bool(outcome == AckOutcome::Complete),
+        ],
+    );
+    let a = ctx.fw.direct(&msg, spout);
+    ctx.io.enqueue(a.dst, a.blob);
+    ctx.io.flush_all();
+}

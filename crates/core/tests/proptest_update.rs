@@ -1,0 +1,132 @@
+//! Property tests on the stable-update planner: for arbitrary
+//! before/after topology pairs produced by arbitrary reconfiguration ops,
+//! the plan is internally consistent — launches/removals partition the
+//! task diff, routing updates always point at the new task sets, and
+//! signals target exactly the stateful nodes being changed.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use typhoon_core::update::plan_update;
+use typhoon_model::{
+    AppId, Fields, Grouping, HostId, HostInfo, LocalityScheduler, LogicalTopology, ReconfigOp,
+    ReconfigRequest, Scheduler, TaskAssignment, TaskId,
+};
+
+fn base_topology(stateful_mid: bool) -> LogicalTopology {
+    LogicalTopology::builder("prop")
+        .spout("src", "s", 1, Fields::new(["k"]))
+        .bolt_with_state("mid", "m", 2, Fields::new(["k"]), stateful_mid)
+        .bolt("out", "o", 1, Fields::new(["k"]))
+        .edge("src", "mid", Grouping::Shuffle)
+        .edge("mid", "out", Grouping::Global)
+        .build()
+        .unwrap()
+}
+
+/// Applies a parallelism change the way the manager's incremental
+/// reschedule does: keep survivors, add fresh IDs, drop the tail.
+fn reschedule(
+    old: &typhoon_model::PhysicalTopology,
+    logical: &LogicalTopology,
+) -> typhoon_model::PhysicalTopology {
+    let mut phys = old.clone();
+    phys.version += 1;
+    for node in &logical.nodes {
+        let existing = phys.tasks_of(&node.name);
+        if existing.len() > node.parallelism {
+            let drop: HashSet<TaskId> =
+                existing[node.parallelism..].iter().copied().collect();
+            phys.assignments.retain(|a| !drop.contains(&a.task));
+        } else {
+            for i in 0..(node.parallelism - existing.len()) {
+                let task = phys.alloc_task_id();
+                phys.assignments.push(TaskAssignment {
+                    task,
+                    node: node.name.clone(),
+                    component: node.component.clone(),
+                    host: HostId(0),
+                    switch_port: 100 + task.0 + i as u32,
+                });
+            }
+        }
+    }
+    phys
+}
+
+proptest! {
+    #[test]
+    fn plans_are_internally_consistent(
+        stateful in any::<bool>(),
+        new_mid_par in 1usize..6,
+        change_grouping in any::<bool>(),
+    ) {
+        let old_logical = base_topology(stateful);
+        let hosts = [HostInfo::new(0, "h0", 32)];
+        let old_phys = LocalityScheduler
+            .schedule(AppId(1), &old_logical, &hosts)
+            .unwrap();
+
+        let mut ops = vec![ReconfigOp::SetParallelism {
+            node: "mid".into(),
+            parallelism: new_mid_par,
+        }];
+        if change_grouping {
+            ops.push(ReconfigOp::SetGrouping {
+                from: "src".into(),
+                to: "mid".into(),
+                grouping: Grouping::Fields(vec!["k".into()]),
+            });
+        }
+        let req = ReconfigRequest {
+            topology: "prop".into(),
+            ops,
+        };
+        let mut new_logical = old_logical.clone();
+        req.apply(&mut new_logical).unwrap();
+        let new_phys = reschedule(&old_phys, &new_logical);
+
+        let plan = plan_update(&old_logical, &new_logical, &old_phys, &new_phys);
+
+        // Launches/removals exactly partition the set difference.
+        let old_ids: HashSet<TaskId> = old_phys.assignments.iter().map(|a| a.task).collect();
+        let new_ids: HashSet<TaskId> = new_phys.assignments.iter().map(|a| a.task).collect();
+        let launched: HashSet<TaskId> = plan.launches.iter().map(|a| a.task).collect();
+        let removed: HashSet<TaskId> = plan.removals.iter().map(|a| a.task).collect();
+        prop_assert_eq!(&launched, &new_ids.difference(&old_ids).copied().collect());
+        prop_assert_eq!(&removed, &old_ids.difference(&new_ids).copied().collect());
+
+        // Routing updates: only when the task set changed; hops = the new
+        // set; never directed at removed predecessors.
+        let mid_changed = old_phys.tasks_of("mid") != new_phys.tasks_of("mid");
+        prop_assert_eq!(!plan.routing_updates.is_empty(), mid_changed);
+        for (pred, node, hops) in &plan.routing_updates {
+            prop_assert!(new_ids.contains(pred), "update to a removed task");
+            prop_assert_eq!(node.as_str(), "mid");
+            prop_assert_eq!(hops.clone(), new_phys.tasks_of("mid"));
+        }
+
+        // Signals iff the changed node is stateful.
+        if stateful && mid_changed {
+            prop_assert_eq!(plan.signals.clone(), old_phys.tasks_of("mid"));
+        } else {
+            prop_assert!(plan.signals.is_empty());
+        }
+
+        // Grouping change ⇒ policy updates from every src task.
+        if change_grouping {
+            prop_assert_eq!(plan.policy_updates.len(), new_phys.tasks_of("src").len());
+            for (_task, node, grouping, keys) in &plan.policy_updates {
+                prop_assert_eq!(node.as_str(), "mid");
+                prop_assert_eq!(grouping, &Grouping::Fields(vec!["k".into()]));
+                prop_assert_eq!(keys.clone(), vec![0usize]);
+            }
+        } else {
+            prop_assert!(plan.policy_updates.is_empty());
+        }
+
+        // No-op reconfigurations need no plan.
+        if !mid_changed && !change_grouping {
+            prop_assert!(plan.is_empty());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Concurrency and shape tests for the Redis-like store beyond the unit
+//! suite: mixed readers/writers, windowed counters under contention, and
+//! the exact access pattern the Yahoo benchmark's join/aggregate workers
+//! generate.
+
+use std::sync::Arc;
+use typhoon_kv::KvStore;
+
+#[test]
+fn mixed_readers_and_writers_stay_consistent() {
+    let kv = Arc::new(KvStore::new());
+    for ad in 0..50 {
+        kv.set(&format!("ad:{ad}"), &format!("campaign:{}", ad % 5));
+    }
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let kv = kv.clone();
+            std::thread::spawn(move || {
+                for i in 0..500 {
+                    kv.wincr(&format!("campaign:{}", (w + i) % 5), (i % 3) as u64, 1);
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let kv = kv.clone();
+            std::thread::spawn(move || {
+                let mut hits = 0;
+                for i in 0..2_000 {
+                    if kv.get(&format!("ad:{}", i % 50)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    for r in readers {
+        assert_eq!(r.join().unwrap(), 2_000, "reads never disturbed by writes");
+    }
+    let total: i64 = (0..5)
+        .flat_map(|c| kv.windows(&format!("campaign:{c}")))
+        .map(|(_, n)| n)
+        .sum();
+    assert_eq!(total, 2_000, "every windowed increment accounted for");
+}
+
+#[test]
+fn yahoo_access_pattern_join_then_aggregate() {
+    let kv = KvStore::new();
+    kv.set("ad:7", "campaign:2");
+    // Join: lookup; Aggregate: wincr keyed by event-time window.
+    for (time_ms, n) in [(500u64, 1i64), (9_999, 1), (10_000, 1), (25_000, 2)] {
+        let campaign = kv.get("ad:7").expect("join hit");
+        kv.wincr(&campaign, time_ms / 10_000, n);
+    }
+    assert_eq!(kv.windows("campaign:2"), vec![(0, 2), (1, 1), (2, 2)]);
+}
+
+#[test]
+fn deletion_of_hash_keys_clears_windows() {
+    let kv = KvStore::new();
+    kv.wincr("c", 1, 5);
+    assert!(kv.del("c"));
+    assert!(kv.windows("c").is_empty());
+    assert_eq!(kv.wget("c", 1), 0);
+}

@@ -1,0 +1,158 @@
+//! Per-second throughput timelines.
+//!
+//! Experiment binaries mark events on a [`RateMeter`]; the meter buckets them
+//! into fixed windows relative to its creation instant, producing the same
+//! "tuples/sec over time" series the paper's Figures 10–12 and 14 plot.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    start: Instant,
+    window: Duration,
+    buckets: Vec<u64>,
+}
+
+/// Records events into fixed-size time buckets.
+///
+/// Clones share the same underlying series, so a worker thread can mark
+/// events while the experiment harness reads the timeline.
+#[derive(Debug, Clone)]
+pub struct RateMeter {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl RateMeter {
+    /// A meter with one-second windows (the paper's plotting granularity).
+    pub fn per_second() -> Self {
+        Self::with_window(Duration::from_secs(1))
+    }
+
+    /// A meter with a custom window (experiments compress timelines).
+    pub fn with_window(window: Duration) -> Self {
+        assert!(!window.is_zero(), "meter window must be non-zero");
+        RateMeter {
+            inner: Arc::new(Mutex::new(Inner {
+                start: Instant::now(),
+                window,
+                buckets: Vec::new(),
+            })),
+        }
+    }
+
+    fn bucket_index(inner: &Inner, at: Instant) -> usize {
+        let elapsed = at.saturating_duration_since(inner.start);
+        (elapsed.as_nanos() / inner.window.as_nanos()) as usize
+    }
+
+    /// Marks `n` events at the current time.
+    pub fn mark(&self, n: u64) {
+        self.mark_at(Instant::now(), n);
+    }
+
+    /// Marks `n` events at an explicit instant (deterministic tests).
+    pub fn mark_at(&self, at: Instant, n: u64) {
+        let mut inner = self.inner.lock();
+        let idx = Self::bucket_index(&inner, at);
+        if inner.buckets.len() <= idx {
+            inner.buckets.resize(idx + 1, 0);
+        }
+        inner.buckets[idx] += n;
+    }
+
+    /// The recorded series as (window start offset, events in window) pairs.
+    /// Trailing never-written windows are absent; interior gaps are zeros.
+    pub fn series(&self) -> Vec<(Duration, u64)> {
+        let inner = self.inner.lock();
+        inner
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (inner.window * i as u32, n))
+            .collect()
+    }
+
+    /// Events per second in each window (normalizing by window length).
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let inner = self.inner.lock();
+        let secs = inner.window.as_secs_f64();
+        inner.buckets.iter().map(|&n| n as f64 / secs).collect()
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().buckets.iter().sum()
+    }
+
+    /// Mean events/sec over windows `[from, to)` of the recorded series,
+    /// or 0.0 when the range is empty. Used to compute steady-state
+    /// throughput excluding warm-up.
+    pub fn mean_rate(&self, from: usize, to: usize) -> f64 {
+        let rates = self.rates_per_sec();
+        let slice: Vec<f64> = rates
+            .into_iter()
+            .skip(from)
+            .take(to.saturating_sub(from))
+            .collect();
+        if slice.is_empty() {
+            0.0
+        } else {
+            slice.iter().sum::<f64>() / slice.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_bucket_by_window() {
+        let m = RateMeter::with_window(Duration::from_millis(10));
+        let start = m.inner.lock().start;
+        m.mark_at(start, 2);
+        m.mark_at(start + Duration::from_millis(5), 1);
+        m.mark_at(start + Duration::from_millis(25), 4);
+        let series = m.series();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].1, 3);
+        assert_eq!(series[1].1, 0); // interior gap is an explicit zero
+        assert_eq!(series[2].1, 4);
+        assert_eq!(m.total(), 7);
+    }
+
+    #[test]
+    fn rates_normalize_by_window() {
+        let m = RateMeter::with_window(Duration::from_millis(500));
+        let start = m.inner.lock().start;
+        m.mark_at(start, 100);
+        assert_eq!(m.rates_per_sec()[0], 200.0);
+    }
+
+    #[test]
+    fn mean_rate_excludes_warmup() {
+        let m = RateMeter::with_window(Duration::from_secs(1));
+        let start = m.inner.lock().start;
+        m.mark_at(start, 1); // warm-up window
+        m.mark_at(start + Duration::from_secs(1), 10);
+        m.mark_at(start + Duration::from_secs(2), 20);
+        assert_eq!(m.mean_rate(1, 3), 15.0);
+        assert_eq!(m.mean_rate(5, 9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_rejected() {
+        let _ = RateMeter::with_window(Duration::ZERO);
+    }
+
+    #[test]
+    fn clones_share_series() {
+        let m = RateMeter::per_second();
+        let n = m.clone();
+        n.mark(3);
+        assert_eq!(m.total(), 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! Named metric registry and snapshots.
+//!
+//! Workers expose their internal statistics (queue depth, emitted tuples,
+//! processing latency) through a [`Registry`]. The Typhoon SDN controller
+//! pulls a [`MetricSnapshot`] via `METRIC_REQ`/`METRIC_RESP` control tuples
+//! and feeds it to control-plane applications (auto-scaler, load balancer).
+
+use crate::{Counter, Gauge, Histogram};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A point-in-time view of one registry, ready to serialize into a
+/// `METRIC_RESP` control tuple payload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name: (count, mean, p50, p99), nanoseconds.
+    pub histograms: BTreeMap<String, (u64, f64, u64, u64)>,
+}
+
+impl MetricSnapshot {
+    /// Fetches a counter value, defaulting to zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Fetches a gauge value, defaulting to zero.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of metrics. Clones share the same underlying maps.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.read().counters.get(name) {
+            return c.clone();
+        }
+        self.inner
+            .write()
+            .counters
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            return g.clone();
+        }
+        self.inner
+            .write()
+            .gauges
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.read().histograms.get(name) {
+            return h.clone();
+        }
+        self.inner
+            .write()
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Captures a consistent-enough snapshot of every metric.
+    pub fn snapshot(&self) -> MetricSnapshot {
+        let inner = self.inner.read();
+        MetricSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        (
+                            h.count(),
+                            h.mean(),
+                            h.quantile(0.5).unwrap_or(0),
+                            h.quantile(0.99).unwrap_or(0),
+                        ),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_counter() {
+        let r = Registry::new();
+        r.counter("tuples.emitted").add(5);
+        r.counter("tuples.emitted").add(2);
+        assert_eq!(r.snapshot().counter("tuples.emitted"), 7);
+    }
+
+    #[test]
+    fn snapshot_contains_all_kinds() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(-4);
+        r.histogram("h").record(1000);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c"), 1);
+        assert_eq!(snap.gauge("g"), -4);
+        let (count, mean, _, _) = snap.histograms["h"];
+        assert_eq!(count, 1);
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn missing_metrics_default_to_zero_in_snapshot() {
+        let snap = Registry::new().snapshot();
+        assert_eq!(snap.counter("nope"), 0);
+        assert_eq!(snap.gauge("nope"), 0);
+    }
+
+    #[test]
+    fn registry_clones_share_metrics() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r2.counter("x").inc();
+        assert_eq!(r.snapshot().counter("x"), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests on the metrics substrate: histogram quantiles are
+//! order-consistent and bounded by recorded extremes for arbitrary sample
+//! sets; rate meters bucket arbitrary mark patterns without losing events.
+
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+use typhoon_metrics::{Histogram, RateMeter};
+
+proptest! {
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        samples in proptest::collection::vec(1u64..1_000_000_000, 1..200)
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        let mut prev = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).expect("non-empty");
+            prop_assert!(v >= prev, "quantiles must not decrease");
+            prop_assert!(v >= min && v <= max, "q{q}: {v} outside [{min},{max}]");
+            prev = v;
+        }
+        // The mean is exact (not bucketed).
+        let want = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean() - want).abs() < 1e-6 * want.max(1.0));
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn histogram_cdf_covers_every_sample(
+        samples in proptest::collection::vec(1u64..1_000_000, 1..100)
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let cdf = h.cdf();
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        let mut prev_frac = 0.0;
+        for &(v, frac) in &cdf {
+            prop_assert!(frac > prev_frac, "strictly increasing fractions");
+            prop_assert!(v > 0);
+            prev_frac = frac;
+        }
+        // Bucket upper bounds keep ≤6.25% relative error: every sample is
+        // ≤ its bucket's representative value.
+        for &s in &samples {
+            let covering = cdf.iter().find(|&&(v, _)| v as f64 >= s as f64 * 0.93);
+            prop_assert!(covering.is_some(), "sample {s} not covered");
+        }
+    }
+
+    #[test]
+    fn rate_meter_conserves_events(
+        marks in proptest::collection::vec((0u64..5_000, 1u64..100), 0..100)
+    ) {
+        let m = RateMeter::with_window(Duration::from_millis(100));
+        let t0 = Instant::now();
+        let mut total = 0u64;
+        for &(offset_ms, n) in &marks {
+            m.mark_at(t0 + Duration::from_millis(offset_ms), n);
+            total += n;
+        }
+        prop_assert_eq!(m.total(), total);
+        let series_sum: u64 = m.series().iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(series_sum, total, "bucketing loses nothing");
+        // Windows are contiguous from zero.
+        for (i, &(offset, _)) in m.series().iter().enumerate() {
+            prop_assert_eq!(offset, Duration::from_millis(100) * i as u32);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! # typhoon-model — topologies, components, routing and scheduling
+//!
+//! The vocabulary shared by the Storm-like baseline (`typhoon-storm`) and the
+//! SDN-enhanced Typhoon framework (`typhoon-core`): what a stream application
+//! *is*, independent of how its tuples are transported.
+//!
+//! Mirrors §2 of the paper:
+//!
+//! * [`component`] — the application computation layer: [`Spout`]s produce
+//!   tuples, [`Bolt`]s transform them, a [`ComponentRegistry`] maps names to
+//!   factories (the hook that makes runtime *computation-logic swap*
+//!   possible, §6.2 "Computation logic reconfiguration").
+//! * [`logical`] — the logical topology DAG: nodes with parallelism and
+//!   output schemas, edges with routing policies, with validation.
+//! * [`routing`] — per-worker routing state exactly as in the paper's
+//!   Listing 1: `nextHops`, `numNextHops`, a round-robin counter and
+//!   key-field indices, all reconfigurable at runtime.
+//! * [`physical`] — the physical topology: logical nodes expanded by
+//!   parallelism into tasks, each assigned a host and a dedicated SDN switch
+//!   port.
+//! * [`scheduler`] — pluggable schedulers: Storm's default round-robin and
+//!   Typhoon's locality-aware scheduler that co-locates topological
+//!   neighbours (§5 "custom Typhoon topology scheduler").
+//! * [`reconfig`] — the reconfiguration request vocabulary of §3.2
+//!   (parallelism / computation logic / routing policy).
+
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod logical;
+pub mod physical;
+pub mod reconfig;
+pub mod routing;
+pub mod scheduler;
+
+pub use component::{
+    Bolt, BoltFactory, ComponentRegistry, Emitter, Spout, SpoutFactory, VecEmitter,
+};
+pub use logical::{EdgeSpec, LogicalTopology, NodeKind, NodeSpec, TopologyBuilder};
+pub use physical::{HostId, HostInfo, PhysicalTopology, TaskAssignment};
+pub use reconfig::{ReconfigOp, ReconfigRequest};
+pub use routing::{Grouping, RouteDecision, RoutingState};
+pub use scheduler::{LocalityScheduler, RoundRobinScheduler, Scheduler};
+
+// Re-export the identifiers that flow through tuples.
+pub use typhoon_tuple::tuple::TaskId;
+/// Re-exported schema type (topology builders take output field schemas).
+pub use typhoon_tuple::Fields;
+
+/// Identifies a submitted stream application. Becomes the address prefix of
+/// every worker MAC on the SDN fabric (Fig. 5 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u16);
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Errors raised while building, validating or scheduling topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Two nodes share a name.
+    DuplicateNode(String),
+    /// An edge references a node that does not exist.
+    UnknownNode(String),
+    /// A fields-grouping names a field absent from the upstream schema.
+    UnknownField {
+        /// The edge's upstream node.
+        node: String,
+        /// The missing field.
+        field: String,
+    },
+    /// The DAG contains a cycle through the named node.
+    Cycle(String),
+    /// A spout was given an incoming edge.
+    SpoutWithInput(String),
+    /// Parallelism must be at least one.
+    ZeroParallelism(String),
+    /// A topology with no spout can never produce data.
+    NoSpout,
+    /// The cluster has fewer slots than the topology needs.
+    InsufficientCapacity {
+        /// Tasks to place.
+        needed: usize,
+        /// Slots available.
+        available: usize,
+    },
+    /// A component name was not found in the registry.
+    UnknownComponent(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::DuplicateNode(n) => write!(f, "duplicate node name {n:?}"),
+            ModelError::UnknownNode(n) => write!(f, "edge references unknown node {n:?}"),
+            ModelError::UnknownField { node, field } => {
+                write!(f, "grouping on {node:?} names unknown field {field:?}")
+            }
+            ModelError::Cycle(n) => write!(f, "topology has a cycle through {n:?}"),
+            ModelError::SpoutWithInput(n) => write!(f, "spout {n:?} cannot have inputs"),
+            ModelError::ZeroParallelism(n) => write!(f, "node {n:?} has zero parallelism"),
+            ModelError::NoSpout => write!(f, "topology has no spout"),
+            ModelError::InsufficientCapacity { needed, available } => {
+                write!(f, "need {needed} worker slots but only {available} available")
+            }
+            ModelError::UnknownComponent(n) => write!(f, "unknown component {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

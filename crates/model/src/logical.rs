@@ -1,0 +1,435 @@
+//! Logical topologies: the DAG a stream application declares.
+//!
+//! A logical topology (Fig. 2(a) of the paper) is built from the application
+//! with framework-provided APIs and fixes, per node: the computation (by
+//! registered component name), the routing policy toward it, and the degree
+//! of parallelism. Unlike Storm, nothing here is frozen at compile time —
+//! the dynamic topology manager mutates this structure at runtime and
+//! re-schedules it.
+
+use crate::routing::Grouping;
+use crate::{ModelError, Result};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use typhoon_tuple::{Fields, StreamId};
+
+/// Whether a node produces or transforms tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A source of tuples.
+    Spout,
+    /// A processing node.
+    Bolt,
+}
+
+/// One logical node.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Unique node name within the topology (e.g. `"split"`).
+    pub name: String,
+    /// Spout or bolt.
+    pub kind: NodeKind,
+    /// Name of the registered component implementing the computation.
+    /// Re-pointing this at another registered component is the runtime
+    /// computation-logic swap of §6.2.
+    pub component: String,
+    /// Number of parallel tasks for this node.
+    pub parallelism: usize,
+    /// Output schema of tuples this node emits.
+    pub output_fields: Fields,
+    /// Whether the node keeps in-memory state (drives the §3.5 stable-update
+    /// procedure choice, Table 4).
+    pub stateful: bool,
+}
+
+/// One logical edge: tuples flowing `from → to` on `stream`, distributed by
+/// `grouping`.
+#[derive(Debug, Clone)]
+pub struct EdgeSpec {
+    /// Upstream node name.
+    pub from: String,
+    /// Downstream node name.
+    pub to: String,
+    /// Which of the upstream node's output streams this edge subscribes to.
+    pub stream: StreamId,
+    /// Distribution policy.
+    pub grouping: Grouping,
+}
+
+/// A validated logical topology.
+#[derive(Debug, Clone)]
+pub struct LogicalTopology {
+    /// Topology name (unique per submission).
+    pub name: String,
+    /// Nodes in insertion order.
+    pub nodes: Vec<NodeSpec>,
+    /// Edges in insertion order.
+    pub edges: Vec<EdgeSpec>,
+}
+
+impl LogicalTopology {
+    /// Starts a builder.
+    pub fn builder(name: &str) -> TopologyBuilder {
+        TopologyBuilder {
+            name: name.to_owned(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Looks up a node by name.
+    pub fn node(&self, name: &str) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Mutable lookup (used by the dynamic topology manager).
+    pub fn node_mut(&mut self, name: &str) -> Option<&mut NodeSpec> {
+        self.nodes.iter_mut().find(|n| n.name == name)
+    }
+
+    /// Edges leaving `name`.
+    pub fn edges_from<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EdgeSpec> + 'a {
+        self.edges.iter().filter(move |e| e.from == name)
+    }
+
+    /// Edges entering `name`.
+    pub fn edges_to<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EdgeSpec> + 'a {
+        self.edges.iter().filter(move |e| e.to == name)
+    }
+
+    /// Upstream node names of `name` (deduplicated, stable order).
+    pub fn predecessors(&self, name: &str) -> Vec<&str> {
+        let mut seen = HashSet::new();
+        self.edges
+            .iter()
+            .filter(|e| e.to == name)
+            .map(|e| e.from.as_str())
+            .filter(|n| seen.insert(*n))
+            .collect()
+    }
+
+    /// Total number of tasks after parallelism expansion.
+    pub fn total_tasks(&self) -> usize {
+        self.nodes.iter().map(|n| n.parallelism).sum()
+    }
+
+    /// Node names in a topological order (validation guarantees acyclicity).
+    pub fn topo_order(&self) -> Vec<&str> {
+        let mut indegree: BTreeMap<&str, usize> =
+            self.nodes.iter().map(|n| (n.name.as_str(), 0)).collect();
+        for e in &self.edges {
+            *indegree.get_mut(e.to.as_str()).expect("validated edge") += 1;
+        }
+        let mut ready: Vec<&str> = self
+            .nodes
+            .iter()
+            .map(|n| n.name.as_str())
+            .filter(|n| indegree[n] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = ready.pop() {
+            order.push(n);
+            for e in self.edges.iter().filter(|e| e.from == n) {
+                let d = indegree.get_mut(e.to.as_str()).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(e.to.as_str());
+                }
+            }
+        }
+        order
+    }
+
+    /// Re-validates the topology after an in-place mutation.
+    pub fn validate(&self) -> Result<()> {
+        validate(&self.nodes, &self.edges)
+    }
+}
+
+fn validate(nodes: &[NodeSpec], edges: &[EdgeSpec]) -> Result<()> {
+    let mut by_name: HashMap<&str, &NodeSpec> = HashMap::new();
+    for n in nodes {
+        if by_name.insert(n.name.as_str(), n).is_some() {
+            return Err(ModelError::DuplicateNode(n.name.clone()));
+        }
+        if n.parallelism == 0 {
+            return Err(ModelError::ZeroParallelism(n.name.clone()));
+        }
+    }
+    if !nodes.iter().any(|n| n.kind == NodeKind::Spout) {
+        return Err(ModelError::NoSpout);
+    }
+    for e in edges {
+        let from = by_name
+            .get(e.from.as_str())
+            .ok_or_else(|| ModelError::UnknownNode(e.from.clone()))?;
+        let to = by_name
+            .get(e.to.as_str())
+            .ok_or_else(|| ModelError::UnknownNode(e.to.clone()))?;
+        if to.kind == NodeKind::Spout {
+            return Err(ModelError::SpoutWithInput(to.name.clone()));
+        }
+        if let Grouping::Fields(keys) = &e.grouping {
+            for k in keys {
+                if from.output_fields.index_of(k).is_none() {
+                    return Err(ModelError::UnknownField {
+                        node: from.name.clone(),
+                        field: k.clone(),
+                    });
+                }
+            }
+        }
+    }
+    // Kahn's algorithm: any node never drained is on a cycle.
+    let mut indegree: HashMap<&str, usize> =
+        nodes.iter().map(|n| (n.name.as_str(), 0)).collect();
+    for e in edges {
+        *indegree.get_mut(e.to.as_str()).unwrap() += 1;
+    }
+    let mut ready: Vec<&str> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut drained = 0usize;
+    while let Some(n) = ready.pop() {
+        drained += 1;
+        for e in edges.iter().filter(|e| e.from == n) {
+            let d = indegree.get_mut(e.to.as_str()).unwrap();
+            *d -= 1;
+            if *d == 0 {
+                ready.push(e.to.as_str());
+            }
+        }
+    }
+    if drained != nodes.len() {
+        let stuck = indegree
+            .iter()
+            .find(|(_, &d)| d > 0)
+            .map(|(&n, _)| n.to_owned())
+            .unwrap_or_default();
+        return Err(ModelError::Cycle(stuck));
+    }
+    Ok(())
+}
+
+/// Fluent builder for [`LogicalTopology`]; `build` validates.
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    edges: Vec<EdgeSpec>,
+}
+
+impl TopologyBuilder {
+    /// Adds a spout node.
+    pub fn spout(
+        mut self,
+        name: &str,
+        component: &str,
+        parallelism: usize,
+        output_fields: Fields,
+    ) -> Self {
+        self.nodes.push(NodeSpec {
+            name: name.to_owned(),
+            kind: NodeKind::Spout,
+            component: component.to_owned(),
+            parallelism,
+            output_fields,
+            stateful: false,
+        });
+        self
+    }
+
+    /// Adds a stateless bolt node.
+    pub fn bolt(
+        self,
+        name: &str,
+        component: &str,
+        parallelism: usize,
+        output_fields: Fields,
+    ) -> Self {
+        self.bolt_with_state(name, component, parallelism, output_fields, false)
+    }
+
+    /// Adds a bolt node, declaring statefulness explicitly (Table 4).
+    pub fn bolt_with_state(
+        mut self,
+        name: &str,
+        component: &str,
+        parallelism: usize,
+        output_fields: Fields,
+        stateful: bool,
+    ) -> Self {
+        self.nodes.push(NodeSpec {
+            name: name.to_owned(),
+            kind: NodeKind::Bolt,
+            component: component.to_owned(),
+            parallelism,
+            output_fields,
+            stateful,
+        });
+        self
+    }
+
+    /// Connects `from → to` on the default stream.
+    pub fn edge(self, from: &str, to: &str, grouping: Grouping) -> Self {
+        self.edge_on(from, to, StreamId::DEFAULT, grouping)
+    }
+
+    /// Connects `from → to` subscribing to a specific stream.
+    pub fn edge_on(mut self, from: &str, to: &str, stream: StreamId, grouping: Grouping) -> Self {
+        self.edges.push(EdgeSpec {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            stream,
+            grouping,
+        });
+        self
+    }
+
+    /// Validates and produces the topology.
+    pub fn build(self) -> Result<LogicalTopology> {
+        validate(&self.nodes, &self.edges)?;
+        Ok(LogicalTopology {
+            name: self.name,
+            nodes: self.nodes,
+            edges: self.edges,
+        })
+    }
+}
+
+/// The word-count example topology from Fig. 2 of the paper; used across
+/// the test suites and experiments.
+pub fn word_count_example() -> LogicalTopology {
+    LogicalTopology::builder("word-count")
+        .spout("input", "sentence-source", 1, Fields::new(["sentence"]))
+        .bolt("split", "splitter", 2, Fields::new(["word"]))
+        .bolt_with_state("count", "counter", 2, Fields::new(["word", "count"]), true)
+        .bolt("aggregator", "aggregate-sink", 1, Fields::new(["word", "count"]))
+        .edge("input", "split", Grouping::Shuffle)
+        .edge("split", "count", Grouping::Fields(vec!["word".into()]))
+        .edge("count", "aggregator", Grouping::Global)
+        .build()
+        .expect("example topology is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_example_is_valid_and_ordered() {
+        let t = word_count_example();
+        assert_eq!(t.total_tasks(), 6);
+        let order = t.topo_order();
+        let pos = |n: &str| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos("input") < pos("split"));
+        assert!(pos("split") < pos("count"));
+        assert!(pos("count") < pos("aggregator"));
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let r = LogicalTopology::builder("t")
+            .spout("a", "c", 1, Fields::new(["x"]))
+            .bolt("a", "c", 1, Fields::new(["x"]))
+            .build();
+        assert_eq!(r.unwrap_err(), ModelError::DuplicateNode("a".into()));
+    }
+
+    #[test]
+    fn unknown_edge_endpoint_rejected() {
+        let r = LogicalTopology::builder("t")
+            .spout("a", "c", 1, Fields::new(["x"]))
+            .edge("a", "ghost", Grouping::Shuffle)
+            .build();
+        assert_eq!(r.unwrap_err(), ModelError::UnknownNode("ghost".into()));
+    }
+
+    #[test]
+    fn fields_grouping_must_name_upstream_fields() {
+        let r = LogicalTopology::builder("t")
+            .spout("a", "c", 1, Fields::new(["x"]))
+            .bolt("b", "c", 1, Fields::new(["y"]))
+            .edge("a", "b", Grouping::Fields(vec!["nope".into()]))
+            .build();
+        assert!(matches!(r.unwrap_err(), ModelError::UnknownField { .. }));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let r = LogicalTopology::builder("t")
+            .spout("s", "c", 1, Fields::new(["x"]))
+            .bolt("a", "c", 1, Fields::new(["x"]))
+            .bolt("b", "c", 1, Fields::new(["x"]))
+            .edge("s", "a", Grouping::Shuffle)
+            .edge("a", "b", Grouping::Shuffle)
+            .edge("b", "a", Grouping::Shuffle)
+            .build();
+        assert!(matches!(r.unwrap_err(), ModelError::Cycle(_)));
+    }
+
+    #[test]
+    fn spout_with_input_rejected() {
+        let r = LogicalTopology::builder("t")
+            .spout("s1", "c", 1, Fields::new(["x"]))
+            .spout("s2", "c", 1, Fields::new(["x"]))
+            .edge("s1", "s2", Grouping::Shuffle)
+            .build();
+        assert_eq!(r.unwrap_err(), ModelError::SpoutWithInput("s2".into()));
+    }
+
+    #[test]
+    fn zero_parallelism_rejected() {
+        let r = LogicalTopology::builder("t")
+            .spout("s", "c", 0, Fields::new(["x"]))
+            .build();
+        assert_eq!(r.unwrap_err(), ModelError::ZeroParallelism("s".into()));
+    }
+
+    #[test]
+    fn topology_without_spout_rejected() {
+        let r = LogicalTopology::builder("t")
+            .bolt("b", "c", 1, Fields::new(["x"]))
+            .build();
+        assert_eq!(r.unwrap_err(), ModelError::NoSpout);
+    }
+
+    #[test]
+    fn predecessors_deduplicate_multi_stream_edges() {
+        let t = LogicalTopology::builder("t")
+            .spout("s", "c", 1, Fields::new(["x"]))
+            .bolt("b", "c", 1, Fields::new(["x"]))
+            .edge("s", "b", Grouping::Shuffle)
+            .edge_on("s", "b", StreamId::FIRST_USER, Grouping::All)
+            .build()
+            .unwrap();
+        assert_eq!(t.predecessors("b"), vec!["s"]);
+    }
+
+    #[test]
+    fn mutation_then_revalidation_flow() {
+        // The dynamic topology manager's modus operandi: mutate, revalidate.
+        let mut t = word_count_example();
+        t.node_mut("split").unwrap().parallelism = 3;
+        assert!(t.validate().is_ok());
+        assert_eq!(t.total_tasks(), 7);
+        t.node_mut("split").unwrap().parallelism = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn diamond_topology_is_acyclic() {
+        let t = LogicalTopology::builder("diamond")
+            .spout("s", "c", 1, Fields::new(["x"]))
+            .bolt("l", "c", 1, Fields::new(["x"]))
+            .bolt("r", "c", 1, Fields::new(["x"]))
+            .bolt("join", "c", 1, Fields::new(["x"]))
+            .edge("s", "l", Grouping::Shuffle)
+            .edge("s", "r", Grouping::Shuffle)
+            .edge("l", "join", Grouping::Shuffle)
+            .edge("r", "join", Grouping::Shuffle)
+            .build();
+        assert!(t.is_ok());
+    }
+}

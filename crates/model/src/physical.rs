@@ -1,0 +1,239 @@
+//! Physical topologies: logical nodes expanded into placed tasks.
+//!
+//! The scheduler converts a logical topology into a physical one
+//! (Fig. 2(b)): each node becomes `parallelism` tasks, and every task is
+//! assigned a compute host, a unique task ID, and — on Typhoon — a dedicated
+//! port on that host's software SDN switch (§3.2 step (i)).
+
+use crate::logical::LogicalTopology;
+use crate::AppId;
+use std::collections::BTreeMap;
+use typhoon_tuple::tuple::TaskId;
+
+/// Identifies a compute host in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// A compute host advertised to the scheduler by its worker agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Host identity.
+    pub id: HostId,
+    /// Human-readable name.
+    pub name: String,
+    /// Worker slots available (cores the agent will hand out).
+    pub slots: usize,
+}
+
+impl HostInfo {
+    /// Convenience constructor.
+    pub fn new(id: u32, name: &str, slots: usize) -> Self {
+        HostInfo {
+            id: HostId(id),
+            name: name.to_owned(),
+            slots,
+        }
+    }
+}
+
+/// Placement of one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskAssignment {
+    /// Unique task ID within the application.
+    pub task: TaskId,
+    /// The logical node this task instantiates.
+    pub node: String,
+    /// The component name the worker agent must launch. Carried separately
+    /// from the node so a logic swap can deploy replacement tasks for the
+    /// same node with different code (§6.2).
+    pub component: String,
+    /// Host the task runs on.
+    pub host: HostId,
+    /// The task's dedicated port on the host's SDN switch (Typhoon only;
+    /// the Storm baseline ignores it).
+    pub switch_port: u32,
+}
+
+/// A scheduled physical topology.
+#[derive(Debug, Clone, Default)]
+pub struct PhysicalTopology {
+    /// Application this assignment belongs to.
+    pub app: AppId,
+    /// Topology name.
+    pub name: String,
+    /// Monotonically increasing version; bumped by every reschedule so
+    /// readers (SDN controller, worker agents) can detect staleness.
+    pub version: u64,
+    /// High-water mark for task IDs: IDs of removed tasks are never
+    /// reused, because stale flow rules and in-flight routing updates may
+    /// still reference them (idle timeouts have not elapsed).
+    pub task_watermark: u32,
+    /// All task placements.
+    pub assignments: Vec<TaskAssignment>,
+}
+
+impl PhysicalTopology {
+    /// Tasks instantiating logical node `node`, in ascending task order.
+    pub fn tasks_of(&self, node: &str) -> Vec<TaskId> {
+        let mut v: Vec<TaskId> = self
+            .assignments
+            .iter()
+            .filter(|a| a.node == node)
+            .map(|a| a.task)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The assignment record for `task`.
+    pub fn assignment(&self, task: TaskId) -> Option<&TaskAssignment> {
+        self.assignments.iter().find(|a| a.task == task)
+    }
+
+    /// Host → tasks placed there (sorted map for stable iteration).
+    pub fn by_host(&self) -> BTreeMap<HostId, Vec<TaskId>> {
+        let mut m: BTreeMap<HostId, Vec<TaskId>> = BTreeMap::new();
+        for a in &self.assignments {
+            m.entry(a.host).or_default().push(a.task);
+        }
+        for v in m.values_mut() {
+            v.sort_unstable();
+        }
+        m
+    }
+
+    /// Allocates the next task ID, advancing the watermark: never reuses
+    /// an ID, even after removals.
+    pub fn alloc_task_id(&mut self) -> TaskId {
+        let floor = self
+            .assignments
+            .iter()
+            .map(|a| a.task.0 + 1)
+            .max()
+            .unwrap_or(0);
+        self.task_watermark = self.task_watermark.max(floor);
+        let id = TaskId(self.task_watermark);
+        self.task_watermark += 1;
+        id
+    }
+
+    /// The next task ID that would be allocated (read-only peek).
+    pub fn next_task_id(&self) -> TaskId {
+        let floor = self
+            .assignments
+            .iter()
+            .map(|a| a.task.0 + 1)
+            .max()
+            .unwrap_or(0);
+        TaskId(self.task_watermark.max(floor))
+    }
+
+    /// Number of tasks whose upstream/downstream peer lives on a different
+    /// host, for every edge in `logical`. The locality scheduler minimizes
+    /// this count (§5: "assigns topologically neighboring workers to the
+    /// same compute node to minimize remote inter-worker communication").
+    pub fn remote_edge_pairs(&self, logical: &LogicalTopology) -> usize {
+        let host_of: BTreeMap<TaskId, HostId> = self
+            .assignments
+            .iter()
+            .map(|a| (a.task, a.host))
+            .collect();
+        let mut remote = 0;
+        for e in &logical.edges {
+            for &src in &self.tasks_of(&e.from) {
+                for &dst in &self.tasks_of(&e.to) {
+                    if host_of.get(&src) != host_of.get(&dst) {
+                        remote += 1;
+                    }
+                }
+            }
+        }
+        remote
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::word_count_example;
+
+    fn sample() -> PhysicalTopology {
+        PhysicalTopology {
+            app: AppId(1),
+            name: "t".into(),
+            version: 1,
+            task_watermark: 3,
+            assignments: vec![
+                TaskAssignment {
+                    task: TaskId(0),
+                    node: "input".into(),
+                    component: "sentence-source".into(),
+                    host: HostId(0),
+                    switch_port: 1,
+                },
+                TaskAssignment {
+                    task: TaskId(2),
+                    node: "split".into(),
+                    component: "splitter".into(),
+                    host: HostId(1),
+                    switch_port: 1,
+                },
+                TaskAssignment {
+                    task: TaskId(1),
+                    node: "split".into(),
+                    component: "splitter".into(),
+                    host: HostId(0),
+                    switch_port: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tasks_of_returns_sorted_tasks() {
+        assert_eq!(sample().tasks_of("split"), vec![TaskId(1), TaskId(2)]);
+        assert!(sample().tasks_of("ghost").is_empty());
+    }
+
+    #[test]
+    fn by_host_groups_and_sorts() {
+        let by = sample().by_host();
+        assert_eq!(by[&HostId(0)], vec![TaskId(0), TaskId(1)]);
+        assert_eq!(by[&HostId(1)], vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn next_task_id_skips_existing() {
+        assert_eq!(sample().next_task_id(), TaskId(3));
+        assert_eq!(PhysicalTopology::default().next_task_id(), TaskId(0));
+    }
+
+    #[test]
+    fn alloc_task_id_never_reuses_after_removal() {
+        // The live_reconfigure regression: removing tasks must not recycle
+        // their IDs — stale rules may still reference them.
+        let mut phys = sample();
+        let a = phys.alloc_task_id();
+        assert_eq!(a, TaskId(3));
+        phys.assignments.retain(|x| x.task != TaskId(2));
+        let b = phys.alloc_task_id();
+        assert_eq!(b, TaskId(4), "TaskId(2) must not come back");
+        assert_eq!(phys.next_task_id(), TaskId(5));
+    }
+
+    #[test]
+    fn remote_edge_pairs_counts_cross_host_pairs() {
+        let logical = word_count_example();
+        let mut phys = sample();
+        // input(t0)@h0 -> split t1@h0 (local), t2@h1 (remote)
+        assert_eq!(phys.remote_edge_pairs(&logical), 1);
+        phys.assignments[1].host = HostId(0);
+        assert_eq!(phys.remote_edge_pairs(&logical), 0);
+    }
+}

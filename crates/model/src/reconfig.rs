@@ -1,0 +1,231 @@
+//! Reconfiguration requests — the three update classes of §3.2.
+//!
+//! A user submits a [`ReconfigRequest`] against a running topology; the
+//! dynamic topology manager applies the ops to the logical topology,
+//! re-validates, and triggers the reschedule/notify/flow-update workflow.
+
+use crate::logical::LogicalTopology;
+use crate::physical::HostId;
+use crate::routing::Grouping;
+use crate::{ModelError, Result};
+use typhoon_tuple::tuple::TaskId;
+
+/// One atomic topology mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReconfigOp {
+    /// "Per-node parallelism: change the number of concurrent workers for a
+    /// particular node."
+    SetParallelism {
+        /// Logical node to resize.
+        node: String,
+        /// New task count (≥ 1).
+        parallelism: usize,
+    },
+    /// "Computation logic: launch new workers with new computation logic in
+    /// an existing topology" — repoint a node at another registered
+    /// component.
+    SwapLogic {
+        /// Logical node whose workers get replaced.
+        node: String,
+        /// Newly registered component name.
+        component: String,
+    },
+    /// "Routing policy: change routing type, or change policy-specific
+    /// parameters" — replace the grouping on an edge.
+    SetGrouping {
+        /// Edge source node.
+        from: String,
+        /// Edge destination node.
+        to: String,
+        /// New distribution policy.
+        grouping: Grouping,
+    },
+    /// §8 extension: relocate one worker to another host via
+    /// pause-and-resume control tuples ("Typhoon can simply
+    /// pause-and-resume the worker via control tuples (e.g., SIGNAL and
+    /// (DE)ACTIVATE tuples), while its state remains in an external
+    /// storage"). The logical topology is unchanged; only placement moves,
+    /// so [`ReconfigRequest::apply`] treats it as a no-op and the manager
+    /// handles the physical side.
+    Relocate {
+        /// The worker to move.
+        task: TaskId,
+        /// Destination host.
+        target: HostId,
+    },
+}
+
+/// A batch of mutations against one running topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigRequest {
+    /// Name of the running topology.
+    pub topology: String,
+    /// Ops applied in order; all-or-nothing (validation failure rolls back).
+    pub ops: Vec<ReconfigOp>,
+}
+
+impl ReconfigRequest {
+    /// A single-op request.
+    pub fn single(topology: &str, op: ReconfigOp) -> Self {
+        ReconfigRequest {
+            topology: topology.to_owned(),
+            ops: vec![op],
+        }
+    }
+
+    /// Applies every op to `logical`, validating the result. On any error
+    /// the topology is left unchanged.
+    pub fn apply(&self, logical: &mut LogicalTopology) -> Result<()> {
+        let backup = logical.clone();
+        let result = self.apply_inner(logical);
+        if result.is_err() {
+            *logical = backup;
+        }
+        result
+    }
+
+    fn apply_inner(&self, logical: &mut LogicalTopology) -> Result<()> {
+        for op in &self.ops {
+            match op {
+                ReconfigOp::SetParallelism { node, parallelism } => {
+                    let n = logical
+                        .node_mut(node)
+                        .ok_or_else(|| ModelError::UnknownNode(node.clone()))?;
+                    n.parallelism = *parallelism;
+                }
+                ReconfigOp::SwapLogic { node, component } => {
+                    let n = logical
+                        .node_mut(node)
+                        .ok_or_else(|| ModelError::UnknownNode(node.clone()))?;
+                    n.component = component.clone();
+                }
+                ReconfigOp::SetGrouping { from, to, grouping } => {
+                    let e = logical
+                        .edges
+                        .iter_mut()
+                        .find(|e| &e.from == from && &e.to == to)
+                        .ok_or_else(|| ModelError::UnknownNode(format!("{from}->{to}")))?;
+                    e.grouping = grouping.clone();
+                }
+                ReconfigOp::Relocate { .. } => {
+                    // Placement-only: nothing changes logically.
+                }
+            }
+        }
+        logical.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::word_count_example;
+
+    #[test]
+    fn set_parallelism_applies() {
+        let mut t = word_count_example();
+        ReconfigRequest::single(
+            "word-count",
+            ReconfigOp::SetParallelism {
+                node: "split".into(),
+                parallelism: 3,
+            },
+        )
+        .apply(&mut t)
+        .unwrap();
+        assert_eq!(t.node("split").unwrap().parallelism, 3);
+    }
+
+    #[test]
+    fn swap_logic_repoints_component() {
+        let mut t = word_count_example();
+        ReconfigRequest::single(
+            "word-count",
+            ReconfigOp::SwapLogic {
+                node: "split".into(),
+                component: "splitter-v2".into(),
+            },
+        )
+        .apply(&mut t)
+        .unwrap();
+        assert_eq!(t.node("split").unwrap().component, "splitter-v2");
+    }
+
+    #[test]
+    fn set_grouping_replaces_edge_policy() {
+        let mut t = word_count_example();
+        ReconfigRequest::single(
+            "word-count",
+            ReconfigOp::SetGrouping {
+                from: "split".into(),
+                to: "count".into(),
+                grouping: Grouping::Shuffle,
+            },
+        )
+        .apply(&mut t)
+        .unwrap();
+        let edge = t
+            .edges
+            .iter()
+            .find(|e| e.from == "split" && e.to == "count")
+            .unwrap();
+        assert_eq!(edge.grouping, Grouping::Shuffle);
+    }
+
+    #[test]
+    fn invalid_op_rolls_back_everything() {
+        let mut t = word_count_example();
+        let before = t.node("split").unwrap().parallelism;
+        let req = ReconfigRequest {
+            topology: "word-count".into(),
+            ops: vec![
+                ReconfigOp::SetParallelism {
+                    node: "split".into(),
+                    parallelism: 5,
+                },
+                ReconfigOp::SetParallelism {
+                    node: "split".into(),
+                    parallelism: 0, // invalid → whole batch rolls back
+                },
+            ],
+        };
+        assert!(req.apply(&mut t).is_err());
+        assert_eq!(t.node("split").unwrap().parallelism, before);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let mut t = word_count_example();
+        let req = ReconfigRequest::single(
+            "word-count",
+            ReconfigOp::SetParallelism {
+                node: "ghost".into(),
+                parallelism: 2,
+            },
+        );
+        assert_eq!(
+            req.apply(&mut t).unwrap_err(),
+            ModelError::UnknownNode("ghost".into())
+        );
+    }
+
+    #[test]
+    fn grouping_swap_to_invalid_fields_rolls_back() {
+        let mut t = word_count_example();
+        let req = ReconfigRequest::single(
+            "word-count",
+            ReconfigOp::SetGrouping {
+                from: "split".into(),
+                to: "count".into(),
+                grouping: Grouping::Fields(vec!["no-such-field".into()]),
+            },
+        );
+        assert!(req.apply(&mut t).is_err());
+        let edge = t
+            .edges
+            .iter()
+            .find(|e| e.from == "split" && e.to == "count")
+            .unwrap();
+        assert_eq!(edge.grouping, Grouping::Fields(vec!["word".into()]));
+    }
+}

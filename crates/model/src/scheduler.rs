@@ -1,0 +1,282 @@
+//! Pluggable topology schedulers.
+//!
+//! Storm's default scheduler distributes tasks round-robin across hosts; the
+//! Typhoon prototype replaces it (via Storm's `IScheduler` interface, §5)
+//! with a locality-aware scheduler that packs topologically neighbouring
+//! workers onto the same host to minimize remote inter-worker traffic.
+//! Both are implemented here behind one [`Scheduler`] trait so experiments
+//! can hold the framework constant and vary only placement.
+
+use crate::logical::LogicalTopology;
+use crate::physical::{HostId, HostInfo, PhysicalTopology, TaskAssignment};
+use crate::{AppId, ModelError, Result};
+use std::collections::BTreeMap;
+use typhoon_tuple::tuple::TaskId;
+
+/// Converts a logical topology into task placements on a concrete cluster.
+pub trait Scheduler: Send + Sync {
+    /// Schedules `logical` for application `app` onto `hosts`.
+    ///
+    /// Implementations must: assign each task a unique [`TaskId`]; respect
+    /// host slot capacities; and give every task a switch port unique on its
+    /// host (ports start at 1; port 0 is reserved for the host's tunnel
+    /// port, mirroring the reserved tunnel port of Table 3).
+    fn schedule(
+        &self,
+        app: AppId,
+        logical: &LogicalTopology,
+        hosts: &[HostInfo],
+    ) -> Result<PhysicalTopology>;
+
+    /// Human-readable scheduler name (for experiment logs).
+    fn name(&self) -> &'static str;
+}
+
+fn check_capacity(logical: &LogicalTopology, hosts: &[HostInfo]) -> Result<()> {
+    let needed = logical.total_tasks();
+    let available: usize = hosts.iter().map(|h| h.slots).sum();
+    if needed > available {
+        return Err(ModelError::InsufficientCapacity { needed, available });
+    }
+    Ok(())
+}
+
+/// Expands nodes into (node, component) entries in topological order so both
+/// schedulers enumerate tasks identically and differ only in placement.
+fn expand_tasks(logical: &LogicalTopology) -> Vec<(String, String)> {
+    let order = logical.topo_order();
+    let mut out = Vec::with_capacity(logical.total_tasks());
+    for name in order {
+        let node = logical.node(name).expect("topo order returns real nodes");
+        for _ in 0..node.parallelism {
+            out.push((node.name.clone(), node.component.clone()));
+        }
+    }
+    out
+}
+
+struct PortAllocator {
+    next: BTreeMap<HostId, u32>,
+}
+
+impl PortAllocator {
+    fn new() -> Self {
+        PortAllocator {
+            next: BTreeMap::new(),
+        }
+    }
+
+    fn alloc(&mut self, host: HostId) -> u32 {
+        let p = self.next.entry(host).or_insert(1);
+        let port = *p;
+        *p += 1;
+        port
+    }
+}
+
+/// Storm's default placement: walk the task list and deal tasks to hosts in
+/// round-robin order, skipping full hosts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobinScheduler;
+
+impl Scheduler for RoundRobinScheduler {
+    fn schedule(
+        &self,
+        app: AppId,
+        logical: &LogicalTopology,
+        hosts: &[HostInfo],
+    ) -> Result<PhysicalTopology> {
+        check_capacity(logical, hosts)?;
+        let tasks = expand_tasks(logical);
+        let mut remaining: Vec<usize> = hosts.iter().map(|h| h.slots).collect();
+        let mut ports = PortAllocator::new();
+        let mut assignments = Vec::with_capacity(tasks.len());
+        let mut cursor = 0usize;
+        for (i, (node, component)) in tasks.into_iter().enumerate() {
+            // Find the next host with a free slot.
+            let mut probe = 0;
+            while remaining[cursor % hosts.len()] == 0 {
+                cursor += 1;
+                probe += 1;
+                debug_assert!(probe <= hosts.len(), "capacity was checked");
+            }
+            let hidx = cursor % hosts.len();
+            cursor += 1;
+            remaining[hidx] -= 1;
+            let host = hosts[hidx].id;
+            assignments.push(TaskAssignment {
+                task: TaskId(i as u32),
+                node,
+                component,
+                host,
+                switch_port: ports.alloc(host),
+            });
+        }
+        let task_watermark = assignments.len() as u32;
+        Ok(PhysicalTopology {
+            app,
+            name: logical.name.clone(),
+            version: 1,
+            task_watermark,
+            assignments,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Typhoon's locality scheduler: walk tasks in topological order and fill
+/// one host completely before moving to the next, so adjacent pipeline
+/// stages land together and most tuple hops stay switch-local.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalityScheduler;
+
+impl Scheduler for LocalityScheduler {
+    fn schedule(
+        &self,
+        app: AppId,
+        logical: &LogicalTopology,
+        hosts: &[HostInfo],
+    ) -> Result<PhysicalTopology> {
+        check_capacity(logical, hosts)?;
+        let tasks = expand_tasks(logical);
+        let mut ports = PortAllocator::new();
+        let mut assignments = Vec::with_capacity(tasks.len());
+        let mut hidx = 0usize;
+        let mut used_on_host = 0usize;
+        for (i, (node, component)) in tasks.into_iter().enumerate() {
+            while used_on_host >= hosts[hidx].slots {
+                hidx += 1;
+                used_on_host = 0;
+                debug_assert!(hidx < hosts.len(), "capacity was checked");
+            }
+            used_on_host += 1;
+            let host = hosts[hidx].id;
+            assignments.push(TaskAssignment {
+                task: TaskId(i as u32),
+                node,
+                component,
+                host,
+                switch_port: ports.alloc(host),
+            });
+        }
+        let task_watermark = assignments.len() as u32;
+        Ok(PhysicalTopology {
+            app,
+            name: logical.name.clone(),
+            version: 1,
+            task_watermark,
+            assignments,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::word_count_example;
+    use std::collections::HashSet;
+
+    fn hosts(n: u32, slots: usize) -> Vec<HostInfo> {
+        (0..n)
+            .map(|i| HostInfo::new(i, &format!("h{i}"), slots))
+            .collect()
+    }
+
+    fn assert_well_formed(phys: &PhysicalTopology, hosts: &[HostInfo]) {
+        // Unique task IDs.
+        let ids: HashSet<_> = phys.assignments.iter().map(|a| a.task).collect();
+        assert_eq!(ids.len(), phys.assignments.len());
+        // Slot capacities respected.
+        for (host, tasks) in phys.by_host() {
+            let cap = hosts.iter().find(|h| h.id == host).unwrap().slots;
+            assert!(tasks.len() <= cap, "{host:?} over capacity");
+        }
+        // Switch ports unique per host and never 0 (tunnel port).
+        let mut seen: HashSet<(HostId, u32)> = HashSet::new();
+        for a in &phys.assignments {
+            assert_ne!(a.switch_port, 0, "port 0 is the tunnel port");
+            assert!(seen.insert((a.host, a.switch_port)), "duplicate port");
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_tasks() {
+        let logical = word_count_example(); // 6 tasks
+        let hs = hosts(3, 4);
+        let phys = RoundRobinScheduler.schedule(AppId(1), &logical, &hs).unwrap();
+        assert_well_formed(&phys, &hs);
+        let by = phys.by_host();
+        assert_eq!(by.len(), 3, "round robin touches every host");
+        assert!(by.values().all(|t| t.len() == 2));
+    }
+
+    #[test]
+    fn locality_packs_hosts_in_order() {
+        let logical = word_count_example();
+        let hs = hosts(3, 4);
+        let phys = LocalityScheduler.schedule(AppId(1), &logical, &hs).unwrap();
+        assert_well_formed(&phys, &hs);
+        let by = phys.by_host();
+        assert_eq!(by[&HostId(0)].len(), 4, "first host filled completely");
+        assert_eq!(by[&HostId(1)].len(), 2);
+    }
+
+    #[test]
+    fn locality_has_no_more_remote_pairs_than_round_robin() {
+        let logical = word_count_example();
+        let hs = hosts(3, 4);
+        let rr = RoundRobinScheduler.schedule(AppId(1), &logical, &hs).unwrap();
+        let lo = LocalityScheduler.schedule(AppId(1), &logical, &hs).unwrap();
+        assert!(
+            lo.remote_edge_pairs(&logical) <= rr.remote_edge_pairs(&logical),
+            "locality scheduler must not increase remote communication"
+        );
+    }
+
+    #[test]
+    fn insufficient_capacity_is_reported() {
+        let logical = word_count_example(); // 6 tasks
+        let hs = hosts(1, 3);
+        let err = RoundRobinScheduler
+            .schedule(AppId(1), &logical, &hs)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::InsufficientCapacity {
+                needed: 6,
+                available: 3
+            }
+        );
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let logical = word_count_example();
+        let hs = hosts(2, 3);
+        for sched in [&RoundRobinScheduler as &dyn Scheduler, &LocalityScheduler] {
+            let phys = sched.schedule(AppId(1), &logical, &hs).unwrap();
+            assert_eq!(phys.assignments.len(), 6, "{}", sched.name());
+            assert_well_formed(&phys, &hs);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_slots_are_respected() {
+        let logical = word_count_example();
+        let hs = vec![
+            HostInfo::new(0, "small", 1),
+            HostInfo::new(1, "big", 8),
+        ];
+        for sched in [&RoundRobinScheduler as &dyn Scheduler, &LocalityScheduler] {
+            let phys = sched.schedule(AppId(1), &logical, &hs).unwrap();
+            assert_well_formed(&phys, &hs);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests on the topology model: scheduler invariants over
+//! arbitrary clusters, routing-policy distribution laws, and validator
+//! robustness on arbitrary DAG-ish inputs.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use typhoon_model::{
+    AppId, Fields, Grouping, HostInfo, LocalityScheduler, LogicalTopology, RoundRobinScheduler,
+    RoutingState, Scheduler, TaskId,
+};
+use typhoon_tuple::{Tuple, Value};
+
+/// A layered pipeline topology: guaranteed acyclic by construction.
+fn arb_pipeline() -> impl Strategy<Value = LogicalTopology> {
+    (
+        1usize..4,                                  // spout parallelism
+        proptest::collection::vec((1usize..5, 0u8..4), 1..5), // layers: (parallelism, grouping tag)
+    )
+        .prop_map(|(spout_par, layers)| {
+            let mut b = LogicalTopology::builder("prop")
+                .spout("l0", "c", spout_par, Fields::new(["k", "v"]));
+            let mut prev = "l0".to_owned();
+            for (i, (par, gtag)) in layers.into_iter().enumerate() {
+                let name = format!("l{}", i + 1);
+                let grouping = match gtag {
+                    0 => Grouping::Shuffle,
+                    1 => Grouping::Fields(vec!["k".into()]),
+                    2 => Grouping::Global,
+                    _ => Grouping::All,
+                };
+                b = b
+                    .bolt(&name, "c", par, Fields::new(["k", "v"]))
+                    .edge(&prev, &name, grouping);
+                prev = name;
+            }
+            b.build().expect("layered pipelines are valid")
+        })
+}
+
+fn arb_hosts() -> impl Strategy<Value = Vec<HostInfo>> {
+    proptest::collection::vec(1usize..8, 1..6).prop_map(|slots| {
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| HostInfo::new(i as u32, &format!("h{i}"), s))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn schedulers_respect_invariants(topo in arb_pipeline(), hosts in arb_hosts()) {
+        for scheduler in [&RoundRobinScheduler as &dyn Scheduler, &LocalityScheduler] {
+            match scheduler.schedule(AppId(1), &topo, &hosts) {
+                Ok(phys) => {
+                    // Every task placed exactly once.
+                    prop_assert_eq!(phys.assignments.len(), topo.total_tasks());
+                    let ids: HashSet<TaskId> =
+                        phys.assignments.iter().map(|a| a.task).collect();
+                    prop_assert_eq!(ids.len(), phys.assignments.len());
+                    // Capacity respected.
+                    for (host, tasks) in phys.by_host() {
+                        let cap = hosts.iter().find(|h| h.id == host).unwrap().slots;
+                        prop_assert!(tasks.len() <= cap);
+                    }
+                    // Ports unique per host, never the tunnel port.
+                    let mut seen = HashSet::new();
+                    for a in &phys.assignments {
+                        prop_assert!(a.switch_port != 0);
+                        prop_assert!(seen.insert((a.host, a.switch_port)));
+                    }
+                    // Node→task expansion matches parallelism.
+                    for node in &topo.nodes {
+                        prop_assert_eq!(
+                            phys.tasks_of(&node.name).len(),
+                            node.parallelism
+                        );
+                    }
+                }
+                Err(_) => {
+                    // Only acceptable failure: genuinely out of capacity.
+                    let capacity: usize = hosts.iter().map(|h| h.slots).sum();
+                    prop_assert!(topo.total_tasks() > capacity);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placement_shapes_hold_on_uniform_clusters(
+        topo in arb_pipeline(),
+        n_hosts in 1u32..6,
+        slots in 2usize..8,
+    ) {
+        // Both schedulers are heuristics; their *placement shapes* are the
+        // invariants. Locality packs: it touches the minimum number of
+        // hosts. Round robin spreads: it touches as many hosts as tasks
+        // allow. (Neither universally minimizes remote pairs — a chain
+        // whose stages straddle pack boundaries can favour either.)
+        let hosts: Vec<HostInfo> = (0..n_hosts)
+            .map(|i| HostInfo::new(i, &format!("h{i}"), slots))
+            .collect();
+        let tasks = topo.total_tasks();
+        if let Ok(lo) = LocalityScheduler.schedule(AppId(1), &topo, &hosts) {
+            let min_hosts = tasks.div_ceil(slots);
+            prop_assert_eq!(lo.by_host().len(), min_hosts, "locality packs");
+        }
+        if let Ok(rr) = RoundRobinScheduler.schedule(AppId(1), &topo, &hosts) {
+            let spread = (n_hosts as usize).min(tasks);
+            prop_assert_eq!(rr.by_host().len(), spread, "round robin spreads");
+        }
+    }
+
+    #[test]
+    fn shuffle_distributes_evenly(hops in 1usize..9, rounds in 1usize..20) {
+        let hop_ids: Vec<TaskId> = (0..hops as u32).map(TaskId).collect();
+        let mut rs = RoutingState::new(Grouping::Shuffle, hop_ids, vec![]);
+        let t = Tuple::new(TaskId(0), vec![]);
+        let mut counts: HashMap<TaskId, usize> = HashMap::new();
+        for _ in 0..hops * rounds {
+            if let typhoon_model::RouteDecision::One(d) = rs.route(&t) {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+        }
+        // Perfect fairness: whole rounds distribute exactly evenly.
+        prop_assert!(counts.values().all(|&c| c == rounds));
+    }
+
+    #[test]
+    fn fields_routing_is_a_function_of_the_key(
+        keys in proptest::collection::vec(any::<i64>(), 1..50),
+        hops in 1usize..9,
+    ) {
+        let hop_ids: Vec<TaskId> = (0..hops as u32).map(TaskId).collect();
+        let mut rs = RoutingState::new(
+            Grouping::Fields(vec!["k".into()]),
+            hop_ids,
+            vec![0],
+        );
+        let mut mapping: HashMap<i64, typhoon_model::RouteDecision> = HashMap::new();
+        for _ in 0..3 {
+            for &k in &keys {
+                let t = Tuple::new(TaskId(0), vec![Value::Int(k), Value::Int(999)]);
+                let d = rs.route(&t);
+                if let Some(prev) = mapping.get(&k) {
+                    prop_assert_eq!(prev.clone(), d, "key {} moved", k);
+                } else {
+                    mapping.insert(k, d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_state_survives_arbitrary_hop_updates(
+        updates in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 0..8),
+            1..10
+        ),
+    ) {
+        let mut rs = RoutingState::new(Grouping::Shuffle, vec![TaskId(0)], vec![]);
+        let t = Tuple::new(TaskId(0), vec![]);
+        for hops in updates {
+            let hop_ids: Vec<TaskId> = hops.into_iter().map(TaskId).collect();
+            rs.set_next_hops(hop_ids.clone());
+            let decision = rs.route(&t);
+            if hop_ids.is_empty() {
+                prop_assert_eq!(decision, typhoon_model::RouteDecision::Drop);
+            } else if let typhoon_model::RouteDecision::One(d) = decision {
+                prop_assert!(rs.next_hops().contains(&d));
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Configurable batching for the worker I/O layer.
+//!
+//! "The I/O layer is designed to support a configurable amount of batching
+//! when sending data tuples and packets … the batch size can be flexibly
+//! configured based on the relative priority of latency and throughput on a
+//! per-application basis" (§3.3.1). The batch size is additionally mutable
+//! at runtime by a `BATCH_SIZE` control tuple (Table 2), hence the atomic.
+//!
+//! A batch flushes when it reaches the configured size **or** when its
+//! oldest element exceeds `max_delay` — the timer bounds worst-case latency
+//! at low rates so Figs. 8(c)/(d) have a well-defined tail.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A size-or-deadline batcher.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    items: Vec<T>,
+    batch_size: Arc<AtomicUsize>,
+    max_delay: Duration,
+    oldest: Option<Instant>,
+}
+
+impl<T> Batcher<T> {
+    /// A batcher flushing at `batch_size` items or `max_delay` age.
+    pub fn new(batch_size: usize, max_delay: Duration) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher {
+            items: Vec::with_capacity(batch_size),
+            batch_size: Arc::new(AtomicUsize::new(batch_size)),
+            max_delay,
+            oldest: None,
+        }
+    }
+
+    /// A shareable handle that can retune the batch size at runtime (the
+    /// `BATCH_SIZE` control-tuple hook).
+    pub fn size_knob(&self) -> Arc<AtomicUsize> {
+        self.batch_size.clone()
+    }
+
+    /// Currently configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size.load(Ordering::Relaxed)
+    }
+
+    /// Buffered item count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Adds an item; returns the full batch when the size threshold is hit.
+    pub fn push(&mut self, item: T) -> Option<Vec<T>> {
+        self.push_at(item, Instant::now())
+    }
+
+    /// [`Batcher::push`] with an explicit clock (deterministic tests).
+    pub fn push_at(&mut self, item: T, now: Instant) -> Option<Vec<T>> {
+        if self.items.is_empty() {
+            self.oldest = Some(now);
+        }
+        self.items.push(item);
+        if self.items.len() >= self.batch_size.load(Ordering::Relaxed) {
+            self.take()
+        } else {
+            None
+        }
+    }
+
+    /// Returns the batch if its oldest item is older than `max_delay`.
+    pub fn poll_flush(&mut self) -> Option<Vec<T>> {
+        self.poll_flush_at(Instant::now())
+    }
+
+    /// [`Batcher::poll_flush`] with an explicit clock.
+    pub fn poll_flush_at(&mut self, now: Instant) -> Option<Vec<T>> {
+        match self.oldest {
+            Some(t0) if now.saturating_duration_since(t0) >= self.max_delay => self.take(),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally flushes whatever is buffered.
+    pub fn take(&mut self) -> Option<Vec<T>> {
+        self.oldest = None;
+        if self.items.is_empty() {
+            None
+        } else {
+            let cap = self.batch_size.load(Ordering::Relaxed);
+            Some(std::mem::replace(
+                &mut self.items,
+                Vec::with_capacity(cap),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushes_exactly_at_batch_size() {
+        let mut b = Batcher::new(3, Duration::from_secs(10));
+        assert!(b.push(1).is_none());
+        assert!(b.push(2).is_none());
+        let batch = b.push(3).expect("full batch");
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let t0 = Instant::now();
+        let mut b = Batcher::new(100, Duration::from_millis(5));
+        assert!(b.push_at(1, t0).is_none());
+        assert!(b.poll_flush_at(t0 + Duration::from_millis(1)).is_none());
+        let batch = b.poll_flush_at(t0 + Duration::from_millis(6)).unwrap();
+        assert_eq!(batch, vec![1]);
+        assert!(b.poll_flush_at(t0 + Duration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn deadline_resets_after_flush() {
+        let t0 = Instant::now();
+        let mut b = Batcher::new(100, Duration::from_millis(5));
+        b.push_at(1, t0);
+        let _ = b.poll_flush_at(t0 + Duration::from_millis(6)).unwrap();
+        // A new item restarts the clock from its own arrival time.
+        b.push_at(2, t0 + Duration::from_millis(7));
+        assert!(b.poll_flush_at(t0 + Duration::from_millis(10)).is_none());
+        assert!(b.poll_flush_at(t0 + Duration::from_millis(13)).is_some());
+    }
+
+    #[test]
+    fn size_knob_retunes_at_runtime() {
+        let mut b = Batcher::new(1000, Duration::from_secs(10));
+        let knob = b.size_knob();
+        b.push(1);
+        knob.store(2, Ordering::Relaxed); // BATCH_SIZE control tuple arrives
+        let batch = b.push(2).expect("new smaller threshold reached");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(b.batch_size(), 2);
+    }
+
+    #[test]
+    fn take_on_empty_is_none() {
+        let mut b = Batcher::<u8>::new(4, Duration::from_secs(1));
+        assert!(b.take().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = Batcher::<u8>::new(0, Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,83 @@
+//! # typhoon-net — frames, packetization, rings and host tunnels
+//!
+//! The network substrate under the Typhoon data plane (Fig. 5 and Fig. 7 of
+//! the paper):
+//!
+//! * [`frame`] — the custom Ethernet-format transport packet: worker IDs
+//!   (application ID prefix + task ID) as MAC addresses, a custom EtherType
+//!   `0xffff`, and a [`bytes::Bytes`] payload so that switch-level
+//!   replication is a reference-count bump rather than a copy — the
+//!   mechanism behind serialization-free one-to-many delivery.
+//! * [`packetize`] — the southbound transport library's payload format:
+//!   multiplexing several small tuples into one packet, segmenting large
+//!   tuples across packets, and the matching reassembler.
+//! * [`ring`] — DPDK-style bounded ring ports connecting workers to their
+//!   host's software switch. Overflow drops are counted, not hidden,
+//!   modelling the TX/RX overflow discussion of §8.
+//! * [`tunnel`] — host-level tunnels that carry frames between compute
+//!   hosts: a real TCP implementation (loopback in experiments) and an
+//!   in-memory implementation behind one trait.
+//! * [`batch`] — the configurable batching used throughout the I/O layer
+//!   for the latency/throughput trade-off studied in Figs. 8(c)/(d).
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod frame;
+pub mod packetize;
+pub mod ring;
+pub mod tunnel;
+
+pub use batch::Batcher;
+pub use frame::{Frame, MacAddr, TYPHOON_ETHERTYPE};
+pub use packetize::{Depacketizer, Packetizer};
+pub use ring::{ring, RingConsumer, RingProducer, RingStats};
+pub use tunnel::{InMemoryTunnel, TcpTunnel, Tunnel};
+
+/// Errors from the network substrate.
+#[derive(Debug)]
+pub enum NetError {
+    /// A frame was shorter than the Ethernet header or declared lengths
+    /// exceeded the payload.
+    Malformed(&'static str),
+    /// A ring was full and the frame was dropped.
+    RingFull,
+    /// The peer end of a tunnel or ring is gone.
+    Disconnected,
+    /// Underlying socket error (TCP tunnels).
+    Io(std::io::Error),
+}
+
+impl PartialEq for NetError {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(
+            (self, other),
+            (NetError::Malformed(_), NetError::Malformed(_))
+                | (NetError::RingFull, NetError::RingFull)
+                | (NetError::Disconnected, NetError::Disconnected)
+                | (NetError::Io(_), NetError::Io(_))
+        )
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            NetError::RingFull => write!(f, "ring full, frame dropped"),
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,279 @@
+//! DPDK-style bounded ring ports.
+//!
+//! Workers attach to their host's software switch through shared-memory
+//! ring buffers in the prototype (Fig. 7: "DPDK Ring Port"); here a ring is
+//! a bounded lock-free queue with explicit overflow accounting. When the
+//! consumer side (the switch, or a slow worker) falls behind, pushes fail
+//! and the drop counter grows — the "temporary TX/RX queue overflow" of §8
+//! becomes an observable, testable number instead of silent loss.
+
+use crate::frame::Frame;
+use crate::{NetError, Result};
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters shared by both ends of a ring.
+#[derive(Debug, Default)]
+pub struct RingStats {
+    /// Frames successfully enqueued.
+    pub enqueued: AtomicU64,
+    /// Frames successfully dequeued.
+    pub dequeued: AtomicU64,
+    /// Frames dropped because the ring was full.
+    pub dropped: AtomicU64,
+}
+
+impl RingStats {
+    /// (enqueued, dequeued, dropped) snapshot.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.enqueued.load(Ordering::Relaxed),
+            self.dequeued.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct Shared {
+    queue: ArrayQueue<Frame>,
+    stats: RingStats,
+    closed: AtomicBool,
+}
+
+/// Producer half of a ring.
+pub struct RingProducer {
+    shared: Arc<Shared>,
+}
+
+/// Consumer half of a ring.
+pub struct RingConsumer {
+    shared: Arc<Shared>,
+}
+
+/// Creates a bounded ring of `capacity` frames.
+pub fn ring(capacity: usize) -> (RingProducer, RingConsumer) {
+    let shared = Arc::new(Shared {
+        queue: ArrayQueue::new(capacity),
+        stats: RingStats::default(),
+        closed: AtomicBool::new(false),
+    });
+    (
+        RingProducer {
+            shared: shared.clone(),
+        },
+        RingConsumer { shared },
+    )
+}
+
+impl RingProducer {
+    /// Enqueues a frame. On overflow the frame is dropped (and counted),
+    /// mirroring a full hardware TX queue.
+    pub fn push(&self, frame: Frame) -> Result<()> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(NetError::Disconnected);
+        }
+        match self.shared.queue.push(frame) {
+            Ok(()) => {
+                self.shared.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => {
+                self.shared.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                Err(NetError::RingFull)
+            }
+        }
+    }
+
+    /// Shared statistics.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        self.shared.stats.snapshot()
+    }
+
+    /// Marks the ring closed; the consumer drains what remains then sees
+    /// [`NetError::Disconnected`].
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+
+    /// True once either side closed the ring.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for RingProducer {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl RingConsumer {
+    /// Dequeues one frame if available. `Ok(None)` means "empty right now";
+    /// [`NetError::Disconnected`] means closed *and* drained.
+    pub fn pop(&self) -> Result<Option<Frame>> {
+        match self.shared.queue.pop() {
+            Some(f) => {
+                self.shared.stats.dequeued.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(f))
+            }
+            None => {
+                if self.shared.closed.load(Ordering::Acquire) {
+                    Err(NetError::Disconnected)
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Dequeues up to `max` frames into `out` (batch-amortized polling, as
+    /// the southbound library "polls for incoming packets in shared memory
+    /// RX ring buffers"). Returns the number appended.
+    pub fn pop_batch(&self, out: &mut Vec<Frame>, max: usize) -> Result<usize> {
+        let mut n = 0;
+        while n < max {
+            match self.pop()? {
+                Some(f) => {
+                    out.push(f);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
+
+    /// Frames currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// True when no frames are queued.
+    pub fn is_empty(&self) -> bool {
+        self.shared.queue.is_empty()
+    }
+
+    /// Shared statistics.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        self.shared.stats.snapshot()
+    }
+
+    /// Marks the ring closed from the consumer side; subsequent pushes fail.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for RingConsumer {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for RingProducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (e, d, x) = self.stats();
+        write!(f, "RingProducer(enq={e}, deq={d}, drop={x})")
+    }
+}
+
+impl std::fmt::Debug for RingConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (e, d, x) = self.stats();
+        write!(f, "RingConsumer(enq={e}, deq={d}, drop={x})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::MacAddr;
+    use bytes::Bytes;
+    use typhoon_tuple::tuple::TaskId;
+
+    fn frame(n: u8) -> Frame {
+        Frame::typhoon(
+            MacAddr::worker(0, TaskId(0)),
+            MacAddr::worker(0, TaskId(1)),
+            Bytes::from(vec![n]),
+        )
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = ring(8);
+        for i in 0..5 {
+            tx.push(frame(i)).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.pop().unwrap().unwrap().payload[0], i);
+        }
+        assert!(rx.pop().unwrap().is_none());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let (tx, rx) = ring(2);
+        tx.push(frame(0)).unwrap();
+        tx.push(frame(1)).unwrap();
+        assert_eq!(tx.push(frame(2)).unwrap_err(), NetError::RingFull);
+        let (enq, _, dropped) = rx.stats();
+        assert_eq!((enq, dropped), (2, 1));
+    }
+
+    #[test]
+    fn pop_batch_respects_max() {
+        let (tx, rx) = ring(16);
+        for i in 0..10 {
+            tx.push(frame(i)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 4).unwrap(), 4);
+        assert_eq!(rx.pop_batch(&mut out, 100).unwrap(), 6);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn close_drains_then_disconnects() {
+        let (tx, rx) = ring(4);
+        tx.push(frame(1)).unwrap();
+        tx.close();
+        assert!(tx.push(frame(2)).is_err());
+        assert!(rx.pop().unwrap().is_some(), "drain survives close");
+        assert_eq!(rx.pop().unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn dropping_consumer_closes_ring() {
+        let (tx, rx) = ring(4);
+        drop(rx);
+        assert_eq!(tx.push(frame(0)).unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (tx, rx) = ring(1024);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10_000u32 {
+                loop {
+                    match tx.push(frame((i % 251) as u8)) {
+                        Ok(()) => break,
+                        Err(NetError::RingFull) => std::thread::yield_now(),
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            }
+        });
+        let mut received = 0u32;
+        while received < 10_000 {
+            match rx.pop() {
+                Ok(Some(_)) => received += 1,
+                Ok(None) => std::thread::yield_now(),
+                Err(_) => break,
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(received, 10_000);
+    }
+}

@@ -1,0 +1,83 @@
+//! Tunnel stress: sustained bidirectional traffic over real TCP, many
+//! frames in flight, mixed sizes — the REMOTE transport leg of every
+//! cross-host experiment.
+
+use bytes::Bytes;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use typhoon_net::{Frame, MacAddr, TcpTunnel, Tunnel};
+use typhoon_tuple::tuple::TaskId;
+
+fn frame(seq: u32, len: usize) -> Frame {
+    let mut payload = vec![(seq % 251) as u8; len.max(4)];
+    payload[..4].copy_from_slice(&seq.to_be_bytes());
+    Frame::typhoon(
+        MacAddr::worker(1, TaskId(seq)),
+        MacAddr::worker(1, TaskId(1)),
+        Bytes::from(payload),
+    )
+}
+
+fn seq_of(f: &Frame) -> u32 {
+    u32::from_be_bytes(f.payload[..4].try_into().unwrap())
+}
+
+#[test]
+fn bidirectional_stress_preserves_order_and_content() {
+    const N: u32 = 20_000;
+    let (a, b) = TcpTunnel::pair().unwrap();
+    let a = Arc::new(a);
+    let b = Arc::new(b);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // a → b: ascending sizes cycling 16..2048; b → a simultaneously.
+    let senders: Vec<_> = [(a.clone(), "a"), (b.clone(), "b")]
+        .into_iter()
+        .map(|(endpoint, _)| {
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    let len = 16 + (i as usize * 37) % 2048;
+                    while endpoint.send(&frame(i, len)).is_err() {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let receivers: Vec<_> = [a.clone(), b.clone()]
+        .into_iter()
+        .map(|endpoint| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut expected = 0u32;
+                let deadline = Instant::now() + Duration::from_secs(60);
+                while expected < N {
+                    assert!(Instant::now() < deadline, "stalled at {expected}");
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match endpoint.try_recv() {
+                        Ok(Some(f)) => {
+                            assert_eq!(seq_of(&f), expected, "order broke");
+                            let want_len = (16 + (expected as usize * 37) % 2048).max(4);
+                            assert_eq!(f.payload.len(), want_len, "length mangled");
+                            expected += 1;
+                        }
+                        Ok(None) => std::thread::sleep(Duration::from_micros(20)),
+                        Err(e) => panic!("tunnel died at {expected}: {e}"),
+                    }
+                }
+                expected
+            })
+        })
+        .collect();
+
+    for s in senders {
+        s.join().unwrap();
+    }
+    for r in receivers {
+        assert_eq!(r.join().unwrap(), N);
+    }
+}

@@ -1,0 +1,71 @@
+//! Flow actions.
+
+use crate::types::{GroupId, PortNo};
+use typhoon_net::MacAddr;
+
+/// An action applied to a matched frame, in list order.
+///
+/// These are exactly the actions Table 3 of the paper uses: `output`,
+/// `set_tun_dst` (remote transfer via the host tunnel), output to the
+/// controller, plus `group` (the select-group indirection of the SDN load
+/// balancer) and `set_dl_dst` (destination rewriting inside group buckets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Forward out a port. `Output(PortNo::ALL)` floods.
+    Output(PortNo),
+    /// Set the tunnel destination host before the next `Output(TUNNEL)`.
+    /// The operand is the peer host's address (host ID in this
+    /// reproduction; an IP in the paper's deployment).
+    SetTunDst(u32),
+    /// Rewrite the destination MAC (select-group load balancing rewrites
+    /// the destination worker ID, §4).
+    SetDlDst(MacAddr),
+    /// Defer to a group-table entry.
+    Group(GroupId),
+    /// Punt the frame to the SDN controller as a `PacketIn`.
+    ToController,
+}
+
+impl Action {
+    /// Short mnemonic used in rule dumps.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Action::Output(_) => "output",
+            Action::SetTunDst(_) => "set_tun_dst",
+            Action::SetDlDst(_) => "set_dl_dst",
+            Action::Group(_) => "group",
+            Action::ToController => "controller",
+        }
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Output(p) => write!(f, "output={p}"),
+            Action::SetTunDst(h) => write!(f, "set_tun_dst=host{h}"),
+            Action::SetDlDst(m) => write!(f, "set_dl_dst={m}"),
+            Action::Group(g) => write!(f, "group={g}"),
+            Action::ToController => write!(f, "output=CONTROLLER"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_table3_style() {
+        assert_eq!(Action::Output(PortNo(4)).to_string(), "output=port4");
+        assert_eq!(Action::SetTunDst(2).to_string(), "set_tun_dst=host2");
+        assert_eq!(Action::Group(GroupId(1)).to_string(), "group=group1");
+        assert_eq!(Action::ToController.to_string(), "output=CONTROLLER");
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(Action::SetTunDst(0).mnemonic(), "set_tun_dst");
+        assert_eq!(Action::ToController.mnemonic(), "controller");
+    }
+}

@@ -1,0 +1,120 @@
+//! `FlowMod` — flow-table modification messages.
+
+use crate::action::Action;
+use crate::flow_match::FlowMatch;
+use std::time::Duration;
+
+/// What a `FlowMod` does to the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowModCommand {
+    /// Insert a new rule (replacing an identical-match, identical-priority
+    /// rule if present).
+    Add,
+    /// Rewrite the actions of every rule whose match the given match
+    /// subsumes.
+    Modify,
+    /// Remove every rule whose match the given match subsumes.
+    Delete,
+}
+
+/// A flow-table modification (§3.4: "the SDN controller directly controls
+/// data tuple transport among workers by programming SDN switches with
+/// FlowMod OpenFlow messages").
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMod {
+    /// Add/modify/delete.
+    pub command: FlowModCommand,
+    /// Higher priority wins; ties broken by match specificity.
+    pub priority: u16,
+    /// The rule's match.
+    pub matcher: FlowMatch,
+    /// Action list applied on match (empty = drop).
+    pub actions: Vec<Action>,
+    /// Evict the rule after this long without a matching packet
+    /// (`Duration::ZERO` = never). Stateless-worker removal relies on this:
+    /// "the SDN flow rules … are automatically removed due to idle timeout"
+    /// (§3.5).
+    pub idle_timeout: Duration,
+    /// Evict the rule after this long regardless of traffic (0 = never).
+    pub hard_timeout: Duration,
+    /// Opaque correlation value chosen by the controller.
+    pub cookie: u64,
+}
+
+impl FlowMod {
+    /// An `Add` with no timeouts.
+    pub fn add(priority: u16, matcher: FlowMatch, actions: Vec<Action>) -> Self {
+        FlowMod {
+            command: FlowModCommand::Add,
+            priority,
+            matcher,
+            actions,
+            idle_timeout: Duration::ZERO,
+            hard_timeout: Duration::ZERO,
+            cookie: 0,
+        }
+    }
+
+    /// A `Delete` covering everything `matcher` subsumes.
+    pub fn delete(matcher: FlowMatch) -> Self {
+        FlowMod {
+            command: FlowModCommand::Delete,
+            priority: 0,
+            matcher,
+            actions: Vec::new(),
+            idle_timeout: Duration::ZERO,
+            hard_timeout: Duration::ZERO,
+            cookie: 0,
+        }
+    }
+
+    /// Builder: set the idle timeout.
+    pub fn with_idle_timeout(mut self, d: Duration) -> Self {
+        self.idle_timeout = d;
+        self
+    }
+
+    /// Builder: set the hard timeout.
+    pub fn with_hard_timeout(mut self, d: Duration) -> Self {
+        self.hard_timeout = d;
+        self
+    }
+
+    /// Builder: set the cookie.
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PortNo;
+
+    #[test]
+    fn add_builder_defaults() {
+        let fm = FlowMod::add(10, FlowMatch::any(), vec![Action::Output(PortNo(1))]);
+        assert_eq!(fm.command, FlowModCommand::Add);
+        assert_eq!(fm.idle_timeout, Duration::ZERO);
+        assert_eq!(fm.cookie, 0);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let fm = FlowMod::add(1, FlowMatch::any(), vec![])
+            .with_idle_timeout(Duration::from_secs(5))
+            .with_hard_timeout(Duration::from_secs(60))
+            .with_cookie(42);
+        assert_eq!(fm.idle_timeout, Duration::from_secs(5));
+        assert_eq!(fm.hard_timeout, Duration::from_secs(60));
+        assert_eq!(fm.cookie, 42);
+    }
+
+    #[test]
+    fn delete_has_no_actions() {
+        let fm = FlowMod::delete(FlowMatch::any().in_port(PortNo(2)));
+        assert_eq!(fm.command, FlowModCommand::Delete);
+        assert!(fm.actions.is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Flow matching on the Table 3 fields.
+//!
+//! Typhoon's rules match only `in_port`, `dl_src`, `dl_dst` and
+//! `ether_type` — the paper chose a custom EtherType precisely so rules
+//! need no IPv4 wildcards (§3.4). Each field is optional; `None` is a
+//! wildcard.
+
+use crate::types::PortNo;
+use typhoon_net::MacAddr;
+
+/// The header fields a switch extracts from an incoming frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Port the frame arrived on.
+    pub in_port: PortNo,
+    /// Source MAC (worker address).
+    pub dl_src: MacAddr,
+    /// Destination MAC (worker address, broadcast or controller).
+    pub dl_dst: MacAddr,
+    /// EtherType.
+    pub ether_type: u16,
+}
+
+/// A match over [`FrameMeta`]; `None` fields are wildcards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowMatch {
+    /// Required ingress port.
+    pub in_port: Option<PortNo>,
+    /// Required source MAC.
+    pub dl_src: Option<MacAddr>,
+    /// Required destination MAC.
+    pub dl_dst: Option<MacAddr>,
+    /// Required EtherType.
+    pub ether_type: Option<u16>,
+}
+
+impl FlowMatch {
+    /// The match-everything wildcard.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Builder: require an ingress port.
+    pub fn in_port(mut self, p: PortNo) -> Self {
+        self.in_port = Some(p);
+        self
+    }
+
+    /// Builder: require a source MAC.
+    pub fn dl_src(mut self, m: MacAddr) -> Self {
+        self.dl_src = Some(m);
+        self
+    }
+
+    /// Builder: require a destination MAC.
+    pub fn dl_dst(mut self, m: MacAddr) -> Self {
+        self.dl_dst = Some(m);
+        self
+    }
+
+    /// Builder: require an EtherType.
+    pub fn ether_type(mut self, t: u16) -> Self {
+        self.ether_type = Some(t);
+        self
+    }
+
+    /// True when every non-wildcard field equals the frame's.
+    pub fn matches(&self, meta: &FrameMeta) -> bool {
+        self.in_port.map_or(true, |p| p == meta.in_port)
+            && self.dl_src.map_or(true, |m| m == meta.dl_src)
+            && self.dl_dst.map_or(true, |m| m == meta.dl_dst)
+            && self.ether_type.map_or(true, |t| t == meta.ether_type)
+    }
+
+    /// Number of concrete (non-wildcard) fields; used as a deterministic
+    /// tie-break between same-priority rules (more specific wins).
+    pub fn specificity(&self) -> u32 {
+        self.in_port.is_some() as u32
+            + self.dl_src.is_some() as u32
+            + self.dl_dst.is_some() as u32
+            + self.ether_type.is_some() as u32
+    }
+
+    /// True when `self` would match every frame `other` matches (used by
+    /// `FlowMod` delete-with-wildcards semantics).
+    pub fn subsumes(&self, other: &FlowMatch) -> bool {
+        fn field_ok<T: PartialEq>(wild: &Option<T>, specific: &Option<T>) -> bool {
+            match (wild, specific) {
+                (None, _) => true,
+                (Some(a), Some(b)) => a == b,
+                (Some(_), None) => false,
+            }
+        }
+        field_ok(&self.in_port, &other.in_port)
+            && field_ok(&self.dl_src, &other.dl_src)
+            && field_ok(&self.dl_dst, &other.dl_dst)
+            && field_ok(&self.ether_type, &other.ether_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typhoon_net::TYPHOON_ETHERTYPE;
+    use typhoon_tuple::tuple::TaskId;
+
+    fn meta() -> FrameMeta {
+        FrameMeta {
+            in_port: PortNo(3),
+            dl_src: MacAddr::worker(1, TaskId(10)),
+            dl_dst: MacAddr::worker(1, TaskId(20)),
+            ether_type: TYPHOON_ETHERTYPE,
+        }
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(FlowMatch::any().matches(&meta()));
+        assert_eq!(FlowMatch::any().specificity(), 0);
+    }
+
+    #[test]
+    fn exact_match_all_fields() {
+        let m = meta();
+        let fm = FlowMatch::any()
+            .in_port(m.in_port)
+            .dl_src(m.dl_src)
+            .dl_dst(m.dl_dst)
+            .ether_type(m.ether_type);
+        assert!(fm.matches(&m));
+        assert_eq!(fm.specificity(), 4);
+    }
+
+    #[test]
+    fn single_field_mismatch_fails() {
+        let m = meta();
+        assert!(!FlowMatch::any().in_port(PortNo(9)).matches(&m));
+        assert!(!FlowMatch::any()
+            .dl_dst(MacAddr::worker(1, TaskId(99)))
+            .matches(&m));
+        assert!(!FlowMatch::any().ether_type(0x0800).matches(&m));
+    }
+
+    #[test]
+    fn broadcast_dst_rule_matches_broadcast_frames_only() {
+        // The one-to-many rule of Table 3.
+        let rule = FlowMatch::any()
+            .dl_dst(MacAddr::BROADCAST)
+            .ether_type(TYPHOON_ETHERTYPE);
+        let mut m = meta();
+        assert!(!rule.matches(&m));
+        m.dl_dst = MacAddr::BROADCAST;
+        assert!(rule.matches(&m));
+    }
+
+    #[test]
+    fn subsumption_orders_wildcards() {
+        let wild = FlowMatch::any().in_port(PortNo(3));
+        let narrow = FlowMatch::any().in_port(PortNo(3)).ether_type(1);
+        assert!(wild.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wild));
+        assert!(FlowMatch::any().subsumes(&wild));
+        let other = FlowMatch::any().in_port(PortNo(4));
+        assert!(!wild.subsumes(&other));
+    }
+}

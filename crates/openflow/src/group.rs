@@ -1,0 +1,195 @@
+//! Group table: select-type groups with weighted buckets.
+//!
+//! The SDN load-balancer application of §4 rewrites tuple destinations "in a
+//! weighted round robin fashion (e.g., using select-type Group in OpenFlow)".
+//! A [`GroupMod`] installs a group of weighted [`Bucket`]s; the switch picks
+//! one bucket per frame via a [`WrrSelector`].
+
+use crate::action::Action;
+use crate::types::GroupId;
+
+/// One weighted alternative inside a select group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Relative selection weight (0 disables the bucket).
+    pub weight: u32,
+    /// Actions applied when this bucket is chosen (typically
+    /// `SetDlDst(worker); Output(port)`).
+    pub actions: Vec<Action>,
+}
+
+/// What a `GroupMod` does to the group table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupModCommand {
+    /// Insert a new group (error if the ID exists).
+    Add,
+    /// Replace an existing group's buckets (how the controller retunes
+    /// load-balancing weights at runtime).
+    Modify,
+    /// Remove a group.
+    Delete,
+}
+
+/// A group-table modification message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMod {
+    /// Add/modify/delete.
+    pub command: GroupModCommand,
+    /// The group to modify.
+    pub group: GroupId,
+    /// Weighted buckets (ignored for `Delete`).
+    pub buckets: Vec<Bucket>,
+}
+
+impl GroupMod {
+    /// An `Add` for a select group.
+    pub fn add(group: GroupId, buckets: Vec<Bucket>) -> Self {
+        GroupMod {
+            command: GroupModCommand::Add,
+            group,
+            buckets,
+        }
+    }
+
+    /// A `Modify` replacing the buckets.
+    pub fn modify(group: GroupId, buckets: Vec<Bucket>) -> Self {
+        GroupMod {
+            command: GroupModCommand::Modify,
+            group,
+            buckets,
+        }
+    }
+
+    /// A `Delete`.
+    pub fn delete(group: GroupId) -> Self {
+        GroupMod {
+            command: GroupModCommand::Delete,
+            group,
+            buckets: Vec::new(),
+        }
+    }
+}
+
+/// Deterministic smooth weighted round robin over bucket weights
+/// (the classic Nginx algorithm): each pick adds every weight to a running
+/// credit, selects the highest-credit bucket, then subtracts the weight
+/// total from the winner. Produces interleaved (not bursty) schedules.
+#[derive(Debug, Clone)]
+pub struct WrrSelector {
+    weights: Vec<u32>,
+    credit: Vec<i64>,
+    total: i64,
+}
+
+impl WrrSelector {
+    /// Builds a selector; zero-weight buckets are never selected.
+    pub fn new(weights: &[u32]) -> Self {
+        WrrSelector {
+            weights: weights.to_vec(),
+            credit: vec![0; weights.len()],
+            total: weights.iter().map(|&w| w as i64).sum(),
+        }
+    }
+
+    /// Replaces the weights, resetting credits (a `GroupMod::modify`).
+    pub fn set_weights(&mut self, weights: &[u32]) {
+        *self = WrrSelector::new(weights);
+    }
+
+    /// Picks the next bucket index, or `None` when all weights are zero.
+    pub fn next(&mut self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        for (i, &w) in self.weights.iter().enumerate() {
+            self.credit[i] += w as i64;
+            if w > 0 && best.map_or(true, |b| self.credit[i] > self.credit[b]) {
+                best = Some(i);
+            }
+        }
+        let chosen = best.expect("total > 0 implies a positive weight");
+        self.credit[chosen] -= self.total;
+        Some(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PortNo;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equal_weights_round_robin() {
+        let mut s = WrrSelector::new(&[1, 1, 1]);
+        let picks: Vec<_> = (0..6).map(|_| s.next().unwrap()).collect();
+        assert_eq!(&picks[..3], &[0, 1, 2]);
+        assert_eq!(&picks[3..], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn weights_respected_proportionally() {
+        let mut s = WrrSelector::new(&[3, 1]);
+        let mut counts = HashMap::new();
+        for _ in 0..400 {
+            *counts.entry(s.next().unwrap()).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts[&0], 300);
+        assert_eq!(counts[&1], 100);
+    }
+
+    #[test]
+    fn smooth_wrr_interleaves_rather_than_bursts() {
+        // 5:1 weighting must not emit five 0s in a row then a 1 forever;
+        // the smooth algorithm spreads the low-weight bucket through.
+        let mut s = WrrSelector::new(&[5, 1]);
+        let picks: Vec<_> = (0..12).map(|_| s.next().unwrap()).collect();
+        let ones: Vec<_> = picks
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == 1)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(ones.len(), 2, "two picks of bucket 1 in 12");
+        assert!(ones[1] - ones[0] >= 4, "spread out, not adjacent");
+    }
+
+    #[test]
+    fn zero_weight_bucket_never_selected() {
+        let mut s = WrrSelector::new(&[0, 2, 0]);
+        for _ in 0..10 {
+            assert_eq!(s.next(), Some(1));
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_yield_none() {
+        let mut s = WrrSelector::new(&[0, 0]);
+        assert_eq!(s.next(), None);
+        let mut empty = WrrSelector::new(&[]);
+        assert_eq!(empty.next(), None);
+    }
+
+    #[test]
+    fn set_weights_retunes_distribution() {
+        let mut s = WrrSelector::new(&[1, 1]);
+        s.set_weights(&[0, 1]);
+        assert_eq!(s.next(), Some(1));
+        assert_eq!(s.next(), Some(1));
+    }
+
+    #[test]
+    fn groupmod_builders() {
+        let b = Bucket {
+            weight: 2,
+            actions: vec![Action::Output(PortNo(1))],
+        };
+        let add = GroupMod::add(GroupId(1), vec![b.clone()]);
+        assert_eq!(add.command, GroupModCommand::Add);
+        let del = GroupMod::delete(GroupId(1));
+        assert!(del.buckets.is_empty());
+        let m = GroupMod::modify(GroupId(1), vec![b]);
+        assert_eq!(m.command, GroupModCommand::Modify);
+    }
+}

@@ -1,0 +1,142 @@
+//! The OpenFlow message set Typhoon exchanges between controller and
+//! switches.
+
+use crate::flow::FlowMod;
+use crate::group::GroupMod;
+use crate::stats::{FlowStats, PortStats};
+use crate::types::{DatapathId, PortNo};
+use bytes::Bytes;
+
+/// Why a frame was punted to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketInReason {
+    /// No rule matched the frame.
+    NoMatch,
+    /// A rule's action list contained [`crate::Action::ToController`].
+    Action,
+}
+
+/// What happened to a switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortStatusReason {
+    /// A port was attached (worker launched).
+    Add,
+    /// A port vanished — "the Typhoon SDN controller detects a dead worker
+    /// from an unexpected port removal event" (§4, Fault detector).
+    Delete,
+    /// Port state changed.
+    Modify,
+}
+
+/// One controller↔switch protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OfMessage {
+    /// Version/handshake greeting.
+    Hello,
+    /// Liveness probe.
+    EchoRequest(u64),
+    /// Liveness response echoing the probe value.
+    EchoReply(u64),
+    /// Controller asks the switch to describe itself.
+    FeaturesRequest,
+    /// Switch describes itself.
+    FeaturesReply {
+        /// The switch's datapath ID.
+        dpid: DatapathId,
+        /// Currently attached ports.
+        ports: Vec<PortNo>,
+    },
+    /// Flow-table modification.
+    FlowMod(FlowMod),
+    /// Group-table modification.
+    GroupMod(GroupMod),
+    /// Controller injects a frame into the data plane — how control tuples
+    /// reach workers (§3.4: "control tuples carried in PacketOut OpenFlow
+    /// messages").
+    PacketOut {
+        /// Port whose rules should process the frame, or
+        /// [`PortNo::CONTROLLER`] to run it through the table as if it
+        /// arrived from the controller.
+        in_port: PortNo,
+        /// The encoded Ethernet frame.
+        frame: Bytes,
+    },
+    /// Switch punts a frame to the controller — how `METRIC_RESP` control
+    /// tuples reach the controller.
+    PacketIn {
+        /// Port the frame arrived on.
+        in_port: PortNo,
+        /// Why it was punted.
+        reason: PacketInReason,
+        /// The encoded Ethernet frame.
+        frame: Bytes,
+    },
+    /// Asynchronous port event — the fault detector's trigger.
+    PortStatus {
+        /// Add/delete/modify.
+        reason: PortStatusReason,
+        /// The affected port.
+        port: PortNo,
+    },
+    /// Controller requests per-rule counters.
+    FlowStatsRequest,
+    /// Per-rule counters.
+    FlowStatsReply(Vec<FlowStats>),
+    /// Controller requests per-port counters.
+    PortStatsRequest,
+    /// Per-port counters.
+    PortStatsReply(Vec<PortStats>),
+    /// Fence: the switch answers after processing everything before it.
+    Barrier {
+        /// Correlation ID.
+        xid: u32,
+    },
+    /// Fence acknowledgement.
+    BarrierReply {
+        /// Correlation ID echoed back.
+        xid: u32,
+    },
+}
+
+impl OfMessage {
+    /// Short message-kind name for logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OfMessage::Hello => "hello",
+            OfMessage::EchoRequest(_) => "echo_request",
+            OfMessage::EchoReply(_) => "echo_reply",
+            OfMessage::FeaturesRequest => "features_request",
+            OfMessage::FeaturesReply { .. } => "features_reply",
+            OfMessage::FlowMod(_) => "flow_mod",
+            OfMessage::GroupMod(_) => "group_mod",
+            OfMessage::PacketOut { .. } => "packet_out",
+            OfMessage::PacketIn { .. } => "packet_in",
+            OfMessage::PortStatus { .. } => "port_status",
+            OfMessage::FlowStatsRequest => "flow_stats_request",
+            OfMessage::FlowStatsReply(_) => "flow_stats_reply",
+            OfMessage::PortStatsRequest => "port_stats_request",
+            OfMessage::PortStatsReply(_) => "port_stats_reply",
+            OfMessage::Barrier { .. } => "barrier",
+            OfMessage::BarrierReply { .. } => "barrier_reply",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_all_variants() {
+        assert_eq!(OfMessage::Hello.kind(), "hello");
+        assert_eq!(
+            OfMessage::PortStatus {
+                reason: PortStatusReason::Delete,
+                port: PortNo(3)
+            }
+            .kind(),
+            "port_status"
+        );
+        assert_eq!(OfMessage::Barrier { xid: 1 }.kind(), "barrier");
+    }
+}

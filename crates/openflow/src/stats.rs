@@ -1,0 +1,65 @@
+//! Flow and port statistics — the controller's cross-layer inputs.
+//!
+//! "The SDN controller can exploit cross-layer information from the network
+//! (e.g., port/flow statistics and status events)" (§4). Switches answer
+//! `PortStatsRequest`/`FlowStatsRequest` with these records.
+
+use crate::flow_match::FlowMatch;
+use crate::types::PortNo;
+
+/// Per-port counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortStats {
+    /// The port.
+    pub port: PortNo,
+    /// Frames received from the attached worker/tunnel.
+    pub rx_packets: u64,
+    /// Frames forwarded out this port.
+    pub tx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes forwarded.
+    pub tx_bytes: u64,
+    /// Frames dropped on the TX side (ring overflow).
+    pub tx_dropped: u64,
+}
+
+/// Per-rule counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowStats {
+    /// The rule's match.
+    pub matcher: FlowMatch,
+    /// The rule's priority.
+    pub priority: u16,
+    /// The rule's cookie.
+    pub cookie: u64,
+    /// Frames that hit the rule.
+    pub packets: u64,
+    /// Bytes that hit the rule.
+    pub bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zeroed() {
+        let ps = PortStats::default();
+        assert_eq!(ps.rx_packets, 0);
+        assert_eq!(ps.port, PortNo(0));
+    }
+
+    #[test]
+    fn flow_stats_carry_rule_identity() {
+        let fs = FlowStats {
+            matcher: FlowMatch::any().in_port(PortNo(2)),
+            priority: 7,
+            cookie: 9,
+            packets: 1,
+            bytes: 64,
+        };
+        assert_eq!(fs.matcher.in_port, Some(PortNo(2)));
+        assert_eq!(fs.priority, 7);
+    }
+}

@@ -1,0 +1,82 @@
+//! Core protocol identifiers.
+
+use std::fmt;
+
+/// Identifies one software switch (one per compute host in Typhoon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatapathId(pub u64);
+
+impl fmt::Display for DatapathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dpid:{:016x}", self.0)
+    }
+}
+
+/// A switch port number, with the reserved values Typhoon uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortNo(pub u32);
+
+impl PortNo {
+    /// The host's tunnel port (Table 3: "a separate tunneling port is
+    /// designated to send and receive tuples via a TCP tunnel"). Port 0 is
+    /// never allocated to workers by the schedulers.
+    pub const TUNNEL: PortNo = PortNo(0);
+
+    /// `OFPP_CONTROLLER` — packets from/to the SDN controller.
+    pub const CONTROLLER: PortNo = PortNo(0xffff_fffd);
+
+    /// `OFPP_ALL` — flood to every port except the ingress port.
+    pub const ALL: PortNo = PortNo(0xffff_fffc);
+
+    /// `OFPP_ANY` — wildcard in delete/stats requests.
+    pub const ANY: PortNo = PortNo(0xffff_ffff);
+
+    /// True for physical (worker or tunnel) ports.
+    pub fn is_physical(self) -> bool {
+        self.0 < 0xffff_ff00
+    }
+}
+
+impl fmt::Display for PortNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PortNo::CONTROLLER => write!(f, "CONTROLLER"),
+            PortNo::ALL => write!(f, "ALL"),
+            PortNo::ANY => write!(f, "ANY"),
+            PortNo::TUNNEL => write!(f, "TUNNEL"),
+            PortNo(n) => write!(f, "port{n}"),
+        }
+    }
+}
+
+/// Identifies a group-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_ports_are_not_physical() {
+        assert!(!PortNo::CONTROLLER.is_physical());
+        assert!(!PortNo::ALL.is_physical());
+        assert!(!PortNo::ANY.is_physical());
+        assert!(PortNo::TUNNEL.is_physical());
+        assert!(PortNo(5).is_physical());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PortNo::CONTROLLER.to_string(), "CONTROLLER");
+        assert_eq!(PortNo(3).to_string(), "port3");
+        assert_eq!(GroupId(2).to_string(), "group2");
+        assert_eq!(DatapathId(0xab).to_string(), "dpid:00000000000000ab");
+    }
+}

@@ -1,0 +1,680 @@
+//! Binary wire codec with length-prefixed framing.
+//!
+//! Message frame: `len:u32be body`, where `body := type:u8 fields…`.
+//! The controller↔switch channels carry these encoded bytes, so every
+//! control interaction in the reproduction exercises real protocol framing
+//! (the "Framing" discipline of the Tokio guide).
+
+use crate::action::Action;
+use crate::flow::{FlowMod, FlowModCommand};
+use crate::flow_match::FlowMatch;
+use crate::group::{Bucket, GroupMod, GroupModCommand};
+use crate::messages::{OfMessage, PacketInReason, PortStatusReason};
+use crate::stats::{FlowStats, PortStats};
+use crate::types::{DatapathId, GroupId, PortNo};
+use crate::{OfError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::time::Duration;
+use typhoon_net::MacAddr;
+
+/// Hard cap on one encoded message (a PacketOut carries at most one MTU-ish
+/// frame plus headers; 64 MiB is generous and bounds corrupt-length damage).
+pub const MAX_MESSAGE: usize = 64 * 1024 * 1024;
+
+const T_HELLO: u8 = 0;
+const T_ECHO_REQ: u8 = 1;
+const T_ECHO_REP: u8 = 2;
+const T_FEAT_REQ: u8 = 3;
+const T_FEAT_REP: u8 = 4;
+const T_FLOW_MOD: u8 = 5;
+const T_GROUP_MOD: u8 = 6;
+const T_PACKET_OUT: u8 = 7;
+const T_PACKET_IN: u8 = 8;
+const T_PORT_STATUS: u8 = 9;
+const T_FLOW_STATS_REQ: u8 = 10;
+const T_FLOW_STATS_REP: u8 = 11;
+const T_PORT_STATS_REQ: u8 = 12;
+const T_PORT_STATS_REP: u8 = 13;
+const T_BARRIER: u8 = 14;
+const T_BARRIER_REP: u8 = 15;
+
+fn put_opt_u32(buf: &mut BytesMut, v: Option<u32>) {
+    match v {
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_u32(x);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_opt_mac(buf: &mut BytesMut, v: Option<MacAddr>) {
+    match v {
+        Some(m) => {
+            buf.put_u8(1);
+            buf.put_slice(&m.0);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_opt_u16(buf: &mut BytesMut, v: Option<u16>) {
+    match v {
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_u16(x);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_match(buf: &mut BytesMut, m: &FlowMatch) {
+    put_opt_u32(buf, m.in_port.map(|p| p.0));
+    put_opt_mac(buf, m.dl_src);
+    put_opt_mac(buf, m.dl_dst);
+    put_opt_u16(buf, m.ether_type);
+}
+
+fn put_action(buf: &mut BytesMut, a: &Action) {
+    match a {
+        Action::Output(p) => {
+            buf.put_u8(0);
+            buf.put_u32(p.0);
+        }
+        Action::SetTunDst(h) => {
+            buf.put_u8(1);
+            buf.put_u32(*h);
+        }
+        Action::SetDlDst(m) => {
+            buf.put_u8(2);
+            buf.put_slice(&m.0);
+        }
+        Action::Group(g) => {
+            buf.put_u8(3);
+            buf.put_u32(g.0);
+        }
+        Action::ToController => buf.put_u8(4),
+    }
+}
+
+fn put_actions(buf: &mut BytesMut, actions: &[Action]) {
+    buf.put_u16(actions.len() as u16);
+    for a in actions {
+        put_action(buf, a);
+    }
+}
+
+/// Encodes a message, including the length prefix.
+pub fn encode(msg: &OfMessage) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    match msg {
+        OfMessage::Hello => body.put_u8(T_HELLO),
+        OfMessage::EchoRequest(v) => {
+            body.put_u8(T_ECHO_REQ);
+            body.put_u64(*v);
+        }
+        OfMessage::EchoReply(v) => {
+            body.put_u8(T_ECHO_REP);
+            body.put_u64(*v);
+        }
+        OfMessage::FeaturesRequest => body.put_u8(T_FEAT_REQ),
+        OfMessage::FeaturesReply { dpid, ports } => {
+            body.put_u8(T_FEAT_REP);
+            body.put_u64(dpid.0);
+            body.put_u32(ports.len() as u32);
+            for p in ports {
+                body.put_u32(p.0);
+            }
+        }
+        OfMessage::FlowMod(fm) => {
+            body.put_u8(T_FLOW_MOD);
+            body.put_u8(match fm.command {
+                FlowModCommand::Add => 0,
+                FlowModCommand::Modify => 1,
+                FlowModCommand::Delete => 2,
+            });
+            body.put_u16(fm.priority);
+            put_match(&mut body, &fm.matcher);
+            put_actions(&mut body, &fm.actions);
+            body.put_u64(fm.idle_timeout.as_millis() as u64);
+            body.put_u64(fm.hard_timeout.as_millis() as u64);
+            body.put_u64(fm.cookie);
+        }
+        OfMessage::GroupMod(gm) => {
+            body.put_u8(T_GROUP_MOD);
+            body.put_u8(match gm.command {
+                GroupModCommand::Add => 0,
+                GroupModCommand::Modify => 1,
+                GroupModCommand::Delete => 2,
+            });
+            body.put_u32(gm.group.0);
+            body.put_u16(gm.buckets.len() as u16);
+            for b in &gm.buckets {
+                body.put_u32(b.weight);
+                put_actions(&mut body, &b.actions);
+            }
+        }
+        OfMessage::PacketOut { in_port, frame } => {
+            body.put_u8(T_PACKET_OUT);
+            body.put_u32(in_port.0);
+            body.put_u32(frame.len() as u32);
+            body.put_slice(frame);
+        }
+        OfMessage::PacketIn {
+            in_port,
+            reason,
+            frame,
+        } => {
+            body.put_u8(T_PACKET_IN);
+            body.put_u32(in_port.0);
+            body.put_u8(match reason {
+                PacketInReason::NoMatch => 0,
+                PacketInReason::Action => 1,
+            });
+            body.put_u32(frame.len() as u32);
+            body.put_slice(frame);
+        }
+        OfMessage::PortStatus { reason, port } => {
+            body.put_u8(T_PORT_STATUS);
+            body.put_u8(match reason {
+                PortStatusReason::Add => 0,
+                PortStatusReason::Delete => 1,
+                PortStatusReason::Modify => 2,
+            });
+            body.put_u32(port.0);
+        }
+        OfMessage::FlowStatsRequest => body.put_u8(T_FLOW_STATS_REQ),
+        OfMessage::FlowStatsReply(stats) => {
+            body.put_u8(T_FLOW_STATS_REP);
+            body.put_u32(stats.len() as u32);
+            for s in stats {
+                put_match(&mut body, &s.matcher);
+                body.put_u16(s.priority);
+                body.put_u64(s.cookie);
+                body.put_u64(s.packets);
+                body.put_u64(s.bytes);
+            }
+        }
+        OfMessage::PortStatsRequest => body.put_u8(T_PORT_STATS_REQ),
+        OfMessage::PortStatsReply(stats) => {
+            body.put_u8(T_PORT_STATS_REP);
+            body.put_u32(stats.len() as u32);
+            for s in stats {
+                body.put_u32(s.port.0);
+                body.put_u64(s.rx_packets);
+                body.put_u64(s.tx_packets);
+                body.put_u64(s.rx_bytes);
+                body.put_u64(s.tx_bytes);
+                body.put_u64(s.tx_dropped);
+            }
+        }
+        OfMessage::Barrier { xid } => {
+            body.put_u8(T_BARRIER);
+            body.put_u32(*xid);
+        }
+        OfMessage::BarrierReply { xid } => {
+            body.put_u8(T_BARRIER_REP);
+            body.put_u32(*xid);
+        }
+    }
+    let mut out = BytesMut::with_capacity(4 + body.len());
+    out.put_u32(body.len() as u32);
+    out.extend_from_slice(&body);
+    out.freeze()
+}
+
+struct Cursor {
+    buf: Bytes,
+}
+
+impl Cursor {
+    fn need(&self, n: usize, what: &'static str) -> Result<()> {
+        if self.buf.len() < n {
+            Err(OfError::Truncated(what))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16> {
+        self.need(2, what)?;
+        Ok(self.buf.get_u16())
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32())
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64> {
+        self.need(8, what)?;
+        Ok(self.buf.get_u64())
+    }
+
+    fn mac(&mut self, what: &'static str) -> Result<MacAddr> {
+        self.need(6, what)?;
+        let mut m = [0u8; 6];
+        self.buf.copy_to_slice(&mut m);
+        Ok(MacAddr(m))
+    }
+
+    fn bytes(&mut self, what: &'static str) -> Result<Bytes> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_MESSAGE {
+            return Err(OfError::BadLength(len));
+        }
+        self.need(len, what)?;
+        Ok(self.buf.split_to(len))
+    }
+
+    fn opt_u32(&mut self, what: &'static str) -> Result<Option<u32>> {
+        Ok(if self.u8(what)? != 0 {
+            Some(self.u32(what)?)
+        } else {
+            None
+        })
+    }
+
+    fn opt_mac(&mut self, what: &'static str) -> Result<Option<MacAddr>> {
+        Ok(if self.u8(what)? != 0 {
+            Some(self.mac(what)?)
+        } else {
+            None
+        })
+    }
+
+    fn opt_u16(&mut self, what: &'static str) -> Result<Option<u16>> {
+        Ok(if self.u8(what)? != 0 {
+            Some(self.u16(what)?)
+        } else {
+            None
+        })
+    }
+
+    fn flow_match(&mut self) -> Result<FlowMatch> {
+        Ok(FlowMatch {
+            in_port: self.opt_u32("match.in_port")?.map(PortNo),
+            dl_src: self.opt_mac("match.dl_src")?,
+            dl_dst: self.opt_mac("match.dl_dst")?,
+            ether_type: self.opt_u16("match.ether_type")?,
+        })
+    }
+
+    fn action(&mut self) -> Result<Action> {
+        Ok(match self.u8("action tag")? {
+            0 => Action::Output(PortNo(self.u32("action.output")?)),
+            1 => Action::SetTunDst(self.u32("action.set_tun_dst")?),
+            2 => Action::SetDlDst(self.mac("action.set_dl_dst")?),
+            3 => Action::Group(GroupId(self.u32("action.group")?)),
+            4 => Action::ToController,
+            tag => return Err(OfError::BadTag { what: "action", tag }),
+        })
+    }
+
+    fn actions(&mut self) -> Result<Vec<Action>> {
+        let n = self.u16("action count")? as usize;
+        let mut out = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            out.push(self.action()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes one length-prefixed message from the front of `bytes`, returning
+/// the message and the total bytes consumed.
+pub fn decode(mut bytes: Bytes) -> Result<(OfMessage, usize)> {
+    if bytes.len() < 4 {
+        return Err(OfError::Truncated("length prefix"));
+    }
+    let len = bytes.get_u32() as usize;
+    if len > MAX_MESSAGE {
+        return Err(OfError::BadLength(len));
+    }
+    if bytes.len() < len {
+        return Err(OfError::Truncated("message body"));
+    }
+    let body = bytes.split_to(len);
+    let consumed = 4 + len;
+    let mut c = Cursor { buf: body };
+    let msg = match c.u8("message type")? {
+        T_HELLO => OfMessage::Hello,
+        T_ECHO_REQ => OfMessage::EchoRequest(c.u64("echo value")?),
+        T_ECHO_REP => OfMessage::EchoReply(c.u64("echo value")?),
+        T_FEAT_REQ => OfMessage::FeaturesRequest,
+        T_FEAT_REP => {
+            let dpid = DatapathId(c.u64("dpid")?);
+            let n = c.u32("port count")? as usize;
+            let mut ports = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                ports.push(PortNo(c.u32("port")?));
+            }
+            OfMessage::FeaturesReply { dpid, ports }
+        }
+        T_FLOW_MOD => {
+            let command = match c.u8("flow_mod command")? {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::Delete,
+                tag => {
+                    return Err(OfError::BadTag {
+                        what: "flow_mod command",
+                        tag,
+                    })
+                }
+            };
+            let priority = c.u16("priority")?;
+            let matcher = c.flow_match()?;
+            let actions = c.actions()?;
+            let idle = Duration::from_millis(c.u64("idle timeout")?);
+            let hard = Duration::from_millis(c.u64("hard timeout")?);
+            let cookie = c.u64("cookie")?;
+            OfMessage::FlowMod(FlowMod {
+                command,
+                priority,
+                matcher,
+                actions,
+                idle_timeout: idle,
+                hard_timeout: hard,
+                cookie,
+            })
+        }
+        T_GROUP_MOD => {
+            let command = match c.u8("group_mod command")? {
+                0 => GroupModCommand::Add,
+                1 => GroupModCommand::Modify,
+                2 => GroupModCommand::Delete,
+                tag => {
+                    return Err(OfError::BadTag {
+                        what: "group_mod command",
+                        tag,
+                    })
+                }
+            };
+            let group = GroupId(c.u32("group id")?);
+            let n = c.u16("bucket count")? as usize;
+            let mut buckets = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                let weight = c.u32("bucket weight")?;
+                let actions = c.actions()?;
+                buckets.push(Bucket { weight, actions });
+            }
+            OfMessage::GroupMod(GroupMod {
+                command,
+                group,
+                buckets,
+            })
+        }
+        T_PACKET_OUT => OfMessage::PacketOut {
+            in_port: PortNo(c.u32("packet_out in_port")?),
+            frame: c.bytes("packet_out frame")?,
+        },
+        T_PACKET_IN => {
+            let in_port = PortNo(c.u32("packet_in in_port")?);
+            let reason = match c.u8("packet_in reason")? {
+                0 => PacketInReason::NoMatch,
+                1 => PacketInReason::Action,
+                tag => {
+                    return Err(OfError::BadTag {
+                        what: "packet_in reason",
+                        tag,
+                    })
+                }
+            };
+            OfMessage::PacketIn {
+                in_port,
+                reason,
+                frame: c.bytes("packet_in frame")?,
+            }
+        }
+        T_PORT_STATUS => {
+            let reason = match c.u8("port_status reason")? {
+                0 => PortStatusReason::Add,
+                1 => PortStatusReason::Delete,
+                2 => PortStatusReason::Modify,
+                tag => {
+                    return Err(OfError::BadTag {
+                        what: "port_status reason",
+                        tag,
+                    })
+                }
+            };
+            OfMessage::PortStatus {
+                reason,
+                port: PortNo(c.u32("port_status port")?),
+            }
+        }
+        T_FLOW_STATS_REQ => OfMessage::FlowStatsRequest,
+        T_FLOW_STATS_REP => {
+            let n = c.u32("flow stats count")? as usize;
+            let mut stats = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let matcher = c.flow_match()?;
+                let priority = c.u16("stats priority")?;
+                let cookie = c.u64("stats cookie")?;
+                let packets = c.u64("stats packets")?;
+                let bytes_ = c.u64("stats bytes")?;
+                stats.push(FlowStats {
+                    matcher,
+                    priority,
+                    cookie,
+                    packets,
+                    bytes: bytes_,
+                });
+            }
+            OfMessage::FlowStatsReply(stats)
+        }
+        T_PORT_STATS_REQ => OfMessage::PortStatsRequest,
+        T_PORT_STATS_REP => {
+            let n = c.u32("port stats count")? as usize;
+            let mut stats = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                stats.push(PortStats {
+                    port: PortNo(c.u32("pstat port")?),
+                    rx_packets: c.u64("pstat rx_packets")?,
+                    tx_packets: c.u64("pstat tx_packets")?,
+                    rx_bytes: c.u64("pstat rx_bytes")?,
+                    tx_bytes: c.u64("pstat tx_bytes")?,
+                    tx_dropped: c.u64("pstat tx_dropped")?,
+                });
+            }
+            OfMessage::PortStatsReply(stats)
+        }
+        T_BARRIER => OfMessage::Barrier {
+            xid: c.u32("barrier xid")?,
+        },
+        T_BARRIER_REP => OfMessage::BarrierReply {
+            xid: c.u32("barrier xid")?,
+        },
+        tag => {
+            return Err(OfError::BadTag {
+                what: "message type",
+                tag,
+            })
+        }
+    };
+    Ok((msg, consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typhoon_tuple::tuple::TaskId;
+
+    fn roundtrip(msg: OfMessage) {
+        let encoded = encode(&msg);
+        let (decoded, used) = decode(encoded.clone()).unwrap();
+        assert_eq!(used, encoded.len());
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn roundtrip_simple_messages() {
+        roundtrip(OfMessage::Hello);
+        roundtrip(OfMessage::EchoRequest(42));
+        roundtrip(OfMessage::EchoReply(42));
+        roundtrip(OfMessage::FeaturesRequest);
+        roundtrip(OfMessage::FlowStatsRequest);
+        roundtrip(OfMessage::PortStatsRequest);
+        roundtrip(OfMessage::Barrier { xid: 7 });
+        roundtrip(OfMessage::BarrierReply { xid: 7 });
+    }
+
+    #[test]
+    fn roundtrip_features_reply() {
+        roundtrip(OfMessage::FeaturesReply {
+            dpid: DatapathId(0xdead_beef),
+            ports: vec![PortNo(0), PortNo(1), PortNo(2)],
+        });
+    }
+
+    #[test]
+    fn roundtrip_flow_mod_with_everything() {
+        let m = FlowMatch::any()
+            .in_port(PortNo(3))
+            .dl_src(MacAddr::worker(1, TaskId(4)))
+            .dl_dst(MacAddr::BROADCAST)
+            .ether_type(0xffff);
+        let fm = FlowMod::add(
+            100,
+            m,
+            vec![
+                Action::SetTunDst(2),
+                Action::Output(PortNo::TUNNEL),
+                Action::Group(GroupId(5)),
+                Action::SetDlDst(MacAddr::worker(1, TaskId(9))),
+                Action::ToController,
+            ],
+        )
+        .with_idle_timeout(Duration::from_millis(1500))
+        .with_hard_timeout(Duration::from_secs(30))
+        .with_cookie(0xc00c13);
+        roundtrip(OfMessage::FlowMod(fm));
+    }
+
+    #[test]
+    fn roundtrip_group_mod() {
+        roundtrip(OfMessage::GroupMod(GroupMod::add(
+            GroupId(1),
+            vec![
+                Bucket {
+                    weight: 3,
+                    actions: vec![
+                        Action::SetDlDst(MacAddr::worker(1, TaskId(1))),
+                        Action::Output(PortNo(1)),
+                    ],
+                },
+                Bucket {
+                    weight: 1,
+                    actions: vec![Action::Output(PortNo(2))],
+                },
+            ],
+        )));
+        roundtrip(OfMessage::GroupMod(GroupMod::delete(GroupId(9))));
+    }
+
+    #[test]
+    fn roundtrip_packet_out_and_in() {
+        roundtrip(OfMessage::PacketOut {
+            in_port: PortNo::CONTROLLER,
+            frame: Bytes::from(vec![1, 2, 3, 4]),
+        });
+        roundtrip(OfMessage::PacketIn {
+            in_port: PortNo(5),
+            reason: PacketInReason::Action,
+            frame: Bytes::from(vec![9; 100]),
+        });
+    }
+
+    #[test]
+    fn roundtrip_port_status_all_reasons() {
+        for reason in [
+            PortStatusReason::Add,
+            PortStatusReason::Delete,
+            PortStatusReason::Modify,
+        ] {
+            roundtrip(OfMessage::PortStatus {
+                reason,
+                port: PortNo(2),
+            });
+        }
+    }
+
+    #[test]
+    fn roundtrip_stats_replies() {
+        roundtrip(OfMessage::FlowStatsReply(vec![FlowStats {
+            matcher: FlowMatch::any().dl_dst(MacAddr::BROADCAST),
+            priority: 5,
+            cookie: 1,
+            packets: 1000,
+            bytes: 64_000,
+        }]));
+        roundtrip(OfMessage::PortStatsReply(vec![PortStats {
+            port: PortNo(1),
+            rx_packets: 10,
+            tx_packets: 20,
+            rx_bytes: 100,
+            tx_bytes: 200,
+            tx_dropped: 3,
+        }]));
+    }
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        let encoded = encode(&OfMessage::FlowMod(FlowMod::add(
+            1,
+            FlowMatch::any().in_port(PortNo(1)),
+            vec![Action::Output(PortNo(2))],
+        )));
+        for cut in 0..encoded.len() {
+            assert!(
+                decode(encoded.slice(..cut)).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_message_type_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u32(1);
+        raw.put_u8(0xee);
+        assert_eq!(
+            decode(raw.freeze()).unwrap_err(),
+            OfError::BadTag {
+                what: "message type",
+                tag: 0xee
+            }
+        );
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u32(u32::MAX);
+        raw.put_u8(0);
+        assert!(matches!(
+            decode(raw.freeze()).unwrap_err(),
+            OfError::BadLength(_)
+        ));
+    }
+
+    #[test]
+    fn back_to_back_messages_decode_sequentially() {
+        let a = encode(&OfMessage::Hello);
+        let b = encode(&OfMessage::Barrier { xid: 3 });
+        let mut joined = BytesMut::new();
+        joined.extend_from_slice(&a);
+        joined.extend_from_slice(&b);
+        let joined = joined.freeze();
+        let (m1, used1) = decode(joined.clone()).unwrap();
+        assert_eq!(m1, OfMessage::Hello);
+        let (m2, _) = decode(joined.slice(used1..)).unwrap();
+        assert_eq!(m2, OfMessage::Barrier { xid: 3 });
+    }
+}

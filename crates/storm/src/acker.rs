@@ -1,0 +1,188 @@
+//! The XOR acker ledger — Storm's guaranteed processing (§6.1).
+//!
+//! Every spout-rooted tuple tree is tracked by a single 64-bit cell: the
+//! XOR of every anchor ever created for the tree and every anchor ever
+//! acknowledged. Creating an anchor XORs it in; completing it XORs it in
+//! again (x ^ x = 0), so the cell returns to zero exactly when every tuple
+//! in the tree has been processed — regardless of order, with O(1) state
+//! per tree.
+//!
+//! Because the spout's *init* message and downstream *ack* messages race
+//! through independent channels, [`AckerLedger::apply`] accepts them in any
+//! order: a tree completes once its XOR is zero **and** its owning spout is
+//! known (only the init carries the spout identity).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use typhoon_tuple::tuple::TaskId;
+
+/// Outcome the acker reports to the owning spout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// The tree completed: every anchor was acknowledged.
+    Complete,
+    /// The tree timed out and should be replayed.
+    TimedOut,
+}
+
+#[derive(Debug)]
+struct Entry {
+    xor: u64,
+    spout: Option<TaskId>,
+    born: Instant,
+}
+
+/// The acker's ledger: root id → XOR cell.
+#[derive(Debug, Default)]
+pub struct AckerLedger {
+    entries: HashMap<u64, Entry>,
+}
+
+impl AckerLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trees currently in flight.
+    pub fn pending(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Applies one acker message. The spout's init passes
+    /// `spout = Some(task)` with the XOR of the root's initial anchors;
+    /// downstream acks pass `spout = None` with `input_anchor XOR
+    /// new_anchors`. Returns the spout to notify when the tree completes.
+    pub fn apply(
+        &mut self,
+        root: u64,
+        xor: u64,
+        spout: Option<TaskId>,
+        now: Instant,
+    ) -> Option<(TaskId, AckOutcome)> {
+        let entry = self.entries.entry(root).or_insert(Entry {
+            xor: 0,
+            spout: None,
+            born: now,
+        });
+        entry.xor ^= xor;
+        if spout.is_some() {
+            entry.spout = spout;
+        }
+        if entry.xor == 0 {
+            if let Some(owner) = entry.spout {
+                self.entries.remove(&root);
+                return Some((owner, AckOutcome::Complete));
+            }
+        }
+        None
+    }
+
+    /// Expires trees older than `timeout`, returning the spout
+    /// notifications to deliver (triggering replay). Trees whose init was
+    /// never seen expire silently (there is no spout to notify).
+    pub fn expire(&mut self, timeout: Duration, now: Instant) -> Vec<(u64, TaskId, AckOutcome)> {
+        let expired: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now.saturating_duration_since(e.born) >= timeout)
+            .map(|(&r, _)| r)
+            .collect();
+        expired
+            .into_iter()
+            .filter_map(|root| {
+                let e = self.entries.remove(&root).expect("listed above");
+                e.spout.map(|s| (root, s, AckOutcome::TimedOut))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPOUT: TaskId = TaskId(0);
+
+    #[test]
+    fn linear_chain_completes() {
+        // spout → A → B, one tuple each hop.
+        let mut l = AckerLedger::new();
+        let now = Instant::now();
+        let a0 = 0x1111;
+        assert!(l.apply(1, a0, Some(SPOUT), now).is_none());
+        // A acks its input (a0) and emits one anchored tuple (a1).
+        let a1 = 0x2222;
+        assert!(l.apply(1, a0 ^ a1, None, now).is_none());
+        // B acks a1 and emits nothing.
+        let done = l.apply(1, a1, None, now).expect("complete");
+        assert_eq!(done, (SPOUT, AckOutcome::Complete));
+        assert_eq!(l.pending(), 0);
+    }
+
+    #[test]
+    fn fanout_tree_completes_in_any_order() {
+        let mut l = AckerLedger::new();
+        let now = Instant::now();
+        let a0 = 7;
+        l.apply(1, a0, Some(SPOUT), now);
+        let (a1, a2, a3) = (11, 22, 33);
+        assert!(l.apply(1, a0 ^ a1 ^ a2 ^ a3, None, now).is_none());
+        assert!(l.apply(1, a2, None, now).is_none());
+        assert!(l.apply(1, a3, None, now).is_none());
+        assert!(l.apply(1, a1, None, now).is_some());
+    }
+
+    #[test]
+    fn init_arriving_after_downstream_acks_still_completes() {
+        // The race the channel design allows: a bolt's ack beats the init.
+        let mut l = AckerLedger::new();
+        let now = Instant::now();
+        let a0 = 0x77;
+        assert!(l.apply(1, a0, None, now).is_none(), "ack first");
+        let done = l.apply(1, a0, Some(SPOUT), now).expect("init second");
+        assert_eq!(done, (SPOUT, AckOutcome::Complete));
+    }
+
+    #[test]
+    fn zero_anchor_init_completes_immediately() {
+        let mut l = AckerLedger::new();
+        let r = l.apply(5, 0, Some(SPOUT), Instant::now());
+        assert_eq!(r, Some((SPOUT, AckOutcome::Complete)));
+        assert_eq!(l.pending(), 0);
+    }
+
+    #[test]
+    fn timeout_expires_incomplete_trees_only() {
+        let mut l = AckerLedger::new();
+        let t0 = Instant::now();
+        l.apply(1, 5, Some(SPOUT), t0);
+        l.apply(2, 6, Some(TaskId(1)), t0 + Duration::from_secs(10));
+        let expired = l.expire(Duration::from_secs(5), t0 + Duration::from_secs(11));
+        assert_eq!(expired, vec![(1, SPOUT, AckOutcome::TimedOut)]);
+        assert_eq!(l.pending(), 1);
+    }
+
+    #[test]
+    fn orphan_tree_expires_silently() {
+        // Updates arrived but the init never did (spout died): no
+        // notification target exists.
+        let mut l = AckerLedger::new();
+        let t0 = Instant::now();
+        l.apply(9, 3, None, t0);
+        let expired = l.expire(Duration::from_secs(1), t0 + Duration::from_secs(2));
+        assert!(expired.is_empty());
+        assert_eq!(l.pending(), 0);
+    }
+
+    #[test]
+    fn two_trees_are_independent() {
+        let mut l = AckerLedger::new();
+        let now = Instant::now();
+        l.apply(1, 0xa, Some(SPOUT), now);
+        l.apply(2, 0xb, Some(SPOUT), now);
+        assert!(l.apply(2, 0xb, None, now).is_some());
+        assert_eq!(l.pending(), 1);
+        assert!(l.apply(1, 0xa, None, now).is_some());
+    }
+}

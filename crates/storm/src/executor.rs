@@ -1,0 +1,593 @@
+//! Executors: the worker threads running spouts, bolts and ackers.
+//!
+//! This is where the baseline pays its application-level routing costs:
+//! the executor's send path serializes the tuple **once per destination**
+//! — so an `All`-grouped (one-to-many) emission performs N serializations
+//! and N sends, "multiple serialization computations for each data tuple"
+//! (§1). Enabling the app-level debugger adds one more serialization+send
+//! per tuple (Fig. 12's Storm curve).
+
+use crate::acker::{AckOutcome, AckerLedger};
+use crate::transport::Outbound;
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use typhoon_metrics::{RateMeter, Registry};
+use typhoon_model::{Bolt, Emitter, RouteDecision, RoutingState, Spout, TaskId};
+use typhoon_tuple::ser::{decode_tuple, encode_tuple_vec, SerStats};
+use typhoon_tuple::{MessageId, StreamId, Tuple, Value};
+
+/// The component an executor runs.
+pub enum Component {
+    /// A data source.
+    Spout(Box<dyn Spout>),
+    /// A processing node.
+    Bolt(Box<dyn Bolt>),
+    /// The system acker (guaranteed-processing bookkeeping).
+    Acker,
+}
+
+/// One outgoing edge of this executor's node.
+pub struct Route {
+    /// The stream the edge subscribes to.
+    pub stream: StreamId,
+    /// Downstream node name (for `ROUTING`-style updates in tests).
+    pub downstream: String,
+    /// The live routing state (Listing 1).
+    pub state: RoutingState,
+}
+
+/// Everything an executor thread needs.
+pub struct ExecutorCtx {
+    /// This executor's task ID.
+    pub task: TaskId,
+    /// The logical node it instantiates.
+    pub node: String,
+    /// Outgoing edges.
+    pub routes: Vec<Route>,
+    /// Connection cache to other tasks.
+    pub outbound: Outbound,
+    /// This task's inbox.
+    pub inbox: Receiver<Bytes>,
+    /// Cluster-wide serialization meter.
+    pub ser: Arc<SerStats>,
+    /// Liveness: updated every loop iteration, watched by Nimbus.
+    pub heartbeats: Arc<Mutex<HashMap<TaskId, Instant>>>,
+    /// Per-task received/emitted meter (experiment timelines).
+    pub meter: RateMeter,
+    /// Per-task metrics.
+    pub registry: Registry,
+    /// The topology's acker task (None = acking disabled).
+    pub acker: Option<TaskId>,
+    /// Max in-flight spout roots (only with acking).
+    pub max_pending: usize,
+    /// Ack timeout for replay.
+    pub ack_timeout: Duration,
+    /// Spout emission rate cap (tuples/sec; None = unlimited).
+    pub input_rate: Arc<Mutex<Option<u32>>>,
+    /// App-level debug mirror destination (Fig. 12's Storm mode).
+    pub mirror_to: Arc<Mutex<Option<TaskId>>>,
+    /// Crash the executor ("OutOfMemoryError") when the inbox exceeds this
+    /// many queued tuples (Fig. 11's overload failure mode).
+    pub mem_cap_items: Option<usize>,
+    /// Cooperative shutdown flag.
+    pub shutdown: Arc<AtomicBool>,
+
+    // ---- internal scratch ----
+    pub(crate) rng: SmallRng,
+    pub(crate) pending: HashMap<u64, Instant>,
+    pub(crate) current_root: u64,
+    pub(crate) accum_xor: u64,
+    pub(crate) rate_window_start: Instant,
+    pub(crate) rate_window_count: u32,
+    /// Per-destination transfer buffers, modelling Storm's disruptor-backed
+    /// transfer queues: sends batch up and flush on size or on the 1 ms
+    /// flush tick, exactly like the JVM implementation's flush tuple.
+    pub(crate) transfer: HashMap<TaskId, Vec<Bytes>>,
+    pub(crate) last_transfer_flush: Instant,
+}
+
+/// Storm's transfer-queue flush tick (1 ms in the JVM implementation).
+const TRANSFER_FLUSH_TICK: Duration = Duration::from_millis(1);
+/// Storm's transfer batch size.
+const TRANSFER_BATCH: usize = 100;
+
+impl ExecutorCtx {
+    fn heartbeat(&self) {
+        self.heartbeats.lock().insert(self.task, Instant::now());
+    }
+
+    /// True when the current 100 ms window still has emission budget.
+    fn rate_allows(&mut self) -> bool {
+        let cap = match *self.input_rate.lock() {
+            Some(cap) => cap,
+            None => return true,
+        };
+        let now = Instant::now();
+        if now.duration_since(self.rate_window_start) >= Duration::from_millis(100) {
+            self.rate_window_start = now;
+            self.rate_window_count = 0;
+        }
+        self.rate_window_count < cap / 10
+    }
+
+    /// Debits actual emissions from the window budget.
+    fn rate_consume(&mut self, n: u32) {
+        self.rate_window_count += n;
+    }
+
+    /// Serializes and sends one copy of `tuple` to `dst`, assigning a fresh
+    /// anchor when the emission is anchored. **This is the per-destination
+    /// serialization** the paper attributes the baseline's one-to-many
+    /// collapse to.
+    fn send_one(&mut self, dst: TaskId, tuple: &mut Tuple) {
+        if self.acker.is_some() && self.current_root != 0 {
+            let anchor = self.rng.gen::<u64>() | 1;
+            tuple.meta.message_id = MessageId {
+                root: self.current_root,
+                anchor,
+            };
+            self.accum_xor ^= anchor;
+        }
+        let blob = Bytes::from(encode_tuple_vec(tuple, &self.ser));
+        self.transfer.entry(dst).or_default().push(blob);
+        self.registry.counter("tuples.emitted").inc();
+        if self.transfer.get(&dst).map_or(0, Vec::len) >= TRANSFER_BATCH {
+            self.flush_destination(dst);
+        }
+    }
+
+    fn flush_destination(&mut self, dst: TaskId) {
+        if let Some(blobs) = self.transfer.remove(&dst) {
+            for blob in blobs {
+                if !self.outbound.send(dst, &blob) {
+                    self.registry.counter("tuples.dropped").inc();
+                }
+            }
+        }
+    }
+
+    /// Flushes every transfer buffer whose flush tick elapsed (or all, when
+    /// `force`). Mirrors Storm's periodic flush tuple.
+    pub(crate) fn flush_transfers(&mut self, force: bool) {
+        if !force && self.last_transfer_flush.elapsed() < TRANSFER_FLUSH_TICK {
+            return;
+        }
+        self.last_transfer_flush = Instant::now();
+        let dsts: Vec<TaskId> = self.transfer.keys().copied().collect();
+        for dst in dsts {
+            self.flush_destination(dst);
+        }
+    }
+
+    fn emit_tuple(&mut self, stream: StreamId, values: Vec<Value>) {
+        let mut tuple = Tuple::on_stream(self.task, stream, values);
+        let mut targets: Vec<TaskId> = Vec::new();
+        for route in &mut self.routes {
+            if route.stream != stream {
+                continue;
+            }
+            match route.state.route(&tuple) {
+                RouteDecision::One(dst) => targets.push(dst),
+                RouteDecision::Broadcast => targets.extend_from_slice(route.state.next_hops()),
+                RouteDecision::Drop => {
+                    self.registry.counter("tuples.unroutable").inc();
+                }
+            }
+        }
+        for dst in targets {
+            self.send_one(dst, &mut tuple);
+        }
+        // App-level debug mirroring: one more serialization + send.
+        let mirror = *self.mirror_to.lock();
+        if let Some(dbg) = mirror {
+            let mut copy = tuple.clone();
+            copy.meta.stream = StreamId::DEBUG_MIRROR;
+            copy.meta.message_id = MessageId::NONE;
+            let saved_root = self.current_root;
+            self.current_root = 0; // mirrors are never anchored
+            self.send_one(dbg, &mut copy);
+            self.current_root = saved_root;
+        }
+    }
+
+    fn send_acker(&mut self, root: u64, xor: u64, spout: Option<TaskId>) {
+        let acker = match self.acker {
+            Some(a) => a,
+            None => return,
+        };
+        let msg = Tuple::on_stream(
+            self.task,
+            StreamId::ACK,
+            vec![
+                Value::Int(root as i64),
+                Value::Int(xor as i64),
+                match spout {
+                    Some(s) => Value::Int(s.0 as i64),
+                    None => Value::Nil,
+                },
+            ],
+        );
+        let blob = Bytes::from(encode_tuple_vec(&msg, &self.ser));
+        self.transfer.entry(acker).or_default().push(blob);
+        if self.transfer.get(&acker).map_or(0, Vec::len) >= TRANSFER_BATCH {
+            self.flush_destination(acker);
+        }
+    }
+}
+
+impl Emitter for ExecutorCtx {
+    fn emit_on(&mut self, stream: StreamId, values: Vec<Value>) {
+        self.emit_tuple(stream, values);
+    }
+}
+
+/// Drives one executor until shutdown. Run on a dedicated thread;
+/// component panics kill the thread, which Nimbus notices via the missing
+/// heartbeat (the baseline's only failure signal).
+pub fn run(mut ctx: ExecutorCtx, component: Component) {
+    match component {
+        Component::Spout(spout) => run_spout(&mut ctx, spout),
+        Component::Bolt(bolt) => run_bolt(&mut ctx, bolt),
+        Component::Acker => run_acker(&mut ctx),
+    }
+}
+
+const DRAIN_BATCH: usize = 256;
+
+fn run_spout(ctx: &mut ExecutorCtx, mut spout: Box<dyn Spout>) {
+    spout.open();
+    while !ctx.shutdown.load(Ordering::Acquire) {
+        ctx.heartbeat();
+        let mut busy = false;
+        // Ack results from the acker.
+        for _ in 0..DRAIN_BATCH {
+            let blob = match ctx.inbox.try_recv() {
+                Ok(b) => b,
+                Err(_) => break,
+            };
+            busy = true;
+            let (tuple, _) = match decode_tuple(&blob, &ctx.ser) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            if tuple.meta.stream == StreamId::ACK_RESULT {
+                let root = tuple.get(0).and_then(Value::as_int).unwrap_or(0) as u64;
+                let ok = tuple.get(1).and_then(Value::as_bool).unwrap_or(false);
+                if let Some(born) = ctx.pending.remove(&root) {
+                    if ok {
+                        ctx.registry.counter("acks.completed").inc();
+                        ctx.registry.histogram("latency").record_duration(born.elapsed());
+                        spout.ack(root);
+                    } else {
+                        ctx.registry.counter("acks.failed").inc();
+                        spout.fail(root);
+                    }
+                }
+            }
+        }
+        // Emit when allowed.
+        let throttled = ctx.acker.is_some() && ctx.pending.len() >= ctx.max_pending;
+        if !throttled && ctx.rate_allows() {
+            let emitted = next_batch_rooted(ctx, spout.as_mut());
+            busy |= emitted;
+        }
+        ctx.flush_transfers(false);
+        if !busy {
+            ctx.flush_transfers(true);
+            ctx.outbound.flush_all();
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+/// Calls the spout once; each top-level emission becomes its own root tree
+/// when acking is on.
+fn next_batch_rooted(ctx: &mut ExecutorCtx, spout: &mut dyn Spout) -> bool {
+    // Collect emissions first so each can get its own root.
+    struct Collect(Vec<(StreamId, Vec<Value>)>);
+    impl Emitter for Collect {
+        fn emit_on(&mut self, stream: StreamId, values: Vec<Value>) {
+            self.0.push((stream, values));
+        }
+    }
+    let mut collect = Collect(Vec::new());
+    let produced = spout.next_batch(&mut collect);
+    let had_emissions = !collect.0.is_empty();
+    ctx.rate_consume(collect.0.len() as u32);
+    for (index, (stream, values)) in collect.0.into_iter().enumerate() {
+        if ctx.acker.is_some() {
+            let root = ctx.rng.gen::<u64>() | 1;
+            ctx.current_root = root;
+            ctx.accum_xor = 0;
+            ctx.emit_tuple(stream, values);
+            let xor = ctx.accum_xor;
+            let task = ctx.task;
+            ctx.send_acker(root, xor, Some(task));
+            ctx.pending.insert(root, Instant::now());
+            ctx.current_root = 0;
+            spout.emitted(index, root);
+        } else {
+            ctx.current_root = 0;
+            ctx.emit_tuple(stream, values);
+        }
+        ctx.meter.mark(1);
+    }
+    produced || had_emissions
+}
+
+fn run_bolt(ctx: &mut ExecutorCtx, mut bolt: Box<dyn Bolt>) {
+    bolt.prepare();
+    while !ctx.shutdown.load(Ordering::Acquire) {
+        ctx.heartbeat();
+        let depth = ctx.inbox.len();
+        ctx.registry.gauge("queue.depth").set(depth as i64);
+        if let Some(cap) = ctx.mem_cap_items {
+            if depth > cap {
+                // Model of the JVM worker's OutOfMemoryError under
+                // overload (Fig. 11): drop the queue and die; Nimbus will
+                // restart the worker after the heartbeat timeout.
+                while ctx.inbox.try_recv().is_ok() {}
+                ctx.registry.counter("oom.crashes").inc();
+                panic!("simulated OutOfMemoryError in {}", ctx.node);
+            }
+        }
+        let mut busy = false;
+        for _ in 0..DRAIN_BATCH {
+            let blob = match ctx.inbox.try_recv() {
+                Ok(b) => b,
+                Err(_) => break,
+            };
+            busy = true;
+            let (tuple, _) = match decode_tuple(&blob, &ctx.ser) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            if tuple.meta.stream == StreamId::CTRL_SIGNAL {
+                ctx.current_root = 0;
+                bolt.on_signal(ctx);
+                continue;
+            }
+            ctx.registry.counter("tuples.received").inc();
+            ctx.meter.mark(1);
+            let input_id = tuple.meta.message_id;
+            ctx.current_root = input_id.root;
+            ctx.accum_xor = 0;
+            bolt.execute(tuple, ctx);
+            // Auto-ack (Storm's BasicBolt discipline): input anchor XOR
+            // the anchors of everything emitted during execute.
+            if input_id.is_anchored() {
+                let xor = input_id.anchor ^ ctx.accum_xor;
+                ctx.send_acker(input_id.root, xor, None);
+            }
+            ctx.current_root = 0;
+        }
+        ctx.flush_transfers(false);
+        if !busy {
+            ctx.flush_transfers(true);
+            ctx.outbound.flush_all();
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+fn run_acker(ctx: &mut ExecutorCtx) {
+    let mut ledger = AckerLedger::new();
+    let mut last_expire = Instant::now();
+    while !ctx.shutdown.load(Ordering::Acquire) {
+        ctx.heartbeat();
+        let mut busy = false;
+        for _ in 0..DRAIN_BATCH {
+            let blob = match ctx.inbox.try_recv() {
+                Ok(b) => b,
+                Err(_) => break,
+            };
+            busy = true;
+            let (tuple, _) = match decode_tuple(&blob, &ctx.ser) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            if tuple.meta.stream != StreamId::ACK {
+                continue;
+            }
+            let root = tuple.get(0).and_then(Value::as_int).unwrap_or(0) as u64;
+            let xor = tuple.get(1).and_then(Value::as_int).unwrap_or(0) as u64;
+            let spout = tuple
+                .get(2)
+                .and_then(Value::as_int)
+                .map(|s| TaskId(s as u32));
+            if let Some((owner, outcome)) = ledger.apply(root, xor, spout, Instant::now()) {
+                notify_spout(ctx, owner, root, outcome);
+            }
+        }
+        if last_expire.elapsed() >= Duration::from_millis(100) {
+            last_expire = Instant::now();
+            for (root, owner, outcome) in ledger.expire(ctx.ack_timeout, Instant::now()) {
+                notify_spout(ctx, owner, root, outcome);
+            }
+        }
+        ctx.registry.gauge("acker.pending").set(ledger.pending() as i64);
+        ctx.flush_transfers(false);
+        if !busy {
+            ctx.flush_transfers(true);
+            ctx.outbound.flush_all();
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+fn notify_spout(ctx: &mut ExecutorCtx, spout: TaskId, root: u64, outcome: AckOutcome) {
+    let msg = Tuple::on_stream(
+        ctx.task,
+        StreamId::ACK_RESULT,
+        vec![
+            Value::Int(root as i64),
+            Value::Bool(outcome == AckOutcome::Complete),
+        ],
+    );
+    let blob = Bytes::from(encode_tuple_vec(&msg, &ctx.ser));
+    ctx.transfer.entry(spout).or_default().push(blob);
+}
+
+/// Builds a default-scratch executor context (shared by Nimbus and tests).
+#[allow(clippy::too_many_arguments)]
+pub fn make_ctx(
+    task: TaskId,
+    node: &str,
+    routes: Vec<Route>,
+    outbound: Outbound,
+    inbox: Receiver<Bytes>,
+    ser: Arc<SerStats>,
+    heartbeats: Arc<Mutex<HashMap<TaskId, Instant>>>,
+    meter: RateMeter,
+    registry: Registry,
+    acker: Option<TaskId>,
+    max_pending: usize,
+    ack_timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+) -> ExecutorCtx {
+    ExecutorCtx {
+        task,
+        node: node.to_owned(),
+        routes,
+        outbound,
+        inbox,
+        ser,
+        heartbeats,
+        meter,
+        registry,
+        acker,
+        max_pending,
+        ack_timeout,
+        input_rate: Arc::new(Mutex::new(None)),
+        mirror_to: Arc::new(Mutex::new(None)),
+        mem_cap_items: None,
+        shutdown,
+        rng: SmallRng::seed_from_u64(task.0 as u64 ^ 0x5eed),
+        pending: HashMap::new(),
+        current_root: 0,
+        accum_xor: 0,
+        rate_window_start: Instant::now(),
+        rate_window_count: 0,
+        transfer: HashMap::new(),
+        last_transfer_flush: Instant::now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Directory, Inbox};
+    use typhoon_model::Grouping;
+
+    fn harness(grouping: Grouping, hops: Vec<TaskId>) -> (ExecutorCtx, Vec<Inbox>, Arc<SerStats>) {
+        let dir = Directory::new();
+        let mut inboxes = Vec::new();
+        for &h in &hops {
+            let ib = Inbox::local();
+            dir.register(h, ib.addr.clone());
+            inboxes.push(ib);
+        }
+        let my_inbox = Inbox::local();
+        let ser = SerStats::shared();
+        let ctx = make_ctx(
+            TaskId(100),
+            "src",
+            vec![Route {
+                stream: StreamId::DEFAULT,
+                downstream: "sink".into(),
+                state: RoutingState::new(grouping, hops, vec![]),
+            }],
+            Outbound::new(dir),
+            my_inbox.rx.clone(),
+            ser.clone(),
+            Arc::new(Mutex::new(HashMap::new())),
+            RateMeter::per_second(),
+            Registry::new(),
+            None,
+            1024,
+            Duration::from_secs(30),
+            Arc::new(AtomicBool::new(false)),
+        );
+        (ctx, inboxes, ser)
+    }
+
+    #[test]
+    fn one_to_many_serializes_once_per_destination() {
+        let hops: Vec<TaskId> = (0..4).map(TaskId).collect();
+        let (mut ctx, inboxes, ser) = harness(Grouping::All, hops);
+        ctx.emit_tuple(StreamId::DEFAULT, vec![Value::Int(7)]);
+        ctx.flush_transfers(true);
+        // The headline baseline cost: 4 destinations = 4 serializations.
+        assert_eq!(ser.counts().0, 4);
+        for ib in &inboxes {
+            assert!(ib.rx.try_recv().is_ok(), "every sink got a copy");
+        }
+    }
+
+    #[test]
+    fn shuffle_serializes_once_per_tuple() {
+        let hops: Vec<TaskId> = (0..4).map(TaskId).collect();
+        let (mut ctx, _inboxes, ser) = harness(Grouping::Shuffle, hops);
+        for _ in 0..8 {
+            ctx.emit_tuple(StreamId::DEFAULT, vec![Value::Int(7)]);
+        }
+        assert_eq!(ser.counts().0, 8);
+    }
+
+    #[test]
+    fn debug_mirror_adds_a_serialization() {
+        let hops = vec![TaskId(0)];
+        let (mut ctx, _inboxes, ser) = harness(Grouping::Global, hops);
+        let dbg_inbox = Inbox::local();
+        // Register the debug worker and flip the mirror on.
+        ctx.outbound = {
+            let dir = Directory::new();
+            dir.register(TaskId(0), Inbox::local().addr.clone());
+            dir.register(TaskId(999), dbg_inbox.addr.clone());
+            Outbound::new(dir)
+        };
+        *ctx.mirror_to.lock() = Some(TaskId(999));
+        ctx.emit_tuple(StreamId::DEFAULT, vec![Value::Int(1)]);
+        ctx.flush_transfers(true);
+        assert_eq!(ser.counts().0, 2, "base send + mirror send");
+        let mirrored = dbg_inbox.rx.try_recv().unwrap();
+        let (t, _) = decode_tuple(&mirrored, &ser).unwrap();
+        assert_eq!(t.meta.stream, StreamId::DEBUG_MIRROR);
+    }
+
+    #[test]
+    fn anchored_emissions_accumulate_xor() {
+        let hops: Vec<TaskId> = (0..3).map(TaskId).collect();
+        let (mut ctx, inboxes, ser) = harness(Grouping::All, hops);
+        ctx.acker = Some(TaskId(500));
+        ctx.current_root = 42;
+        ctx.accum_xor = 0;
+        ctx.emit_tuple(StreamId::DEFAULT, vec![Value::Int(1)]);
+        ctx.flush_transfers(true);
+        // Each of the three sends got a distinct anchor; XOR of the three
+        // anchors on the wire equals the accumulated value.
+        let mut wire_xor = 0u64;
+        for ib in &inboxes {
+            let blob = ib.rx.try_recv().unwrap();
+            let (t, _) = decode_tuple(&blob, &ser).unwrap();
+            assert_eq!(t.meta.message_id.root, 42);
+            wire_xor ^= t.meta.message_id.anchor;
+        }
+        assert_eq!(wire_xor, ctx.accum_xor);
+        assert_ne!(ctx.accum_xor, 0);
+    }
+
+    #[test]
+    fn unroutable_tuples_are_counted() {
+        let (mut ctx, _inboxes, _ser) = harness(Grouping::Shuffle, vec![]);
+        ctx.emit_tuple(StreamId::DEFAULT, vec![]);
+        assert_eq!(ctx.registry.snapshot().counter("tuples.unroutable"), 1);
+    }
+}

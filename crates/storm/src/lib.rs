@@ -1,0 +1,70 @@
+//! # typhoon-storm — the Apache Storm-like baseline framework
+//!
+//! A faithful-from-scratch reimplementation of the baseline the paper
+//! compares against (§2, §5, §6): application-level routing over
+//! per-worker transport connections, with all the costs Typhoon's
+//! cross-layer design removes:
+//!
+//! * **Per-destination serialization** — one-to-many routing serializes the
+//!   tuple once *per destination* (see [`executor`]), the bottleneck behind
+//!   Fig. 9's collapsing baseline curve.
+//! * **Heartbeat-based fault detection** — workers heartbeat into the
+//!   Nimbus-like manager ([`nimbus`]); a dead worker is only noticed after
+//!   the heartbeat timeout, then restarted in place (Fig. 10(a)).
+//! * **App-level debug mirroring** — enabling the debugger adds a real
+//!   extra serialization+send per tuple (Fig. 12, Table 5).
+//! * **XOR acker** — Storm's guaranteed processing ([`acker`]): spout-rooted
+//!   tuple trees tracked with the XOR-ledger trick, replay on timeout
+//!   (Fig. 8(b)).
+//!
+//! Topology vocabulary (spouts/bolts/groupings/schedulers) is shared with
+//! Typhoon via `typhoon-model`, so the evaluation compares *transports and
+//! control planes*, not application code.
+
+#![warn(missing_docs)]
+
+pub mod acker;
+pub mod executor;
+pub mod nimbus;
+pub mod transport;
+
+pub use acker::AckerLedger;
+pub use nimbus::{StormCluster, StormConfig, TopologyHandle, TransportMode};
+
+/// Errors raised by the baseline framework.
+#[derive(Debug)]
+pub enum StormError {
+    /// Underlying topology/scheduling error.
+    Model(typhoon_model::ModelError),
+    /// Socket-level failure in TCP transport mode.
+    Io(std::io::Error),
+    /// The referenced topology is not running.
+    UnknownTopology(String),
+}
+
+impl std::fmt::Display for StormError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StormError::Model(e) => write!(f, "model error: {e}"),
+            StormError::Io(e) => write!(f, "io error: {e}"),
+            StormError::UnknownTopology(t) => write!(f, "unknown topology {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StormError {}
+
+impl From<typhoon_model::ModelError> for StormError {
+    fn from(e: typhoon_model::ModelError) -> Self {
+        StormError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for StormError {
+    fn from(e: std::io::Error) -> Self {
+        StormError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StormError>;

@@ -1,0 +1,140 @@
+//! Property tests on the XOR acker: arbitrary tuple trees, acknowledged in
+//! arbitrary interleavings, complete exactly when every anchor has been
+//! covered — and never before.
+
+use proptest::prelude::*;
+use std::time::Instant;
+use typhoon_storm::acker::{AckOutcome, AckerLedger};
+use typhoon_tuple::tuple::TaskId;
+
+/// A random tuple tree: the spout emits `fanout0` anchored copies; each
+/// node acks its input and re-emits to `children` more anchors, up to a
+/// bounded total. We materialize the tree as the list of acker updates it
+/// would generate.
+#[derive(Debug, Clone)]
+struct TreeMessages {
+    init_xor: u64,
+    /// Each downstream update: input_anchor XOR (new child anchors).
+    updates: Vec<u64>,
+}
+
+fn build_tree(shape: &[u8], mut next_anchor: u64) -> TreeMessages {
+    let mut alloc = || {
+        next_anchor = next_anchor.wrapping_mul(6364136223846793005).wrapping_add(97) | 1;
+        next_anchor
+    };
+    // Frontier of unacked anchors; each shape byte says how many children
+    // the next frontier element spawns when acked.
+    let root_fanout = (shape.first().copied().unwrap_or(1) % 3 + 1) as usize;
+    let mut init_xor = 0u64;
+    let mut frontier: Vec<u64> = Vec::new();
+    for _ in 0..root_fanout {
+        let a = alloc();
+        init_xor ^= a;
+        frontier.push(a);
+    }
+    let mut updates = Vec::new();
+    for &children in shape.iter().skip(1) {
+        let input = match frontier.pop() {
+            Some(a) => a,
+            None => break,
+        };
+        let n_children = (children % 3) as usize; // 0..=2 children
+        let mut xor = input;
+        for _ in 0..n_children {
+            let a = alloc();
+            xor ^= a;
+            frontier.push(a);
+        }
+        updates.push(xor);
+    }
+    // Leaf acks for whatever remains on the frontier.
+    for a in frontier {
+        updates.push(a);
+    }
+    TreeMessages { init_xor, updates }
+}
+
+proptest! {
+    #[test]
+    fn tree_completes_exactly_once_under_any_interleaving(
+        shape in proptest::collection::vec(any::<u8>(), 1..40),
+        order in any::<u64>(),
+        init_position in any::<usize>(),
+    ) {
+        let tree = build_tree(&shape, 0x1234_5678_9abc_def1);
+        // Shuffle updates deterministically from `order`.
+        let mut updates = tree.updates.clone();
+        let mut rng_state = order | 1;
+        for i in (1..updates.len()).rev() {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (rng_state >> 33) as usize % (i + 1);
+            updates.swap(i, j);
+        }
+        let init_at = if updates.is_empty() { 0 } else { init_position % (updates.len() + 1) };
+        let spout = TaskId(7);
+        let now = Instant::now();
+        let mut ledger = AckerLedger::new();
+        let mut completions = 0;
+        let mut seen = 0;
+        let mut init_done = false;
+        for (i, &xor) in updates.iter().enumerate() {
+            if i == init_at {
+                if let Some((owner, outcome)) = ledger.apply(1, tree.init_xor, Some(spout), now) {
+                    prop_assert_eq!(owner, spout);
+                    prop_assert_eq!(outcome, AckOutcome::Complete);
+                    completions += 1;
+                }
+                init_done = true;
+            }
+            if let Some((owner, outcome)) = ledger.apply(1, xor, None, now) {
+                prop_assert_eq!(owner, spout);
+                prop_assert_eq!(outcome, AckOutcome::Complete);
+                completions += 1;
+                // Completion may only fire once everything (incl. init) is in.
+                prop_assert!(init_done, "completed before the init arrived");
+                prop_assert_eq!(seen + 1, updates.len(), "completed early");
+            }
+            seen += 1;
+        }
+        if !init_done {
+            if let Some((owner, outcome)) = ledger.apply(1, tree.init_xor, Some(spout), now) {
+                prop_assert_eq!(owner, spout);
+                prop_assert_eq!(outcome, AckOutcome::Complete);
+                completions += 1;
+            }
+        }
+        prop_assert_eq!(completions, 1, "exactly one completion");
+        prop_assert_eq!(ledger.pending(), 0);
+    }
+
+    #[test]
+    fn dropping_any_single_update_prevents_completion(
+        shape in proptest::collection::vec(any::<u8>(), 1..30),
+        drop_idx in any::<usize>(),
+    ) {
+        let tree = build_tree(&shape, 0x0fed_cba9_8765_4321);
+        prop_assume!(!tree.updates.is_empty());
+        let drop_idx = drop_idx % tree.updates.len();
+        let spout = TaskId(3);
+        let now = Instant::now();
+        let mut ledger = AckerLedger::new();
+        prop_assert!(ledger.apply(9, tree.init_xor, Some(spout), now).is_none()
+            || tree.init_xor == 0);
+        let mut completed = false;
+        for (i, &xor) in tree.updates.iter().enumerate() {
+            if i == drop_idx {
+                continue; // a lost tuple: its ack never arrives
+            }
+            if ledger.apply(9, xor, None, now).is_some() {
+                completed = true;
+            }
+        }
+        // XOR of a non-empty subset of distinct odd anchors is nonzero with
+        // overwhelming probability; the dropped update's anchors stay
+        // uncovered, so the tree must still be pending (it would only
+        // complete via timeout → replay).
+        prop_assert!(!completed, "completed despite a lost ack");
+        prop_assert_eq!(ledger.pending(), 1);
+    }
+}

@@ -1,0 +1,759 @@
+//! The forwarding engine.
+//!
+//! One datapath thread per host polls worker ports, tunnel ingress and the
+//! controller channel, runs each frame through the flow table and executes
+//! the matched action list. Broadcast and mirror replication clone the
+//! frame, whose payload is [`bytes::Bytes`] — a refcount bump, "negligible
+//! packet copy overhead in OVS" (§6.1).
+
+use crate::group_table::GroupTable;
+use crate::port::{Ports, WorkerPort};
+use crate::table::FlowTable;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use typhoon_net::{Frame, Tunnel};
+use typhoon_openflow::{
+    wire, Action, DatapathId, FrameMeta, OfMessage, PacketInReason, PortNo, PortStatusReason,
+};
+
+/// Tunable parameters of one switch.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// This switch's datapath ID.
+    pub dpid: DatapathId,
+    /// Capacity of each port ring (frames).
+    pub ring_capacity: usize,
+    /// Max frames drained per port per poll round.
+    pub poll_budget: usize,
+    /// How often expired rules are swept.
+    pub expire_interval: Duration,
+    /// Sleep when a full round moved nothing (spin-down).
+    pub idle_sleep: Duration,
+}
+
+impl SwitchConfig {
+    /// Reasonable defaults for a host switch.
+    pub fn new(dpid: u64) -> Self {
+        SwitchConfig {
+            dpid: DatapathId(dpid),
+            ring_capacity: 8192,
+            poll_budget: 256,
+            expire_interval: Duration::from_millis(100),
+            idle_sleep: Duration::from_micros(50),
+        }
+    }
+}
+
+/// The controller's ends of one switch's control channel. Messages are
+/// encoded OpenFlow bytes in both directions.
+#[derive(Debug, Clone)]
+pub struct ControlChannel {
+    /// Controller → switch.
+    pub to_switch: Sender<Bytes>,
+    /// Switch → controller (replies and async events).
+    pub from_switch: Receiver<Bytes>,
+}
+
+struct Inner {
+    config: SwitchConfig,
+    ports: Mutex<Ports>,
+    table: Mutex<FlowTable>,
+    groups: Mutex<GroupTable>,
+    tunnels: Mutex<HashMap<u32, Box<dyn Tunnel + Send>>>,
+    ctrl_tx: Sender<Bytes>,
+    ctrl_rx: Receiver<Bytes>,
+    shutdown: AtomicBool,
+    last_expire: Mutex<Instant>,
+}
+
+/// A host's software SDN switch. Clone-able handle; the forwarding loop
+/// runs on the thread started by [`Switch::spawn`] (or is driven manually
+/// with [`Switch::process_round`] in deterministic tests).
+#[derive(Clone)]
+pub struct Switch {
+    inner: Arc<Inner>,
+}
+
+/// Join handle + shutdown for a spawned datapath thread.
+pub struct SwitchHandle {
+    switch: Switch,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Switch {
+    /// Creates a switch and the controller-side channel endpoints.
+    pub fn new(config: SwitchConfig) -> (Switch, ControlChannel) {
+        let (to_switch_tx, to_switch_rx) = bounded(65536);
+        let (from_switch_tx, from_switch_rx) = bounded(65536);
+        let switch = Switch {
+            inner: Arc::new(Inner {
+                ports: Mutex::new(Ports::new(config.ring_capacity)),
+                table: Mutex::new(FlowTable::new()),
+                groups: Mutex::new(GroupTable::new()),
+                tunnels: Mutex::new(HashMap::new()),
+                ctrl_tx: from_switch_tx,
+                ctrl_rx: to_switch_rx,
+                shutdown: AtomicBool::new(false),
+                last_expire: Mutex::new(Instant::now()),
+                config,
+            }),
+        };
+        (
+            switch,
+            ControlChannel {
+                to_switch: to_switch_tx,
+                from_switch: from_switch_rx,
+            },
+        )
+    }
+
+    /// This switch's datapath ID.
+    pub fn dpid(&self) -> DatapathId {
+        self.inner.config.dpid
+    }
+
+    /// Attaches a worker to `port` and notifies the controller with a
+    /// `PortStatus` add event (§3.2 step (iv)).
+    pub fn attach_worker(&self, port: PortNo) -> WorkerPort {
+        let wp = self.inner.ports.lock().attach(port);
+        self.send_event(OfMessage::PortStatus {
+            reason: PortStatusReason::Add,
+            port,
+        });
+        wp
+    }
+
+    /// Detaches a worker (deliberate kill) and notifies the controller.
+    pub fn detach_worker(&self, port: PortNo) {
+        if self.inner.ports.lock().detach(port) {
+            self.send_event(OfMessage::PortStatus {
+                reason: PortStatusReason::Delete,
+                port,
+            });
+        }
+    }
+
+    /// Registers the tunnel used to reach peer host `host`.
+    pub fn add_tunnel(&self, host: u32, tunnel: Box<dyn Tunnel + Send>) {
+        self.inner.tunnels.lock().insert(host, tunnel);
+    }
+
+    /// Flow-table miss count (observability).
+    pub fn miss_count(&self) -> u64 {
+        self.inner.table.lock().misses
+    }
+
+    /// Number of installed flow rules.
+    pub fn rule_count(&self) -> usize {
+        self.inner.table.lock().len()
+    }
+
+    fn send_event(&self, msg: OfMessage) {
+        // A congested/absent controller must never stall the data plane;
+        // events are best-effort like real OpenFlow async messages.
+        let _ = self.inner.ctrl_tx.try_send(wire::encode(&msg));
+    }
+
+    /// Runs one poll round: control messages, port RX, tunnel RX, expiry.
+    /// Returns `true` when any work was done (idle detection).
+    pub fn process_round(&self) -> bool {
+        let mut busy = false;
+        busy |= self.handle_control();
+        busy |= self.poll_ports();
+        busy |= self.poll_tunnels();
+        self.maybe_expire();
+        busy
+    }
+
+    fn handle_control(&self) -> bool {
+        let mut busy = false;
+        for _ in 0..self.inner.config.poll_budget {
+            let raw = match self.inner.ctrl_rx.try_recv() {
+                Ok(b) => b,
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            };
+            busy = true;
+            let msg = match wire::decode(raw) {
+                Ok((m, _)) => m,
+                Err(_) => continue, // corrupt control message: drop
+            };
+            if let Some(reply) = self.apply_control(msg) {
+                let _ = self.inner.ctrl_tx.try_send(wire::encode(&reply));
+            }
+        }
+        busy
+    }
+
+    fn apply_control(&self, msg: OfMessage) -> Option<OfMessage> {
+        match msg {
+            OfMessage::Hello => Some(OfMessage::Hello),
+            OfMessage::EchoRequest(v) => Some(OfMessage::EchoReply(v)),
+            OfMessage::FeaturesRequest => Some(OfMessage::FeaturesReply {
+                dpid: self.inner.config.dpid,
+                ports: self.inner.ports.lock().port_numbers(),
+            }),
+            OfMessage::FlowMod(fm) => {
+                self.inner.table.lock().apply(&fm, Instant::now());
+                None
+            }
+            OfMessage::GroupMod(gm) => {
+                self.inner.groups.lock().apply(&gm);
+                None
+            }
+            OfMessage::PacketOut { in_port, frame } => {
+                if let Ok(f) = Frame::decode(frame) {
+                    self.process_frame(in_port, f);
+                }
+                None
+            }
+            OfMessage::FlowStatsRequest => {
+                Some(OfMessage::FlowStatsReply(self.inner.table.lock().stats()))
+            }
+            OfMessage::PortStatsRequest => {
+                Some(OfMessage::PortStatsReply(self.inner.ports.lock().stats()))
+            }
+            OfMessage::Barrier { xid } => Some(OfMessage::BarrierReply { xid }),
+            // Replies/events never arrive on the controller→switch direction.
+            _ => None,
+        }
+    }
+
+    fn poll_ports(&self) -> bool {
+        let mut frames = Vec::new();
+        let dead = {
+            let mut ports = self.inner.ports.lock();
+            ports.poll(self.inner.config.poll_budget, &mut frames)
+        };
+        for port in dead {
+            // The fault detector's trigger: an unexpected port removal.
+            self.send_event(OfMessage::PortStatus {
+                reason: PortStatusReason::Delete,
+                port,
+            });
+        }
+        let busy = !frames.is_empty();
+        for (port, frame) in frames {
+            self.process_frame(port, frame);
+        }
+        busy
+    }
+
+    fn poll_tunnels(&self) -> bool {
+        let mut frames = Vec::new();
+        {
+            let tunnels = self.inner.tunnels.lock();
+            for tunnel in tunnels.values() {
+                let _ = tunnel.recv_batch(&mut frames, self.inner.config.poll_budget);
+            }
+        }
+        let busy = !frames.is_empty();
+        for frame in frames {
+            self.process_frame(PortNo::TUNNEL, frame);
+        }
+        busy
+    }
+
+    fn maybe_expire(&self) {
+        let now = Instant::now();
+        let mut last = self.inner.last_expire.lock();
+        if now.saturating_duration_since(*last) >= self.inner.config.expire_interval {
+            *last = now;
+            drop(last);
+            self.inner.table.lock().expire(now);
+        }
+    }
+
+    /// Runs one frame through the flow table and executes its actions.
+    pub fn process_frame(&self, in_port: PortNo, frame: Frame) {
+        let meta = FrameMeta {
+            in_port,
+            dl_src: frame.src,
+            dl_dst: frame.dst,
+            ether_type: frame.ethertype,
+        };
+        let actions = {
+            let mut table = self.inner.table.lock();
+            match table.lookup(&meta, frame.wire_len(), Instant::now()) {
+                Some(a) => a,
+                None => return, // table miss: drop (counted)
+            }
+        };
+        self.execute(&actions, in_port, frame, 0);
+    }
+
+    fn execute(&self, actions: &[Action], in_port: PortNo, mut frame: Frame, depth: u8) {
+        if depth > 4 {
+            return; // group recursion guard
+        }
+        let mut tun_dst: Option<u32> = None;
+        for action in actions {
+            match *action {
+                Action::SetDlDst(mac) => {
+                    frame.dst = mac;
+                }
+                Action::SetTunDst(host) => {
+                    tun_dst = Some(host);
+                }
+                Action::Output(PortNo::TUNNEL) => {
+                    if let Some(host) = tun_dst {
+                        let tunnels = self.inner.tunnels.lock();
+                        if let Some(t) = tunnels.get(&host) {
+                            let _ = t.send(&frame);
+                        }
+                    }
+                }
+                Action::Output(PortNo::CONTROLLER) | Action::ToController => {
+                    self.send_event(OfMessage::PacketIn {
+                        in_port,
+                        reason: PacketInReason::Action,
+                        frame: frame.encode(),
+                    });
+                }
+                Action::Output(PortNo::ALL) => {
+                    let ports: Vec<PortNo> = self
+                        .inner
+                        .ports
+                        .lock()
+                        .port_numbers()
+                        .into_iter()
+                        .filter(|&p| p != in_port)
+                        .collect();
+                    for p in ports {
+                        // Payload is shared Bytes: this clone is O(1).
+                        let _ = self.inner.ports.lock().transmit(p, frame.clone());
+                    }
+                }
+                Action::Output(p) => {
+                    let _ = self.inner.ports.lock().transmit(p, frame.clone());
+                }
+                Action::Group(g) => {
+                    // Bind first: an `if let` on the lock temporary would
+                    // hold the group-table guard across the recursive call
+                    // and deadlock on self-referential groups.
+                    let bucket_actions = self.inner.groups.lock().select(g);
+                    if let Some(bucket_actions) = bucket_actions {
+                        self.execute(&bucket_actions, in_port, frame.clone(), depth + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawns the forwarding loop on its own thread.
+    pub fn spawn(&self) -> SwitchHandle {
+        let switch = self.clone();
+        let loop_switch = self.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("datapath-{}", self.dpid()))
+            .spawn(move || {
+                while !loop_switch.inner.shutdown.load(Ordering::Acquire) {
+                    if !loop_switch.process_round() {
+                        std::thread::sleep(loop_switch.inner.config.idle_sleep);
+                    }
+                }
+            })
+            .expect("spawn datapath");
+        SwitchHandle {
+            switch,
+            thread: Some(thread),
+        }
+    }
+
+    /// Requests the forwarding loop to stop.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for Switch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Switch({}, rules={}, misses={})",
+            self.dpid(),
+            self.rule_count(),
+            self.miss_count()
+        )
+    }
+}
+
+impl SwitchHandle {
+    /// The underlying switch handle.
+    pub fn switch(&self) -> &Switch {
+        &self.switch
+    }
+
+    /// Stops the loop and joins the thread.
+    pub fn stop(mut self) {
+        self.switch.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SwitchHandle {
+    fn drop(&mut self) {
+        self.switch.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typhoon_net::{InMemoryTunnel, MacAddr, TYPHOON_ETHERTYPE};
+    use typhoon_openflow::{FlowMatch, FlowMod};
+    use typhoon_tuple::tuple::TaskId;
+
+    fn w(task: u32) -> MacAddr {
+        MacAddr::worker(1, TaskId(task))
+    }
+
+    fn data_frame(src: u32, dst: MacAddr, n: u8) -> Frame {
+        Frame::typhoon(w(src), dst, Bytes::from(vec![n; 32]))
+    }
+
+    fn send_ctrl(ch: &ControlChannel, msg: OfMessage) {
+        ch.to_switch.send(wire::encode(&msg)).unwrap();
+    }
+
+    fn drain_events(ch: &ControlChannel) -> Vec<OfMessage> {
+        ch.from_switch
+            .try_iter()
+            .map(|b| wire::decode(b).unwrap().0)
+            .collect()
+    }
+
+    /// Installs the Table 3 "local transfer" rule.
+    fn local_rule(src: u32, src_port: u32, dst: u32, dst_port: u32) -> OfMessage {
+        OfMessage::FlowMod(FlowMod::add(
+            10,
+            FlowMatch::any()
+                .in_port(PortNo(src_port))
+                .dl_src(w(src))
+                .dl_dst(w(dst))
+                .ether_type(TYPHOON_ETHERTYPE),
+            vec![Action::Output(PortNo(dst_port))],
+        ))
+    }
+
+    #[test]
+    fn local_transfer_follows_table3_rule() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        send_ctrl(&ch, local_rule(10, 1, 20, 2));
+        sw.process_round(); // control
+        wp1.tx.push(data_frame(10, w(20), 0xaa)).unwrap();
+        sw.process_round(); // forward
+        let got = wp2.rx.pop().unwrap().expect("delivered");
+        assert_eq!(got.payload[0], 0xaa);
+        assert_eq!(got.dst, w(20));
+        assert_eq!(sw.miss_count(), 0);
+    }
+
+    #[test]
+    fn table_miss_drops_and_counts() {
+        let (sw, _ch) = Switch::new(SwitchConfig::new(1));
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        wp1.tx.push(data_frame(10, w(20), 1)).unwrap();
+        sw.process_round();
+        assert!(wp2.rx.pop().unwrap().is_none());
+        assert_eq!(sw.miss_count(), 1);
+    }
+
+    #[test]
+    fn broadcast_replicates_without_copying_payload() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let src = sw.attach_worker(PortNo(1));
+        let sinks: Vec<WorkerPort> = (2..=5).map(|p| sw.attach_worker(PortNo(p))).collect();
+        // Table 3 one-to-many rule: broadcast dst → all sink ports.
+        send_ctrl(
+            &ch,
+            OfMessage::FlowMod(FlowMod::add(
+                10,
+                FlowMatch::any()
+                    .in_port(PortNo(1))
+                    .dl_dst(MacAddr::BROADCAST)
+                    .ether_type(TYPHOON_ETHERTYPE),
+                (2..=5).map(|p| Action::Output(PortNo(p))).collect(),
+            )),
+        );
+        sw.process_round();
+        let frame = data_frame(10, MacAddr::BROADCAST, 0xbb);
+        let payload_ptr = frame.payload.as_ptr();
+        src.tx.push(frame).unwrap();
+        sw.process_round();
+        for sink in &sinks {
+            let got = sink.rx.pop().unwrap().expect("replica delivered");
+            assert_eq!(got.payload.as_ptr(), payload_ptr, "shared payload");
+        }
+    }
+
+    #[test]
+    fn remote_transfer_via_tunnel_pair() {
+        // Two hosts: sender switch 1, receiver switch 2, joined by a tunnel.
+        let (sw1, ch1) = Switch::new(SwitchConfig::new(1));
+        let (sw2, ch2) = Switch::new(SwitchConfig::new(2));
+        let (t1, t2) = InMemoryTunnel::pair();
+        sw1.add_tunnel(2, Box::new(t1));
+        sw2.add_tunnel(1, Box::new(t2));
+        let src = sw1.attach_worker(PortNo(1));
+        let dst = sw2.attach_worker(PortNo(1));
+        // Table 3 remote transfer (sender).
+        send_ctrl(
+            &ch1,
+            OfMessage::FlowMod(FlowMod::add(
+                10,
+                FlowMatch::any()
+                    .in_port(PortNo(1))
+                    .dl_src(w(10))
+                    .dl_dst(w(20))
+                    .ether_type(TYPHOON_ETHERTYPE),
+                vec![Action::SetTunDst(2), Action::Output(PortNo::TUNNEL)],
+            )),
+        );
+        // Table 3 remote transfer (receiver).
+        send_ctrl(
+            &ch2,
+            OfMessage::FlowMod(FlowMod::add(
+                10,
+                FlowMatch::any()
+                    .in_port(PortNo::TUNNEL)
+                    .dl_src(w(10))
+                    .dl_dst(w(20)),
+                vec![Action::Output(PortNo(1))],
+            )),
+        );
+        sw1.process_round();
+        sw2.process_round();
+        src.tx.push(data_frame(10, w(20), 0xcc)).unwrap();
+        sw1.process_round(); // sender forwards into tunnel
+        sw2.process_round(); // receiver drains tunnel
+        let got = dst.rx.pop().unwrap().expect("crossed hosts");
+        assert_eq!(got.payload[0], 0xcc);
+    }
+
+    #[test]
+    fn packet_out_delivers_control_tuple_to_workers() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let wp = sw.attach_worker(PortNo(3));
+        // Table 3: controller→workers rule.
+        send_ctrl(
+            &ch,
+            OfMessage::FlowMod(FlowMod::add(
+                20,
+                FlowMatch::any()
+                    .in_port(PortNo::CONTROLLER)
+                    .dl_dst(MacAddr::BROADCAST)
+                    .ether_type(TYPHOON_ETHERTYPE),
+                vec![Action::Output(PortNo(3))],
+            )),
+        );
+        let ctrl_frame = Frame::typhoon(
+            MacAddr::CONTROLLER,
+            MacAddr::BROADCAST,
+            Bytes::from_static(b"routing-update"),
+        );
+        send_ctrl(
+            &ch,
+            OfMessage::PacketOut {
+                in_port: PortNo::CONTROLLER,
+                frame: ctrl_frame.encode(),
+            },
+        );
+        sw.process_round();
+        let got = wp.rx.pop().unwrap().expect("control tuple delivered");
+        assert_eq!(&got.payload[..], b"routing-update");
+    }
+
+    #[test]
+    fn to_controller_action_produces_packet_in() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let wp = sw.attach_worker(PortNo(1));
+        send_ctrl(
+            &ch,
+            OfMessage::FlowMod(FlowMod::add(
+                20,
+                FlowMatch::any().dl_dst(MacAddr::CONTROLLER),
+                vec![Action::ToController],
+            )),
+        );
+        sw.process_round();
+        let _ = drain_events(&ch); // discard the PortStatus add
+        wp.tx
+            .push(data_frame(10, MacAddr::CONTROLLER, 0xdd))
+            .unwrap();
+        sw.process_round();
+        let events = drain_events(&ch);
+        match &events[..] {
+            [OfMessage::PacketIn {
+                in_port,
+                reason,
+                frame,
+            }] => {
+                assert_eq!(*in_port, PortNo(1));
+                assert_eq!(*reason, PacketInReason::Action);
+                let decoded = Frame::decode(frame.clone()).unwrap();
+                assert_eq!(decoded.payload[0], 0xdd);
+            }
+            other => panic!("expected one PacketIn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_worker_triggers_port_status_delete() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let wp = sw.attach_worker(PortNo(4));
+        let _ = drain_events(&ch);
+        drop(wp); // worker dies
+        sw.process_round();
+        let events = drain_events(&ch);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                OfMessage::PortStatus {
+                    reason: PortStatusReason::Delete,
+                    port
+                } if *port == PortNo(4)
+            )),
+            "got {events:?}"
+        );
+    }
+
+    #[test]
+    fn group_action_rewrites_destination_with_wrr() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let src = sw.attach_worker(PortNo(1));
+        let s1 = sw.attach_worker(PortNo(2));
+        let s2 = sw.attach_worker(PortNo(3));
+        use typhoon_openflow::{Bucket, GroupId, GroupMod};
+        send_ctrl(
+            &ch,
+            OfMessage::GroupMod(GroupMod::add(
+                GroupId(1),
+                vec![
+                    Bucket {
+                        weight: 1,
+                        actions: vec![Action::SetDlDst(w(21)), Action::Output(PortNo(2))],
+                    },
+                    Bucket {
+                        weight: 1,
+                        actions: vec![Action::SetDlDst(w(22)), Action::Output(PortNo(3))],
+                    },
+                ],
+            )),
+        );
+        send_ctrl(
+            &ch,
+            OfMessage::FlowMod(FlowMod::add(
+                10,
+                FlowMatch::any().in_port(PortNo(1)),
+                vec![Action::Group(GroupId(1))],
+            )),
+        );
+        sw.process_round();
+        for i in 0..4u8 {
+            src.tx.push(data_frame(10, w(99), i)).unwrap();
+        }
+        sw.process_round();
+        let mut to1 = Vec::new();
+        let mut to2 = Vec::new();
+        while let Ok(Some(f)) = s1.rx.pop() {
+            assert_eq!(f.dst, w(21), "group rewrote destination");
+            to1.push(f);
+        }
+        while let Ok(Some(f)) = s2.rx.pop() {
+            assert_eq!(f.dst, w(22));
+            to2.push(f);
+        }
+        assert_eq!(to1.len(), 2);
+        assert_eq!(to2.len(), 2);
+    }
+
+    #[test]
+    fn echo_features_and_barrier_replies() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(0x42));
+        sw.attach_worker(PortNo(1));
+        let _ = drain_events(&ch);
+        send_ctrl(&ch, OfMessage::EchoRequest(5));
+        send_ctrl(&ch, OfMessage::FeaturesRequest);
+        send_ctrl(&ch, OfMessage::Barrier { xid: 9 });
+        sw.process_round();
+        let replies = drain_events(&ch);
+        assert_eq!(replies[0], OfMessage::EchoReply(5));
+        match &replies[1] {
+            OfMessage::FeaturesReply { dpid, ports } => {
+                assert_eq!(*dpid, DatapathId(0x42));
+                assert_eq!(ports, &vec![PortNo(1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(replies[2], OfMessage::BarrierReply { xid: 9 });
+    }
+
+    #[test]
+    fn stats_requests_report_traffic() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        send_ctrl(&ch, local_rule(10, 1, 20, 2));
+        sw.process_round();
+        let _ = drain_events(&ch);
+        for i in 0..5u8 {
+            wp1.tx.push(data_frame(10, w(20), i)).unwrap();
+        }
+        sw.process_round();
+        send_ctrl(&ch, OfMessage::FlowStatsRequest);
+        send_ctrl(&ch, OfMessage::PortStatsRequest);
+        sw.process_round();
+        let replies = drain_events(&ch);
+        match &replies[0] {
+            OfMessage::FlowStatsReply(stats) => {
+                assert_eq!(stats.len(), 1);
+                assert_eq!(stats[0].packets, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &replies[1] {
+            OfMessage::PortStatsReply(stats) => {
+                let p1 = stats.iter().find(|s| s.port == PortNo(1)).unwrap();
+                assert_eq!(p1.rx_packets, 5);
+                let p2 = stats.iter().find(|s| s.port == PortNo(2)).unwrap();
+                assert_eq!(p2.tx_packets, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = wp2;
+    }
+
+    #[test]
+    fn spawned_datapath_forwards_in_background() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        send_ctrl(&ch, local_rule(10, 1, 20, 2));
+        let handle = sw.spawn();
+        wp1.tx.push(data_frame(10, w(20), 0x55)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let got = loop {
+            if let Some(f) = wp2.rx.pop().unwrap() {
+                break f;
+            }
+            assert!(Instant::now() < deadline, "frame never delivered");
+            std::thread::sleep(Duration::from_micros(100));
+        };
+        assert_eq!(got.payload[0], 0x55);
+        handle.stop();
+    }
+}

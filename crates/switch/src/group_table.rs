@@ -1,0 +1,162 @@
+//! The group table: select groups with weighted round robin.
+
+use std::collections::HashMap;
+use typhoon_openflow::{Action, Bucket, GroupId, GroupMod, GroupModCommand, WrrSelector};
+
+struct GroupEntry {
+    buckets: Vec<Bucket>,
+    selector: WrrSelector,
+    /// Times a frame was steered through this group.
+    hits: u64,
+}
+
+/// The switch's group table.
+#[derive(Default)]
+pub struct GroupTable {
+    groups: HashMap<GroupId, GroupEntry>,
+}
+
+impl GroupTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a `GroupMod`. `Add` of an existing ID and `Modify` of a
+    /// missing ID both behave as upserts (lenient, like OVS with
+    /// `--may-exist`).
+    pub fn apply(&mut self, gm: &GroupMod) {
+        match gm.command {
+            GroupModCommand::Add | GroupModCommand::Modify => {
+                let weights: Vec<u32> = gm.buckets.iter().map(|b| b.weight).collect();
+                self.groups.insert(
+                    gm.group,
+                    GroupEntry {
+                        buckets: gm.buckets.clone(),
+                        selector: WrrSelector::new(&weights),
+                        hits: 0,
+                    },
+                );
+            }
+            GroupModCommand::Delete => {
+                self.groups.remove(&gm.group);
+            }
+        }
+    }
+
+    /// Selects a bucket for the next frame through `group`, returning its
+    /// action list. `None` when the group is missing or fully zero-weighted
+    /// (the frame is dropped, as OVS does for empty select groups).
+    pub fn select(&mut self, group: GroupId) -> Option<Vec<Action>> {
+        let entry = self.groups.get_mut(&group)?;
+        let idx = entry.selector.next()?;
+        entry.hits += 1;
+        Some(entry.buckets[idx].actions.clone())
+    }
+
+    /// Number of installed groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no groups are installed.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Hit count of one group (observability).
+    pub fn hits(&self, group: GroupId) -> u64 {
+        self.groups.get(&group).map_or(0, |g| g.hits)
+    }
+}
+
+impl std::fmt::Debug for GroupTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GroupTable({} groups)", self.groups.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typhoon_net::MacAddr;
+    use typhoon_openflow::PortNo;
+    use typhoon_tuple::tuple::TaskId;
+
+    fn bucket(task: u32, port: u32, weight: u32) -> Bucket {
+        Bucket {
+            weight,
+            actions: vec![
+                Action::SetDlDst(MacAddr::worker(1, TaskId(task))),
+                Action::Output(PortNo(port)),
+            ],
+        }
+    }
+
+    #[test]
+    fn select_rotates_with_weights() {
+        let mut gt = GroupTable::new();
+        gt.apply(&GroupMod::add(
+            GroupId(1),
+            vec![bucket(1, 1, 2), bucket(2, 2, 1)],
+        ));
+        let mut to_task1 = 0;
+        let mut to_task2 = 0;
+        for _ in 0..300 {
+            let actions = gt.select(GroupId(1)).unwrap();
+            match actions[0] {
+                Action::SetDlDst(m) if m == MacAddr::worker(1, TaskId(1)) => to_task1 += 1,
+                Action::SetDlDst(m) if m == MacAddr::worker(1, TaskId(2)) => to_task2 += 1,
+                ref other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(to_task1, 200);
+        assert_eq!(to_task2, 100);
+        assert_eq!(gt.hits(GroupId(1)), 300);
+    }
+
+    #[test]
+    fn missing_group_yields_none() {
+        let mut gt = GroupTable::new();
+        assert!(gt.select(GroupId(9)).is_none());
+        assert_eq!(gt.hits(GroupId(9)), 0);
+    }
+
+    #[test]
+    fn modify_retunes_weights() {
+        let mut gt = GroupTable::new();
+        gt.apply(&GroupMod::add(
+            GroupId(1),
+            vec![bucket(1, 1, 1), bucket(2, 2, 1)],
+        ));
+        // The controller observes a straggler and moves all weight to task 2.
+        gt.apply(&GroupMod::modify(
+            GroupId(1),
+            vec![bucket(1, 1, 0), bucket(2, 2, 1)],
+        ));
+        for _ in 0..10 {
+            let actions = gt.select(GroupId(1)).unwrap();
+            assert_eq!(
+                actions[0],
+                Action::SetDlDst(MacAddr::worker(1, TaskId(2)))
+            );
+        }
+    }
+
+    #[test]
+    fn delete_removes_group() {
+        let mut gt = GroupTable::new();
+        gt.apply(&GroupMod::add(GroupId(1), vec![bucket(1, 1, 1)]));
+        assert_eq!(gt.len(), 1);
+        gt.apply(&GroupMod::delete(GroupId(1)));
+        assert!(gt.is_empty());
+        assert!(gt.select(GroupId(1)).is_none());
+    }
+
+    #[test]
+    fn all_zero_weights_drop() {
+        let mut gt = GroupTable::new();
+        gt.apply(&GroupMod::add(GroupId(1), vec![bucket(1, 1, 0)]));
+        assert!(gt.select(GroupId(1)).is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! The port registry: worker ports backed by DPDK-style rings.
+//!
+//! Launching a worker "attaches it to the SDN switch" (§3.2 step (iv)) by
+//! creating a pair of rings; killing a worker (or the worker dying) closes
+//! the rings, which the datapath notices and reports as a `PortStatus`
+//! delete — the "unexpected port removal event" the fault detector uses.
+
+use std::collections::BTreeMap;
+use typhoon_net::{ring, Frame, NetError, RingConsumer, RingProducer};
+use typhoon_openflow::{PortNo, PortStats};
+
+/// The worker-side endpoints of an attached port.
+#[derive(Debug)]
+pub struct WorkerPort {
+    /// The port number the scheduler assigned.
+    pub port: PortNo,
+    /// Worker → switch ring.
+    pub tx: RingProducer,
+    /// Switch → worker ring.
+    pub rx: RingConsumer,
+}
+
+/// The switch-side state of one attached port.
+pub(crate) struct PortEntry {
+    /// Switch → worker ring (we produce).
+    pub(crate) to_worker: RingProducer,
+    /// Worker → switch ring (we consume).
+    pub(crate) from_worker: RingConsumer,
+    pub(crate) stats: PortStats,
+}
+
+/// The registry of attached ports.
+pub(crate) struct Ports {
+    pub(crate) entries: BTreeMap<PortNo, PortEntry>,
+    ring_capacity: usize,
+}
+
+impl Ports {
+    pub(crate) fn new(ring_capacity: usize) -> Self {
+        Ports {
+            entries: BTreeMap::new(),
+            ring_capacity,
+        }
+    }
+
+    /// Attaches a worker to `port`, returning the worker-side endpoints.
+    /// Re-attaching an occupied port replaces the old (dead) entry.
+    pub(crate) fn attach(&mut self, port: PortNo) -> WorkerPort {
+        assert!(port.is_physical(), "cannot attach to reserved port {port}");
+        let (to_worker_tx, to_worker_rx) = ring(self.ring_capacity);
+        let (from_worker_tx, from_worker_rx) = ring(self.ring_capacity);
+        self.entries.insert(
+            port,
+            PortEntry {
+                to_worker: to_worker_tx,
+                from_worker: from_worker_rx,
+                stats: PortStats {
+                    port,
+                    ..PortStats::default()
+                },
+            },
+        );
+        WorkerPort {
+            port,
+            tx: from_worker_tx,
+            rx: to_worker_rx,
+        }
+    }
+
+    /// Detaches a port (worker kill), closing its rings.
+    pub(crate) fn detach(&mut self, port: PortNo) -> bool {
+        self.entries.remove(&port).is_some()
+    }
+
+    /// Sends a frame out `port`, updating TX stats. Overflow counts as a
+    /// TX drop (§8's switch-level loss); a closed ring means the worker
+    /// died and is reported to the caller.
+    pub(crate) fn transmit(&mut self, port: PortNo, frame: Frame) -> Result<(), NetError> {
+        let entry = match self.entries.get_mut(&port) {
+            Some(e) => e,
+            None => return Err(NetError::Disconnected),
+        };
+        let len = frame.wire_len() as u64;
+        match entry.to_worker.push(frame) {
+            Ok(()) => {
+                entry.stats.tx_packets += 1;
+                entry.stats.tx_bytes += len;
+                Ok(())
+            }
+            Err(NetError::RingFull) => {
+                entry.stats.tx_dropped += 1;
+                Err(NetError::RingFull)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Polls every port for received frames (up to `per_port` each),
+    /// collecting `(port, frame)` pairs. Ports whose worker died are
+    /// returned separately for `PortStatus` reporting.
+    pub(crate) fn poll(
+        &mut self,
+        per_port: usize,
+        out: &mut Vec<(PortNo, Frame)>,
+    ) -> Vec<PortNo> {
+        let mut dead = Vec::new();
+        for (&port, entry) in self.entries.iter_mut() {
+            for _ in 0..per_port {
+                match entry.from_worker.pop() {
+                    Ok(Some(frame)) => {
+                        entry.stats.rx_packets += 1;
+                        entry.stats.rx_bytes += frame.wire_len() as u64;
+                        out.push((port, frame));
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        dead.push(port);
+                        break;
+                    }
+                }
+            }
+        }
+        for &port in &dead {
+            self.entries.remove(&port);
+        }
+        dead
+    }
+
+    /// Current port statistics.
+    pub(crate) fn stats(&self) -> Vec<PortStats> {
+        self.entries.values().map(|e| e.stats).collect()
+    }
+
+    /// Attached port numbers.
+    pub(crate) fn port_numbers(&self) -> Vec<PortNo> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use typhoon_net::MacAddr;
+    use typhoon_tuple::tuple::TaskId;
+
+    fn frame(n: u8) -> Frame {
+        Frame::typhoon(
+            MacAddr::worker(0, TaskId(0)),
+            MacAddr::worker(0, TaskId(1)),
+            Bytes::from(vec![n; 4]),
+        )
+    }
+
+    #[test]
+    fn attach_transmit_receive() {
+        let mut ports = Ports::new(16);
+        let wp = ports.attach(PortNo(1));
+        ports.transmit(PortNo(1), frame(7)).unwrap();
+        let got = wp.rx.pop().unwrap().unwrap();
+        assert_eq!(got.payload[0], 7);
+        let stats = ports.stats();
+        assert_eq!(stats[0].tx_packets, 1);
+    }
+
+    #[test]
+    fn worker_to_switch_direction_polls() {
+        let mut ports = Ports::new(16);
+        let wp = ports.attach(PortNo(2));
+        wp.tx.push(frame(9)).unwrap();
+        let mut out = Vec::new();
+        let dead = ports.poll(8, &mut out);
+        assert!(dead.is_empty());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, PortNo(2));
+        assert_eq!(ports.stats()[0].rx_packets, 1);
+    }
+
+    #[test]
+    fn dead_worker_detected_on_poll() {
+        let mut ports = Ports::new(16);
+        let wp = ports.attach(PortNo(3));
+        drop(wp); // the worker dies, dropping its ring endpoints
+        let mut out = Vec::new();
+        let dead = ports.poll(8, &mut out);
+        assert_eq!(dead, vec![PortNo(3)]);
+        assert!(ports.entries.is_empty(), "dead port removed");
+    }
+
+    #[test]
+    fn transmit_to_missing_port_is_disconnected() {
+        let mut ports = Ports::new(4);
+        assert!(matches!(
+            ports.transmit(PortNo(9), frame(0)),
+            Err(NetError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn overflow_counts_tx_drop() {
+        let mut ports = Ports::new(1);
+        let _wp = ports.attach(PortNo(1));
+        ports.transmit(PortNo(1), frame(1)).unwrap();
+        assert!(matches!(
+            ports.transmit(PortNo(1), frame(2)),
+            Err(NetError::RingFull)
+        ));
+        assert_eq!(ports.stats()[0].tx_dropped, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved port")]
+    fn reserved_ports_cannot_be_attached() {
+        let mut ports = Ports::new(4);
+        let _ = ports.attach(PortNo::CONTROLLER);
+    }
+
+    #[test]
+    fn per_port_poll_budget_is_respected() {
+        let mut ports = Ports::new(64);
+        let wp = ports.attach(PortNo(1));
+        for i in 0..10 {
+            wp.tx.push(frame(i)).unwrap();
+        }
+        let mut out = Vec::new();
+        ports.poll(4, &mut out);
+        assert_eq!(out.len(), 4, "budget caps one poll round");
+    }
+}

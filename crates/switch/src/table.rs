@@ -1,0 +1,370 @@
+//! The flow table.
+
+use std::time::{Duration, Instant};
+use typhoon_openflow::{Action, FlowMatch, FlowMod, FlowModCommand, FlowStats, FrameMeta};
+
+/// One installed rule plus its counters and timeout bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    /// Rule priority (higher wins).
+    pub priority: u16,
+    /// The match.
+    pub matcher: FlowMatch,
+    /// Actions applied on hit.
+    pub actions: Vec<Action>,
+    /// Evict after this long without a hit (ZERO = never).
+    pub idle_timeout: Duration,
+    /// Evict after this long since installation (ZERO = never).
+    pub hard_timeout: Duration,
+    /// Controller-chosen correlation value.
+    pub cookie: u64,
+    /// Frames that hit this rule.
+    pub packets: u64,
+    /// Bytes that hit this rule.
+    pub bytes: u64,
+    installed: Instant,
+    last_hit: Instant,
+}
+
+impl FlowEntry {
+    fn from_mod(fm: &FlowMod, now: Instant) -> Self {
+        FlowEntry {
+            priority: fm.priority,
+            matcher: fm.matcher,
+            actions: fm.actions.clone(),
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            cookie: fm.cookie,
+            packets: 0,
+            bytes: 0,
+            installed: now,
+            last_hit: now,
+        }
+    }
+
+    fn is_expired(&self, now: Instant) -> bool {
+        (!self.idle_timeout.is_zero()
+            && now.saturating_duration_since(self.last_hit) >= self.idle_timeout)
+            || (!self.hard_timeout.is_zero()
+                && now.saturating_duration_since(self.installed) >= self.hard_timeout)
+    }
+}
+
+/// A priority-ordered flow table.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    /// Frames that matched no rule (dropped), for observability.
+    pub misses: u64,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Applies a `FlowMod` (§3.4). `Add` replaces a rule with an identical
+    /// match and priority; `Modify` rewrites actions of every rule the match
+    /// subsumes; `Delete` removes every rule the match subsumes.
+    pub fn apply(&mut self, fm: &FlowMod, now: Instant) {
+        match fm.command {
+            FlowModCommand::Add => {
+                if let Some(existing) = self
+                    .entries
+                    .iter_mut()
+                    .find(|e| e.matcher == fm.matcher && e.priority == fm.priority)
+                {
+                    *existing = FlowEntry::from_mod(fm, now);
+                } else {
+                    self.entries.push(FlowEntry::from_mod(fm, now));
+                    // Keep highest (priority, specificity) first so lookup
+                    // is a linear scan with first-hit-wins.
+                    self.entries.sort_by(|a, b| {
+                        (b.priority, b.matcher.specificity())
+                            .cmp(&(a.priority, a.matcher.specificity()))
+                    });
+                }
+            }
+            FlowModCommand::Modify => {
+                for e in self
+                    .entries
+                    .iter_mut()
+                    .filter(|e| fm.matcher.subsumes(&e.matcher))
+                {
+                    e.actions = fm.actions.clone();
+                }
+            }
+            FlowModCommand::Delete => {
+                // Priority 0 deletes by subsumption alone; a non-zero
+                // priority makes the delete strict (OFPFC_DELETE_STRICT),
+                // which lets the live debugger remove its mirror rules
+                // without touching the identically-matched base rules.
+                self.entries.retain(|e| {
+                    !(fm.matcher.subsumes(&e.matcher)
+                        && (fm.priority == 0 || fm.priority == e.priority))
+                });
+            }
+        }
+    }
+
+    /// Looks up the best rule for a frame, updating hit counters. Returns
+    /// a clone of the matched actions, or `None` (a table miss: the frame
+    /// is dropped and counted, OVS's default behaviour with no table-miss
+    /// rule installed).
+    pub fn lookup(&mut self, meta: &FrameMeta, frame_len: usize, now: Instant) -> Option<Vec<Action>> {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| !e.is_expired(now) && e.matcher.matches(meta))
+        {
+            Some(e) => {
+                e.packets += 1;
+                e.bytes += frame_len as u64;
+                e.last_hit = now;
+                Some(e.actions.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes expired rules, returning how many were evicted. The §3.5
+    /// stateless-removal procedure relies on this: "the SDN flow rules
+    /// interconnecting the worker and its predecessors are automatically
+    /// removed due to idle timeout of the rule entries".
+    pub fn expire(&mut self, now: Instant) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !e.is_expired(now));
+        before - self.entries.len()
+    }
+
+    /// Per-rule statistics (the `FlowStatsReply` payload).
+    pub fn stats(&self) -> Vec<FlowStats> {
+        self.entries
+            .iter()
+            .map(|e| FlowStats {
+                matcher: e.matcher,
+                priority: e.priority,
+                cookie: e.cookie,
+                packets: e.packets,
+                bytes: e.bytes,
+            })
+            .collect()
+    }
+
+    /// Read-only view of the entries (rule dumps, tests).
+    pub fn entries(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typhoon_net::{MacAddr, TYPHOON_ETHERTYPE};
+    use typhoon_openflow::PortNo;
+    use typhoon_tuple::tuple::TaskId;
+
+    fn meta(in_port: u32, dst: MacAddr) -> FrameMeta {
+        FrameMeta {
+            in_port: PortNo(in_port),
+            dl_src: MacAddr::worker(1, TaskId(1)),
+            dl_dst: dst,
+            ether_type: TYPHOON_ETHERTYPE,
+        }
+    }
+
+    fn w(task: u32) -> MacAddr {
+        MacAddr::worker(1, TaskId(task))
+    }
+
+    #[test]
+    fn exact_rule_beats_wildcard_of_lower_priority() {
+        let mut t = FlowTable::new();
+        let now = Instant::now();
+        t.apply(
+            &FlowMod::add(1, FlowMatch::any(), vec![Action::Output(PortNo(99))]),
+            now,
+        );
+        t.apply(
+            &FlowMod::add(
+                10,
+                FlowMatch::any().dl_dst(w(2)),
+                vec![Action::Output(PortNo(2))],
+            ),
+            now,
+        );
+        let actions = t.lookup(&meta(1, w(2)), 64, now).unwrap();
+        assert_eq!(actions, vec![Action::Output(PortNo(2))]);
+        let actions = t.lookup(&meta(1, w(3)), 64, now).unwrap();
+        assert_eq!(actions, vec![Action::Output(PortNo(99))]);
+    }
+
+    #[test]
+    fn equal_priority_tie_breaks_on_specificity() {
+        let mut t = FlowTable::new();
+        let now = Instant::now();
+        t.apply(
+            &FlowMod::add(5, FlowMatch::any().ether_type(TYPHOON_ETHERTYPE), vec![]),
+            now,
+        );
+        t.apply(
+            &FlowMod::add(
+                5,
+                FlowMatch::any()
+                    .ether_type(TYPHOON_ETHERTYPE)
+                    .dl_dst(w(7))
+                    .in_port(PortNo(1)),
+                vec![Action::Output(PortNo(7))],
+            ),
+            now,
+        );
+        let actions = t.lookup(&meta(1, w(7)), 10, now).unwrap();
+        assert_eq!(actions, vec![Action::Output(PortNo(7))]);
+    }
+
+    #[test]
+    fn miss_counts_and_drops() {
+        let mut t = FlowTable::new();
+        let now = Instant::now();
+        assert!(t.lookup(&meta(1, w(1)), 10, now).is_none());
+        assert_eq!(t.misses, 1);
+    }
+
+    #[test]
+    fn add_with_same_match_and_priority_replaces() {
+        let mut t = FlowTable::new();
+        let now = Instant::now();
+        let m = FlowMatch::any().dl_dst(w(1));
+        t.apply(&FlowMod::add(5, m, vec![Action::Output(PortNo(1))]), now);
+        t.apply(&FlowMod::add(5, m, vec![Action::Output(PortNo(2))]), now);
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.lookup(&meta(0, w(1)), 1, now).unwrap(),
+            vec![Action::Output(PortNo(2))]
+        );
+    }
+
+    #[test]
+    fn delete_subsumes_wildcards() {
+        let mut t = FlowTable::new();
+        let now = Instant::now();
+        t.apply(
+            &FlowMod::add(
+                5,
+                FlowMatch::any().in_port(PortNo(1)).dl_dst(w(1)),
+                vec![],
+            ),
+            now,
+        );
+        t.apply(
+            &FlowMod::add(
+                5,
+                FlowMatch::any().in_port(PortNo(1)).dl_dst(w(2)),
+                vec![],
+            ),
+            now,
+        );
+        t.apply(
+            &FlowMod::add(5, FlowMatch::any().in_port(PortNo(2)), vec![]),
+            now,
+        );
+        // Delete everything arriving on port 1.
+        t.apply(&FlowMod::delete(FlowMatch::any().in_port(PortNo(1))), now);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].matcher.in_port, Some(PortNo(2)));
+    }
+
+    #[test]
+    fn modify_rewrites_actions_preserving_counters() {
+        let mut t = FlowTable::new();
+        let now = Instant::now();
+        let m = FlowMatch::any().dl_dst(w(4));
+        t.apply(&FlowMod::add(5, m, vec![Action::Output(PortNo(1))]), now);
+        t.lookup(&meta(0, w(4)), 100, now).unwrap();
+        let mut modify = FlowMod::add(5, m, vec![Action::Output(PortNo(9))]);
+        modify.command = FlowModCommand::Modify;
+        t.apply(&modify, now);
+        assert_eq!(t.entries()[0].packets, 1, "counters survive modify");
+        assert_eq!(
+            t.lookup(&meta(0, w(4)), 1, now).unwrap(),
+            vec![Action::Output(PortNo(9))]
+        );
+    }
+
+    #[test]
+    fn idle_timeout_expires_unused_rules() {
+        let mut t = FlowTable::new();
+        let t0 = Instant::now();
+        t.apply(
+            &FlowMod::add(5, FlowMatch::any().dl_dst(w(1)), vec![])
+                .with_idle_timeout(Duration::from_secs(2)),
+            t0,
+        );
+        // A hit at t0+1 refreshes the idle clock.
+        assert!(t
+            .lookup(&meta(0, w(1)), 1, t0 + Duration::from_secs(1))
+            .is_some());
+        assert_eq!(t.expire(t0 + Duration::from_millis(2500)), 0);
+        assert_eq!(t.expire(t0 + Duration::from_millis(3100)), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn hard_timeout_expires_regardless_of_traffic() {
+        let mut t = FlowTable::new();
+        let t0 = Instant::now();
+        t.apply(
+            &FlowMod::add(5, FlowMatch::any(), vec![])
+                .with_hard_timeout(Duration::from_secs(2)),
+            t0,
+        );
+        for i in 0..3 {
+            let _ = t.lookup(&meta(0, w(1)), 1, t0 + Duration::from_millis(600 * i));
+        }
+        assert_eq!(t.expire(t0 + Duration::from_secs(2)), 1);
+    }
+
+    #[test]
+    fn expired_rule_is_skipped_by_lookup_before_eviction() {
+        let mut t = FlowTable::new();
+        let t0 = Instant::now();
+        t.apply(
+            &FlowMod::add(9, FlowMatch::any(), vec![Action::Output(PortNo(1))])
+                .with_idle_timeout(Duration::from_millis(10)),
+            t0,
+        );
+        // Not yet swept, but logically expired: lookup must miss.
+        assert!(t.lookup(&meta(0, w(1)), 1, t0 + Duration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn stats_reflect_hits() {
+        let mut t = FlowTable::new();
+        let now = Instant::now();
+        t.apply(
+            &FlowMod::add(5, FlowMatch::any(), vec![]).with_cookie(77),
+            now,
+        );
+        t.lookup(&meta(0, w(1)), 100, now);
+        t.lookup(&meta(0, w(2)), 50, now);
+        let stats = t.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].packets, 2);
+        assert_eq!(stats[0].bytes, 150);
+        assert_eq!(stats[0].cookie, 77);
+    }
+}

@@ -1,0 +1,160 @@
+//! Named field schemas.
+//!
+//! Every logical node declares the fields of the tuples it emits (as Storm
+//! bolts do with `declareOutputFields`). Key-based routing then selects a
+//! subset of those names to hash on; the control plane can swap that subset
+//! at runtime via a `ROUTING` control tuple (§3.3.2 of the paper).
+
+use crate::{Result, TupleError, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// An ordered, immutable list of field names describing one stream's tuples.
+///
+/// `Fields` is cheap to clone (it is an `Arc` internally) because every
+/// outgoing tuple on a stream shares the same schema.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Fields {
+    names: Arc<[String]>,
+}
+
+impl Fields {
+    /// Builds a schema from field names.
+    ///
+    /// # Panics
+    /// Panics if two fields share a name — schemas are author-written
+    /// constants and a duplicate is always a programming error.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert!(a != b, "duplicate field name {a:?} in schema");
+            }
+        }
+        Fields {
+            names: names.into(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the schema has no fields (valid for pure-signal streams).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Position of `name` in the schema, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Iterator over the field names in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Resolves a list of field names to their indices, used when a
+    /// key-based routing policy is (re)configured.
+    ///
+    /// Returns [`TupleError::UnknownField`] naming the first missing field.
+    pub fn resolve(&self, keys: &[String]) -> Result<Vec<usize>> {
+        keys.iter()
+            .map(|k| {
+                self.index_of(k)
+                    .ok_or_else(|| TupleError::UnknownField(k.clone()))
+            })
+            .collect()
+    }
+
+    /// Projects `values` down to the named key fields (in `keys` order).
+    pub fn select<'v>(&self, keys: &[String], values: &'v [Value]) -> Result<Vec<&'v Value>> {
+        self.resolve(keys)?
+            .into_iter()
+            .map(|i| {
+                values.get(i).ok_or(TupleError::BadLength {
+                    declared: i + 1,
+                    available: values.len(),
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Fields {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.names.iter()).finish()
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for Fields {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        Fields::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_lookup() {
+        let f = Fields::new(["word", "count"]);
+        assert_eq!(f.index_of("word"), Some(0));
+        assert_eq!(f.index_of("count"), Some(1));
+        assert_eq!(f.index_of("missing"), None);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn duplicate_names_panic() {
+        let _ = Fields::new(["a", "a"]);
+    }
+
+    #[test]
+    fn resolve_reports_first_missing_field() {
+        let f = Fields::new(["a", "b"]);
+        let err = f.resolve(&["a".into(), "z".into()]).unwrap_err();
+        assert_eq!(err, TupleError::UnknownField("z".into()));
+    }
+
+    #[test]
+    fn select_projects_in_key_order() {
+        let f = Fields::new(["a", "b", "c"]);
+        let vals = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        let picked = f.select(&["c".into(), "a".into()], &vals).unwrap();
+        assert_eq!(picked, vec![&Value::Int(3), &Value::Int(1)]);
+    }
+
+    #[test]
+    fn select_detects_short_tuple() {
+        let f = Fields::new(["a", "b"]);
+        let vals = vec![Value::Int(1)];
+        assert!(matches!(
+            f.select(&["b".into()], &vals),
+            Err(TupleError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schema_is_allowed() {
+        let f = Fields::new(Vec::<String>::new());
+        assert!(f.is_empty());
+        assert_eq!(f.resolve(&[]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let f = Fields::new(["x"]);
+        let g = f.clone();
+        assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,159 @@
+//! The tuple: a list of values plus transport metadata.
+//!
+//! Matches §2 of the paper: "the format of egress data tuples consists of the
+//! raw output from a data computing function, prepended by its metadata which
+//! include source/destination node IDs, output length, and stream type".
+//! The *destination* ID is decided by the routing step and lives in the
+//! packet header (see `typhoon-net::frame`), not in the tuple itself.
+
+use crate::{MessageId, StreamId, Value};
+use std::fmt;
+
+/// Identifies one physical task (a deployed worker instance) within a
+/// topology. Task IDs are assigned by the scheduler when a logical topology
+/// is converted to a physical one, and become the low bits of the worker's
+/// Ethernet-style address on the SDN fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Metadata prepended to every tuple on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleMeta {
+    /// The task that emitted this tuple.
+    pub src_task: TaskId,
+    /// Which stream the tuple belongs to (data vs Table 2 control streams).
+    pub stream: StreamId,
+    /// Guaranteed-processing lineage; [`MessageId::NONE`] when unanchored.
+    pub message_id: MessageId,
+}
+
+impl TupleMeta {
+    /// Metadata for an unanchored tuple on a given stream.
+    pub fn new(src_task: TaskId, stream: StreamId) -> Self {
+        TupleMeta {
+            src_task,
+            stream,
+            message_id: MessageId::NONE,
+        }
+    }
+}
+
+/// A data (or control) tuple: metadata plus an ordered list of [`Value`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Transport metadata.
+    pub meta: TupleMeta,
+    /// The payload values, interpreted against the emitting stream's
+    /// [`crate::Fields`] schema.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates an unanchored tuple on the default stream.
+    pub fn new(src_task: TaskId, values: Vec<Value>) -> Self {
+        Tuple {
+            meta: TupleMeta::new(src_task, StreamId::DEFAULT),
+            values,
+        }
+    }
+
+    /// Creates a tuple on a specific stream.
+    pub fn on_stream(src_task: TaskId, stream: StreamId, values: Vec<Value>) -> Self {
+        Tuple {
+            meta: TupleMeta::new(src_task, stream),
+            values,
+        }
+    }
+
+    /// Sets the guaranteed-processing message ID (builder style).
+    pub fn with_message_id(mut self, id: MessageId) -> Self {
+        self.meta.message_id = id;
+        self
+    }
+
+    /// The value at `index`, if present.
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the tuple carries no values (pure signal).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// True when this tuple belongs to a framework control stream (Table 2).
+    pub fn is_control(&self) -> bool {
+        self.meta.stream.is_control()
+    }
+
+    /// Approximate in-memory footprint; used to model bounded worker memory.
+    pub fn approx_size(&self) -> usize {
+        std::mem::size_of::<TupleMeta>()
+            + self.values.iter().map(Value::approx_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}(", self.meta.src_task, self.meta.stream)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tuple_is_unanchored_on_default_stream() {
+        let t = Tuple::new(TaskId(3), vec![Value::Int(1)]);
+        assert_eq!(t.meta.stream, StreamId::DEFAULT);
+        assert!(!t.meta.message_id.is_anchored());
+        assert!(!t.is_control());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn control_tuple_classification() {
+        let t = Tuple::on_stream(TaskId(0), StreamId::CTRL_ROUTING, vec![]);
+        assert!(t.is_control());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn with_message_id_sets_lineage() {
+        let t = Tuple::new(TaskId(1), vec![]).with_message_id(MessageId { root: 5, anchor: 6 });
+        assert!(t.meta.message_id.is_anchored());
+        assert_eq!(t.meta.message_id.root, 5);
+    }
+
+    #[test]
+    fn display_shows_source_and_values() {
+        let t = Tuple::new(TaskId(2), vec![Value::Str("hi".into()), Value::Int(4)]);
+        assert_eq!(t.to_string(), "t2@default(\"hi\", 4)");
+    }
+
+    #[test]
+    fn approx_size_grows_with_payload() {
+        let small = Tuple::new(TaskId(0), vec![Value::Int(1)]);
+        let big = Tuple::new(TaskId(0), vec![Value::Blob(vec![0u8; 1024])]);
+        assert!(big.approx_size() > small.approx_size() + 900);
+    }
+}

@@ -1,0 +1,274 @@
+//! Dynamically typed tuple cells.
+//!
+//! Stream applications in the paper's prototype exchange Java objects; the
+//! Rust reproduction models them as a small closed set of variants that covers
+//! every workload in the evaluation (word count, Yahoo ad analytics, sequence
+//! probes) while remaining cheaply hashable for key-based routing.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single dynamically-typed cell in a [`crate::Tuple`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (e.g. an optional projected field).
+    Nil,
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed 64-bit integer. Counters, sequence numbers, timestamps.
+    Int(i64),
+    /// 64-bit float. Rates, scores.
+    Float(f64),
+    /// UTF-8 string. Words, event types, campaign ids.
+    Str(String),
+    /// Opaque byte payload (e.g. pre-encoded JSON events from the MQ).
+    Blob(Vec<u8>),
+    /// Ordered list of values (e.g. top-N rankings).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// A short, stable name of the variant; used in error messages and the
+    /// live debugger's display format.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Blob(_) => "blob",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Returns the contained integer, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained float, if this is a [`Value::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string slice, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained boolean, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained byte slice, if this is a [`Value::Blob`].
+    pub fn as_blob(&self) -> Option<&[u8]> {
+        match self {
+            Value::Blob(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained list, if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory size in bytes, used by the memory-capped worker
+    /// queues in the auto-scaler experiment (Fig. 11) to model
+    /// `OutOfMemoryError`.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Nil => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => 24 + s.len(),
+            Value::Blob(b) => 24 + b.len(),
+            Value::List(l) => 24 + l.iter().map(Value::approx_size).sum::<usize>(),
+        }
+    }
+}
+
+/// Values hash by content so that key-based routing (`hash(key) % numNextHops`
+/// in Listing 1 of the paper) is stable across workers and reconfigurations.
+///
+/// Floats hash by their bit pattern; `NaN` therefore hashes consistently even
+/// though it never compares equal.
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Nil => {}
+            Value::Bool(v) => v.hash(state),
+            Value::Int(v) => v.hash(state),
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Str(v) => v.hash(state),
+            Value::Blob(v) => v.hash(state),
+            Value::List(v) => v.hash(state),
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Blob(v) => write!(f, "blob[{}]", v.len()),
+            Value::List(v) => {
+                write!(f, "[")?;
+                for (i, item) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Blob(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Blob(vec![1, 2]).as_blob(), Some(&[1u8, 2][..]));
+        let list = Value::List(vec![Value::Int(1)]);
+        assert_eq!(list.as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = Value::Str("campaign-42".into());
+        let b = Value::Str("campaign-42".into());
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn different_variants_with_same_bits_hash_differently() {
+        // Int(1) and Bool(true) must not collide just because both are "1".
+        assert_ne!(hash_of(&Value::Int(1)), hash_of(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn nan_hashes_consistently() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn approx_size_counts_nested_content() {
+        let v = Value::List(vec![Value::Str("abcd".into()), Value::Int(1)]);
+        assert!(v.approx_size() > 4 + 8);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let v = Value::List(vec![Value::Int(1), Value::Str("a".into())]);
+        assert_eq!(v.to_string(), "[1, \"a\"]");
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn type_names_are_stable() {
+        assert_eq!(Value::Nil.type_name(), "nil");
+        assert_eq!(Value::List(vec![]).type_name(), "list");
+    }
+}

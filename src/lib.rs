@@ -1,0 +1,100 @@
+//! # Typhoon — an SDN-enhanced real-time stream processing framework
+//!
+//! A from-scratch Rust reproduction of *"Typhoon: An SDN Enhanced Real-Time
+//! Big Data Streaming Framework"* (CoNEXT 2017): a stream processing
+//! framework whose application-level data routing and worker control are
+//! partially offloaded to an SDN data plane, giving runtime
+//! reconfigurability (parallelism, computation logic, routing policy — all
+//! without restarting the pipeline) and serialization-free one-to-many
+//! delivery.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tuple`] | `typhoon-tuple` | values, tuples, streams, wire serialization |
+//! | [`metrics`] | `typhoon-metrics` | counters, rate timelines, latency CDFs |
+//! | [`model`] | `typhoon-model` | spouts/bolts, topologies, routing, schedulers |
+//! | [`coordinator`] | `typhoon-coordinator` | ZooKeeper-like coordination service |
+//! | [`openflow`] | `typhoon-openflow` | the OpenFlow protocol subset + wire codec |
+//! | [`net`] | `typhoon-net` | frames, packetization, rings, host tunnels |
+//! | [`switch`] | `typhoon-switch` | the per-host software SDN switch |
+//! | [`controller`] | `typhoon-controller` | the SDN controller + control-plane apps |
+//! | [`storm`] | `typhoon-storm` | the Apache Storm-like baseline framework |
+//! | [`core`] | `typhoon-core` | **the Typhoon framework**: 3-layer workers, manager, cluster |
+//! | [`mq`] | `typhoon-mq` | Kafka-like partitioned log (Yahoo benchmark) |
+//! | [`kv`] | `typhoon-kv` | Redis-like KV store (Yahoo benchmark) |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use typhoon::prelude::*;
+//!
+//! // 1. Write ordinary stream components.
+//! struct Doubler;
+//! impl Bolt for Doubler {
+//!     fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+//!         let n = input.get(0).and_then(Value::as_int).unwrap_or(0);
+//!         out.emit(vec![Value::Int(n * 2)]);
+//!     }
+//! }
+//!
+//! // 2. Register them and declare a topology.
+//! # struct Numbers;
+//! # impl Spout for Numbers {
+//! #     fn next_batch(&mut self, out: &mut dyn Emitter) -> bool {
+//! #         out.emit(vec![Value::Int(1)]);
+//! #         true
+//! #     }
+//! # }
+//! let mut components = ComponentRegistry::new();
+//! components.register_bolt("double", || Doubler);
+//! components.register_spout("numbers", || Numbers);
+//! let topology = LogicalTopology::builder("demo")
+//!     .spout("src", "numbers", 1, Fields::new(["n"]))
+//!     .bolt("double", "double", 2, Fields::new(["n2"]))
+//!     .edge("src", "double", Grouping::Shuffle)
+//!     .build()
+//!     .unwrap();
+//!
+//! // 3. Boot a cluster (hosts, switches, tunnels, controller, manager)
+//! //    and submit.
+//! let cluster = TyphoonCluster::new(TyphoonConfig::new(2), components).unwrap();
+//! let handle = cluster.submit(topology).unwrap();
+//!
+//! // 4. Reconfigure it live — no restart.
+//! handle.reconfigure(ReconfigRequest::single(
+//!     "demo",
+//!     ReconfigOp::SetParallelism { node: "double".into(), parallelism: 4 },
+//! )).unwrap();
+//! ```
+//!
+//! See `examples/` for runnable programs and `DESIGN.md`/`EXPERIMENTS.md`
+//! for the paper-reproduction methodology.
+
+#![warn(missing_docs)]
+
+pub use typhoon_controller as controller;
+pub use typhoon_coordinator as coordinator;
+pub use typhoon_core as core;
+pub use typhoon_kv as kv;
+pub use typhoon_metrics as metrics;
+pub use typhoon_model as model;
+pub use typhoon_mq as mq;
+pub use typhoon_net as net;
+pub use typhoon_openflow as openflow;
+pub use typhoon_storm as storm;
+pub use typhoon_switch as switch;
+pub use typhoon_tuple as tuple;
+
+/// The things most applications need, in one import.
+pub mod prelude {
+    pub use typhoon_controller::{ControlTuple, Controller};
+    pub use typhoon_core::{TyphoonCluster, TyphoonConfig, TyphoonTopologyHandle};
+    pub use typhoon_model::{
+        Bolt, ComponentRegistry, Emitter, Fields, Grouping, LogicalTopology, ReconfigOp,
+        ReconfigRequest, Spout, TaskId,
+    };
+    pub use typhoon_storm::{StormCluster, StormConfig};
+    pub use typhoon_tuple::{StreamId, Tuple, Value};
+}

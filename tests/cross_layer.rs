@@ -1,0 +1,206 @@
+//! Cross-layer integration: the SDN control-plane applications of §4
+//! driving real topology changes end to end — fault detection via
+//! PortStatus, auto-scaling via METRIC_REQ/RESP + coordinator hand-off,
+//! and the command API through the manager loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use typhoon::controller::apps::{AutoScaler, AutoScalerConfig, FaultDetector};
+use typhoon::prelude::*;
+
+struct FastSpout;
+
+impl Spout for FastSpout {
+    fn next_batch(&mut self, out: &mut dyn Emitter) -> bool {
+        for i in 0..8 {
+            out.emit(vec![Value::Int(i)]);
+        }
+        true
+    }
+}
+
+/// A paced spout: ~8k tuples/sec — a modest, sustained overload for the
+/// auto-scaler test (control tuples share the data ring, so queues must
+/// grow slowly enough for METRIC_REQ round-trips to stay timely, exactly
+/// the §8 batching/queue-sizing discussion).
+struct PacedSpout;
+
+impl Spout for PacedSpout {
+    fn next_batch(&mut self, out: &mut dyn Emitter) -> bool {
+        for i in 0..8 {
+            out.emit(vec![Value::Int(i)]);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        true
+    }
+}
+
+/// A relay with a configurable service delay (to build queue depth).
+struct SlowRelay {
+    delay: Duration,
+}
+
+impl Bolt for SlowRelay {
+    fn execute(&mut self, input: Tuple, out: &mut dyn Emitter) {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        out.emit(input.values);
+    }
+}
+
+struct CountSink {
+    seen: Arc<AtomicU64>,
+}
+
+impl Bolt for CountSink {
+    fn execute(&mut self, _input: Tuple, _out: &mut dyn Emitter) {
+        self.seen.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+fn pipeline(mid_parallelism: usize) -> LogicalTopology {
+    LogicalTopology::builder("xl")
+        .spout("src", "fast", 1, Fields::new(["n"]))
+        .bolt("mid", "relay", mid_parallelism, Fields::new(["n"]))
+        .bolt("out", "sink", 1, Fields::new(["n"]))
+        .edge("src", "mid", Grouping::Shuffle)
+        .edge("mid", "out", Grouping::Global)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn fault_detector_reroutes_around_crashed_worker() {
+    let seen = Arc::new(AtomicU64::new(0));
+    let mut reg = ComponentRegistry::new();
+    reg.register_spout("fast", || FastSpout);
+    reg.register_bolt("relay", || SlowRelay {
+        delay: Duration::ZERO,
+    });
+    let s = seen.clone();
+    reg.register_bolt("sink", move || CountSink { seen: s.clone() });
+
+    let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(10), reg).unwrap();
+    cluster.controller().add_app(Box::new(FaultDetector::new()));
+    let h = cluster.submit(pipeline(2)).unwrap();
+    assert!(wait_until(Duration::from_secs(10), || seen
+        .load(Ordering::Relaxed)
+        > 0));
+
+    // Crash one mid worker abruptly: the switch discovers the dead port.
+    let victim = h.tasks_of("mid")[0];
+    h.crash_task(victim).unwrap();
+
+    // The pipeline keeps flowing through the survivor, with the fault
+    // recorded in the coordinator by the detector.
+    let before = seen.load(Ordering::Relaxed);
+    assert!(
+        wait_until(Duration::from_secs(10), || seen.load(Ordering::Relaxed)
+            > before + 10_000),
+        "pipeline stalled after the crash"
+    );
+    let coord = cluster.global().coordinator();
+    assert!(
+        wait_until(Duration::from_secs(5), || coord.exists(&format!(
+            "/typhoon/faults/xl/task-{}",
+            victim.0
+        ))),
+        "fault never recorded"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn auto_scaler_grows_overloaded_node_end_to_end() {
+    let seen = Arc::new(AtomicU64::new(0));
+    let mut reg = ComponentRegistry::new();
+    reg.register_spout("fast", || PacedSpout);
+    // Slow relays so their ingress rings actually queue up.
+    reg.register_bolt("relay", || SlowRelay {
+        delay: Duration::from_micros(500),
+    });
+    let s = seen.clone();
+    reg.register_bolt("sink", move || CountSink { seen: s.clone() });
+
+    let mut config = TyphoonConfig::new(1).with_batch_size(10);
+    config.controller_tick = Duration::from_millis(100);
+    config.ring_capacity = 1 << 15;
+    let cluster = TyphoonCluster::new(config, reg).unwrap();
+    cluster
+        .controller()
+        .add_app(Box::new(AutoScaler::new(AutoScalerConfig {
+            topology: "xl".into(),
+            node: "mid".into(),
+            metric: "queue.depth".into(),
+            high_watermark: 10,
+            low_watermark: 0,
+            min_parallelism: 1,
+            max_parallelism: 2,
+            cooldown: Duration::from_secs(30),
+        })));
+    let h = cluster.submit(pipeline(1)).unwrap();
+    assert_eq!(h.tasks_of("mid").len(), 1);
+    // Full loop: controller polls metrics over the data plane, the scaler
+    // submits a reconfig to the coordinator, the manager loop applies it.
+    assert!(
+        wait_until(Duration::from_secs(30), || h.tasks_of("mid").len() == 2),
+        "auto-scaler never scaled mid up"
+    );
+    // The new worker participates.
+    let new_task = *h.tasks_of("mid").last().unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            h.worker(new_task)
+                .map(|w| w.registry.snapshot().counter("tuples.received") > 0)
+                .unwrap_or(false)
+        }),
+        "scaled-up worker idle"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn command_server_drives_manager_loop() {
+    use std::io::{BufRead, BufReader, Write};
+    let seen = Arc::new(AtomicU64::new(0));
+    let mut reg = ComponentRegistry::new();
+    reg.register_spout("fast", || FastSpout);
+    reg.register_bolt("relay", || SlowRelay {
+        delay: Duration::ZERO,
+    });
+    let s = seen.clone();
+    reg.register_bolt("sink", move || CountSink { seen: s.clone() });
+    let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(10), reg).unwrap();
+    let h = cluster.submit(pipeline(2)).unwrap();
+    let server =
+        typhoon::controller::rest::CommandServer::start(cluster.global().clone(), 0).unwrap();
+
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"RECONFIG xl PARALLELISM mid 4\n")
+        .unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    assert_eq!(resp.trim(), "OK submitted");
+    assert!(
+        wait_until(Duration::from_secs(10), || h.tasks_of("mid").len() == 4),
+        "command never applied; mid tasks = {:?}",
+        h.tasks_of("mid")
+    );
+    cluster.shutdown();
+}
