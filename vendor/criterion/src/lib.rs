@@ -1,0 +1,215 @@
+//! Minimal offline shim for the `criterion` crate.
+//!
+//! Implements the measuring subset the workspace benches use: benchmark
+//! groups, `Bencher::iter` / `iter_custom`, throughput annotation and the
+//! `criterion_group!` / `criterion_main!` macros. Reporting is plain text
+//! (median ns/iter plus derived throughput); there is no statistical
+//! analysis, plotting or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            config: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_one(&config, None, id, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    config: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let config = self.config.clone();
+        run_one(&config, self.throughput, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_one<F>(config: &Criterion, throughput: Option<Throughput>, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up and calibrate the per-sample iteration count.
+    let mut iters = 1u64;
+    let warm_deadline = Instant::now() + config.warm_up_time;
+    let mut per_iter = Duration::from_nanos(100);
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed.as_nanos() > 0 {
+            per_iter = b.elapsed / iters as u32;
+        }
+        if Instant::now() >= warm_deadline {
+            break;
+        }
+        if b.elapsed < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    let per_sample = config.measurement_time.as_nanos() as u64
+        / config.sample_size.max(1) as u64;
+    let sample_iters = (per_sample / per_iter.as_nanos().max(1) as u64).clamp(1, 1 << 24);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / sample_iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+    let median = samples[samples.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!(" ({:.1} MiB/s)", n as f64 / median * 1e9 / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(n) => {
+            format!(" ({:.0} elem/s)", n as f64 / median * 1e9)
+        }
+    });
+    println!(
+        "bench {id:<50} {median:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            *c = $config;
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,394 @@
+//! MPMC channel with crossbeam-compatible API.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    cap: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn disconnected_tx(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    fn disconnected_rx(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sender {{ .. }}")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Receiver {{ .. }}")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+impl std::error::Error for RecvError {}
+impl std::error::Error for TryRecvError {}
+impl std::error::Error for RecvTimeoutError {}
+
+fn with_shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Channel with unlimited buffering.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_shared(None)
+}
+
+/// Channel that blocks senders once `cap` messages are queued.
+/// `cap == 0` (rendezvous in real crossbeam) is approximated with `cap == 1`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_shared(Some(cap.max(1)))
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut q = self.shared.lock();
+        loop {
+            if self.shared.disconnected_rx() {
+                return Err(SendError(msg));
+            }
+            match self.shared.cap {
+                Some(cap) if q.len() >= cap => {
+                    q = self
+                        .shared
+                        .not_full
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        q.push_back(msg);
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut q = self.shared.lock();
+        if self.shared.disconnected_rx() {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.shared.cap {
+            if q.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        q.push_back(msg);
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.disconnected_tx() {
+                return Err(RecvError);
+            }
+            q = self
+                .shared
+                .not_empty
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.lock();
+        if let Some(v) = q.pop_front() {
+            drop(q);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if self.shared.disconnected_tx() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.disconnected_tx() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timeout) = self
+                .shared
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator that ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Non-blocking iterator over currently queued messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { rx: self }
+    }
+}
+
+pub struct IntoIter<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpmc_roundtrip() {
+        let (tx, rx) = bounded(4);
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx2.recv().unwrap(), 2);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_and_unblocks() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        let h = std::thread::spawn(move || tx.send(2));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+}

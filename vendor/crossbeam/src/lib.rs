@@ -1,0 +1,9 @@
+//! Minimal offline shim for the `crossbeam` crate.
+//!
+//! Provides MPMC `channel` (bounded + unbounded, cloneable senders *and*
+//! receivers, like crossbeam's) and `queue::ArrayQueue`, implemented over
+//! `std::sync` primitives. Correctness-first: these are mutex+condvar
+//! based, not lock-free, which is acceptable for the offline build.
+
+pub mod channel;
+pub mod queue;

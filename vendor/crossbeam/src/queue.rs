@@ -1,0 +1,71 @@
+//! Bounded queue with crossbeam-compatible API.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Bounded MPMC queue. The real crate's version is lock-free; this shim
+/// trades that for a mutex while keeping identical semantics.
+pub struct ArrayQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    cap: usize,
+}
+
+impl<T> ArrayQueue<T> {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be non-zero");
+        ArrayQueue {
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut q = self.lock();
+        if q.len() >= self.cap {
+            Err(value)
+        } else {
+            q.push_back(value);
+            Ok(())
+        }
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.lock().len() >= self.cap
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_capacity() {
+        let q = ArrayQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! Collection strategies.
+
+use crate::{SizeRange, Strategy, TestRng};
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)`
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,41 @@
+//! PRNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// xorshift64* generator seeded through SplitMix64 — small, fast, and
+/// statistically fine for tests and simulations.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let state = splitmix64(&mut s) | 1;
+        SmallRng { state }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+}
+
+/// Alias kept for API compatibility with `rand::rngs::StdRng`.
+pub type StdRng = SmallRng;
