@@ -41,8 +41,8 @@ fn bench_forwarding(c: &mut Criterion) {
     {
         let mut reg = ComponentRegistry::new();
         let (sink, _) = register_standard(&mut reg, 100, 64);
-        let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(250), reg)
-            .expect("cluster");
+        let cluster =
+            TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(250), reg).expect("cluster");
         let _h = cluster.submit(forwarding_topology()).expect("submit");
         std::thread::sleep(Duration::from_millis(300));
         g.bench_function("typhoon-local-batch250", |b| {

@@ -110,13 +110,13 @@ fn bench_routing_and_wrr(c: &mut Criterion) {
     let tuple = sample_tuple();
     let hops: Vec<TaskId> = (0..8).map(TaskId).collect();
     let mut shuffle = RoutingState::new(Grouping::Shuffle, hops.clone(), vec![]);
-    g.bench_function("shuffle-route", |b| b.iter(|| shuffle.route(black_box(&tuple))));
-    let mut fields = RoutingState::new(
-        Grouping::Fields(vec!["w".into()]),
-        hops.clone(),
-        vec![1],
-    );
-    g.bench_function("fields-route", |b| b.iter(|| fields.route(black_box(&tuple))));
+    g.bench_function("shuffle-route", |b| {
+        b.iter(|| shuffle.route(black_box(&tuple)))
+    });
+    let mut fields = RoutingState::new(Grouping::Fields(vec!["w".into()]), hops.clone(), vec![1]);
+    g.bench_function("fields-route", |b| {
+        b.iter(|| fields.route(black_box(&tuple)))
+    });
     let mut wrr = WrrSelector::new(&[5, 3, 2, 1]);
     g.bench_function("wrr-select", |b| b.iter(|| wrr.next()));
     g.finish();
@@ -155,7 +155,9 @@ fn bench_openflow_wire(c: &mut Criterion) {
     );
     let encoded = wire::encode(&msg);
     let mut g = c.benchmark_group("openflow-wire");
-    g.bench_function("encode-flowmod", |b| b.iter(|| wire::encode(black_box(&msg))));
+    g.bench_function("encode-flowmod", |b| {
+        b.iter(|| wire::encode(black_box(&msg)))
+    });
     g.bench_function("decode-flowmod", |b| {
         b.iter(|| wire::decode(black_box(encoded.clone())).unwrap())
     });

@@ -30,7 +30,9 @@ fn pipeline() -> LogicalTopology {
 fn run(kind: SchedulerKind) -> (usize, f64) {
     let mut reg = ComponentRegistry::new();
     let (sink, _) = register_standard(&mut reg, 100, 64);
-    let mut config = TyphoonConfig::new(3).with_batch_size(250).with_tcp_tunnels();
+    let mut config = TyphoonConfig::new(3)
+        .with_batch_size(250)
+        .with_tcp_tunnels();
     config.slots_per_host = 2;
     config.scheduler = kind;
     let cluster = TyphoonCluster::new(config, reg).expect("cluster");

@@ -26,8 +26,8 @@ use typhoon_controller::apps::FaultDetector;
 use typhoon_core::{TyphoonCluster, TyphoonConfig};
 use typhoon_metrics::RateMeter;
 use typhoon_model::{Bolt, ComponentRegistry, Emitter};
-use typhoon_tuple::Tuple;
 use typhoon_storm::{StormCluster, StormConfig};
+use typhoon_tuple::Tuple;
 
 const TOTAL_SECS: usize = 24;
 const FAULT_AT: Duration = Duration::from_secs(8);
@@ -104,9 +104,7 @@ fn run_typhoon(poison: Arc<AtomicBool>) -> Vec<RateMeter> {
     let mut config = TyphoonConfig::new(3).with_batch_size(100);
     config.slots_per_host = 4;
     let cluster = TyphoonCluster::new(config, reg).expect("cluster");
-    cluster
-        .controller()
-        .add_app(Box::new(FaultDetector::new()));
+    cluster.controller().add_app(Box::new(FaultDetector::new()));
     let handle = cluster.submit(word_count_topology(2, 4)).expect("submit");
     let spout = handle.tasks_of("input")[0];
     cluster.controller().send_control(
@@ -131,8 +129,14 @@ fn run_typhoon(poison: Arc<AtomicBool>) -> Vec<RateMeter> {
 }
 
 fn main() {
-    println!("== Fig. 10: fault evaluation (split worker dies at t={}s) ==", FAULT_AT.as_secs());
-    println!("# storm heartbeat timeout: {}s (paper: 30s, compressed)", HEARTBEAT_TIMEOUT.as_secs());
+    println!(
+        "== Fig. 10: fault evaluation (split worker dies at t={}s) ==",
+        FAULT_AT.as_secs()
+    );
+    println!(
+        "# storm heartbeat timeout: {}s (paper: 30s, compressed)",
+        HEARTBEAT_TIMEOUT.as_secs()
+    );
     let meters = run_storm(Arc::new(AtomicBool::new(false)));
     print_aggregate_timeline("fig10a/storm-count-workers", &meters, TOTAL_SECS);
     let meters = run_typhoon(Arc::new(AtomicBool::new(false)));

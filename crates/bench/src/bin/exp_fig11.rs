@@ -86,18 +86,20 @@ fn run_typhoon() -> (Vec<RateMeter>, Vec<(String, RateMeter)>, usize) {
     // can observe, not as drops that would starve control tuples.
     config.ring_capacity = 1 << 17;
     let cluster = TyphoonCluster::new(config, reg).expect("cluster");
-    cluster.controller().add_app(Box::new(AutoScaler::new(AutoScalerConfig {
-        topology: "word-count".into(),
-        node: "split".into(),
-        // Typhoon queue depth is measured in ring *frames* (~100 tuples
-        // each with this batch size); 15 frames ≈ 1500 queued tuples.
-        metric: "queue.depth".into(),
-        high_watermark: 15,
-        low_watermark: 0, // no scale-down during the experiment
-        min_parallelism: 2,
-        max_parallelism: 3,
-        cooldown: Duration::from_secs(15),
-    })));
+    cluster
+        .controller()
+        .add_app(Box::new(AutoScaler::new(AutoScalerConfig {
+            topology: "word-count".into(),
+            node: "split".into(),
+            // Typhoon queue depth is measured in ring *frames* (~100 tuples
+            // each with this batch size); 15 frames ≈ 1500 queued tuples.
+            metric: "queue.depth".into(),
+            high_watermark: 15,
+            low_watermark: 0, // no scale-down during the experiment
+            min_parallelism: 2,
+            max_parallelism: 3,
+            cooldown: Duration::from_secs(15),
+        })));
     let handle = cluster.submit(word_count_topology(2, 4)).expect("submit");
     cluster.controller().send_control(
         handle.app(),

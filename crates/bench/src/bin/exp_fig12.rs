@@ -67,15 +67,15 @@ fn run_storm() -> (RateMeter, f64, f64) {
 fn run_typhoon() -> (RateMeter, f64, f64) {
     let mut reg = ComponentRegistry::new();
     let _ = register_standard(&mut reg, PAYLOAD, 64);
-    let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(100), reg)
-        .expect("cluster");
+    let cluster =
+        TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(100), reg).expect("cluster");
     let handle = cluster.submit(debug_topology()).expect("submit");
     let physical = handle.physical().expect("physical");
     let src = handle.tasks_of("source")[0];
     let sink = handle.tasks_of("sink")[0];
     let dbg = handle.tasks_of("debug")[0];
     let sink_meter = handle.worker(sink).expect("worker").meter;
-    let port_of = |t| PortNo(physical.assignment(t).unwrap().switch_port);
+    let port_of = |t| PortNo(physical.assignment(t).expect("task is placed").switch_port);
     std::thread::sleep(Duration::from_secs(DEBUG_ON));
     let (ser0, _) = cluster.ser_stats().counts();
     let n0 = sink_meter.total();
@@ -84,7 +84,7 @@ fn run_typhoon() -> (RateMeter, f64, f64) {
     debugger.mirror_task(
         cluster.controller(),
         handle.app(),
-        physical.assignment(src).unwrap().host,
+        physical.assignment(src).expect("task is placed").host,
         src,
         port_of(src),
         &[(sink, port_of(sink))],
@@ -111,15 +111,11 @@ fn print_table5() {
     );
     println!(
         "{:<22} | {:<34} | {:<30}",
-        "Resource requirement",
-        "pre-provisioned memory + TCP conns",
-        "memory allocated on demand"
+        "Resource requirement", "pre-provisioned memory + TCP conns", "memory allocated on demand"
     );
     println!(
         "{:<22} | {:<34} | {:<30}",
-        "Dynamic provisioning",
-        "no (predefined via config/API)",
-        "yes (runtime flow rules)"
+        "Dynamic provisioning", "no (predefined via config/API)", "yes (runtime flow rules)"
     );
     println!(
         "{:<22} | {:<34} | {:<30}",
@@ -132,9 +128,7 @@ fn main() {
         print_table5();
         return;
     }
-    println!(
-        "== Fig. 12: live debugging overhead (debug ON t={DEBUG_ON}s..{DEBUG_OFF}s) =="
-    );
+    println!("== Fig. 12: live debugging overhead (debug ON t={DEBUG_ON}s..{DEBUG_OFF}s) ==");
     let (storm, storm_before, storm_during) = run_storm();
     print_timeline("fig12/storm-sink", &storm, 0, TOTAL_SECS);
     println!(

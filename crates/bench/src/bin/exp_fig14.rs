@@ -90,11 +90,18 @@ fn main() {
         loop {
             let now = watch_handle.tasks_of("filter");
             if now != initial {
-                println!("# swap landed at t={:.1}s: filter tasks {:?} -> {:?}", t0.elapsed().as_secs_f64(), initial, now);
+                println!(
+                    "# swap landed at t={:.1}s: filter tasks {:?} -> {:?}",
+                    t0.elapsed().as_secs_f64(),
+                    initial,
+                    now
+                );
                 return;
             }
             std::thread::sleep(Duration::from_millis(100));
-            if t0.elapsed() > Duration::from_secs(39) { return; }
+            if t0.elapsed() > Duration::from_secs(39) {
+                return;
+            }
         }
     });
     std::thread::sleep(Duration::from_secs(RECONFIG_AT));
@@ -119,7 +126,10 @@ fn main() {
     // The windowed counts themselves (what Redis holds), summed across
     // campaigns per 10 s window — the paper's "windowed count increases"
     // evidence (Fig. 14's y-axis).
-    println!("# aggregate stored count per 10s window (swap at window {}):", RECONFIG_AT / 10);
+    println!(
+        "# aggregate stored count per 10s window (swap at window {}):",
+        RECONFIG_AT / 10
+    );
     let mut per_window: std::collections::BTreeMap<u64, i64> = std::collections::BTreeMap::new();
     for c in 0..CAMPAIGNS {
         for (window, count) in kv.windows(&format!("campaign:{c}")) {

@@ -26,6 +26,9 @@ const WARMUP: Duration = Duration::from_secs(1);
 const MEASURE: Duration = Duration::from_secs(3);
 const BATCH_SIZES: [usize; 4] = [100, 250, 500, 1000];
 
+/// `(system label, remote placement, latency CDF points)`.
+type LabeledCdf = (String, bool, Vec<(u64, f64)>);
+
 fn storm_forwarding(remote: bool, acking: bool, rate_cap: Option<u32>) -> (f64, Vec<(u64, f64)>) {
     let mut reg = ComponentRegistry::new();
     let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
@@ -118,7 +121,7 @@ fn fig8b_cd(print_throughput: bool, print_latency: bool) {
     // Latency runs are input-capped below either system's capacity so the
     // CDF measures pipeline residence (batching), not queueing delay.
     let rate_cap = if print_latency { Some(50_000) } else { None };
-    let mut cdfs: Vec<(String, bool, Vec<(u64, f64)>)> = Vec::new();
+    let mut cdfs: Vec<LabeledCdf> = Vec::new();
     for remote in [false, true] {
         let place = if remote { "REMOTE" } else { "LOCAL" };
         let (storm, storm_cdf) = storm_forwarding(remote, true, rate_cap);

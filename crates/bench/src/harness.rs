@@ -5,16 +5,16 @@ use typhoon_metrics::RateMeter;
 
 /// Waits `dur` while the workload runs.
 pub fn run_for(dur: Duration) {
-    std::thread::sleep(dur);
+    std::thread::sleep(dur); // LINT: allow-sleep(bench harness: the wait IS the measurement window)
 }
 
 /// Measures the steady-state rate of a shared counter: samples `counter`
 /// at start and end of `dur`, returns events/sec.
 pub fn measure_rate(counter: impl Fn() -> u64, warmup: Duration, dur: Duration) -> f64 {
-    std::thread::sleep(warmup);
+    std::thread::sleep(warmup); // LINT: allow-sleep(bench harness: warmup window before sampling)
     let start_count = counter();
     let start = Instant::now();
-    std::thread::sleep(dur);
+    std::thread::sleep(dur); // LINT: allow-sleep(bench harness: the wait IS the measurement window)
     let elapsed = start.elapsed().as_secs_f64();
     (counter() - start_count) as f64 / elapsed
 }

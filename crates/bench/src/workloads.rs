@@ -344,7 +344,13 @@ pub fn word_count_topology(splits: usize, counts: usize) -> LogicalTopology {
     LogicalTopology::builder("word-count")
         .spout("input", "sentence-spout", 1, Fields::new(["sentence"]))
         .bolt("split", "split", splits, Fields::new(["word"]))
-        .bolt_with_state("count", "count", counts, Fields::new(["word", "count"]), true)
+        .bolt_with_state(
+            "count",
+            "count",
+            counts,
+            Fields::new(["word", "count"]),
+            true,
+        )
         .edge("input", "split", Grouping::Shuffle)
         .edge("split", "count", Grouping::Fields(vec!["word".into()]))
         .build()

@@ -46,7 +46,8 @@ pub fn generate_events(
         let event = EVENT_TYPES[rng.gen_range(0..EVENT_TYPES.len())];
         let time_ms = (i as u64) * 2; // 2ms apart: ~5k events/sec of data time
         let line = format!("{ad}|{event}|{time_ms}");
-        mq.produce(topic, None, Bytes::from(line)).unwrap();
+        mq.produce(topic, None, Bytes::from(line))
+            .expect("seed topic exists");
     }
 }
 
@@ -269,7 +270,12 @@ pub fn yahoo_topology() -> LogicalTopology {
     LogicalTopology::builder("yahoo-ads")
         .spout("kafka-client", "kafka-client", 1, Fields::new(["raw"]))
         .bolt("parse", "parse", 1, Fields::new(["ad", "event", "time"]))
-        .bolt("filter", "filter-v1", 3, Fields::new(["ad", "event", "time"]))
+        .bolt(
+            "filter",
+            "filter-v1",
+            3,
+            Fields::new(["ad", "event", "time"]),
+        )
         .bolt("projection", "projection", 3, Fields::new(["ad", "time"]))
         .bolt_with_state("join", "join", 3, Fields::new(["campaign", "time"]), true)
         .bolt_with_state(

@@ -68,7 +68,7 @@ impl AutoScaler {
 
     fn in_cooldown(&self) -> bool {
         self.last_action
-            .map_or(false, |t| t.elapsed() < self.config.cooldown)
+            .is_some_and(|t| t.elapsed() < self.config.cooldown)
     }
 
     /// The scaling decision given current readings and parallelism;

@@ -153,10 +153,7 @@ mod tests {
 
         // Fault recorded in the coordinator.
         let coord = global.coordinator();
-        assert!(coord.exists(&format!(
-            "{FAULTS}/word-count/task-{}",
-            dead_task.0
-        )));
+        assert!(coord.exists(&format!("{FAULTS}/word-count/task-{}", dead_task.0)));
 
         // The switch received a delete for rules toward the dead worker and
         // PacketOut control tuples for the predecessors; process them.

@@ -49,6 +49,9 @@ impl LiveDebugger {
     ///
     /// `dst_tasks` are the current next hops of `src_task` with their
     /// ports (the caller reads them from the physical topology).
+    // The argument list mirrors the OpenFlow rule tuple one-to-one;
+    // bundling them into a struct would just rename the problem.
+    #[allow(clippy::too_many_arguments)]
     pub fn mirror_task(
         &mut self,
         ctl: &Controller,

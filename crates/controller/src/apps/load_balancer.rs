@@ -120,8 +120,7 @@ impl ControlPlaneApp for LoadBalancer {
                 .iter()
                 .filter_map(|&dst| {
                     let a = physical.assignment(dst)?;
-                    let mut actions =
-                        vec![Action::SetDlDst(MacAddr::worker(physical.app.0, dst))];
+                    let mut actions = vec![Action::SetDlDst(MacAddr::worker(physical.app.0, dst))];
                     if a.host == src_host {
                         actions.push(Action::Output(PortNo(a.switch_port)));
                     } else {
@@ -164,9 +163,8 @@ mod tests {
             to: "b".into(),
             metric: "queue.depth".into(),
         });
-        let global = typhoon_coordinator::global::GlobalState::new(
-            typhoon_coordinator::Coordinator::new(),
-        );
+        let global =
+            typhoon_coordinator::global::GlobalState::new(typhoon_coordinator::Coordinator::new());
         let ctl = Controller::new(global);
         lb.on_metric_resp(
             &ctl,

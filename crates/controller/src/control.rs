@@ -86,9 +86,9 @@ impl ControlTuple {
                 policy,
             } => {
                 let hops = match next_hops {
-                    Some(hops) => Value::List(
-                        hops.iter().map(|t| Value::Int(t.0 as i64)).collect(),
-                    ),
+                    Some(hops) => {
+                        Value::List(hops.iter().map(|t| Value::Int(t.0 as i64)).collect())
+                    }
                     None => Value::Nil,
                 };
                 let policy_val = match policy {
@@ -117,16 +117,11 @@ impl ControlTuple {
                 task,
                 metrics,
             } => {
-                let mut values = vec![
-                    Value::Int(*request_id as i64),
-                    Value::Int(task.0 as i64),
-                ];
+                let mut values = vec![Value::Int(*request_id as i64), Value::Int(task.0 as i64)];
                 values.push(Value::List(
                     metrics
                         .iter()
-                        .map(|(k, v)| {
-                            Value::List(vec![Value::Str(k.clone()), Value::Int(*v)])
-                        })
+                        .map(|(k, v)| Value::List(vec![Value::Str(k.clone()), Value::Int(*v)]))
                         .collect(),
                 ));
                 values
@@ -211,10 +206,7 @@ impl ControlTuple {
                     .iter()
                     .map(|pair| {
                         let pair = pair.as_list()?;
-                        Some((
-                            pair.first()?.as_str()?.to_owned(),
-                            pair.get(1)?.as_int()?,
-                        ))
+                        Some((pair.first()?.as_str()?.to_owned(), pair.get(1)?.as_int()?))
                     })
                     .collect::<Option<Vec<_>>>()?;
                 Some(ControlTuple::MetricResp {
@@ -279,7 +271,9 @@ mod tests {
         roundtrip(ControlTuple::Signal);
         roundtrip(ControlTuple::Activate);
         roundtrip(ControlTuple::Deactivate);
-        roundtrip(ControlTuple::InputRate { tuples_per_sec: 5000 });
+        roundtrip(ControlTuple::InputRate {
+            tuples_per_sec: 5000,
+        });
         roundtrip(ControlTuple::BatchSize { size: 250 });
     }
 

@@ -10,12 +10,12 @@ use crate::apps::ControlPlaneApp;
 use crate::control::{ControlTuple, CONTROLLER_TASK};
 use crate::rules::build_rules;
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use typhoon_coordinator::global::GlobalState;
+use typhoon_diag::{rank, DiagMutex as Mutex, DiagRwLock as RwLock};
 use typhoon_model::{AppId, HostId, LogicalTopology, PhysicalTopology, TaskId};
 use typhoon_net::{Depacketizer, Frame, MacAddr, Packetizer};
 use typhoon_openflow::{
@@ -62,7 +62,11 @@ impl Controller {
         Controller {
             inner: Arc::new(CtlInner {
                 global,
-                switches: RwLock::new(BTreeMap::new()),
+                switches: RwLock::with_rank(
+                    rank::CONTROLLER,
+                    "controller.switches",
+                    BTreeMap::new(),
+                ),
                 apps: Mutex::new(Vec::new()),
                 port_stats: Mutex::new(HashMap::new()),
                 flow_stats: Mutex::new(HashMap::new()),
@@ -89,10 +93,14 @@ impl Controller {
     /// Registers a switch session (the OpenFlow handshake of a real
     /// deployment, collapsed to channel registration here).
     pub fn register_switch(&self, host: HostId, dpid: DatapathId, channel: ControlChannel) {
-        self.inner
-            .switches
-            .write()
-            .insert(host, SwitchBinding { host, dpid, channel });
+        self.inner.switches.write().insert(
+            host,
+            SwitchBinding {
+                host,
+                dpid,
+                channel,
+            },
+        );
     }
 
     /// Registers a control-plane application (§4).
@@ -179,7 +187,7 @@ impl Controller {
                 self.inner.barrier_waiters.lock().remove(&xid);
                 return false;
             }
-            std::thread::sleep(Duration::from_micros(100));
+            std::thread::sleep(Duration::from_micros(100)); // LINT: allow-sleep(barrier poll backoff, bounded by the deadline check above)
         }
     }
 
@@ -196,10 +204,10 @@ impl Controller {
         let tuple = ct.to_tuple(CONTROLLER_TASK);
         let blob = Bytes::from(encode_tuple_vec(&tuple, &self.inner.ser));
         let dst = MacAddr::worker(app.0, task);
-        let frames = self
-            .inner
-            .packetizer
-            .pack(MacAddr::CONTROLLER, dst, std::slice::from_ref(&blob));
+        let frames =
+            self.inner
+                .packetizer
+                .pack(MacAddr::CONTROLLER, dst, std::slice::from_ref(&blob));
         for frame in frames {
             let ok = self.send_to_switch(
                 assignment.host,
@@ -334,11 +342,10 @@ impl Controller {
             }
         };
         for (src, blob) in blobs {
-            let tuple: Tuple =
-                match typhoon_tuple::ser::decode_tuple(&blob, &self.inner.ser) {
-                    Ok((t, _)) => t,
-                    Err(_) => continue,
-                };
+            let tuple: Tuple = match typhoon_tuple::ser::decode_tuple(&blob, &self.inner.ser) {
+                Ok((t, _)) => t,
+                Err(_) => continue,
+            };
             if let Some(ControlTuple::MetricResp {
                 request_id,
                 task,
@@ -383,7 +390,7 @@ impl Controller {
                         ctl.tick_apps();
                     }
                     if handled == 0 {
-                        std::thread::sleep(Duration::from_micros(200));
+                        std::thread::sleep(Duration::from_micros(200)); // LINT: allow-sleep(idle backoff in the controller event loop when no messages were handled)
                     }
                 }
             })
@@ -402,7 +409,11 @@ impl Controller {
 
 impl std::fmt::Debug for Controller {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Controller({} switches)", self.inner.switches.read().len())
+        write!(
+            f,
+            "Controller({} switches)",
+            self.inner.switches.read().len()
+        )
     }
 }
 
@@ -535,11 +546,7 @@ mod tests {
             }
         });
         ctl.install_topology(&logical, &phys);
-        assert!(ctl.send_control(
-            AppId(1),
-            target,
-            &ControlTuple::BatchSize { size: 250 }
-        ));
+        assert!(ctl.send_control(AppId(1), target, &ControlTuple::BatchSize { size: 250 }));
         // Wait for the frame to arrive at the worker port.
         let deadline = Instant::now() + Duration::from_secs(5);
         let frame = loop {

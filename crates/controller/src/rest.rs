@@ -152,16 +152,14 @@ impl CommandServer {
                                         Err(_) => break,
                                     };
                                     let resp = handle_command(&global, &line);
-                                    if writer
-                                        .write_all(format!("{resp}\n").as_bytes())
-                                        .is_err()
-                                    {
+                                    if writer.write_all(format!("{resp}\n").as_bytes()).is_err() {
                                         break;
                                     }
                                 }
                             });
                         }
                         Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            // LINT: allow-sleep(nonblocking accept retry backoff on the REST listener thread)
                             std::thread::sleep(std::time::Duration::from_millis(10));
                         }
                         Err(_) => break,

@@ -20,9 +20,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 use typhoon_model::{Grouping, HostId, LogicalTopology, PhysicalTopology, TaskId};
 use typhoon_net::{MacAddr, TYPHOON_ETHERTYPE};
-use typhoon_openflow::{
-    Action, Bucket, FlowMatch, FlowMod, GroupId, GroupMod, PortNo,
-};
+use typhoon_openflow::{Action, Bucket, FlowMatch, FlowMod, GroupId, GroupMod, PortNo};
 
 /// Priority of control-plane rules (Table 3 control rows).
 pub const CONTROL_PRIORITY: u16 = 100;
@@ -98,7 +96,11 @@ pub fn build_rules(logical: &LogicalTopology, physical: &PhysicalTopology) -> Ru
     }
 
     for edge in &logical.edges {
-        let srcs: Vec<TaskView> = physical.tasks_of(&edge.from).into_iter().map(view).collect();
+        let srcs: Vec<TaskView> = physical
+            .tasks_of(&edge.from)
+            .into_iter()
+            .map(view)
+            .collect();
         let dsts: Vec<TaskView> = physical.tasks_of(&edge.to).into_iter().map(view).collect();
         match &edge.grouping {
             Grouping::All => {
@@ -271,6 +273,63 @@ fn build_sdn_offloaded(plan: &mut RulePlan, app: u16, src: &TaskView, dsts: &[Ta
     }
 }
 
+/// Builds the Table 3 unicast rules for one explicit `src → dst` task pair
+/// (used for edges that exist outside the logical DAG, e.g. worker↔acker
+/// ack channels, §6.1). Returns `(host, rule)` pairs to install.
+pub fn unicast_rules(
+    physical: &PhysicalTopology,
+    src: TaskId,
+    dst: TaskId,
+) -> Vec<(HostId, FlowMod)> {
+    let app = physical.app.0;
+    let (sa, da) = match (physical.assignment(src), physical.assignment(dst)) {
+        (Some(s), Some(d)) => (s.clone(), d.clone()),
+        _ => return Vec::new(),
+    };
+    let src_mac = MacAddr::worker(app, src);
+    let dst_mac = MacAddr::worker(app, dst);
+    let mut out = Vec::new();
+    if sa.host == da.host {
+        out.push((
+            sa.host,
+            FlowMod::add(
+                DATA_PRIORITY,
+                FlowMatch::any()
+                    .in_port(PortNo(sa.switch_port))
+                    .dl_src(src_mac)
+                    .dl_dst(dst_mac)
+                    .ether_type(TYPHOON_ETHERTYPE),
+                vec![Action::Output(PortNo(da.switch_port))],
+            ),
+        ));
+    } else {
+        out.push((
+            sa.host,
+            FlowMod::add(
+                DATA_PRIORITY,
+                FlowMatch::any()
+                    .in_port(PortNo(sa.switch_port))
+                    .dl_src(src_mac)
+                    .dl_dst(dst_mac)
+                    .ether_type(TYPHOON_ETHERTYPE),
+                vec![Action::SetTunDst(da.host.0), Action::Output(PortNo::TUNNEL)],
+            ),
+        ));
+        out.push((
+            da.host,
+            FlowMod::add(
+                DATA_PRIORITY,
+                FlowMatch::any()
+                    .in_port(PortNo::TUNNEL)
+                    .dl_src(src_mac)
+                    .dl_dst(dst_mac),
+                vec![Action::Output(PortNo(da.switch_port))],
+            ),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,11 +383,7 @@ mod tests {
             .flows
             .values()
             .flatten()
-            .filter(|r| {
-                r.actions
-                    .iter()
-                    .any(|a| matches!(a, Action::SetTunDst(_)))
-            })
+            .filter(|r| r.actions.iter().any(|a| matches!(a, Action::SetTunDst(_))))
             .collect();
         assert!(!sender_rules.is_empty(), "cross-host edges exist");
         for rule in &sender_rules {
@@ -370,8 +425,10 @@ mod tests {
         for (host, rules) in &plan.flows {
             // Worker → controller rule.
             assert!(
-                rules.iter().any(|r| r.matcher.dl_dst == Some(MacAddr::CONTROLLER)
-                    && r.actions == vec![Action::ToController]),
+                rules
+                    .iter()
+                    .any(|r| r.matcher.dl_dst == Some(MacAddr::CONTROLLER)
+                        && r.actions == vec![Action::ToController]),
                 "{host:?} missing worker→controller rule"
             );
             // Controller → worker rule per local task.
@@ -487,64 +544,4 @@ mod tests {
         assert_ne!(group_id_for(1, TaskId(1)), group_id_for(1, TaskId(2)));
         assert_ne!(group_id_for(1, TaskId(1)), group_id_for(2, TaskId(1)));
     }
-}
-
-/// Builds the Table 3 unicast rules for one explicit `src → dst` task pair
-/// (used for edges that exist outside the logical DAG, e.g. worker↔acker
-/// ack channels, §6.1). Returns `(host, rule)` pairs to install.
-pub fn unicast_rules(
-    physical: &PhysicalTopology,
-    src: TaskId,
-    dst: TaskId,
-) -> Vec<(HostId, FlowMod)> {
-    let app = physical.app.0;
-    let (sa, da) = match (physical.assignment(src), physical.assignment(dst)) {
-        (Some(s), Some(d)) => (s.clone(), d.clone()),
-        _ => return Vec::new(),
-    };
-    let src_mac = MacAddr::worker(app, src);
-    let dst_mac = MacAddr::worker(app, dst);
-    let mut out = Vec::new();
-    if sa.host == da.host {
-        out.push((
-            sa.host,
-            FlowMod::add(
-                DATA_PRIORITY,
-                FlowMatch::any()
-                    .in_port(PortNo(sa.switch_port))
-                    .dl_src(src_mac)
-                    .dl_dst(dst_mac)
-                    .ether_type(TYPHOON_ETHERTYPE),
-                vec![Action::Output(PortNo(da.switch_port))],
-            ),
-        ));
-    } else {
-        out.push((
-            sa.host,
-            FlowMod::add(
-                DATA_PRIORITY,
-                FlowMatch::any()
-                    .in_port(PortNo(sa.switch_port))
-                    .dl_src(src_mac)
-                    .dl_dst(dst_mac)
-                    .ether_type(TYPHOON_ETHERTYPE),
-                vec![
-                    Action::SetTunDst(da.host.0),
-                    Action::Output(PortNo::TUNNEL),
-                ],
-            ),
-        ));
-        out.push((
-            da.host,
-            FlowMod::add(
-                DATA_PRIORITY,
-                FlowMatch::any()
-                    .in_port(PortNo::TUNNEL)
-                    .dl_src(src_mac)
-                    .dl_dst(dst_mac),
-                vec![Action::Output(PortNo(da.switch_port))],
-            ),
-        ));
-    }
-    out
 }

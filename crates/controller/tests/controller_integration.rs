@@ -27,7 +27,9 @@ fn three_host_setup() -> (Controller, Vec<Switch>, GlobalState) {
 #[test]
 fn rules_fan_out_to_every_host_and_barriers_fence_with_live_pump() {
     let (ctl, switches, global) = three_host_setup();
-    let hosts: Vec<HostInfo> = (0..3).map(|i| HostInfo::new(i, &format!("h{i}"), 4)).collect();
+    let hosts: Vec<HostInfo> = (0..3)
+        .map(|i| HostInfo::new(i, &format!("h{i}"), 4))
+        .collect();
     let logical = word_count_example();
     let phys = RoundRobinScheduler
         .schedule(AppId(1), &logical, &hosts)
@@ -70,7 +72,9 @@ fn rules_fan_out_to_every_host_and_barriers_fence_with_live_pump() {
 #[test]
 fn control_tuples_reach_workers_on_any_host() {
     let (ctl, switches, global) = three_host_setup();
-    let hosts: Vec<HostInfo> = (0..3).map(|i| HostInfo::new(i, &format!("h{i}"), 4)).collect();
+    let hosts: Vec<HostInfo> = (0..3)
+        .map(|i| HostInfo::new(i, &format!("h{i}"), 4))
+        .collect();
     let logical = word_count_example();
     let phys = RoundRobinScheduler
         .schedule(AppId(1), &logical, &hosts)

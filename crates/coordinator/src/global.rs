@@ -279,8 +279,7 @@ impl GlobalState {
 
     /// Removes every znode of a topology (on kill).
     pub fn remove_topology(&self, name: &str) -> Result<()> {
-        self.coord
-            .delete_recursive(&format!("{TOPOLOGIES}/{name}"))
+        self.coord.delete_recursive(&format!("{TOPOLOGIES}/{name}"))
     }
 
     /// Registers a worker agent under an ephemeral node tied to `session`.

@@ -4,10 +4,10 @@ use crate::session::{SessionId, SessionState};
 use crate::watch::{WatchEvent, WatchKind, WatchTable};
 use crate::{CoordError, Result};
 use crossbeam::channel::Receiver;
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use typhoon_diag::{rank, DiagMutex};
 
 /// Whether a created node outlives its creator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,9 +45,25 @@ struct State {
 /// The coordination service. Clones share the same tree; it is safe to hand
 /// a clone to every thread in the cluster (the paper's components all talk
 /// to one ZooKeeper ensemble).
-#[derive(Debug, Clone, Default)]
+///
+/// The tree lock is a [`DiagMutex`]: a session thread that panics while
+/// holding it can no longer wedge every other client (non-poisoning), and
+/// debug builds enforce the `COORD_STORE` rank from `docs/CONCURRENCY.md`.
+#[derive(Debug, Clone)]
 pub struct Coordinator {
-    state: Arc<Mutex<State>>,
+    state: Arc<DiagMutex<State>>,
+}
+
+impl Default for Coordinator {
+    fn default() -> Self {
+        Coordinator {
+            state: Arc::new(DiagMutex::with_rank(
+                rank::COORD_STORE,
+                "coordinator.store",
+                State::default(),
+            )),
+        }
+    }
 }
 
 fn validate_path(path: &str) -> &str {
@@ -351,7 +367,8 @@ mod tests {
     #[test]
     fn create_get_set_delete_lifecycle() {
         let c = coord();
-        c.create("/a", b"one".to_vec(), CreateMode::Persistent).unwrap();
+        c.create("/a", b"one".to_vec(), CreateMode::Persistent)
+            .unwrap();
         let (data, stat) = c.get("/a").unwrap();
         assert_eq!(data, b"one");
         assert_eq!(stat.version, 1);
@@ -430,7 +447,8 @@ mod tests {
         let c = coord();
         let rx = c.watch("/jobs");
         c.ensure_path("/jobs").unwrap();
-        c.create("/jobs/wc", b"v1".to_vec(), CreateMode::Persistent).unwrap();
+        c.create("/jobs/wc", b"v1".to_vec(), CreateMode::Persistent)
+            .unwrap();
         c.set("/jobs/wc", b"v2".to_vec(), None).unwrap();
         c.delete("/jobs/wc").unwrap();
         let kinds: Vec<WatchKind> = rx.try_iter().map(|e| e.kind).collect();
@@ -450,7 +468,8 @@ mod tests {
         let c = coord();
         c.ensure_path("/agents").unwrap();
         let sid = c.create_session();
-        c.create("/agents/h0", vec![], CreateMode::Ephemeral(sid)).unwrap();
+        c.create("/agents/h0", vec![], CreateMode::Ephemeral(sid))
+            .unwrap();
         let rx = c.watch("/agents/h0");
         c.close_session(sid);
         assert!(!c.exists("/agents/h0"));
@@ -472,8 +491,10 @@ mod tests {
         c.ensure_path("/agents").unwrap();
         let stale = c.create_session();
         let fresh = c.create_session();
-        c.create("/agents/stale", vec![], CreateMode::Ephemeral(stale)).unwrap();
-        c.create("/agents/fresh", vec![], CreateMode::Ephemeral(fresh)).unwrap();
+        c.create("/agents/stale", vec![], CreateMode::Ephemeral(stale))
+            .unwrap();
+        c.create("/agents/fresh", vec![], CreateMode::Ephemeral(fresh))
+            .unwrap();
         // Force the stale session's heartbeat into the past.
         {
             let mut st = c.state.lock();
@@ -493,7 +514,8 @@ mod tests {
         let c = coord();
         c.ensure_path("/e").unwrap();
         let sid = c.create_session();
-        c.create("/e/x", vec![], CreateMode::Ephemeral(sid)).unwrap();
+        c.create("/e/x", vec![], CreateMode::Ephemeral(sid))
+            .unwrap();
         c.delete("/e/x").unwrap();
         // Closing the session must not panic or double-delete.
         c.close_session(sid);
@@ -510,7 +532,8 @@ mod tests {
     #[test]
     fn concurrent_writers_do_not_lose_updates() {
         let c = coord();
-        c.create("/ctr", b"0".to_vec(), CreateMode::Persistent).unwrap();
+        c.create("/ctr", b"0".to_vec(), CreateMode::Persistent)
+            .unwrap();
         let threads: Vec<_> = (0..4)
             .map(|_| {
                 let c = c.clone();

@@ -48,7 +48,7 @@ pub(crate) struct WatchTable {
 impl WatchTable {
     /// Registers a prefix watch and returns its event receiver.
     pub(crate) fn subscribe(&mut self, prefix: &str) -> Receiver<WatchEvent> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = unbounded(); // LINT: allow-unbounded(watch events are low-rate control-plane traffic; dropping notifications would break session semantics)
         self.subs.push(Subscription {
             prefix: prefix.to_owned(),
             tx,

@@ -63,15 +63,27 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn u16(&mut self) -> Result<u16, CoordError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(
+            self.take(2)?
+                .try_into()
+                .expect("take(2) returns exactly 2 bytes"),
+        ))
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, CoordError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4)?
+                .try_into()
+                .expect("take(4) returns exactly 4 bytes"),
+        ))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, CoordError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?
+                .try_into()
+                .expect("take(8) returns exactly 8 bytes"),
+        ))
     }
 
     pub(crate) fn str(&mut self) -> Result<String, CoordError> {

@@ -57,13 +57,18 @@ proptest! {
                         None => false,
                     };
                     let result = c.create(&path, vec![i], CreateMode::Persistent);
-                    if model.contains_key(&path) {
-                        prop_assert!(matches!(result, Err(CoordError::NodeExists(_))));
-                    } else if !parent_exists {
-                        prop_assert!(matches!(result, Err(CoordError::NoParent(_))));
-                    } else {
-                        prop_assert!(result.is_ok());
-                        model.insert(path, 1);
+                    match model.entry(path) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert!(matches!(result, Err(CoordError::NodeExists(_))));
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            if parent_exists {
+                                prop_assert!(result.is_ok());
+                                slot.insert(1);
+                            } else {
+                                prop_assert!(matches!(result, Err(CoordError::NoParent(_))));
+                            }
+                        }
                     }
                 }
                 Op::Set(i) => {

@@ -10,12 +10,12 @@
 
 use crate::worker::{self, Role, Route, WorkerConfig, WorkerShared};
 use crate::{CoreError, Result};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use typhoon_coordinator::global::GlobalState;
+use typhoon_diag::{DiagMutex as Mutex, DiagRwLock as RwLock};
 use typhoon_model::{AppId, ComponentRegistry, HostInfo, NodeKind, TaskId};
 use typhoon_openflow::PortNo;
 use typhoon_switch::Switch;
@@ -142,13 +142,16 @@ impl WorkerAgent {
             if Instant::now() > deadline {
                 return Err(CoreError::Timeout("worker readiness"));
             }
-            std::thread::sleep(Duration::from_micros(200));
+            std::thread::sleep(Duration::from_micros(200)); // LINT: allow-sleep(worker readiness poll, bounded by the timeout check above)
         }
     }
 
     /// Access to a worker's shared handles.
     pub fn worker(&self, app: AppId, task: TaskId) -> Option<WorkerShared> {
-        self.workers.lock().get(&(app, task)).map(|e| e.shared.clone())
+        self.workers
+            .lock()
+            .get(&(app, task))
+            .map(|e| e.shared.clone())
     }
 
     /// The switch port of a worker.

@@ -10,7 +10,6 @@ use crate::agent::WorkerAgent;
 use crate::manager::{ManagerConfig, SchedulerKind, StreamingManager};
 use crate::worker::{IoConfig, WorkerShared};
 use crate::{CoreError, Result};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -18,9 +17,10 @@ use std::time::Duration;
 use typhoon_controller::{Controller, ControllerHandle};
 use typhoon_coordinator::global::GlobalState;
 use typhoon_coordinator::Coordinator;
+use typhoon_diag::{rank, DiagMutex, DiagRwLock as RwLock};
 use typhoon_model::{
-    AppId, ComponentRegistry, HostId, HostInfo, LogicalTopology, PhysicalTopology,
-    ReconfigRequest, TaskId,
+    AppId, ComponentRegistry, HostId, HostInfo, LogicalTopology, PhysicalTopology, ReconfigRequest,
+    TaskId,
 };
 use typhoon_net::{InMemoryTunnel, TcpTunnel, Tunnel};
 use typhoon_switch::{Switch, SwitchConfig, SwitchHandle};
@@ -105,7 +105,7 @@ struct ClusterInner {
     components: Arc<RwLock<ComponentRegistry>>,
     manager: Arc<StreamingManager>,
     manager_shutdown: Arc<AtomicBool>,
-    manager_thread: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+    manager_thread: DiagMutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 /// A complete, running Typhoon deployment.
@@ -120,7 +120,11 @@ impl TyphoonCluster {
         let coordinator = Coordinator::new();
         let global = GlobalState::new(coordinator);
         let controller = Controller::new(global.clone());
-        let components = Arc::new(RwLock::new(components));
+        let components = Arc::new(RwLock::with_rank(
+            rank::CLUSTER,
+            "core.cluster.components",
+            components,
+        ));
         let ser = typhoon_tuple::ser::SerStats::shared();
 
         // Hosts: one switch each, registered with the controller.
@@ -135,14 +139,14 @@ impl TyphoonCluster {
         // Full-mesh host tunnels (Fig. 3's inter-host fabric).
         for i in 0..config.hosts {
             for j in (i + 1)..config.hosts {
-                let (a, b): (Box<dyn Tunnel + Send>, Box<dyn Tunnel + Send>) =
-                    if config.remote_tcp {
-                        let (a, b) = TcpTunnel::pair()?;
-                        (Box::new(a), Box::new(b))
-                    } else {
-                        let (a, b) = InMemoryTunnel::pair();
-                        (Box::new(a), Box::new(b))
-                    };
+                let (a, b): (Box<dyn Tunnel + Send>, Box<dyn Tunnel + Send>) = if config.remote_tcp
+                {
+                    let (a, b) = TcpTunnel::pair()?;
+                    (Box::new(a), Box::new(b))
+                } else {
+                    let (a, b) = InMemoryTunnel::pair();
+                    (Box::new(a), Box::new(b))
+                };
                 switches[i].add_tunnel(j as u32, a);
                 switches[j].add_tunnel(i as u32, b);
             }
@@ -152,7 +156,13 @@ impl TyphoonCluster {
         for (h, switch) in switches.into_iter().enumerate() {
             let host = HostId(h as u32);
             let info = HostInfo::new(h as u32, &format!("host{h}"), config.slots_per_host);
-            let agent = WorkerAgent::new(info, switch.clone(), components.clone(), ser.clone(), &global)?;
+            let agent = WorkerAgent::new(
+                info,
+                switch.clone(),
+                components.clone(),
+                ser.clone(),
+                &global,
+            )?;
             let handle = switch.spawn();
             hosts.insert(
                 host,
@@ -163,10 +173,8 @@ impl TyphoonCluster {
                 },
             );
         }
-        let agents: BTreeMap<HostId, Arc<WorkerAgent>> = hosts
-            .iter()
-            .map(|(&h, rt)| (h, rt.agent.clone()))
-            .collect();
+        let agents: BTreeMap<HostId, Arc<WorkerAgent>> =
+            hosts.iter().map(|(&h, rt)| (h, rt.agent.clone())).collect();
         let manager = Arc::new(StreamingManager::new(
             global.clone(),
             controller.clone(),
@@ -192,7 +200,7 @@ impl TyphoonCluster {
             .spawn(move || {
                 while !shutdown2.load(Ordering::Acquire) {
                     manager2.process_pending();
-                    std::thread::sleep(Duration::from_millis(20));
+                    std::thread::sleep(Duration::from_millis(20)); // LINT: allow-sleep(manager housekeeping tick on a dedicated thread)
                 }
             })
             .expect("spawn manager loop");
@@ -207,7 +215,7 @@ impl TyphoonCluster {
                 components,
                 manager,
                 manager_shutdown,
-                manager_thread: parking_lot::Mutex::new(Some(manager_thread)),
+                manager_thread: DiagMutex::new(Some(manager_thread)),
             }),
         })
     }
@@ -455,11 +463,7 @@ mod tests {
     #[test]
     fn pipeline_processes_all_tuples_one_host() {
         let (reg, sink) = registry(400);
-        let cluster = TyphoonCluster::new(
-            TyphoonConfig::new(1).with_batch_size(10),
-            reg,
-        )
-        .unwrap();
+        let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(10), reg).unwrap();
         let _h = cluster.submit(pipeline()).unwrap();
         assert!(
             wait_until(Duration::from_secs(15), || sink.seen.lock().len() == 400),
@@ -521,7 +525,10 @@ mod tests {
         let (reg, sink) = registry(i64::MAX);
         let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(10), reg).unwrap();
         let h = cluster.submit(pipeline()).unwrap();
-        assert!(wait_until(Duration::from_secs(10), || !sink.seen.lock().is_empty()));
+        assert!(wait_until(Duration::from_secs(10), || !sink
+            .seen
+            .lock()
+            .is_empty()));
         assert_eq!(h.tasks_of("mid").len(), 2);
         h.reconfigure(ReconfigRequest::single(
             "pipeline",
@@ -550,7 +557,11 @@ mod tests {
         let (reg, sink) = registry(i64::MAX);
         let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(10), reg).unwrap();
         let h = cluster.submit(pipeline()).unwrap();
-        assert!(wait_until(Duration::from_secs(10), || sink.seen.lock().len() > 100));
+        assert!(wait_until(Duration::from_secs(10), || sink
+            .seen
+            .lock()
+            .len()
+            > 100));
         // Register new logic and swap it in: now values are negated, not
         // doubled.
         struct NegateBolt;
@@ -594,10 +605,16 @@ mod tests {
         }
         cluster.register_bolt("times-ten", || TimesTen);
         let h = cluster.submit(pipeline()).unwrap();
-        assert!(wait_until(Duration::from_secs(10), || !sink.seen.lock().is_empty()));
+        assert!(wait_until(Duration::from_secs(10), || !sink
+            .seen
+            .lock()
+            .is_empty()));
         h.reconfigure_async(ReconfigRequest::single(
             "pipeline",
-            ReconfigOp::SetParallelism { node: "mid".into(), parallelism: 3 },
+            ReconfigOp::SetParallelism {
+                node: "mid".into(),
+                parallelism: 3,
+            },
         ))
         .expect("parallelism");
         std::thread::sleep(Duration::from_secs(2));
@@ -613,12 +630,20 @@ mod tests {
         std::thread::sleep(Duration::from_secs(2));
         h.reconfigure_async(ReconfigRequest::single(
             "pipeline",
-            ReconfigOp::SwapLogic { node: "mid".into(), component: "times-ten".into() },
+            ReconfigOp::SwapLogic {
+                node: "mid".into(),
+                component: "times-ten".into(),
+            },
         ))
         .expect("logic swap");
         assert!(
             wait_until(Duration::from_secs(10), || {
-                sink.seen.lock().iter().rev().take(50).any(|&v| v != 0 && v % 10 == 0)
+                sink.seen
+                    .lock()
+                    .iter()
+                    .rev()
+                    .take(50)
+                    .any(|&v| v != 0 && v % 10 == 0)
             }),
             "x10 logic never took effect"
         );
@@ -630,7 +655,10 @@ mod tests {
         let (reg, sink) = registry(i64::MAX);
         let cluster = TyphoonCluster::new(TyphoonConfig::new(1).with_batch_size(10), reg).unwrap();
         let h = cluster.submit(pipeline()).unwrap();
-        assert!(wait_until(Duration::from_secs(10), || !sink.seen.lock().is_empty()));
+        assert!(wait_until(Duration::from_secs(10), || !sink
+            .seen
+            .lock()
+            .is_empty()));
         h.reconfigure_async(ReconfigRequest::single(
             "pipeline",
             ReconfigOp::SetParallelism {

@@ -15,11 +15,11 @@ use crate::agent::WorkerAgent;
 use crate::update::{plan_update, UpdatePlan};
 use crate::worker::{IoConfig, Route};
 use crate::{CoreError, Result, ACKER_NODE};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::time::Duration;
 use typhoon_controller::{rules, ControlTuple, Controller};
 use typhoon_coordinator::global::GlobalState;
+use typhoon_diag::DiagMutex as Mutex;
 use typhoon_model::{
     AppId, Grouping, HostId, LocalityScheduler, LogicalTopology, NodeKind, PhysicalTopology,
     ReconfigRequest, RoundRobinScheduler, RoutingState, Scheduler, TaskAssignment, TaskId,
@@ -213,11 +213,11 @@ impl StreamingManager {
                 info
             })
             .collect();
-        let mut physical = self
-            .config
-            .scheduler
-            .as_scheduler()
-            .schedule(app, &logical, &host_infos)?;
+        let mut physical =
+            self.config
+                .scheduler
+                .as_scheduler()
+                .schedule(app, &logical, &host_infos)?;
         for a in &mut physical.assignments {
             a.switch_port = self.agent(a.host)?.alloc_port().0;
         }
@@ -254,12 +254,7 @@ impl StreamingManager {
         Ok(app)
     }
 
-    fn activate_spouts(
-        &self,
-        app: AppId,
-        logical: &LogicalTopology,
-        physical: &PhysicalTopology,
-    ) {
+    fn activate_spouts(&self, app: AppId, logical: &LogicalTopology, physical: &PhysicalTopology) {
         for node in logical.nodes.iter().filter(|n| n.kind == NodeKind::Spout) {
             for task in physical.tasks_of(&node.name) {
                 self.controller
@@ -326,8 +321,7 @@ impl StreamingManager {
                 // Shrink: retire the highest task IDs.
                 let mut sorted = existing.clone();
                 sorted.sort_by_key(|a| a.task);
-                let keep: Vec<TaskAssignment> =
-                    sorted[..node.parallelism].to_vec();
+                let keep: Vec<TaskAssignment> = sorted[..node.parallelism].to_vec();
                 let keep_ids: Vec<TaskId> = keep.iter().map(|a| a.task).collect();
                 physical
                     .assignments
@@ -391,7 +385,10 @@ impl StreamingManager {
         // fresh task ID on the target host (IDs are never reused); the
         // normal stable-update plan then launches/reroutes/retires it, with
         // SIGNAL flushes for stateful nodes.
-        let relocating = req.ops.iter().any(|op| matches!(op, typhoon_model::ReconfigOp::Relocate { .. }));
+        let relocating = req
+            .ops
+            .iter()
+            .any(|op| matches!(op, typhoon_model::ReconfigOp::Relocate { .. }));
         for op in &req.ops {
             if let typhoon_model::ReconfigOp::Relocate { task, target } = op {
                 let old = new_physical
@@ -416,7 +413,7 @@ impl StreamingManager {
         // 0. Pause the stream for relocations (pause-and-resume, §8).
         if relocating {
             self.deactivate_spouts(app, &old_logical, &old_physical);
-            std::thread::sleep(self.config.signal_wait);
+            std::thread::sleep(self.config.signal_wait); // LINT: allow-sleep(reconfiguration quiesce wait from the live-migration protocol)
         }
         // 1. Launch the new workers first (Fig. 6(a) step 1) — they are
         //    born with the *new* routing table.
@@ -426,7 +423,8 @@ impl StreamingManager {
         // 2. Notification + network setup for the new shape.
         self.global.set_logical(&new_logical)?;
         self.global.set_physical(&new_physical)?;
-        self.controller.install_topology(&new_logical, &new_physical);
+        self.controller
+            .install_topology(&new_logical, &new_physical);
         if let Some(acker) = acker {
             self.install_ack_rules(&new_physical, acker);
         }
@@ -440,10 +438,11 @@ impl StreamingManager {
     fn execute_plan(&self, app: AppId, plan: &UpdatePlan) -> Result<()> {
         // 3a. SIGNAL stateful workers so caches flush under old routing.
         for &task in &plan.signals {
-            self.controller.send_control(app, task, &ControlTuple::Signal);
+            self.controller
+                .send_control(app, task, &ControlTuple::Signal);
         }
         if !plan.signals.is_empty() {
-            std::thread::sleep(self.config.signal_wait);
+            std::thread::sleep(self.config.signal_wait); // LINT: allow-sleep(reconfiguration quiesce wait from the live-migration protocol)
         }
         // 3b/3c. Re-route the predecessors via ROUTING control tuples.
         for (task, downstream, hops) in &plan.routing_updates {
@@ -470,7 +469,7 @@ impl StreamingManager {
         }
         // 4. Drain, then retire removed workers and their rules.
         if !plan.removals.is_empty() {
-            std::thread::sleep(self.config.drain_wait);
+            std::thread::sleep(self.config.drain_wait); // LINT: allow-sleep(drain wait before retiring removed workers)
             for assignment in &plan.removals {
                 if let Ok(agent) = self.agent(assignment.host) {
                     agent.kill(app, assignment.task);

@@ -115,10 +115,9 @@ pub fn plan_update(
 
     // Grouping (routing-policy) changes on surviving edges.
     for new_edge in &new_logical.edges {
-        let old_edge = old_logical
-            .edges
-            .iter()
-            .find(|e| e.from == new_edge.from && e.to == new_edge.to && e.stream == new_edge.stream);
+        let old_edge = old_logical.edges.iter().find(|e| {
+            e.from == new_edge.from && e.to == new_edge.to && e.stream == new_edge.stream
+        });
         if let Some(old_edge) = old_edge {
             if old_edge.grouping != new_edge.grouping {
                 let key_indices = match &new_edge.grouping {
@@ -258,7 +257,9 @@ mod tests {
         // old tasks removed.
         let mut new_physical = old_physical.clone();
         let old_split: Vec<TaskId> = old_physical.tasks_of("split");
-        new_physical.assignments.retain(|a| !old_split.contains(&a.task));
+        new_physical
+            .assignments
+            .retain(|a| !old_split.contains(&a.task));
         let base = old_physical.next_task_id().0;
         for (i, _) in old_split.iter().enumerate() {
             new_physical.assignments.push(TaskAssignment {
@@ -272,10 +273,7 @@ mod tests {
         let plan = plan_update(&old_logical, &new_logical, &old_physical, &new_physical);
         assert_eq!(plan.launches.len(), 2, "new-logic workers launched");
         assert_eq!(plan.removals.len(), 2, "old-logic workers retired");
-        assert!(plan
-            .launches
-            .iter()
-            .all(|a| a.component == "splitter-v2"));
+        assert!(plan.launches.iter().all(|a| a.component == "splitter-v2"));
         // Predecessor rerouted to the new tasks only.
         let (_p, _n, hops) = &plan.routing_updates[0];
         assert!(old_split.iter().all(|t| !hops.contains(t)));

@@ -196,7 +196,9 @@ impl FrameworkLayer {
                 applied = true;
             }
             if let Some((grouping, key_indices)) = &policy {
-                route.state.set_policy(grouping.clone(), key_indices.clone());
+                route
+                    .state
+                    .set_policy(grouping.clone(), key_indices.clone());
                 applied = true;
             }
         }
@@ -251,11 +253,7 @@ mod tests {
             vec![Route {
                 stream: StreamId::DEFAULT,
                 downstream: "sink".into(),
-                state: RoutingState::new(
-                    grouping,
-                    hops.into_iter().map(TaskId).collect(),
-                    vec![],
-                ),
+                state: RoutingState::new(grouping, hops.into_iter().map(TaskId).collect(), vec![]),
             }],
             SerStats::shared(),
             Registry::new(),
@@ -272,7 +270,11 @@ mod tests {
         let out = fw.route(data_tuple(), false);
         assert_eq!(out.len(), 1, "one blob regardless of fanout");
         assert_eq!(out[0].dst, MacAddr::BROADCAST);
-        assert_eq!(fw.ser.counts().0, 1, "single serialization — the Fig. 9 win");
+        assert_eq!(
+            fw.ser.counts().0,
+            1,
+            "single serialization — the Fig. 9 win"
+        );
     }
 
     #[test]
@@ -294,8 +296,7 @@ mod tests {
         assert_eq!(out.len(), 3);
         let xor = out.iter().fold(0u64, |acc, a| acc ^ a.anchor_xor);
         assert_ne!(xor, 0);
-        let anchors: std::collections::HashSet<u64> =
-            out.iter().map(|a| a.anchor_xor).collect();
+        let anchors: std::collections::HashSet<u64> = out.iter().map(|a| a.anchor_xor).collect();
         assert_eq!(anchors.len(), 3, "distinct anchors per copy");
     }
 
@@ -329,7 +330,10 @@ mod tests {
         let fw = layer(Grouping::Shuffle, vec![1]);
         assert!(matches!(fw.classify(&data_tuple()), Classified::Data));
         let ct = ControlTuple::Signal.to_tuple(TaskId(0));
-        assert!(matches!(fw.classify(&ct), Classified::Control(ControlTuple::Signal)));
+        assert!(matches!(
+            fw.classify(&ct),
+            Classified::Control(ControlTuple::Signal)
+        ));
         let ack = Tuple::on_stream(TaskId(0), StreamId::ACK, vec![]);
         assert!(matches!(fw.classify(&ack), Classified::Ack));
         let res = Tuple::on_stream(TaskId(0), StreamId::ACK_RESULT, vec![]);

@@ -77,7 +77,9 @@ impl IoLayer {
     /// Retunes the batch size (the `BATCH_SIZE` control tuple).
     pub fn set_batch_size(&mut self, n: usize) {
         self.batch_size = n.max(1);
-        self.registry.gauge("io.batch_size").set(self.batch_size as i64);
+        self.registry
+            .gauge("io.batch_size")
+            .set(self.batch_size as i64);
     }
 
     /// Frames waiting in the receive ring (the worker's queue depth, the
@@ -110,8 +112,7 @@ impl IoLayer {
             .batches
             .iter()
             .filter(|(_, b)| {
-                !b.blobs.is_empty()
-                    && now.saturating_duration_since(b.oldest) >= self.batch_delay
+                !b.blobs.is_empty() && now.saturating_duration_since(b.oldest) >= self.batch_delay
             })
             .map(|(&d, _)| d)
             .collect();
@@ -210,7 +211,11 @@ mod tests {
         io.enqueue(dst, Bytes::from_static(b"b"));
         assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 0);
         io.enqueue(dst, Bytes::from_static(b"c"));
-        assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 1, "3 tuples mux into 1 frame");
+        assert_eq!(
+            io.registry.snapshot().counter("io.frames_tx"),
+            1,
+            "3 tuples mux into 1 frame"
+        );
     }
 
     #[test]

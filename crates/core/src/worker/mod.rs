@@ -183,8 +183,7 @@ impl WorkerCtx {
                     let mut sink = SignalEmitter::default();
                     bolt.on_signal(&mut sink);
                     for (stream, values) in sink.emitted {
-                        let tuple =
-                            Tuple::on_stream(self.config.task, stream, values);
+                        let tuple = Tuple::on_stream(self.config.task, stream, values);
                         let addressed = self.fw.route(tuple, false);
                         self.dispatch(addressed);
                     }
@@ -369,7 +368,7 @@ fn run_spout(ctx: &mut WorkerCtx, mut spout: Box<dyn Spout>) {
             .gauge("queue.depth")
             .set(ctx.io.queue_depth() as i64);
         if !busy {
-            std::thread::sleep(Duration::from_micros(20));
+            std::thread::sleep(Duration::from_micros(20)); // LINT: allow-sleep(idle backoff when the worker had no tuples to process)
         }
     }
 }
@@ -446,7 +445,7 @@ fn run_bolt(ctx: &mut WorkerCtx, mut bolt: Box<dyn Bolt>) {
             .gauge("queue.depth")
             .set(ctx.io.queue_depth() as i64);
         if !busy {
-            std::thread::sleep(Duration::from_micros(20));
+            std::thread::sleep(Duration::from_micros(20)); // LINT: allow-sleep(idle backoff when the worker had no tuples to process)
         }
     }
 }
@@ -456,9 +455,7 @@ fn run_acker(ctx: &mut WorkerCtx) {
     let mut last_expire = Instant::now();
     ctx.shared.ready.store(true, Ordering::Release);
     loop {
-        if ctx.shared.crash.load(Ordering::Acquire)
-            || ctx.shared.shutdown.load(Ordering::Acquire)
-        {
+        if ctx.shared.crash.load(Ordering::Acquire) || ctx.shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         let mut busy = false;
@@ -489,7 +486,7 @@ fn run_acker(ctx: &mut WorkerCtx) {
         }
         ctx.io.flush_due();
         if !busy {
-            std::thread::sleep(Duration::from_micros(20));
+            std::thread::sleep(Duration::from_micros(20)); // LINT: allow-sleep(idle backoff when the worker had no tuples to process)
         }
     }
 }

@@ -34,8 +34,7 @@ fn reschedule(
     for node in &logical.nodes {
         let existing = phys.tasks_of(&node.name);
         if existing.len() > node.parallelism {
-            let drop: HashSet<TaskId> =
-                existing[node.parallelism..].iter().copied().collect();
+            let drop: HashSet<TaskId> = existing[node.parallelism..].iter().copied().collect();
             phys.assignments.retain(|a| !drop.contains(&a.task));
         } else {
             for i in 0..(node.parallelism - existing.len()) {

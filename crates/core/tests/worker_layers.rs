@@ -93,7 +93,14 @@ fn spawn_echo_worker() -> (
     }];
     let ser = SerStats::shared();
     let thread = std::thread::spawn(move || {
-        worker::run_worker(config, Role::Bolt(Box::new(Echo)), worker_port, routes, ser, shared2);
+        worker::run_worker(
+            config,
+            Role::Bolt(Box::new(Echo)),
+            worker_port,
+            routes,
+            ser,
+            shared2,
+        );
     });
     (sw, ch, shared, thread, downstream, upstream)
 }
@@ -134,18 +141,21 @@ fn recv_tuple(port: &typhoon_switch::WorkerPort, deadline: Duration) -> Option<T
 fn bolt_worker_echoes_through_all_three_layers() {
     let (sw, _ch, shared, thread, downstream, upstream) = spawn_echo_worker();
     let handle = sw.spawn();
-    assert!(shared.ready.load(Ordering::Acquire) || {
-        std::thread::sleep(Duration::from_millis(200));
-        shared.ready.load(Ordering::Acquire)
-    });
-    inject(&upstream, vec![Value::Int(5), Value::Str("x".into())], StreamId::DEFAULT);
+    assert!(
+        shared.ready.load(Ordering::Acquire) || {
+            std::thread::sleep(Duration::from_millis(200));
+            shared.ready.load(Ordering::Acquire)
+        }
+    );
+    inject(
+        &upstream,
+        vec![Value::Int(5), Value::Str("x".into())],
+        StreamId::DEFAULT,
+    );
     let out = recv_tuple(&downstream, Duration::from_secs(5)).expect("echoed");
     assert_eq!(out.meta.src_task, TaskId(1), "re-emitted by the worker");
     assert_eq!(out.get(0), Some(&Value::Int(5)));
-    assert_eq!(
-        shared.registry.snapshot().counter("tuples.received"),
-        1
-    );
+    assert_eq!(shared.registry.snapshot().counter("tuples.received"), 1);
     shared.shutdown.store(true, Ordering::Release);
     thread.join().unwrap();
     handle.stop();
@@ -192,7 +202,12 @@ fn routing_control_tuple_rewires_a_live_worker() {
     // The controller→worker rule: dl_dst=worker(1) output port1.
     // (Installed in spawn_echo_worker.)
     let deadline = Instant::now() + Duration::from_secs(5);
-    while shared.registry.snapshot().counter("control.routing_applied") == 0 {
+    while shared
+        .registry
+        .snapshot()
+        .counter("control.routing_applied")
+        == 0
+    {
         assert!(Instant::now() < deadline, "ROUTING never applied");
         std::thread::sleep(Duration::from_millis(5));
     }
@@ -217,6 +232,9 @@ fn crash_flag_exits_without_flushing() {
     shared.crash.store(true, Ordering::Release);
     let t0 = Instant::now();
     thread.join().unwrap();
-    assert!(t0.elapsed() < Duration::from_secs(2), "crash exit is prompt");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "crash exit is prompt"
+    );
     handle.stop();
 }

@@ -1,0 +1,278 @@
+//! # typhoon-diag — deadlock and race instrumentation for Typhoon's locks
+//!
+//! Typhoon's dataplane is concurrency-heavy: SPSC rings, refcounted
+//! broadcast payloads, ZooKeeper-style watches, and a controller that
+//! reconfigures running workers. A single mis-ordered lock acquisition can
+//! deadlock the whole pipeline, and a lock held across tunnel I/O silently
+//! destroys the tail latencies the paper's Figs. 8–14 measure.
+//!
+//! This crate provides drop-in lock wrappers that enforce the workspace's
+//! lock discipline **in debug builds** and compile to zero-overhead
+//! pass-throughs in release builds:
+//!
+//! * [`DiagMutex`] / [`DiagRwLock`] — non-poisoning wrappers over
+//!   `std::sync` locks. A panic while holding a lock never wedges other
+//!   threads (the poison flag is cleared on the next acquisition).
+//! * **Lock ranks** ([`LockRank`], [`rank`]) — each major lock carries a
+//!   documented rank; acquiring a ranked lock while holding one of equal
+//!   or higher rank panics with *both* acquisition sites. Rank-ordered
+//!   acquisition makes cycles (⇒ deadlocks) impossible among ranked locks.
+//! * **Re-entrancy detection** — re-acquiring a lock the current thread
+//!   already holds (a guaranteed self-deadlock for `std::sync::Mutex`)
+//!   panics immediately with both sites instead of hanging.
+//! * **Held-too-long watchdog** — guards time their critical section; a
+//!   hold longer than [`hold_threshold`] is counted in the shared
+//!   [`typhoon_metrics::Registry`] returned by [`registry`] (counter
+//!   `diag.lock.held_too_long`, histogram `diag.lock.hold_ns`) and logged
+//!   to stderr, naming the lock and the acquisition site.
+//!
+//! The rank hierarchy adopted by the workspace is documented in
+//! `docs/CONCURRENCY.md` and encoded in [`rank`]. Rule of thumb: **outer
+//! layers rank low, inner layers rank high**, and a thread may only
+//! acquire locks in strictly increasing rank order.
+//!
+//! In release builds (`cfg(not(debug_assertions))`) the wrappers contain
+//! exactly a `std::sync` lock — no registration, no thread-local
+//! bookkeeping, no timing — so the hot paths measured by `benches/micro.rs`
+//! are unaffected.
+
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+use typhoon_metrics::Registry;
+
+mod mutex;
+mod rwlock;
+
+pub use mutex::{DiagMutex, DiagMutexGuard};
+pub use rwlock::{DiagRwLock, DiagRwLockReadGuard, DiagRwLockWriteGuard};
+
+/// Acquisition-order rank of a lock. Threads must acquire ranked locks in
+/// strictly increasing rank order; rank `0` (`LockRank::UNRANKED`) opts a
+/// lock out of order checking (re-entrancy and watchdog checks still
+/// apply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockRank(pub u16);
+
+impl LockRank {
+    /// Excluded from rank-order checking.
+    pub const UNRANKED: LockRank = LockRank(0);
+}
+
+/// The workspace lock-rank hierarchy (documented in `docs/CONCURRENCY.md`).
+///
+/// Outer control-plane layers rank low; inner data-plane layers rank
+/// high. A thread holding `CLUSTER` may take `COORD_STORE`, never the
+/// reverse.
+pub mod rank {
+    use super::LockRank;
+
+    /// `typhoon-core` `cluster.rs` — outermost supervisor state.
+    pub const CLUSTER: LockRank = LockRank(100);
+    /// `typhoon-storm` `nimbus.rs` — topology master state.
+    pub const NIMBUS: LockRank = LockRank(200);
+    /// `typhoon-coordinator` `global.rs` — coordination service façade.
+    pub const COORD_GLOBAL: LockRank = LockRank(300);
+    /// `typhoon-coordinator` `store.rs` — znode tree + watches.
+    pub const COORD_STORE: LockRank = LockRank(400);
+    /// `typhoon-controller` `controller.rs` — SDN controller state.
+    pub const CONTROLLER: LockRank = LockRank(500);
+    /// `typhoon-switch` `datapath.rs` — software switch state.
+    pub const DATAPATH: LockRank = LockRank(600);
+    /// `typhoon-net` — tunnels and rings (innermost, leaf I/O).
+    pub const TUNNEL: LockRank = LockRank(700);
+}
+
+/// Shared diagnostics metric registry. The held-too-long watchdog reports
+/// here; embedders can merge it into their own metric collection.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(debug_assertions)]
+pub(crate) mod debug_state {
+    //! Debug-build bookkeeping: lock identities, per-thread held stacks,
+    //! and the watchdog threshold.
+
+    use std::cell::RefCell;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Monotonic lock-instance id source (0 = unassigned).
+    static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// Watchdog threshold in nanoseconds.
+    static HOLD_THRESHOLD_NANOS: AtomicU64 = AtomicU64::new(100_000_000);
+
+    pub fn hold_threshold_nanos() -> u64 {
+        HOLD_THRESHOLD_NANOS.load(Ordering::Relaxed)
+    }
+
+    pub fn set_hold_threshold_nanos(nanos: u64) {
+        HOLD_THRESHOLD_NANOS.store(nanos, Ordering::Relaxed);
+    }
+
+    pub fn assign_lock_id(slot: &AtomicU64) -> u64 {
+        let existing = slot.load(Ordering::Relaxed);
+        if existing != 0 {
+            return existing;
+        }
+        let fresh = NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed);
+        match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => fresh,
+            Err(winner) => winner,
+        }
+    }
+
+    /// One lock currently held by this thread.
+    #[derive(Clone, Copy)]
+    pub struct Held {
+        pub lock_id: u64,
+        pub rank: u16,
+        pub name: &'static str,
+        pub acquired_at: &'static Location<'static>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Checks discipline for an acquisition and records it on the
+    /// thread's held stack. Panics on re-entrancy or rank inversion.
+    #[track_caller]
+    pub fn check_and_push(lock_id: u64, rank: u16, name: &'static str, exclusive: bool) {
+        let at = Location::caller();
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            for h in held.iter() {
+                if h.lock_id == lock_id {
+                    // Re-entrant read acquisitions of a RwLock are only a
+                    // deadlock risk against a queued writer, but they are a
+                    // discipline violation either way; flag them all.
+                    let _ = exclusive;
+                    panic!(
+                        "typhoon-diag: re-entrant acquisition of lock `{}` at {at}; \
+                         already held by this thread since {}",
+                        name, h.acquired_at
+                    );
+                }
+            }
+            if rank != 0 {
+                if let Some(h) = held.iter().filter(|h| h.rank != 0).max_by_key(|h| h.rank) {
+                    if h.rank >= rank {
+                        panic!(
+                            "typhoon-diag: lock-order inversion (potential deadlock): \
+                             acquiring `{}` (rank {}) at {at} while holding `{}` (rank {}) \
+                             acquired at {}; ranked locks must be taken in strictly \
+                             increasing rank order (see docs/CONCURRENCY.md)",
+                            name, rank, h.name, h.rank, h.acquired_at
+                        );
+                    }
+                }
+            }
+            held.push(Held {
+                lock_id,
+                rank,
+                name,
+                acquired_at: at,
+            });
+        });
+    }
+
+    /// Removes a released lock from the thread's held stack.
+    pub fn pop(lock_id: u64) {
+        // `try_with`: guards may drop during thread TLS teardown.
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(idx) = held.iter().rposition(|h| h.lock_id == lock_id) {
+                held.remove(idx);
+            }
+        });
+    }
+
+    /// Watchdog hook: called by guards on drop with the measured hold time.
+    pub fn observe_hold(name: &'static str, acquired_at: &'static Location<'static>, nanos: u64) {
+        // Cached handle: this runs on every guard drop, so skip the
+        // registry name lookup on the hot path.
+        static HOLD_HIST: std::sync::OnceLock<typhoon_metrics::Histogram> =
+            std::sync::OnceLock::new();
+        HOLD_HIST
+            .get_or_init(|| crate::registry().histogram("diag.lock.hold_ns"))
+            .record(nanos);
+        if nanos > hold_threshold_nanos() {
+            crate::registry().counter("diag.lock.held_too_long").inc();
+            crate::registry()
+                .counter(&format!("diag.lock.held_too_long.{name}"))
+                .inc();
+            eprintln!(
+                "typhoon-diag: lock `{name}` held for {:.3}ms (threshold {:.3}ms), \
+                 acquired at {acquired_at}",
+                nanos as f64 / 1e6,
+                hold_threshold_nanos() as f64 / 1e6,
+            );
+        }
+    }
+}
+
+/// Sets the held-too-long watchdog threshold (debug builds only; a no-op
+/// in release builds). Locks held longer than this are counted in
+/// [`registry`] under `diag.lock.held_too_long` and logged to stderr.
+pub fn set_hold_threshold(threshold: std::time::Duration) {
+    #[cfg(debug_assertions)]
+    debug_state::set_hold_threshold_nanos(threshold.as_nanos().min(u64::MAX as u128) as u64);
+    #[cfg(not(debug_assertions))]
+    let _ = threshold;
+}
+
+/// Current held-too-long watchdog threshold (debug builds; release builds
+/// report `None` because the watchdog is compiled out).
+pub fn hold_threshold() -> Option<std::time::Duration> {
+    #[cfg(debug_assertions)]
+    {
+        Some(std::time::Duration::from_nanos(
+            debug_state::hold_threshold_nanos(),
+        ))
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_shared() {
+        registry().counter("diag.test.shared").inc();
+        assert!(registry().snapshot().counter("diag.test.shared") >= 1);
+    }
+
+    // Compile-time/profile guarantee: in release builds the wrappers are
+    // transparent newtypes over std locks; in debug builds they carry
+    // instrumentation metadata.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_wrappers_are_pass_through() {
+        use std::mem::size_of;
+        assert_eq!(
+            size_of::<DiagMutex<u64>>(),
+            size_of::<std::sync::Mutex<u64>>()
+        );
+        assert_eq!(
+            size_of::<DiagRwLock<u64>>(),
+            size_of::<std::sync::RwLock<u64>>()
+        );
+        assert!(hold_threshold().is_none());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn debug_wrappers_carry_instrumentation() {
+        use std::mem::size_of;
+        assert!(size_of::<DiagMutex<u64>>() > size_of::<std::sync::Mutex<u64>>());
+        assert!(hold_threshold().is_some());
+    }
+}

@@ -1,0 +1,187 @@
+//! Instrumented mutex.
+
+use crate::LockRank;
+use std::sync::{self, PoisonError};
+
+#[cfg(debug_assertions)]
+use crate::debug_state;
+#[cfg(debug_assertions)]
+use std::panic::Location;
+#[cfg(debug_assertions)]
+use std::sync::atomic::AtomicU64;
+#[cfg(debug_assertions)]
+use std::time::Instant;
+
+/// Non-poisoning mutex with debug-build deadlock instrumentation.
+///
+/// See the crate docs for the discipline this enforces. In release builds
+/// this is a transparent wrapper over [`std::sync::Mutex`] whose only
+/// behavioural difference is that poisoning is recovered instead of
+/// propagated: a panicked holder cannot wedge other threads.
+pub struct DiagMutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    rank: u16,
+    #[cfg(debug_assertions)]
+    name: &'static str,
+    #[cfg(debug_assertions)]
+    id: AtomicU64,
+    inner: sync::Mutex<T>,
+}
+
+impl<T> DiagMutex<T> {
+    /// An unranked, anonymous lock: re-entrancy and watchdog checks apply,
+    /// rank-order checking does not.
+    pub const fn new(value: T) -> Self {
+        Self::with_rank(LockRank::UNRANKED, "<anon>", value)
+    }
+
+    /// A named lock participating in the documented rank hierarchy.
+    pub const fn with_rank(rank: LockRank, name: &'static str, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (rank, name);
+        }
+        DiagMutex {
+            #[cfg(debug_assertions)]
+            rank: rank.0,
+            #[cfg(debug_assertions)]
+            name,
+            #[cfg(debug_assertions)]
+            id: AtomicU64::new(0),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> DiagMutex<T> {
+    /// Acquires the lock, blocking the current thread.
+    ///
+    /// Debug builds panic on re-entrant acquisition and rank-order
+    /// inversion; a poisoned lock is recovered, never propagated.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn lock(&self) -> DiagMutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let meta = {
+            let id = debug_state::assign_lock_id(&self.id);
+            debug_state::check_and_push(id, self.rank, self.name, true);
+            GuardMeta {
+                lock_id: id,
+                name: self.name,
+                acquired_at: Location::caller(),
+                acquired: Instant::now(),
+            }
+        };
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        DiagMutexGuard {
+            guard,
+            #[cfg(debug_assertions)]
+            meta,
+        }
+    }
+
+    /// Attempts the lock without blocking.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn try_lock(&self) -> Option<DiagMutexGuard<'_, T>> {
+        let guard = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(debug_assertions)]
+        let meta = {
+            let id = debug_state::assign_lock_id(&self.id);
+            debug_state::check_and_push(id, self.rank, self.name, true);
+            GuardMeta {
+                lock_id: id,
+                name: self.name,
+                acquired_at: Location::caller(),
+                acquired: Instant::now(),
+            }
+        };
+        Some(DiagMutexGuard {
+            guard,
+            #[cfg(debug_assertions)]
+            meta,
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for DiagMutex<T> {
+    fn default() -> Self {
+        DiagMutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for DiagMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("DiagMutex");
+        #[cfg(debug_assertions)]
+        s.field("name", &self.name).field("rank", &self.rank);
+        match self.inner.try_lock() {
+            Ok(v) => s.field("data", &&*v).finish(),
+            Err(_) => s.field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+pub(crate) struct GuardMeta {
+    pub lock_id: u64,
+    pub name: &'static str,
+    pub acquired_at: &'static Location<'static>,
+    pub acquired: Instant,
+}
+
+#[cfg(debug_assertions)]
+impl GuardMeta {
+    pub fn release(&self) {
+        debug_state::pop(self.lock_id);
+        let nanos = self.acquired.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        debug_state::observe_hold(self.name, self.acquired_at, nanos);
+    }
+}
+
+/// Guard returned by [`DiagMutex::lock`].
+pub struct DiagMutexGuard<'a, T: ?Sized> {
+    guard: sync::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    meta: GuardMeta,
+}
+
+impl<T: ?Sized> std::ops::Deref for DiagMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for DiagMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for DiagMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.meta.release();
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for DiagMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}

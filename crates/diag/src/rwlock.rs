@@ -1,0 +1,217 @@
+//! Instrumented reader-writer lock.
+
+use crate::LockRank;
+use std::sync::{self, PoisonError};
+
+#[cfg(debug_assertions)]
+use crate::debug_state;
+#[cfg(debug_assertions)]
+use crate::mutex::GuardMeta;
+#[cfg(debug_assertions)]
+use std::panic::Location;
+#[cfg(debug_assertions)]
+use std::sync::atomic::AtomicU64;
+#[cfg(debug_assertions)]
+use std::time::Instant;
+
+/// Non-poisoning reader-writer lock with debug-build deadlock
+/// instrumentation. Counterpart of [`crate::DiagMutex`]; see the crate
+/// docs for the enforced discipline.
+pub struct DiagRwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    rank: u16,
+    #[cfg(debug_assertions)]
+    name: &'static str,
+    #[cfg(debug_assertions)]
+    id: AtomicU64,
+    inner: sync::RwLock<T>,
+}
+
+impl<T> DiagRwLock<T> {
+    /// An unranked, anonymous lock (no rank-order checking).
+    pub const fn new(value: T) -> Self {
+        Self::with_rank(LockRank::UNRANKED, "<anon>", value)
+    }
+
+    /// A named lock participating in the documented rank hierarchy.
+    pub const fn with_rank(rank: LockRank, name: &'static str, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (rank, name);
+        }
+        DiagRwLock {
+            #[cfg(debug_assertions)]
+            rank: rank.0,
+            #[cfg(debug_assertions)]
+            name,
+            #[cfg(debug_assertions)]
+            id: AtomicU64::new(0),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> DiagRwLock<T> {
+    #[cfg(debug_assertions)]
+    #[track_caller]
+    fn enter(&self, exclusive: bool) -> GuardMeta {
+        let id = debug_state::assign_lock_id(&self.id);
+        debug_state::check_and_push(id, self.rank, self.name, exclusive);
+        GuardMeta {
+            lock_id: id,
+            name: self.name,
+            acquired_at: Location::caller(),
+            acquired: Instant::now(),
+        }
+    }
+
+    /// Acquires shared read access.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn read(&self) -> DiagRwLockReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let meta = self.enter(false);
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        DiagRwLockReadGuard {
+            guard,
+            #[cfg(debug_assertions)]
+            meta,
+        }
+    }
+
+    /// Acquires exclusive write access.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn write(&self) -> DiagRwLockWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let meta = self.enter(true);
+        let guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        DiagRwLockWriteGuard {
+            guard,
+            #[cfg(debug_assertions)]
+            meta,
+        }
+    }
+
+    /// Attempts shared read access without blocking.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn try_read(&self) -> Option<DiagRwLockReadGuard<'_, T>> {
+        let guard = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(debug_assertions)]
+        let meta = self.enter(false);
+        Some(DiagRwLockReadGuard {
+            guard,
+            #[cfg(debug_assertions)]
+            meta,
+        })
+    }
+
+    /// Attempts exclusive write access without blocking.
+    #[cfg_attr(debug_assertions, track_caller)]
+    pub fn try_write(&self) -> Option<DiagRwLockWriteGuard<'_, T>> {
+        let guard = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(debug_assertions)]
+        let meta = self.enter(true);
+        Some(DiagRwLockWriteGuard {
+            guard,
+            #[cfg(debug_assertions)]
+            meta,
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for DiagRwLock<T> {
+    fn default() -> Self {
+        DiagRwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for DiagRwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("DiagRwLock");
+        #[cfg(debug_assertions)]
+        s.field("name", &self.name).field("rank", &self.rank);
+        match self.inner.try_read() {
+            Ok(v) => s.field("data", &&*v).finish(),
+            Err(_) => s.field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Guard returned by [`DiagRwLock::read`].
+pub struct DiagRwLockReadGuard<'a, T: ?Sized> {
+    guard: sync::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    meta: GuardMeta,
+}
+
+impl<T: ?Sized> std::ops::Deref for DiagRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for DiagRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.meta.release();
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for DiagRwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Guard returned by [`DiagRwLock::write`].
+pub struct DiagRwLockWriteGuard<'a, T: ?Sized> {
+    guard: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    meta: GuardMeta,
+}
+
+impl<T: ?Sized> std::ops::Deref for DiagRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for DiagRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for DiagRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.meta.release();
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for DiagRwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}

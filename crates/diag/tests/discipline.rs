@@ -1,0 +1,182 @@
+//! Lock-discipline enforcement tests for typhoon-diag.
+//!
+//! The enforcement paths only exist under `cfg(debug_assertions)`; the
+//! release-profile run of this file exercises the pass-through behaviour
+//! instead (no panics, identical data semantics).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+use typhoon_diag::{rank, DiagMutex, DiagRwLock, LockRank};
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn ordered_acquisition_is_fine() {
+    let low = DiagMutex::with_rank(rank::CLUSTER, "test.low", 1u32);
+    let high = DiagMutex::with_rank(rank::DATAPATH, "test.high", 2u32);
+    let a = low.lock();
+    let b = high.lock();
+    assert_eq!(*a + *b, 3);
+}
+
+#[test]
+fn unranked_locks_skip_order_checking() {
+    let a = DiagMutex::new(1u32);
+    let b = DiagMutex::new(2u32);
+    let ga = a.lock();
+    let gb = b.lock();
+    assert_eq!(*ga + *gb, 3);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn rank_inversion_panics_with_both_sites() {
+    let low = DiagMutex::with_rank(rank::NIMBUS, "test.inv.low", ());
+    let high = DiagMutex::with_rank(rank::TUNNEL, "test.inv.high", ());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _h = high.lock();
+        let _l = low.lock(); // rank 200 while holding rank 700: inversion
+    }));
+    let msg = panic_message(result.expect_err("inversion must panic"));
+    assert!(msg.contains("lock-order inversion"), "msg: {msg}");
+    assert!(msg.contains("test.inv.low"), "msg: {msg}");
+    assert!(msg.contains("test.inv.high"), "msg: {msg}");
+    // Both acquisition sites are file:line locations in this file.
+    assert!(msg.matches("discipline.rs").count() >= 2, "msg: {msg}");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn equal_rank_also_panics() {
+    let a = DiagMutex::with_rank(LockRank(350), "test.eq.a", ());
+    let b = DiagMutex::with_rank(LockRank(350), "test.eq.b", ());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _a = a.lock();
+        let _b = b.lock(); // equal rank: ambiguous order, also refused
+    }));
+    let msg = panic_message(result.expect_err("equal-rank nesting must panic"));
+    assert!(msg.contains("lock-order inversion"), "msg: {msg}");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn reentrant_mutex_panics_instead_of_deadlocking() {
+    let m = Arc::new(DiagMutex::new(0u32));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _g1 = m.lock();
+        let _g2 = m.lock(); // would self-deadlock on a raw std Mutex
+    }));
+    let msg = panic_message(result.expect_err("re-entrant lock must panic"));
+    assert!(msg.contains("re-entrant acquisition"), "msg: {msg}");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn reentrant_rwlock_read_panics() {
+    let l = DiagRwLock::with_rank(rank::COORD_STORE, "test.rw", 7u32);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _r1 = l.read();
+        let _r2 = l.read(); // deadlocks against a queued writer on std RwLock
+    }));
+    let msg = panic_message(result.expect_err("re-entrant read must panic"));
+    assert!(msg.contains("re-entrant acquisition"), "msg: {msg}");
+}
+
+#[test]
+fn rwlock_read_then_higher_rank_is_fine() {
+    let store = DiagRwLock::with_rank(rank::COORD_STORE, "test.store", 1u32);
+    let dp = DiagMutex::with_rank(rank::DATAPATH, "test.dp", 2u32);
+    let r = store.read();
+    let g = dp.lock();
+    assert_eq!(*r + *g, 3);
+}
+
+#[test]
+fn other_threads_have_independent_stacks() {
+    // A lock held on one thread must not affect another thread's checks.
+    let low = Arc::new(DiagMutex::with_rank(rank::CLUSTER, "test.t.low", ()));
+    let high = Arc::new(DiagMutex::with_rank(rank::DATAPATH, "test.t.high", ()));
+    let _h = high.lock();
+    let low2 = Arc::clone(&low);
+    std::thread::spawn(move || {
+        // Fresh thread, empty held stack: taking the low-rank lock is legal.
+        let _l = low2.lock();
+    })
+    .join()
+    .expect("independent thread must not panic");
+}
+
+#[test]
+fn panicked_holder_does_not_poison() {
+    // The core regression the coordinator migration depends on: a thread
+    // that panics while holding the lock must not wedge later users.
+    let m = Arc::new(DiagMutex::new(41u32));
+    let m2 = Arc::clone(&m);
+    let joined = std::thread::spawn(move || {
+        let _g = m2.lock();
+        panic!("holder dies");
+    })
+    .join();
+    assert!(joined.is_err());
+    *m.lock() += 1; // recovers instead of propagating poison
+    assert_eq!(*m.lock(), 42);
+}
+
+#[test]
+fn rwlock_panicked_writer_does_not_poison() {
+    let l = Arc::new(DiagRwLock::new(10u32));
+    let l2 = Arc::clone(&l);
+    let joined = std::thread::spawn(move || {
+        let _g = l2.write();
+        panic!("writer dies");
+    })
+    .join();
+    assert!(joined.is_err());
+    assert_eq!(*l.read(), 10);
+    *l.write() += 1;
+    assert_eq!(*l.read(), 11);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn watchdog_counts_long_holds() {
+    typhoon_diag::set_hold_threshold(Duration::from_millis(1));
+    let m = DiagMutex::with_rank(LockRank(990), "test.watchdog", ());
+    {
+        let _g = m.lock();
+        std::thread::sleep(Duration::from_millis(5)); // LINT: allow-sleep(test exercises the hold watchdog)
+    }
+    let snap = typhoon_diag::registry().snapshot();
+    assert!(snap.counter("diag.lock.held_too_long") >= 1);
+    assert!(snap.counter("diag.lock.held_too_long.test.watchdog") >= 1);
+    // Restore the default so other tests in this binary are unaffected.
+    typhoon_diag::set_hold_threshold(Duration::from_millis(100));
+}
+
+#[test]
+fn try_lock_contended_returns_none() {
+    let m = DiagMutex::new(5u32);
+    let g = m.lock();
+    assert!(m.try_lock().is_none());
+    drop(g);
+    assert_eq!(*m.try_lock().expect("uncontended"), 5);
+}
+
+#[test]
+fn guards_release_their_stack_entry() {
+    // Sequential (non-nested) acquisitions in "wrong" rank order are legal:
+    // the first guard is dropped before the second acquisition.
+    let low = DiagMutex::with_rank(rank::CLUSTER, "test.seq.low", ());
+    let high = DiagMutex::with_rank(rank::DATAPATH, "test.seq.high", ());
+    {
+        let _h = high.lock();
+    }
+    let _l = low.lock(); // fine: nothing held any more
+}

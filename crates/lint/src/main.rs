@@ -1,0 +1,78 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! typhoon-lint check [--json] [--root <dir>]
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+//! `cargo lint` is aliased to `cargo run -p typhoon-lint -- check` in
+//! `.cargo/config.toml`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: typhoon-lint check [--json] [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "check" {
+        eprintln!("unknown command: {cmd}");
+        return usage();
+    }
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+    // `cargo run`/`cargo lint` executes from the invocation directory;
+    // default to the workspace root that owns this binary so the whole
+    // tree is scanned regardless of the caller's cwd.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let diags = match typhoon_lint::check_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("typhoon-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", typhoon_lint::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("typhoon-lint: clean");
+        } else {
+            println!("typhoon-lint: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,101 @@
+//! Self-tests: the linter must report the exact rules and line numbers
+//! for the violation fixtures, and nothing for the clean fixture — both
+//! through the library API and through the installed binary (`--json`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixtures(sub: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(sub)
+}
+
+#[test]
+fn lib_reports_exact_rules_and_lines_for_bad_fixture() {
+    let diags = typhoon_lint::check_workspace(&fixtures("bad")).expect("scan");
+    let got: Vec<(&str, &str, usize)> = diags
+        .iter()
+        .map(|d| (d.rule, d.path.as_str(), d.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("TL002", "crates/storm/src/raw_lock.rs", 3),
+            ("TL002", "crates/storm/src/raw_lock.rs", 5),
+            ("TL001", "violations.rs", 5),
+            ("TL005", "violations.rs", 9),
+            ("TL004", "violations.rs", 13),
+            ("TL003", "violations.rs", 16),
+            ("TL003", "violations.rs", 20),
+        ],
+    );
+}
+
+#[test]
+fn lib_reports_nothing_for_clean_fixture() {
+    let diags = typhoon_lint::check_workspace(&fixtures("clean")).expect("scan");
+    assert_eq!(diags, vec![], "clean fixture must produce no diagnostics");
+}
+
+#[test]
+fn binary_json_output_and_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_typhoon-lint");
+
+    let bad = Command::new(bin)
+        .args(["check", "--json", "--root"])
+        .arg(fixtures("bad"))
+        .output()
+        .expect("run typhoon-lint");
+    assert_eq!(bad.status.code(), Some(1), "violations must exit 1");
+    let json = String::from_utf8(bad.stdout).expect("utf8");
+    for expected in [
+        r#""rule":"TL001","path":"violations.rs","line":5"#,
+        r#""rule":"TL005","path":"violations.rs","line":9"#,
+        r#""rule":"TL004","path":"violations.rs","line":13"#,
+        r#""rule":"TL003","path":"violations.rs","line":16"#,
+        r#""rule":"TL003","path":"violations.rs","line":20"#,
+        r#""rule":"TL002","path":"crates/storm/src/raw_lock.rs","line":3"#,
+        r#""rule":"TL002","path":"crates/storm/src/raw_lock.rs","line":5"#,
+    ] {
+        assert!(json.contains(expected), "missing {expected} in:\n{json}");
+    }
+    assert_eq!(json.matches(r#""rule":"#).count(), 7, "no extras:\n{json}");
+
+    let clean = Command::new(bin)
+        .args(["check", "--json", "--root"])
+        .arg(fixtures("clean"))
+        .output()
+        .expect("run typhoon-lint");
+    assert_eq!(clean.status.code(), Some(0), "clean tree must exit 0");
+    assert_eq!(String::from_utf8(clean.stdout).expect("utf8").trim(), "[]");
+}
+
+#[test]
+fn binary_rejects_bad_usage() {
+    let bin = env!("CARGO_BIN_EXE_typhoon-lint");
+    for args in [&[][..], &["frobnicate"][..], &["check", "--root"][..]] {
+        let out = Command::new(bin).args(args).output().expect("run");
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+    }
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The tree this linter ships in must satisfy its own rules.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let diags = typhoon_lint::check_workspace(&root).expect("scan");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

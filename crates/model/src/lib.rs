@@ -104,7 +104,10 @@ impl std::fmt::Display for ModelError {
             ModelError::ZeroParallelism(n) => write!(f, "node {n:?} has zero parallelism"),
             ModelError::NoSpout => write!(f, "topology has no spout"),
             ModelError::InsufficientCapacity { needed, available } => {
-                write!(f, "need {needed} worker slots but only {available} available")
+                write!(
+                    f,
+                    "need {needed} worker slots but only {available} available"
+                )
             }
             ModelError::UnknownComponent(n) => write!(f, "unknown component {n:?}"),
         }

@@ -180,8 +180,7 @@ fn validate(nodes: &[NodeSpec], edges: &[EdgeSpec]) -> Result<()> {
         }
     }
     // Kahn's algorithm: any node never drained is on a cycle.
-    let mut indegree: HashMap<&str, usize> =
-        nodes.iter().map(|n| (n.name.as_str(), 0)).collect();
+    let mut indegree: HashMap<&str, usize> = nodes.iter().map(|n| (n.name.as_str(), 0)).collect();
     for e in edges {
         *indegree.get_mut(e.to.as_str()).unwrap() += 1;
     }
@@ -305,7 +304,12 @@ pub fn word_count_example() -> LogicalTopology {
         .spout("input", "sentence-source", 1, Fields::new(["sentence"]))
         .bolt("split", "splitter", 2, Fields::new(["word"]))
         .bolt_with_state("count", "counter", 2, Fields::new(["word", "count"]), true)
-        .bolt("aggregator", "aggregate-sink", 1, Fields::new(["word", "count"]))
+        .bolt(
+            "aggregator",
+            "aggregate-sink",
+            1,
+            Fields::new(["word", "count"]),
+        )
         .edge("input", "split", Grouping::Shuffle)
         .edge("split", "count", Grouping::Fields(vec!["word".into()]))
         .edge("count", "aggregator", Grouping::Global)

@@ -139,11 +139,8 @@ impl PhysicalTopology {
     /// this count (§5: "assigns topologically neighboring workers to the
     /// same compute node to minimize remote inter-worker communication").
     pub fn remote_edge_pairs(&self, logical: &LogicalTopology) -> usize {
-        let host_of: BTreeMap<TaskId, HostId> = self
-            .assignments
-            .iter()
-            .map(|a| (a.task, a.host))
-            .collect();
+        let host_of: BTreeMap<TaskId, HostId> =
+            self.assignments.iter().map(|a| (a.task, a.host)).collect();
         let mut remote = 0;
         for e in &logical.edges {
             for &src in &self.tasks_of(&e.from) {

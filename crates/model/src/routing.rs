@@ -9,8 +9,8 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use typhoon_tuple::{Tuple, Value};
 use typhoon_tuple::tuple::TaskId;
+use typhoon_tuple::{Tuple, Value};
 
 /// How tuples on one edge are distributed to the downstream node's tasks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,11 +116,7 @@ impl RoutingState {
             Grouping::Fields(_) => {
                 let mut hasher = DefaultHasher::new();
                 for &i in &self.key_indices {
-                    tuple
-                        .values
-                        .get(i)
-                        .unwrap_or(&Value::Nil)
-                        .hash(&mut hasher);
+                    tuple.values.get(i).unwrap_or(&Value::Nil).hash(&mut hasher);
                 }
                 let index = (hasher.finish() % self.next_hops.len() as u64) as usize;
                 RouteDecision::One(self.next_hops[index])
@@ -209,8 +205,14 @@ mod tests {
             hops(&[1, 2, 3]),
             vec![0],
         );
-        let x = rs.route(&tuple_with(vec![Value::Int(7), Value::Str("noise-a".into())]));
-        let y = rs.route(&tuple_with(vec![Value::Int(7), Value::Str("noise-b".into())]));
+        let x = rs.route(&tuple_with(vec![
+            Value::Int(7),
+            Value::Str("noise-a".into()),
+        ]));
+        let y = rs.route(&tuple_with(vec![
+            Value::Int(7),
+            Value::Str("noise-b".into()),
+        ]));
         assert_eq!(x, y);
     }
 
@@ -249,11 +251,7 @@ mod tests {
     #[test]
     fn routing_control_update_changes_policy_type() {
         // "change routing type (e.g., from key-based to round robin)" — §3.2.
-        let mut rs = RoutingState::new(
-            Grouping::Fields(vec!["k".into()]),
-            hops(&[1, 2]),
-            vec![0],
-        );
+        let mut rs = RoutingState::new(Grouping::Fields(vec!["k".into()]), hops(&[1, 2]), vec![0]);
         rs.set_policy(Grouping::Shuffle, vec![]);
         assert_eq!(rs.policy().name(), "shuffle");
         let t = tuple_with(vec![Value::Int(1)]);

@@ -210,7 +210,9 @@ mod tests {
     fn round_robin_spreads_tasks() {
         let logical = word_count_example(); // 6 tasks
         let hs = hosts(3, 4);
-        let phys = RoundRobinScheduler.schedule(AppId(1), &logical, &hs).unwrap();
+        let phys = RoundRobinScheduler
+            .schedule(AppId(1), &logical, &hs)
+            .unwrap();
         assert_well_formed(&phys, &hs);
         let by = phys.by_host();
         assert_eq!(by.len(), 3, "round robin touches every host");
@@ -232,7 +234,9 @@ mod tests {
     fn locality_has_no_more_remote_pairs_than_round_robin() {
         let logical = word_count_example();
         let hs = hosts(3, 4);
-        let rr = RoundRobinScheduler.schedule(AppId(1), &logical, &hs).unwrap();
+        let rr = RoundRobinScheduler
+            .schedule(AppId(1), &logical, &hs)
+            .unwrap();
         let lo = LocalityScheduler.schedule(AppId(1), &logical, &hs).unwrap();
         assert!(
             lo.remote_edge_pairs(&logical) <= rr.remote_edge_pairs(&logical),
@@ -270,10 +274,7 @@ mod tests {
     #[test]
     fn heterogeneous_slots_are_respected() {
         let logical = word_count_example();
-        let hs = vec![
-            HostInfo::new(0, "small", 1),
-            HostInfo::new(1, "big", 8),
-        ];
+        let hs = vec![HostInfo::new(0, "small", 1), HostInfo::new(1, "big", 8)];
         for sched in [&RoundRobinScheduler as &dyn Scheduler, &LocalityScheduler] {
             let phys = sched.schedule(AppId(1), &logical, &hs).unwrap();
             assert_well_formed(&phys, &hs);

@@ -13,12 +13,16 @@ use typhoon_tuple::{Tuple, Value};
 /// A layered pipeline topology: guaranteed acyclic by construction.
 fn arb_pipeline() -> impl Strategy<Value = LogicalTopology> {
     (
-        1usize..4,                                  // spout parallelism
+        1usize..4,                                            // spout parallelism
         proptest::collection::vec((1usize..5, 0u8..4), 1..5), // layers: (parallelism, grouping tag)
     )
         .prop_map(|(spout_par, layers)| {
-            let mut b = LogicalTopology::builder("prop")
-                .spout("l0", "c", spout_par, Fields::new(["k", "v"]));
+            let mut b = LogicalTopology::builder("prop").spout(
+                "l0",
+                "c",
+                spout_par,
+                Fields::new(["k", "v"]),
+            );
             let mut prev = "l0".to_owned();
             for (i, (par, gtag)) in layers.into_iter().enumerate() {
                 let name = format!("l{}", i + 1);

@@ -41,7 +41,10 @@ impl std::fmt::Display for MqError {
             MqError::BadPartition {
                 partition,
                 available,
-            } => write!(f, "partition {partition} out of range (topic has {available})"),
+            } => write!(
+                f,
+                "partition {partition} out of range (topic has {available})"
+            ),
         }
     }
 }
@@ -112,8 +115,7 @@ impl MessageQueue {
                 (h.finish() % t.partitions.len() as u64) as usize
             }
             None => {
-                (t.round_robin.fetch_add(1, Ordering::Relaxed) % t.partitions.len() as u64)
-                    as usize
+                (t.round_robin.fetch_add(1, Ordering::Relaxed) % t.partitions.len() as u64) as usize
             }
         };
         let mut records = t.partitions[partition].records.lock();

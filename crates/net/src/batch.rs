@@ -94,10 +94,7 @@ impl<T> Batcher<T> {
             None
         } else {
             let cap = self.batch_size.load(Ordering::Relaxed);
-            Some(std::mem::replace(
-                &mut self.items,
-                Vec::with_capacity(cap),
-            ))
+            Some(std::mem::replace(&mut self.items, Vec::with_capacity(cap)))
         }
     }
 }

@@ -218,9 +218,7 @@ mod tests {
 
     #[test]
     fn small_tuples_multiplex_into_one_frame() {
-        let tuples: Vec<Bytes> = (0..10)
-            .map(|i| Bytes::from(vec![i as u8; 20]))
-            .collect();
+        let tuples: Vec<Bytes> = (0..10).map(|i| Bytes::from(vec![i as u8; 20])).collect();
         let p = Packetizer::new(1500);
         let frames = p.pack(src(), dst(), &tuples);
         assert_eq!(frames.len(), 1, "10×32B fits one 1500B frame");

@@ -17,10 +17,10 @@ use crate::frame::Frame;
 use crate::{NetError, Result};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use typhoon_diag::{rank, DiagMutex as Mutex};
 
 /// Upper bound on a tunnelled frame, to stop a corrupt length prefix from
 /// allocating gigabytes.
@@ -62,8 +62,8 @@ pub struct InMemoryTunnel {
 impl InMemoryTunnel {
     /// Creates a connected endpoint pair.
     pub fn pair() -> (InMemoryTunnel, InMemoryTunnel) {
-        let (a_tx, a_rx) = unbounded();
-        let (b_tx, b_rx) = unbounded();
+        let (a_tx, a_rx) = unbounded(); // LINT: allow-unbounded(in-memory tunnel mirrors TCP socket buffering; rings bound in-flight tuples upstream)
+        let (b_tx, b_rx) = unbounded(); // LINT: allow-unbounded(in-memory tunnel mirrors TCP socket buffering; rings bound in-flight tuples upstream)
         (
             InMemoryTunnel { tx: a_tx, rx: b_rx },
             InMemoryTunnel { tx: b_tx, rx: a_rx },
@@ -102,13 +102,13 @@ impl TcpTunnel {
     pub fn from_stream(stream: TcpStream) -> Result<Self> {
         stream.set_nodelay(true)?;
         let reader_stream = stream.try_clone()?;
-        let (tx, rx) = unbounded();
+        let (tx, rx) = unbounded(); // LINT: allow-unbounded(reader thread decouples socket reads; rings bound in-flight tuples upstream)
         std::thread::Builder::new()
             .name("tcp-tunnel-reader".into())
             .spawn(move || Self::reader_loop(reader_stream, tx))
             .expect("spawn tunnel reader");
         Ok(TcpTunnel {
-            writer: Arc::new(Mutex::new(stream)),
+            writer: Arc::new(Mutex::with_rank(rank::TUNNEL, "net.tunnel.writer", stream)),
             rx,
         })
     }

@@ -66,10 +66,10 @@ impl FlowMatch {
 
     /// True when every non-wildcard field equals the frame's.
     pub fn matches(&self, meta: &FrameMeta) -> bool {
-        self.in_port.map_or(true, |p| p == meta.in_port)
-            && self.dl_src.map_or(true, |m| m == meta.dl_src)
-            && self.dl_dst.map_or(true, |m| m == meta.dl_dst)
-            && self.ether_type.map_or(true, |t| t == meta.ether_type)
+        self.in_port.is_none_or(|p| p == meta.in_port)
+            && self.dl_src.is_none_or(|m| m == meta.dl_src)
+            && self.dl_dst.is_none_or(|m| m == meta.dl_dst)
+            && self.ether_type.is_none_or(|t| t == meta.ether_type)
     }
 
     /// Number of concrete (non-wildcard) fields; used as a deterministic

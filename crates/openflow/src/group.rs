@@ -97,6 +97,11 @@ impl WrrSelector {
     }
 
     /// Picks the next bucket index, or `None` when all weights are zero.
+    ///
+    /// Deliberately named like `Iterator::next` but not an `Iterator`
+    /// impl: the selector is infinite and stateful, and callers want
+    /// `&mut self` access without iterator adaptors.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<usize> {
         if self.total == 0 {
             return None;
@@ -104,7 +109,7 @@ impl WrrSelector {
         let mut best: Option<usize> = None;
         for (i, &w) in self.weights.iter().enumerate() {
             self.credit[i] += w as i64;
-            if w > 0 && best.map_or(true, |b| self.credit[i] > self.credit[b]) {
+            if w > 0 && best.is_none_or(|b| self.credit[i] > self.credit[b]) {
                 best = Some(i);
             }
         }

@@ -312,7 +312,12 @@ impl Cursor {
             2 => Action::SetDlDst(self.mac("action.set_dl_dst")?),
             3 => Action::Group(GroupId(self.u32("action.group")?)),
             4 => Action::ToController,
-            tag => return Err(OfError::BadTag { what: "action", tag }),
+            tag => {
+                return Err(OfError::BadTag {
+                    what: "action",
+                    tag,
+                })
+            }
         })
     }
 

@@ -98,12 +98,12 @@ fn arb_message() -> impl Strategy<Value = OfMessage> {
                     .map(|(weight, actions)| Bucket { weight, actions })
                     .collect(),
             })),
-        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..256)).prop_map(
-            |(port, frame)| OfMessage::PacketOut {
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..256)).prop_map(|(port, frame)| {
+            OfMessage::PacketOut {
                 in_port: PortNo(port),
                 frame: Bytes::from(frame),
             }
-        ),
+        }),
         (
             any::<u32>(),
             any::<bool>(),
@@ -128,7 +128,13 @@ fn arb_message() -> impl Strategy<Value = OfMessage> {
         }),
         Just(OfMessage::FlowStatsRequest),
         proptest::collection::vec(
-            (arb_match(), any::<u16>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (
+                arb_match(),
+                any::<u16>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>()
+            ),
             0..8
         )
         .prop_map(|stats| OfMessage::FlowStatsReply(
@@ -145,20 +151,29 @@ fn arb_message() -> impl Strategy<Value = OfMessage> {
         )),
         Just(OfMessage::PortStatsRequest),
         proptest::collection::vec(
-            (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (
+                any::<u32>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>()
+            ),
             0..8
         )
         .prop_map(|stats| OfMessage::PortStatsReply(
             stats
                 .into_iter()
-                .map(|(port, rx_packets, tx_packets, rx_bytes, tx_bytes, tx_dropped)| PortStats {
-                    port: PortNo(port),
-                    rx_packets,
-                    tx_packets,
-                    rx_bytes,
-                    tx_bytes,
-                    tx_dropped,
-                })
+                .map(
+                    |(port, rx_packets, tx_packets, rx_bytes, tx_bytes, tx_dropped)| PortStats {
+                        port: PortNo(port),
+                        rx_packets,
+                        tx_packets,
+                        rx_bytes,
+                        tx_bytes,
+                        tx_dropped,
+                    }
+                )
                 .collect()
         )),
         any::<u32>().prop_map(|xid| OfMessage::Barrier { xid }),

@@ -11,13 +11,13 @@ use crate::acker::{AckOutcome, AckerLedger};
 use crate::transport::Outbound;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use typhoon_diag::DiagMutex as Mutex;
 use typhoon_metrics::{RateMeter, Registry};
 use typhoon_model::{Bolt, Emitter, RouteDecision, RoutingState, Spout, TaskId};
 use typhoon_tuple::ser::{decode_tuple, encode_tuple_vec, SerStats};
@@ -263,7 +263,9 @@ fn run_spout(ctx: &mut ExecutorCtx, mut spout: Box<dyn Spout>) {
                 if let Some(born) = ctx.pending.remove(&root) {
                     if ok {
                         ctx.registry.counter("acks.completed").inc();
-                        ctx.registry.histogram("latency").record_duration(born.elapsed());
+                        ctx.registry
+                            .histogram("latency")
+                            .record_duration(born.elapsed());
                         spout.ack(root);
                     } else {
                         ctx.registry.counter("acks.failed").inc();
@@ -282,7 +284,7 @@ fn run_spout(ctx: &mut ExecutorCtx, mut spout: Box<dyn Spout>) {
         if !busy {
             ctx.flush_transfers(true);
             ctx.outbound.flush_all();
-            std::thread::sleep(Duration::from_micros(20));
+            std::thread::sleep(Duration::from_micros(20)); // LINT: allow-sleep(idle backoff when the executor had no input)
         }
     }
 }
@@ -372,7 +374,7 @@ fn run_bolt(ctx: &mut ExecutorCtx, mut bolt: Box<dyn Bolt>) {
         if !busy {
             ctx.flush_transfers(true);
             ctx.outbound.flush_all();
-            std::thread::sleep(Duration::from_micros(20));
+            std::thread::sleep(Duration::from_micros(20)); // LINT: allow-sleep(idle backoff when the executor had no input)
         }
     }
 }
@@ -412,12 +414,14 @@ fn run_acker(ctx: &mut ExecutorCtx) {
                 notify_spout(ctx, owner, root, outcome);
             }
         }
-        ctx.registry.gauge("acker.pending").set(ledger.pending() as i64);
+        ctx.registry
+            .gauge("acker.pending")
+            .set(ledger.pending() as i64);
         ctx.flush_transfers(false);
         if !busy {
             ctx.flush_transfers(true);
             ctx.outbound.flush_all();
-            std::thread::sleep(Duration::from_micros(20));
+            std::thread::sleep(Duration::from_micros(20)); // LINT: allow-sleep(idle backoff when the executor had no input)
         }
     }
 }

@@ -9,12 +9,12 @@
 use crate::executor::{self, Component, Route};
 use crate::transport::{Directory, Inbox, Outbound};
 use crate::{Result, StormError};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use typhoon_diag::{rank, DiagMutex as Mutex};
 use typhoon_metrics::{RateMeter, Registry};
 use typhoon_model::{
     AppId, ComponentRegistry, Grouping, LogicalTopology, NodeKind, PhysicalTopology,
@@ -167,7 +167,7 @@ impl StormCluster {
                 directory: Directory::new(),
                 ser: SerStats::shared(),
                 heartbeats: Arc::new(Mutex::new(HashMap::new())),
-                topologies: Mutex::new(Vec::new()),
+                topologies: Mutex::with_rank(rank::NIMBUS, "storm.nimbus.topologies", Vec::new()),
                 next_app: Mutex::new(1),
                 next_task_base: Mutex::new(0),
                 monitor_shutdown: Arc::new(AtomicBool::new(false)),
@@ -201,7 +201,13 @@ impl StormCluster {
             id
         };
         let hosts: Vec<typhoon_model::HostInfo> = (0..self.inner.config.hosts)
-            .map(|i| typhoon_model::HostInfo::new(i as u32, &format!("h{i}"), self.inner.config.slots_per_host))
+            .map(|i| {
+                typhoon_model::HostInfo::new(
+                    i as u32,
+                    &format!("h{i}"),
+                    self.inner.config.slots_per_host,
+                )
+            })
             .collect();
         let mut physical = RoundRobinScheduler.schedule(app, &logical, &hosts)?;
         // Rebase task IDs into a cluster-global range (the directory is
@@ -289,12 +295,7 @@ impl StormCluster {
             .entry(task)
             .or_insert_with(RateMeter::per_second)
             .clone();
-        let registry = topo
-            .registries
-            .lock()
-            .entry(task)
-            .or_insert_with(Registry::new)
-            .clone();
+        let registry = topo.registries.lock().entry(task).or_default().clone();
         let mut ctx = executor::make_ctx(
             task,
             &bp.node,
@@ -328,7 +329,9 @@ impl StormCluster {
             Component::Acker
         } else {
             match bp.kind {
-                NodeKind::Spout => Component::Spout(self.inner.components.make_spout(&bp.component)?),
+                NodeKind::Spout => {
+                    Component::Spout(self.inner.components.make_spout(&bp.component)?)
+                }
                 NodeKind::Bolt => Component::Bolt(self.inner.components.make_bolt(&bp.component)?),
             }
         };
@@ -375,7 +378,7 @@ impl StormCluster {
             .spawn(move || {
                 while !shutdown.load(Ordering::Acquire) {
                     cluster.sweep_heartbeats();
-                    std::thread::sleep(cluster.inner.config.monitor_interval);
+                    std::thread::sleep(cluster.inner.config.monitor_interval); // LINT: allow-sleep(heartbeat monitor tick on a dedicated thread)
                 }
             })
             .expect("spawn monitor");
@@ -670,7 +673,10 @@ mod tests {
         );
         // The pipeline keeps flowing after the restart.
         let before = sink.seen.lock().len();
-        assert!(wait_until(Duration::from_secs(10), || sink.seen.lock().len()
+        assert!(wait_until(Duration::from_secs(10), || sink
+            .seen
+            .lock()
+            .len()
             > before + 100));
         cluster.shutdown();
     }
@@ -690,7 +696,12 @@ mod tests {
         impl Bolt for KeyBolt {
             fn execute(&mut self, input: Tuple, _out: &mut dyn Emitter) {
                 let key = input.get(0).and_then(Value::as_str).unwrap().to_owned();
-                self.sink.per_key.lock().entry(key).or_default().push(self.id);
+                self.sink
+                    .per_key
+                    .lock()
+                    .entry(key)
+                    .or_default()
+                    .push(self.id);
             }
         }
         struct WordSpout {

@@ -10,12 +10,12 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use typhoon_diag::{DiagMutex as Mutex, DiagRwLock as RwLock};
 use typhoon_model::TaskId;
 
 /// Cap on one transported blob (guards against corrupt length prefixes).
@@ -85,7 +85,7 @@ impl Drop for ListenerGuard {
 impl Inbox {
     /// A purely local inbox.
     pub fn local() -> Inbox {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = unbounded(); // LINT: allow-unbounded(inbox mirrors socket buffering; acker windows bound in-flight tuples)
         Inbox {
             rx,
             addr: InboxAddr::Local(tx),
@@ -100,7 +100,7 @@ impl Inbox {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let (tx, rx) = unbounded();
+        let (tx, rx) = unbounded(); // LINT: allow-unbounded(inbox mirrors socket buffering; acker windows bound in-flight tuples)
         let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let shutdown2 = shutdown.clone();
         std::thread::Builder::new()
@@ -117,6 +117,7 @@ impl Inbox {
                             });
                         }
                         Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            // LINT: allow-sleep(nonblocking accept retry backoff on the transport listener thread)
                             std::thread::sleep(std::time::Duration::from_millis(2));
                         }
                         Err(_) => break,
@@ -189,19 +190,16 @@ impl Outbound {
 
     fn send_tcp(&self, task: TaskId, addr: SocketAddr, blob: &Bytes) -> bool {
         let mut conns = self.tcp_conns.lock();
-        if !conns.contains_key(&task) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = conns.entry(task) {
             match TcpStream::connect(addr) {
                 Ok(s) => {
                     let _ = s.set_nodelay(true);
-                    conns.insert(
-                        task,
-                        Conn {
-                            writer: BufWriter::with_capacity(64 * 1024, s),
-                            // In the past, so a first lone send flushes
-                            // immediately (low-rate paths stay low-latency).
-                            last_flush: Instant::now() - FLUSH_INTERVAL,
-                        },
-                    );
+                    slot.insert(Conn {
+                        writer: BufWriter::with_capacity(64 * 1024, s),
+                        // In the past, so a first lone send flushes
+                        // immediately (low-rate paths stay low-latency).
+                        last_flush: Instant::now() - FLUSH_INTERVAL,
+                    });
                 }
                 Err(_) => return false,
             }

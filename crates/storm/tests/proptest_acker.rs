@@ -20,7 +20,10 @@ struct TreeMessages {
 
 fn build_tree(shape: &[u8], mut next_anchor: u64) -> TreeMessages {
     let mut alloc = || {
-        next_anchor = next_anchor.wrapping_mul(6364136223846793005).wrapping_add(97) | 1;
+        next_anchor = next_anchor
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(97)
+            | 1;
         next_anchor
     };
     // Frontier of unacked anchors; each shape byte says how many children
@@ -76,7 +79,6 @@ proptest! {
         let now = Instant::now();
         let mut ledger = AckerLedger::new();
         let mut completions = 0;
-        let mut seen = 0;
         let mut init_done = false;
         for (i, &xor) in updates.iter().enumerate() {
             if i == init_at {
@@ -93,9 +95,8 @@ proptest! {
                 completions += 1;
                 // Completion may only fire once everything (incl. init) is in.
                 prop_assert!(init_done, "completed before the init arrived");
-                prop_assert_eq!(seen + 1, updates.len(), "completed early");
+                prop_assert_eq!(i + 1, updates.len(), "completed early");
             }
-            seen += 1;
         }
         if !init_done {
             if let Some((owner, outcome)) = ledger.apply(1, tree.init_xor, Some(spout), now) {

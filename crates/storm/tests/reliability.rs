@@ -8,9 +8,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use typhoon_model::{
-    Bolt, ComponentRegistry, Emitter, Fields, Grouping, LogicalTopology, Spout,
-};
+use typhoon_model::{Bolt, ComponentRegistry, Emitter, Fields, Grouping, LogicalTopology, Spout};
 use typhoon_storm::{StormCluster, StormConfig};
 use typhoon_tuple::{Tuple, Value};
 

@@ -11,12 +11,12 @@ use crate::port::{Ports, WorkerPort};
 use crate::table::FlowTable;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use typhoon_diag::{rank, DiagMutex as Mutex};
 use typhoon_net::{Frame, Tunnel};
 use typhoon_openflow::{
     wire, Action, DatapathId, FrameMeta, OfMessage, PacketInReason, PortNo, PortStatusReason,
@@ -94,7 +94,7 @@ impl Switch {
         let switch = Switch {
             inner: Arc::new(Inner {
                 ports: Mutex::new(Ports::new(config.ring_capacity)),
-                table: Mutex::new(FlowTable::new()),
+                table: Mutex::with_rank(rank::DATAPATH, "switch.datapath.table", FlowTable::new()),
                 groups: Mutex::new(GroupTable::new()),
                 tunnels: Mutex::new(HashMap::new()),
                 ctrl_tx: from_switch_tx,
@@ -354,6 +354,7 @@ impl Switch {
             .spawn(move || {
                 while !loop_switch.inner.shutdown.load(Ordering::Acquire) {
                     if !loop_switch.process_round() {
+                        // LINT: allow-sleep(configured idle_sleep when the datapath processed nothing this round)
                         std::thread::sleep(loop_switch.inner.config.idle_sleep);
                     }
                 }

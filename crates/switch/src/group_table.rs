@@ -136,10 +136,7 @@ mod tests {
         ));
         for _ in 0..10 {
             let actions = gt.select(GroupId(1)).unwrap();
-            assert_eq!(
-                actions[0],
-                Action::SetDlDst(MacAddr::worker(1, TaskId(2)))
-            );
+            assert_eq!(actions[0], Action::SetDlDst(MacAddr::worker(1, TaskId(2))));
         }
     }
 

@@ -98,11 +98,7 @@ impl Ports {
     /// Polls every port for received frames (up to `per_port` each),
     /// collecting `(port, frame)` pairs. Ports whose worker died are
     /// returned separately for `PortStatus` reporting.
-    pub(crate) fn poll(
-        &mut self,
-        per_port: usize,
-        out: &mut Vec<(PortNo, Frame)>,
-    ) -> Vec<PortNo> {
+    pub(crate) fn poll(&mut self, per_port: usize, out: &mut Vec<(PortNo, Frame)>) -> Vec<PortNo> {
         let mut dead = Vec::new();
         for (&port, entry) in self.entries.iter_mut() {
             for _ in 0..per_port {

@@ -122,7 +122,12 @@ impl FlowTable {
     /// a clone of the matched actions, or `None` (a table miss: the frame
     /// is dropped and counted, OVS's default behaviour with no table-miss
     /// rule installed).
-    pub fn lookup(&mut self, meta: &FrameMeta, frame_len: usize, now: Instant) -> Option<Vec<Action>> {
+    pub fn lookup(
+        &mut self,
+        meta: &FrameMeta,
+        frame_len: usize,
+        now: Instant,
+    ) -> Option<Vec<Action>> {
         match self
             .entries
             .iter_mut()
@@ -263,19 +268,11 @@ mod tests {
         let mut t = FlowTable::new();
         let now = Instant::now();
         t.apply(
-            &FlowMod::add(
-                5,
-                FlowMatch::any().in_port(PortNo(1)).dl_dst(w(1)),
-                vec![],
-            ),
+            &FlowMod::add(5, FlowMatch::any().in_port(PortNo(1)).dl_dst(w(1)), vec![]),
             now,
         );
         t.apply(
-            &FlowMod::add(
-                5,
-                FlowMatch::any().in_port(PortNo(1)).dl_dst(w(2)),
-                vec![],
-            ),
+            &FlowMod::add(5, FlowMatch::any().in_port(PortNo(1)).dl_dst(w(2)), vec![]),
             now,
         );
         t.apply(
@@ -328,8 +325,7 @@ mod tests {
         let mut t = FlowTable::new();
         let t0 = Instant::now();
         t.apply(
-            &FlowMod::add(5, FlowMatch::any(), vec![])
-                .with_hard_timeout(Duration::from_secs(2)),
+            &FlowMod::add(5, FlowMatch::any(), vec![]).with_hard_timeout(Duration::from_secs(2)),
             t0,
         );
         for i in 0..3 {
@@ -348,7 +344,9 @@ mod tests {
             t0,
         );
         // Not yet swept, but logically expired: lookup must miss.
-        assert!(t.lookup(&meta(0, w(1)), 1, t0 + Duration::from_secs(1)).is_none());
+        assert!(t
+            .lookup(&meta(0, w(1)), 1, t0 + Duration::from_secs(1))
+            .is_none());
     }
 
     #[test]

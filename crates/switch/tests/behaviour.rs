@@ -67,7 +67,9 @@ fn idle_rules_expire_in_a_live_datapath() {
 #[test]
 fn strict_delete_leaves_same_match_other_priority_untouched() {
     let (sw, ch) = Switch::new(SwitchConfig::new(1));
-    let matcher = FlowMatch::any().in_port(PortNo(1)).ether_type(TYPHOON_ETHERTYPE);
+    let matcher = FlowMatch::any()
+        .in_port(PortNo(1))
+        .ether_type(TYPHOON_ETHERTYPE);
     send_ctrl(&ch, OfMessage::FlowMod(FlowMod::add(50, matcher, vec![])));
     send_ctrl(&ch, OfMessage::FlowMod(FlowMod::add(60, matcher, vec![])));
     sw.process_round();

@@ -23,8 +23,8 @@
 //! evaluation harness reads these counters to demonstrate that gap directly
 //! (Fig. 9 of the paper), independent of wall-clock noise.
 
-use crate::{MessageId, Result, StreamId, Tuple, TupleError, TupleMeta, Value};
 use crate::tuple::TaskId;
+use crate::{MessageId, Result, StreamId, Tuple, TupleError, TupleMeta, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

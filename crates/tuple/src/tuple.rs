@@ -99,8 +99,7 @@ impl Tuple {
 
     /// Approximate in-memory footprint; used to model bounded worker memory.
     pub fn approx_size(&self) -> usize {
-        std::mem::size_of::<TupleMeta>()
-            + self.values.iter().map(Value::approx_size).sum::<usize>()
+        std::mem::size_of::<TupleMeta>() + self.values.iter().map(Value::approx_size).sum::<usize>()
     }
 }
 

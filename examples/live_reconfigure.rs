@@ -108,7 +108,10 @@ fn main() {
     std::thread::sleep(Duration::from_secs(2));
     println!("LIST            -> {}", command(addr, "LIST"));
     println!("SHOW math       -> {}", command(addr, "SHOW math"));
-    println!("sink has seen {} tuples (op = add-one)", seen.load(Ordering::Relaxed));
+    println!(
+        "sink has seen {} tuples (op = add-one)",
+        seen.load(Ordering::Relaxed)
+    );
 
     // 1. Parallelism change via the command API (async: the manager loop
     //    picks the request up from the coordinator).

@@ -88,7 +88,10 @@ fn main() {
     let cluster =
         TyphoonCluster::new(TyphoonConfig::new(2).with_batch_size(50), components).unwrap();
     let handle = cluster.submit(topology).unwrap();
-    println!("topology deployed: tasks = {:?}", handle.physical().unwrap().assignments.len());
+    println!(
+        "topology deployed: tasks = {:?}",
+        handle.physical().unwrap().assignments.len()
+    );
 
     std::thread::sleep(Duration::from_secs(3));
     println!("\ntop words after 3s:");

@@ -34,8 +34,12 @@ fn main() {
         let ad = (state >> 33) as usize % ADS;
         let event = EVENT_TYPES[(state >> 17) as usize % EVENT_TYPES.len()];
         let time_ms = (i as u64) * (3 * WINDOW_MS) / EVENTS as u64;
-        mq.produce("ad-events", None, Bytes::from(format!("{ad}|{event}|{time_ms}")))
-            .unwrap();
+        mq.produce(
+            "ad-events",
+            None,
+            Bytes::from(format!("{ad}|{event}|{time_ms}")),
+        )
+        .unwrap();
     }
     println!("{EVENTS} ad events queued across 3 aggregation windows");
 
@@ -66,17 +70,12 @@ fn main() {
     for c in 0..CAMPAIGNS {
         let name = format!("campaign:{c}");
         let windows = kv.windows(&name);
-        let row: Vec<String> = windows
-            .iter()
-            .map(|(w, n)| format!("w{w}={n}"))
-            .collect();
+        let row: Vec<String> = windows.iter().map(|(w, n)| format!("w{w}={n}")).collect();
         grand_total += windows.iter().map(|(_, n)| n).sum::<i64>();
         println!("  {name:<12} {}", row.join("  "));
     }
     let expected = EVENTS as i64 / 3; // filter-v1 passes only "view" events
-    println!(
-        "\nstored events: {grand_total} (≈{expected} expected: 1/3 of {EVENTS} are views)"
-    );
+    println!("\nstored events: {grand_total} (≈{expected} expected: 1/3 of {EVENTS} are views)");
     cluster.shutdown();
     println!("done.");
 }

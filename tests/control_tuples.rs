@@ -137,9 +137,12 @@ fn metric_req_round_trips_through_packet_in() {
     use typhoon::controller::{ControlPlaneApp, Controller};
     use typhoon::model::{AppId, TaskId};
 
+    /// Shared log of `(app, task, metrics)` triples seen by the capture app.
+    type MetricResponses = Arc<Mutex<Vec<(AppId, TaskId, Vec<(String, i64)>)>>>;
+
     #[derive(Default)]
     struct Capture {
-        responses: Arc<Mutex<Vec<(AppId, TaskId, Vec<(String, i64)>)>>>,
+        responses: MetricResponses,
     }
     impl ControlPlaneApp for Capture {
         fn name(&self) -> &'static str {
@@ -158,14 +161,16 @@ fn metric_req_round_trips_through_packet_in() {
     }
 
     let (cluster, handle, _seen) = setup();
-    let captured: Arc<Mutex<Vec<(AppId, TaskId, Vec<(String, i64)>)>>> = Arc::default();
+    let captured: MetricResponses = Arc::default();
     cluster.controller().add_app(Box::new(Capture {
         responses: captured.clone(),
     }));
     let sink = handle.tasks_of("out")[0];
-    cluster
-        .controller()
-        .send_control(handle.app(), sink, &ControlTuple::MetricReq { request_id: 42 });
+    cluster.controller().send_control(
+        handle.app(),
+        sink,
+        &ControlTuple::MetricReq { request_id: 42 },
+    );
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
         {

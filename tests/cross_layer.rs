@@ -114,10 +114,8 @@ fn fault_detector_reroutes_around_crashed_worker() {
     );
     let coord = cluster.global().coordinator();
     assert!(
-        wait_until(Duration::from_secs(5), || coord.exists(&format!(
-            "/typhoon/faults/xl/task-{}",
-            victim.0
-        ))),
+        wait_until(Duration::from_secs(5), || coord
+            .exists(&format!("/typhoon/faults/xl/task-{}", victim.0))),
         "fault never recorded"
     );
     cluster.shutdown();

@@ -13,14 +13,7 @@ struct CorpusSpout {
     i: usize,
 }
 
-const CORPUS: &[&str] = &[
-    "a b c",
-    "a b",
-    "a c c",
-    "d d d d",
-    "b c d a",
-    "a a a",
-];
+const CORPUS: &[&str] = &["a b c", "a b", "a c c", "d d d d", "b c d a", "a a a"];
 const REPEATS: usize = 50;
 
 impl Spout for CorpusSpout {

@@ -110,7 +110,10 @@ fn assert_complete(set: &SeqSet) {
 fn scale_up_mid_stream_loses_nothing() {
     let (cluster, handle, set) = setup(2);
     // Reconfigure while the stream is in flight (Fig. 6(a)).
-    assert!(wait_until(Duration::from_secs(5), || !set.seen.lock().is_empty()));
+    assert!(wait_until(Duration::from_secs(5), || !set
+        .seen
+        .lock()
+        .is_empty()));
     handle
         .reconfigure(ReconfigRequest::single(
             "stable",
@@ -133,7 +136,10 @@ fn scale_up_mid_stream_loses_nothing() {
 #[test]
 fn scale_down_mid_stream_loses_nothing() {
     let (cluster, handle, set) = setup(3);
-    assert!(wait_until(Duration::from_secs(5), || !set.seen.lock().is_empty()));
+    assert!(wait_until(Duration::from_secs(5), || !set
+        .seen
+        .lock()
+        .is_empty()));
     // Fig. 6(a) removal ordering: predecessors rerouted first, victims
     // drained, then killed — no tuple may vanish.
     handle
@@ -159,7 +165,10 @@ fn scale_down_mid_stream_loses_nothing() {
 #[test]
 fn routing_policy_change_mid_stream_loses_nothing() {
     let (cluster, handle, set) = setup(3);
-    assert!(wait_until(Duration::from_secs(5), || !set.seen.lock().is_empty()));
+    assert!(wait_until(Duration::from_secs(5), || !set
+        .seen
+        .lock()
+        .is_empty()));
     handle
         .reconfigure(ReconfigRequest::single(
             "stable",

@@ -158,8 +158,7 @@ where
         }
     }
 
-    let per_sample = config.measurement_time.as_nanos() as u64
-        / config.sample_size.max(1) as u64;
+    let per_sample = config.measurement_time.as_nanos() as u64 / config.sample_size.max(1) as u64;
     let sample_iters = (per_sample / per_iter.as_nanos().max(1) as u64).clamp(1, 1 << 24);
 
     let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
@@ -176,7 +175,10 @@ where
 
     let rate = throughput.map(|t| match t {
         Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
-            format!(" ({:.1} MiB/s)", n as f64 / median * 1e9 / (1024.0 * 1024.0))
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 / median * 1e9 / (1024.0 * 1024.0)
+            )
         }
         Throughput::Elements(n) => {
             format!(" ({:.0} elem/s)", n as f64 / median * 1e9)

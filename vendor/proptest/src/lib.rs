@@ -233,9 +233,8 @@ impl Strategy for &str {
             .and_then(|rest| rest.strip_suffix('}'))
         {
             if let Some((lo, hi)) = body.split_once(',') {
-                if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>())
-                {
-                    let len = rng.gen_range(lo..hi + 2) .min(hi);
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                    let len = rng.gen_range(lo..hi + 2).min(hi);
                     return (0..len).map(|_| rng.gen::<char>()).collect();
                 }
             }
