@@ -16,11 +16,16 @@
 //! Timeline compressed: the paper's 70 s / 30 s-heartbeat becomes
 //! 24 s / 5 s-heartbeat; the ordering (Typhoon recovers ≪ heartbeat
 //! timeout, Storm never recovers) is scale-free.
+//!
+//! `exp_fig10 --trace [rate]` instead runs the same word-count topology
+//! fault-free with acking and the end-to-end tuple tracer enabled
+//! (sampling 1 in `rate`, default 16) and prints the per-hop latency
+//! breakdown.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use typhoon_bench::harness::print_aggregate_timeline;
+use typhoon_bench::harness::{print_aggregate_timeline, print_hop_table};
 use typhoon_bench::workloads::{word_count_topology, SentenceSpout, SplitBolt};
 use typhoon_controller::apps::FaultDetector;
 use typhoon_core::{TyphoonCluster, TyphoonConfig};
@@ -128,7 +133,42 @@ fn run_typhoon(poison: Arc<AtomicBool>) -> Vec<RateMeter> {
     meters
 }
 
+fn fig10_trace(rate: u32) {
+    println!("== exp_fig10 --trace: word-count per-hop latency breakdown (1/{rate} sampled) ==");
+    let mut reg = ComponentRegistry::new();
+    register(&mut reg, Arc::new(AtomicBool::new(false)));
+    let mut config = TyphoonConfig::new(3)
+        .with_batch_size(100)
+        .with_acking(Duration::from_secs(10), 2048)
+        .with_trace(rate);
+    config.slots_per_host = 4;
+    let cluster = TyphoonCluster::new(config, reg).expect("cluster");
+    let handle = cluster.submit(word_count_topology(2, 4)).expect("submit");
+    let spout = handle.tasks_of("input")[0];
+    cluster.controller().send_control(
+        handle.app(),
+        spout,
+        &typhoon_controller::ControlTuple::InputRate {
+            tuples_per_sec: INPUT_RATE,
+        },
+    );
+    std::thread::sleep(Duration::from_secs(4));
+    if let Some(tracer) = cluster.tracer() {
+        print_hop_table("fig10/word-count", tracer);
+    }
+    cluster.shutdown();
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let rate = args
+            .get(pos + 1)
+            .and_then(|r| r.parse::<u32>().ok())
+            .unwrap_or(16);
+        fig10_trace(rate);
+        return;
+    }
     println!(
         "== Fig. 10: fault evaluation (split worker dies at t={}s) ==",
         FAULT_AT.as_secs()

@@ -7,6 +7,9 @@
 //! * `exp_fig8 cd` — Figs. 8(c)/(d): end-to-end latency CDFs measured at
 //!   the source on ack completion.
 //! * `exp_fig8 all` (default) — everything.
+//! * `exp_fig8 --trace [rate]` — per-hop latency breakdown from the
+//!   end-to-end tuple tracer (sampling 1 in `rate`, default 16), LOCAL
+//!   and REMOTE, closing with the hop-sum vs e2e-mean cross-check.
 //!
 //! Expected shape (per the paper): throughput is comparable between the
 //! two systems in both placements; acking costs roughly half the
@@ -14,7 +17,7 @@
 //! batch sizes and above it at large ones.
 
 use std::time::Duration;
-use typhoon_bench::harness::{measure_rate, print_cdf, print_rate_row};
+use typhoon_bench::harness::{measure_rate, print_cdf, print_hop_table, print_rate_row};
 use typhoon_bench::workloads::{forwarding_topology, register_standard};
 use typhoon_core::{TyphoonCluster, TyphoonConfig};
 use typhoon_model::ComponentRegistry;
@@ -153,8 +156,44 @@ fn fig8b_cd(print_throughput: bool, print_latency: bool) {
     }
 }
 
+fn fig8_trace(rate: u32) {
+    println!("== exp_fig8 --trace: per-hop latency breakdown (Typhoon, ACK, 1/{rate} sampled) ==");
+    for remote in [false, true] {
+        let place = if remote { "REMOTE" } else { "LOCAL" };
+        let mut reg = ComponentRegistry::new();
+        let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
+        let mut config = if remote {
+            let mut c = TyphoonConfig::new(3).with_tcp_tunnels();
+            c.slots_per_host = 1;
+            c
+        } else {
+            TyphoonConfig::new(1)
+        };
+        config = config
+            .with_batch_size(100)
+            .with_acking(Duration::from_secs(10), 2048)
+            .with_trace(rate);
+        let cluster = TyphoonCluster::new(config, reg).expect("cluster");
+        let _handle = cluster.submit(forwarding_topology()).expect("submit");
+        let _ = measure_rate(|| sink.count(), WARMUP, MEASURE);
+        if let Some(tracer) = cluster.tracer() {
+            print_hop_table(&format!("fig8/{place}"), tracer);
+        }
+        cluster.shutdown();
+    }
+}
+
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let rate = args
+            .get(pos + 1)
+            .and_then(|r| r.parse::<u32>().ok())
+            .unwrap_or(16);
+        fig8_trace(rate);
+        return;
+    }
+    let mode = args.first().cloned().unwrap_or_else(|| "all".into());
     match mode.as_str() {
         "a" => fig8a(),
         "b" => fig8b_cd(true, false),
@@ -165,7 +204,7 @@ fn main() {
             fig8b_cd(false, true);
         }
         other => {
-            eprintln!("usage: exp_fig8 [a|b|cd|all] (got {other:?})");
+            eprintln!("usage: exp_fig8 [a|b|cd|all] [--trace [rate]] (got {other:?})");
             std::process::exit(2);
         }
     }

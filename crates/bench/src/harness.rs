@@ -55,6 +55,41 @@ pub fn print_cdf(label: &str, cdf: &[(u64, f64)]) {
     }
 }
 
+/// Prints the per-hop latency table from the end-to-end tracer, closing
+/// with the hop-sum vs independently measured e2e-mean cross-check (the
+/// deltas telescope, so the two should agree to within bucket error).
+pub fn print_hop_table(label: &str, tracer: &typhoon_trace::Tracer) {
+    tracer.collect();
+    let completed = tracer.completed();
+    println!("# {label}: hop count mean_us p99_us ({completed} complete traces)");
+    if completed == 0 {
+        println!("{label} (no complete traces)");
+        return;
+    }
+    let mut hop_sum = 0.0;
+    for s in tracer.hop_stats() {
+        hop_sum += s.mean_ns * s.count as f64 / completed as f64;
+        println!(
+            "{label} {:<14} {:>8} {:>10.1} {:>10.1}",
+            s.hop.label(),
+            s.count,
+            s.mean_ns / 1e3,
+            s.p99_ns as f64 / 1e3
+        );
+    }
+    let e2e = tracer.e2e_mean_nanos();
+    let dev = if e2e > 0.0 {
+        (hop_sum - e2e).abs() / e2e * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "{label} hop-sum {:.1} us vs e2e mean {:.1} us ({dev:.1}% apart)",
+        hop_sum / 1e3,
+        e2e / 1e3
+    );
+}
+
 /// Geometric helper: ratio between two rates, guarding zero.
 pub fn ratio(a: f64, b: f64) -> f64 {
     if b == 0.0 {

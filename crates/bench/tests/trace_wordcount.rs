@@ -1,0 +1,113 @@
+//! Integration test for the end-to-end tuple tracer: a two-host word-count
+//! topology runs with acking and 1-in-1 sampling; every retained complete
+//! trace must carry the full canonical hop sequence in order, with
+//! non-decreasing timestamps.
+
+use std::time::{Duration, Instant};
+use typhoon_bench::workloads::{CountBolt, SplitBolt};
+use typhoon_core::{TyphoonCluster, TyphoonConfig};
+use typhoon_model::{ComponentRegistry, Emitter, Fields, Grouping, LogicalTopology, Spout};
+use typhoon_trace::Hop;
+use typhoon_tuple::Value;
+
+const SENTENCES: u64 = 200;
+
+struct BoundedSentences {
+    emitted: u64,
+}
+
+impl Spout for BoundedSentences {
+    fn next_batch(&mut self, out: &mut dyn Emitter) -> bool {
+        if self.emitted >= SENTENCES {
+            return false;
+        }
+        out.emit(vec![Value::Str("the quick brown fox".into())]);
+        self.emitted += 1;
+        true
+    }
+}
+
+fn word_count() -> LogicalTopology {
+    LogicalTopology::builder("trace-wc")
+        .spout("input", "sentences", 1, Fields::new(["sentence"]))
+        .bolt("split", "split", 2, Fields::new(["word"]))
+        .bolt("count", "count", 2, Fields::new(["word", "count"]))
+        .edge("input", "split", Grouping::Shuffle)
+        .edge("split", "count", Grouping::Fields(vec!["word".into()]))
+        .build()
+        .expect("valid topology")
+}
+
+#[test]
+fn every_complete_trace_has_ordered_hops() {
+    let mut reg = ComponentRegistry::new();
+    reg.register_spout("sentences", || BoundedSentences { emitted: 0 });
+    reg.register_bolt("split", || SplitBolt);
+    reg.register_bolt("count", CountBolt::new);
+    // Batch size 1 gives every tuple its own frame, so each traced tuple
+    // crosses the switch datapath under its own trace id.
+    let config = TyphoonConfig::new(2)
+        .with_batch_size(1)
+        .with_acking(Duration::from_secs(10), 64)
+        .with_trace(1);
+    let cluster = TyphoonCluster::new(config, reg).expect("cluster");
+    let _handle = cluster.submit(word_count()).expect("submit");
+    let tracer = cluster.tracer().expect("tracing enabled").clone();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while tracer.completed() < SENTENCES && Instant::now() < deadline {
+        tracer.collect();
+        std::thread::sleep(Duration::from_millis(20)); // LINT: allow-sleep(test poll loop, bounded by the deadline)
+    }
+    assert_eq!(
+        tracer.completed(),
+        SENTENCES,
+        "every sampled root traces to completion"
+    );
+
+    let dump = tracer.dump(64);
+    assert!(!dump.slowest.is_empty());
+    for rec in &dump.slowest {
+        assert!(rec.is_complete());
+        assert!(
+            rec.contains_ordered(&Hop::CANONICAL),
+            "trace {} missing canonical hops: {:?}",
+            rec.id,
+            rec.hops
+        );
+        for w in rec.hops.windows(2) {
+            assert!(
+                w[0].1 <= w[1].1,
+                "timestamps decrease in trace {}: {:?}",
+                rec.id,
+                rec.hops
+            );
+        }
+        assert_eq!(rec.hops.first().map(|(h, _)| *h), Some(Hop::SpoutEmit));
+        assert!(rec.e2e_nanos() > 0);
+    }
+    // Per-hop aggregates cover the full canonical path (deltas land under
+    // the arriving hop's label, so the first hop has none), and their
+    // means telescope to the independently measured e2e mean.
+    for hop in Hop::CANONICAL {
+        if hop == Hop::SpoutEmit {
+            continue;
+        }
+        assert!(
+            dump.hops.iter().any(|s| s.hop == hop),
+            "no aggregate for hop {}",
+            hop.label()
+        );
+    }
+    let hop_sum: f64 = dump
+        .hops
+        .iter()
+        .map(|s| s.mean_ns * s.count as f64 / dump.completed as f64)
+        .sum();
+    let e2e = tracer.e2e_mean_nanos();
+    assert!(
+        (hop_sum - e2e).abs() / e2e < 0.10,
+        "hop-sum {hop_sum:.0}ns deviates more than 10% from e2e mean {e2e:.0}ns"
+    );
+    cluster.shutdown();
+}

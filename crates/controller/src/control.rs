@@ -136,6 +136,7 @@ impl ControlTuple {
                 src_task: src,
                 stream: self.stream(),
                 message_id: MessageId::NONE,
+                trace: 0,
             },
             values,
         }

@@ -14,7 +14,15 @@
 //! RECONFIG <topology> LOGIC <node> <component>
 //! RECONFIG <topology> GROUPING <from> <to> shuffle|global|all|sdn|fields:<f1,f2,…>
 //! RECONFIG <topology> RELOCATE <task-id> <host-id>
+//! TRACE RATE <n>
+//! TRACE DUMP <n>
+//! TRACE HOPS
 //! ```
+//!
+//! The `TRACE` family drives the end-to-end tuple tracer (the debugging
+//! service of §5, extended with span collection): `RATE` retunes the
+//! sampling rate live, `DUMP` returns the N slowest complete traces as a
+//! single JSON line, and `HOPS` prints the per-hop latency breakdown.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -22,6 +30,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use typhoon_coordinator::global::GlobalState;
 use typhoon_model::{Grouping, HostId, ReconfigOp, ReconfigRequest, TaskId};
+use typhoon_trace::Tracer;
 
 /// Parses one grouping operand of the `GROUPING` command.
 fn parse_grouping(s: &str) -> Result<Grouping, String> {
@@ -115,6 +124,49 @@ fn submit(global: &GlobalState, topology: &str, op: ReconfigOp) -> String {
     }
 }
 
+/// Executes one command line, additionally serving the `TRACE` family when
+/// a tracer is attached. Non-`TRACE` commands delegate to
+/// [`handle_command`].
+pub fn handle_command_with(
+    global: &GlobalState,
+    tracer: Option<&Arc<Tracer>>,
+    line: &str,
+) -> String {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    match parts.as_slice() {
+        ["TRACE", ..] => {
+            let tracer = match tracer {
+                Some(t) => t,
+                None => return "ERR tracing disabled".to_owned(),
+            };
+            match parts.as_slice() {
+                ["TRACE", "RATE", n] => match n.parse::<u32>() {
+                    Ok(rate) => {
+                        tracer.set_rate(rate);
+                        format!("OK rate {rate}")
+                    }
+                    Err(_) => format!("ERR invalid rate {n:?}"),
+                },
+                ["TRACE", "DUMP", n] => match n.parse::<usize>() {
+                    Ok(count) => format!("OK {}", tracer.dump(count).to_json()),
+                    Err(_) => format!("ERR invalid count {n:?}"),
+                },
+                ["TRACE", "HOPS"] => {
+                    tracer.collect();
+                    let hops: Vec<String> = tracer
+                        .hop_stats()
+                        .iter()
+                        .map(|s| format!("{}={}ns", s.hop.label(), s.mean_ns as u64))
+                        .collect();
+                    format!("OK {}", hops.join(","))
+                }
+                _ => format!("ERR unrecognized TRACE command {line:?}"),
+            }
+        }
+        _ => handle_command(global, line),
+    }
+}
+
 /// The TCP command server.
 pub struct CommandServer {
     addr: SocketAddr,
@@ -125,6 +177,16 @@ pub struct CommandServer {
 impl CommandServer {
     /// Binds to `127.0.0.1:0` (or a specific port) and serves commands.
     pub fn start(global: GlobalState, port: u16) -> std::io::Result<CommandServer> {
+        Self::start_with_tracer(global, port, None)
+    }
+
+    /// Like [`CommandServer::start`], additionally serving the `TRACE`
+    /// command family against `tracer`.
+    pub fn start_with_tracer(
+        global: GlobalState,
+        port: u16,
+        tracer: Option<Arc<Tracer>>,
+    ) -> std::io::Result<CommandServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -137,6 +199,7 @@ impl CommandServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let global = global.clone();
+                            let tracer = tracer.clone();
                             // One thread per connection: command traffic is
                             // sparse and human/driver initiated.
                             std::thread::spawn(move || {
@@ -151,7 +214,7 @@ impl CommandServer {
                                         Ok(l) => l,
                                         Err(_) => break,
                                     };
-                                    let resp = handle_command(&global, &line);
+                                    let resp = handle_command_with(&global, tracer.as_ref(), &line);
                                     if writer.write_all(format!("{resp}\n").as_bytes()).is_err() {
                                         break;
                                     }
@@ -274,6 +337,32 @@ mod tests {
         assert!(handle_command(&g, "RECONFIG t PARALLELISM n x").starts_with("ERR"));
         assert!(handle_command(&g, "RECONFIG t GROUPING a b fields:").starts_with("ERR"));
         assert!(handle_command(&g, "SHOW ghost").starts_with("ERR"));
+    }
+
+    #[test]
+    fn trace_commands_require_a_tracer() {
+        let g = global();
+        assert_eq!(
+            handle_command_with(&g, None, "TRACE RATE 64"),
+            "ERR tracing disabled"
+        );
+        // Non-TRACE commands pass through untouched.
+        assert_eq!(handle_command_with(&g, None, "LIST"), "OK word-count");
+    }
+
+    #[test]
+    fn trace_commands_drive_the_tracer() {
+        let g = global();
+        let tracer = Tracer::new(8);
+        let t = Some(&tracer);
+        assert_eq!(handle_command_with(&g, t, "TRACE RATE 16"), "OK rate 16");
+        assert_eq!(tracer.rate(), 16);
+        let dump = handle_command_with(&g, t, "TRACE DUMP 5");
+        assert!(dump.starts_with("OK {"), "{dump}");
+        assert!(dump.contains("\"completed\""), "{dump}");
+        assert_eq!(handle_command_with(&g, t, "TRACE HOPS"), "OK ");
+        assert!(handle_command_with(&g, t, "TRACE RATE x").starts_with("ERR"));
+        assert!(handle_command_with(&g, t, "TRACE NOPE").starts_with("ERR"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use typhoon_diag::{DiagMutex as Mutex, DiagRwLock as RwLock};
 use typhoon_model::{AppId, ComponentRegistry, HostInfo, NodeKind, TaskId};
 use typhoon_openflow::PortNo;
 use typhoon_switch::Switch;
+use typhoon_trace::{TraceCtx, Tracer};
 use typhoon_tuple::ser::SerStats;
 
 /// A running worker's bookkeeping.
@@ -38,6 +39,7 @@ pub struct WorkerAgent {
     ser: Arc<SerStats>,
     workers: Mutex<HashMap<(AppId, TaskId), WorkerEntry>>,
     next_port: AtomicU32,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl WorkerAgent {
@@ -49,6 +51,7 @@ impl WorkerAgent {
         components: Arc<RwLock<ComponentRegistry>>,
         ser: Arc<SerStats>,
         global: &GlobalState,
+        tracer: Option<Arc<Tracer>>,
     ) -> Result<Arc<WorkerAgent>> {
         let session = global.coordinator().create_session();
         global.register_agent(&info, session)?;
@@ -59,6 +62,7 @@ impl WorkerAgent {
             ser,
             workers: Mutex::new(HashMap::new()),
             next_port: AtomicU32::new(1),
+            tracer,
         }))
     }
 
@@ -107,12 +111,17 @@ impl WorkerAgent {
         let shared = WorkerShared::new();
         let shared2 = shared.clone();
         let ser = self.ser.clone();
+        let trace = self
+            .tracer
+            .as_ref()
+            .map(|t| t.ctx())
+            .unwrap_or_else(TraceCtx::disabled);
         let key = (config.app, config.task);
         let thread = std::thread::Builder::new()
             .name(format!("typhoon-{}-{}", config.node, config.task))
             .spawn(move || {
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    worker::run_worker(config, role, worker_port, routes, ser, shared2);
+                    worker::run_worker(config, role, worker_port, routes, ser, shared2, trace);
                 }));
             })
             .expect("spawn typhoon worker");

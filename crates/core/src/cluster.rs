@@ -24,6 +24,7 @@ use typhoon_model::{
 };
 use typhoon_net::{InMemoryTunnel, TcpTunnel, Tunnel};
 use typhoon_switch::{Switch, SwitchConfig, SwitchHandle};
+use typhoon_trace::Tracer;
 
 /// Cluster-wide configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +51,10 @@ pub struct TyphoonConfig {
     pub ring_capacity: usize,
     /// Placement strategy (ablation hook: Typhoon ships locality).
     pub scheduler: SchedulerKind,
+    /// End-to-end trace sampling: 1 in `trace_sample` spout emissions is
+    /// traced across every hop (0 = tracing off, the default — the hot
+    /// path then pays a single integer compare per tuple).
+    pub trace_sample: u32,
 }
 
 impl TyphoonConfig {
@@ -66,6 +71,7 @@ impl TyphoonConfig {
             controller_tick: Duration::from_millis(100),
             ring_capacity: 8192,
             scheduler: SchedulerKind::Locality,
+            trace_sample: 0,
         }
     }
 
@@ -88,6 +94,14 @@ impl TyphoonConfig {
         self.max_pending = max_pending;
         self
     }
+
+    /// Builder: enable end-to-end tuple tracing, sampling 1 in `rate`
+    /// spout emissions (pass [`Tracer::DEFAULT_SAMPLE`] for the default
+    /// 1/1024).
+    pub fn with_trace(mut self, rate: u32) -> Self {
+        self.trace_sample = rate;
+        self
+    }
 }
 
 struct HostRuntime {
@@ -106,6 +120,7 @@ struct ClusterInner {
     manager: Arc<StreamingManager>,
     manager_shutdown: Arc<AtomicBool>,
     manager_thread: DiagMutex<Option<std::thread::JoinHandle<()>>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// A complete, running Typhoon deployment.
@@ -126,6 +141,7 @@ impl TyphoonCluster {
             components,
         ));
         let ser = typhoon_tuple::ser::SerStats::shared();
+        let tracer = (config.trace_sample > 0).then(|| Tracer::new(config.trace_sample));
 
         // Hosts: one switch each, registered with the controller.
         let mut switches = Vec::new();
@@ -133,6 +149,9 @@ impl TyphoonCluster {
             let mut sw_config = SwitchConfig::new(h as u64);
             sw_config.ring_capacity = config.ring_capacity;
             let (switch, channel) = Switch::new(sw_config);
+            if let Some(t) = &tracer {
+                switch.set_trace(t.ctx());
+            }
             controller.register_switch(HostId(h as u32), switch.dpid(), channel);
             switches.push(switch);
         }
@@ -162,6 +181,7 @@ impl TyphoonCluster {
                 components.clone(),
                 ser.clone(),
                 &global,
+                tracer.clone(),
             )?;
             let handle = switch.spawn();
             hosts.insert(
@@ -216,8 +236,15 @@ impl TyphoonCluster {
                 manager,
                 manager_shutdown,
                 manager_thread: DiagMutex::new(Some(manager_thread)),
+                tracer,
             }),
         })
+    }
+
+    /// The end-to-end tuple tracer (`None` unless the cluster was built
+    /// with [`TyphoonConfig::with_trace`]).
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.inner.tracer.as_ref()
     }
 
     /// Cluster-wide worker serialization counters (the Fig. 9 evidence).

@@ -16,6 +16,7 @@ use typhoon_controller::ControlTuple;
 use typhoon_metrics::Registry;
 use typhoon_model::{AppId, Grouping, RouteDecision, RoutingState, TaskId};
 use typhoon_net::MacAddr;
+use typhoon_trace::{Hop, TraceCtx};
 use typhoon_tuple::ser::{encode_tuple_vec, SerStats};
 use typhoon_tuple::{MessageId, StreamId, Tuple};
 
@@ -38,6 +39,8 @@ pub struct Addressed {
     pub blob: Bytes,
     /// The anchor XOR contribution of this emission (acking).
     pub anchor_xor: u64,
+    /// End-to-end trace id carried by the tuple (0 = untraced).
+    pub trace: u64,
 }
 
 /// The framework layer.
@@ -48,6 +51,7 @@ pub struct FrameworkLayer {
     ser: Arc<SerStats>,
     registry: Registry,
     rng_state: u64,
+    trace: TraceCtx,
 }
 
 impl FrameworkLayer {
@@ -66,7 +70,13 @@ impl FrameworkLayer {
             ser,
             registry,
             rng_state: (task.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            trace: TraceCtx::disabled(),
         }
+    }
+
+    /// Installs this worker's tracing context (records `Serialize` spans).
+    pub fn set_trace(&mut self, trace: TraceCtx) {
+        self.trace = trace;
     }
 
     /// This worker's address on the SDN fabric.
@@ -96,6 +106,8 @@ impl FrameworkLayer {
         let mut out = Vec::new();
         let anchored = acking && tuple.meta.message_id.root != 0;
         let root = tuple.meta.message_id.root;
+        let trace = tuple.meta.trace;
+        self.trace.record(trace, Hop::Serialize);
         // Collect decisions first: routing mutates per-route state.
         let mut unicasts: Vec<TaskId> = Vec::new();
         let mut broadcast_hops: Option<Vec<TaskId>> = None;
@@ -123,12 +135,14 @@ impl FrameworkLayer {
                     dst: MacAddr::worker(self.app.0, dst),
                     blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
                     anchor_xor: anchor,
+                    trace,
                 });
             } else {
                 out.push(Addressed {
                     dst: MacAddr::worker(self.app.0, dst),
                     blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
                     anchor_xor: 0,
+                    trace,
                 });
             }
         }
@@ -142,6 +156,7 @@ impl FrameworkLayer {
                         dst: MacAddr::worker(self.app.0, dst),
                         blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
                         anchor_xor: anchor,
+                        trace,
                     });
                 }
             } else if !hops.is_empty() {
@@ -152,6 +167,7 @@ impl FrameworkLayer {
                     dst: MacAddr::BROADCAST,
                     blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
                     anchor_xor: 0,
+                    trace,
                 });
             }
         }
@@ -165,6 +181,7 @@ impl FrameworkLayer {
             dst: MacAddr::worker(self.app.0, dst),
             blob: Bytes::from(encode_tuple_vec(tuple, &self.ser)),
             anchor_xor: 0,
+            trace: 0,
         }
     }
 
@@ -174,6 +191,7 @@ impl FrameworkLayer {
             dst: MacAddr::CONTROLLER,
             blob: Bytes::from(encode_tuple_vec(tuple, &self.ser)),
             anchor_xor: 0,
+            trace: 0,
         }
     }
 

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use typhoon_metrics::Registry;
 use typhoon_net::{Depacketizer, Frame, MacAddr, NetError, Packetizer};
 use typhoon_switch::WorkerPort;
+use typhoon_trace::{Hop, TraceCtx};
 
 /// I/O layer tunables.
 #[derive(Debug, Clone)]
@@ -39,6 +40,9 @@ impl Default for IoConfig {
 struct DstBatch {
     blobs: Vec<Bytes>,
     oldest: Instant,
+    /// First nonzero trace id among batched blobs; stamped on the frames
+    /// carrying this batch so the switch can record its span.
+    trace: u64,
 }
 
 /// The worker's I/O layer: one per worker, owning its switch port.
@@ -52,6 +56,7 @@ pub struct IoLayer {
     batch_size: usize,
     batch_delay: Duration,
     registry: Registry,
+    trace: TraceCtx,
 }
 
 impl IoLayer {
@@ -66,7 +71,14 @@ impl IoLayer {
             batch_size: config.batch_size.max(1),
             batch_delay: config.batch_delay,
             registry,
+            trace: TraceCtx::disabled(),
         }
+    }
+
+    /// Installs this worker's tracing context (records `QueueOut` and
+    /// `NetHop` spans).
+    pub fn set_trace(&mut self, trace: TraceCtx) {
+        self.trace = trace;
     }
 
     /// Currently configured batch size.
@@ -89,19 +101,27 @@ impl IoLayer {
     }
 
     /// Queues one serialized tuple for `dst`, flushing if the batch fills.
-    pub fn enqueue(&mut self, dst: MacAddr, blob: Bytes) {
+    /// `trace` is the tuple's trace id (0 = untraced).
+    pub fn enqueue(&mut self, dst: MacAddr, blob: Bytes, trace: u64) {
+        self.trace.record(trace, Hop::QueueOut);
         let now = Instant::now();
         let batch = self.batches.entry(dst).or_insert_with(|| DstBatch {
             blobs: Vec::new(),
             oldest: now,
+            trace: 0,
         });
         if batch.blobs.is_empty() {
             batch.oldest = now;
+            batch.trace = 0;
+        }
+        if batch.trace == 0 {
+            batch.trace = trace;
         }
         batch.blobs.push(blob);
         if batch.blobs.len() >= self.batch_size {
             let blobs = std::mem::take(&mut batch.blobs);
-            self.send_batch(dst, &blobs);
+            let batch_trace = batch.trace;
+            self.send_batch(dst, &blobs, batch_trace);
         }
     }
 
@@ -117,8 +137,10 @@ impl IoLayer {
             .map(|(&d, _)| d)
             .collect();
         for dst in due {
-            let blobs = std::mem::take(&mut self.batches.get_mut(&dst).unwrap().blobs);
-            self.send_batch(dst, &blobs);
+            let batch = self.batches.get_mut(&dst).unwrap();
+            let blobs = std::mem::take(&mut batch.blobs);
+            let trace = batch.trace;
+            self.send_batch(dst, &blobs, trace);
         }
     }
 
@@ -132,16 +154,20 @@ impl IoLayer {
             .map(|(&d, _)| d)
             .collect();
         for dst in dsts {
-            let blobs = std::mem::take(&mut self.batches.get_mut(&dst).unwrap().blobs);
-            self.send_batch(dst, &blobs);
+            let batch = self.batches.get_mut(&dst).unwrap();
+            let blobs = std::mem::take(&mut batch.blobs);
+            let trace = batch.trace;
+            self.send_batch(dst, &blobs, trace);
         }
     }
 
     /// The worker's source address (derived by the caller; stored on the
     /// frames by `send_batch`'s packetizer call).
-    fn send_batch(&mut self, dst: MacAddr, blobs: &[Bytes]) {
+    fn send_batch(&mut self, dst: MacAddr, blobs: &[Bytes], trace: u64) {
         let src = self.src_mac;
-        for frame in self.packetizer.pack(src, dst, blobs) {
+        self.trace.record(trace, Hop::NetHop);
+        for mut frame in self.packetizer.pack(src, dst, blobs) {
+            frame.trace = trace;
             match self.port.tx.push(frame) {
                 Ok(()) => self.registry.counter("io.frames_tx").inc(),
                 Err(NetError::RingFull) => {
@@ -207,10 +233,10 @@ mod tests {
     fn batch_flushes_on_fill() {
         let (mut io, _sw) = io_on_switch(3);
         let dst = MacAddr::worker(1, TaskId(2));
-        io.enqueue(dst, Bytes::from_static(b"a"));
-        io.enqueue(dst, Bytes::from_static(b"b"));
+        io.enqueue(dst, Bytes::from_static(b"a"), 0);
+        io.enqueue(dst, Bytes::from_static(b"b"), 0);
         assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 0);
-        io.enqueue(dst, Bytes::from_static(b"c"));
+        io.enqueue(dst, Bytes::from_static(b"c"), 0);
         assert_eq!(
             io.registry.snapshot().counter("io.frames_tx"),
             1,
@@ -223,7 +249,7 @@ mod tests {
         let (mut io, _sw) = io_on_switch(1000);
         io.batch_delay = Duration::from_millis(1);
         let dst = MacAddr::worker(1, TaskId(2));
-        io.enqueue(dst, Bytes::from_static(b"x"));
+        io.enqueue(dst, Bytes::from_static(b"x"), 0);
         io.flush_due();
         // Might not be due yet on a fast machine; wait out the deadline.
         std::thread::sleep(Duration::from_millis(3));
@@ -236,8 +262,8 @@ mod tests {
         let (mut io, _sw) = io_on_switch(1000);
         io.set_batch_size(2);
         let dst = MacAddr::worker(1, TaskId(2));
-        io.enqueue(dst, Bytes::from_static(b"a"));
-        io.enqueue(dst, Bytes::from_static(b"b"));
+        io.enqueue(dst, Bytes::from_static(b"a"), 0);
+        io.enqueue(dst, Bytes::from_static(b"b"), 0);
         assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 1);
         assert_eq!(io.batch_size(), 2);
     }
@@ -247,18 +273,18 @@ mod tests {
         let (mut io, _sw) = io_on_switch(2);
         let d1 = MacAddr::worker(1, TaskId(2));
         let d2 = MacAddr::worker(1, TaskId(3));
-        io.enqueue(d1, Bytes::from_static(b"a"));
-        io.enqueue(d2, Bytes::from_static(b"b"));
+        io.enqueue(d1, Bytes::from_static(b"a"), 0);
+        io.enqueue(d2, Bytes::from_static(b"b"), 0);
         assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 0);
-        io.enqueue(d1, Bytes::from_static(b"c"));
+        io.enqueue(d1, Bytes::from_static(b"c"), 0);
         assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 1);
     }
 
     #[test]
     fn flush_all_drains_everything() {
         let (mut io, _sw) = io_on_switch(1000);
-        io.enqueue(MacAddr::worker(1, TaskId(2)), Bytes::from_static(b"a"));
-        io.enqueue(MacAddr::worker(1, TaskId(3)), Bytes::from_static(b"b"));
+        io.enqueue(MacAddr::worker(1, TaskId(2)), Bytes::from_static(b"a"), 0);
+        io.enqueue(MacAddr::worker(1, TaskId(3)), Bytes::from_static(b"b"), 0);
         io.flush_all();
         assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 2);
     }

@@ -22,6 +22,7 @@ use typhoon_metrics::{RateMeter, Registry};
 use typhoon_model::{AppId, Bolt, Emitter, Spout, TaskId};
 use typhoon_storm::acker::{AckOutcome, AckerLedger};
 use typhoon_switch::WorkerPort;
+use typhoon_trace::{Hop, TraceCtx};
 use typhoon_tuple::ser::{decode_tuple, SerStats};
 use typhoon_tuple::{MessageId, StreamId, Tuple, Value};
 
@@ -110,8 +111,11 @@ struct WorkerCtx {
     // acking scratch
     current_root: u64,
     accum_xor: u64,
-    pending: std::collections::HashMap<u64, Instant>,
+    pending: std::collections::HashMap<u64, (Instant, u64)>,
     root_seed: u64,
+    // tracing
+    trace: TraceCtx,
+    current_trace: u64,
 }
 
 impl WorkerCtx {
@@ -146,7 +150,7 @@ impl WorkerCtx {
     fn dispatch(&mut self, addressed: Vec<Addressed>) {
         for a in addressed {
             self.accum_xor ^= a.anchor_xor;
-            self.io.enqueue(a.dst, a.blob);
+            self.io.enqueue(a.dst, a.blob, a.trace);
         }
     }
 
@@ -162,7 +166,7 @@ impl WorkerCtx {
                 ],
             );
             let a = self.fw.direct(&msg, acker);
-            self.io.enqueue(a.dst, a.blob);
+            self.io.enqueue(a.dst, a.blob, 0);
         }
     }
 
@@ -211,7 +215,7 @@ impl WorkerCtx {
                 }
                 .to_tuple(self.config.task);
                 let a = self.fw.to_controller(&resp);
-                self.io.enqueue(a.dst, a.blob);
+                self.io.enqueue(a.dst, a.blob, 0);
                 // Metric responses should not linger in a batch.
                 self.io.flush_all();
             }
@@ -246,6 +250,7 @@ struct RoutedEmitter<'a> {
 impl Emitter for RoutedEmitter<'_> {
     fn emit_on(&mut self, stream: StreamId, values: Vec<Value>) {
         let mut tuple = Tuple::on_stream(self.ctx.config.task, stream, values);
+        tuple.meta.trace = self.ctx.current_trace;
         if self.ctx.config.acking && self.ctx.current_root != 0 {
             tuple.meta.message_id = MessageId {
                 root: self.ctx.current_root,
@@ -267,15 +272,18 @@ pub fn run_worker(
     routes: Vec<Route>,
     ser: Arc<SerStats>,
     shared: WorkerShared,
+    trace: TraceCtx,
 ) {
-    let fw = FrameworkLayer::new(
+    let mut fw = FrameworkLayer::new(
         config.app,
         config.task,
         routes,
         ser.clone(),
         shared.registry.clone(),
     );
-    let io = IoLayer::new(fw.mac(), port, &config.io, shared.registry.clone());
+    fw.set_trace(trace.clone());
+    let mut io = IoLayer::new(fw.mac(), port, &config.io, shared.registry.clone());
+    io.set_trace(trace.clone());
     let mut ctx = WorkerCtx {
         root_seed: (config.task.0 as u64).wrapping_mul(0xa076_1d64_78bd_642f) | 1,
         active: config.start_active,
@@ -285,6 +293,8 @@ pub fn run_worker(
         current_root: 0,
         accum_xor: 0,
         pending: std::collections::HashMap::new(),
+        trace,
+        current_trace: 0,
         config,
         fw,
         io,
@@ -310,6 +320,7 @@ fn drain_ingress(ctx: &mut WorkerCtx) -> Option<Vec<Tuple>> {
     let mut tuples = Vec::with_capacity(blobs.len());
     for (_src, blob) in blobs {
         if let Ok((tuple, _)) = decode_tuple(&blob, &ctx.ser) {
+            ctx.trace.record(tuple.meta.trace, Hop::Deserialize);
             tuples.push(tuple);
         } else {
             ctx.shared.registry.counter("tuples.undecodable").inc();
@@ -341,8 +352,9 @@ fn run_spout(ctx: &mut WorkerCtx, mut spout: Box<dyn Spout>) {
                 Classified::AckResult => {
                     let root = tuple.get(0).and_then(Value::as_int).unwrap_or(0) as u64;
                     let ok = tuple.get(1).and_then(Value::as_bool).unwrap_or(false);
-                    if let Some(born) = ctx.pending.remove(&root) {
+                    if let Some((born, trace)) = ctx.pending.remove(&root) {
                         if ok {
+                            ctx.trace.record(trace, Hop::Ack);
                             ctx.shared.registry.counter("acks.completed").inc();
                             ctx.shared
                                 .registry
@@ -385,6 +397,9 @@ fn spout_batch(ctx: &mut WorkerCtx, spout: &mut dyn Spout) -> bool {
     let had = !collect.0.is_empty();
     ctx.rate_consume(collect.0.len() as u32);
     for (index, (stream, values)) in collect.0.into_iter().enumerate() {
+        let trace = ctx.trace.sample();
+        ctx.current_trace = trace;
+        ctx.trace.record(trace, Hop::SpoutEmit);
         if ctx.config.acking {
             let root = ctx.next_root();
             ctx.current_root = root;
@@ -392,12 +407,13 @@ fn spout_batch(ctx: &mut WorkerCtx, spout: &mut dyn Spout) -> bool {
             RoutedEmitter { ctx }.emit_on(stream, values);
             let xor = ctx.accum_xor;
             ctx.send_ack(root, xor, Some(ctx.config.task));
-            ctx.pending.insert(root, Instant::now());
+            ctx.pending.insert(root, (Instant::now(), trace));
             ctx.current_root = 0;
             spout.emitted(index, root);
         } else {
             RoutedEmitter { ctx }.emit_on(stream, values);
         }
+        ctx.current_trace = 0;
         ctx.shared.meter.mark(1);
     }
     produced || had
@@ -427,14 +443,18 @@ fn run_bolt(ctx: &mut WorkerCtx, mut bolt: Box<dyn Bolt>) {
                     ctx.shared.registry.counter("tuples.received").inc();
                     ctx.shared.meter.mark(1);
                     let input_id = tuple.meta.message_id;
+                    let input_trace = tuple.meta.trace;
                     ctx.current_root = input_id.root;
+                    ctx.current_trace = input_trace;
                     ctx.accum_xor = 0;
                     bolt.execute(tuple, &mut RoutedEmitter { ctx });
+                    ctx.trace.record(input_trace, Hop::BoltExecute);
                     if ctx.config.acking && input_id.is_anchored() {
                         let xor = input_id.anchor ^ ctx.accum_xor;
                         ctx.send_ack(input_id.root, xor, None);
                     }
                     ctx.current_root = 0;
+                    ctx.current_trace = 0;
                 }
                 _ => {}
             }
@@ -501,6 +521,6 @@ fn acker_notify(ctx: &mut WorkerCtx, spout: TaskId, root: u64, outcome: AckOutco
         ],
     );
     let a = ctx.fw.direct(&msg, spout);
-    ctx.io.enqueue(a.dst, a.blob);
+    ctx.io.enqueue(a.dst, a.blob, 0);
     ctx.io.flush_all();
 }

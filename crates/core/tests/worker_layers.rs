@@ -100,6 +100,7 @@ fn spawn_echo_worker() -> (
             routes,
             ser,
             shared2,
+            typhoon_trace::TraceCtx::disabled(),
         );
     });
     (sw, ch, shared, thread, downstream, upstream)

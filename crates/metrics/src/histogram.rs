@@ -116,12 +116,21 @@ impl Histogram {
     }
 
     /// Approximate quantile `q ∈ [0,1]` (`None` when empty).
+    ///
+    /// The extremes are exact, not bucket-approximated: `q <= 0.0` returns
+    /// the smallest recorded sample and `q >= 1.0` the largest, matching
+    /// [`Histogram::min`] / [`Histogram::max`].
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let inner = self.inner.lock();
         if inner.count == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(inner.min);
+        }
+        if q >= 1.0 {
+            return Some(inner.max);
+        }
         let target = ((inner.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &n) in inner.buckets.iter().enumerate() {
@@ -135,19 +144,30 @@ impl Histogram {
 
     /// CDF points as (value upper bound, cumulative fraction) pairs, one per
     /// non-empty bucket — the series plotted in Figs. 8(c)/(d).
+    ///
+    /// Values are clamped to the observed maximum so the final point is
+    /// `(max, 1.0)` exactly rather than the last bucket's upper bound
+    /// (which can overshoot the largest sample by a sub-bucket width).
     pub fn cdf(&self) -> Vec<(u64, f64)> {
         let inner = self.inner.lock();
         if inner.count == 0 {
             return Vec::new();
         }
-        let mut out = Vec::new();
+        let mut out: Vec<(u64, f64)> = Vec::new();
         let mut seen = 0u64;
         for (i, &n) in inner.buckets.iter().enumerate() {
             if n == 0 {
                 continue;
             }
             seen += n;
-            out.push((Self::value_for(i), seen as f64 / inner.count as f64));
+            let value = Self::value_for(i).min(inner.max);
+            let frac = seen as f64 / inner.count as f64;
+            match out.last_mut() {
+                // Clamping can collapse the last two points onto the same
+                // value; keep one point per value with the larger fraction.
+                Some(last) if last.0 == value => last.1 = frac,
+                _ => out.push((value, frac)),
+            }
         }
         out
     }
@@ -236,6 +256,50 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
         assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn quantile_extremes_are_exact_min_and_max() {
+        let h = Histogram::new();
+        // 1000 and 1017 land in the same sub-bucket (bucket width at range
+        // 2^9..2^10 is 64), so a bucket-approximated extreme would report
+        // the shared upper bound for both; the exact path must not.
+        for v in [1000u64, 1003, 1009, 1017] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1000), "q=0 is the exact min");
+        assert_eq!(h.quantile(1.0), Some(1017), "q=1 is the exact max");
+        // Out-of-range q clamps to the same exact extremes.
+        assert_eq!(h.quantile(-0.5), Some(1000));
+        assert_eq!(h.quantile(1.5), Some(1017));
+        // Interior quantiles stay bucket-approximated but bounded.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((1000..=1017).contains(&p50));
+    }
+
+    #[test]
+    fn cdf_pins_exact_bucket_boundaries() {
+        let h = Histogram::new();
+        // Below SUB_BUCKETS (16) every value gets its own unit bucket with
+        // upper bound value+1; the final point clamps to the observed max.
+        for v in [3u64, 4, 5] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert_eq!(
+            cdf,
+            vec![(4, 1.0 / 3.0), (5, 1.0)],
+            "bucket bounds 4 and 6 expected; 6 clamps to max=5 and merges \
+             with the bound-5 point"
+        );
+        // First power-of-two range boundary: 15 sits in the last identity
+        // bucket (upper bound 16) and 16 in the first range-indexed bucket
+        // (upper bound 17, clamped to max=16) — both points collapse onto
+        // value 16 and merge into a single exact (max, 1.0) point.
+        let h2 = Histogram::new();
+        h2.record(15);
+        h2.record(16);
+        assert_eq!(h2.cdf(), vec![(16, 1.0)]);
     }
 
     #[test]

@@ -14,8 +14,13 @@ use typhoon_tuple::tuple::TaskId;
 /// The custom EtherType carried by every Typhoon transport packet.
 pub const TYPHOON_ETHERTYPE: u16 = 0xffff;
 
-/// Ethernet header length (two MACs + EtherType).
-pub const HEADER_LEN: usize = 14;
+/// Header length: two MACs + EtherType + reserved trace-id field.
+///
+/// The extra 8 bytes after the EtherType carry the `typhoon-trace` trace id
+/// (0 = untraced) so switches and receiving workers can record spans
+/// without parsing the tuple payload — the same "reserved header field"
+/// trick the paper uses for the application-ID address prefix.
+pub const HEADER_LEN: usize = 22;
 
 /// A 48-bit Ethernet-style address encoding `app_id:task_id`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,19 +98,30 @@ pub struct Frame {
     pub src: MacAddr,
     /// EtherType; always [`TYPHOON_ETHERTYPE`] for tuple traffic.
     pub ethertype: u16,
+    /// End-to-end trace id riding in the reserved header field (0 =
+    /// untraced; see `typhoon-trace`).
+    pub trace: u64,
     /// Packet payload (packetized tuples; see [`crate::packetize`]).
     pub payload: Bytes,
 }
 
 impl Frame {
-    /// A Typhoon-EtherType frame.
+    /// A Typhoon-EtherType frame (untraced).
     pub fn typhoon(src: MacAddr, dst: MacAddr, payload: Bytes) -> Self {
         Frame {
             dst,
             src,
             ethertype: TYPHOON_ETHERTYPE,
+            trace: 0,
             payload,
         }
+    }
+
+    /// Sets the trace id carried in the reserved header field (builder
+    /// style).
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Total on-wire length.
@@ -119,6 +135,7 @@ impl Frame {
         buf.put_slice(&self.dst.0);
         buf.put_slice(&self.src.0);
         buf.put_u16(self.ethertype);
+        buf.put_u64(self.trace);
         buf.put_slice(&self.payload);
         buf.freeze()
     }
@@ -135,10 +152,12 @@ impl Frame {
         dst.copy_from_slice(&header[0..6]);
         src.copy_from_slice(&header[6..12]);
         let ethertype = u16::from_be_bytes([header[12], header[13]]);
+        let trace = u64::from_be_bytes(header[14..22].try_into().expect("8-byte slice"));
         Ok(Frame {
             dst: MacAddr(dst),
             src: MacAddr(src),
             ethertype,
+            trace,
             payload: bytes,
         })
     }
@@ -173,6 +192,22 @@ mod tests {
         let decoded = Frame::decode(f.encode()).unwrap();
         assert_eq!(decoded, f);
         assert_eq!(decoded.ethertype, TYPHOON_ETHERTYPE);
+    }
+
+    #[test]
+    fn trace_id_roundtrips_through_the_header() {
+        let f = Frame::typhoon(
+            MacAddr::worker(1, TaskId(2)),
+            MacAddr::worker(1, TaskId(3)),
+            Bytes::from_static(b"x"),
+        )
+        .with_trace(0xdead_beef_cafe_f00d);
+        let decoded = Frame::decode(f.encode()).unwrap();
+        assert_eq!(decoded.trace, 0xdead_beef_cafe_f00d);
+        assert_eq!(decoded, f);
+        // Untraced frames carry a zero field.
+        let plain = Frame::typhoon(MacAddr::BROADCAST, MacAddr::BROADCAST, Bytes::new());
+        assert_eq!(Frame::decode(plain.encode()).unwrap().trace, 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! * [`packetize`] — the southbound transport library's payload format:
 //!   multiplexing several small tuples into one packet, segmenting large
 //!   tuples across packets, and the matching reassembler.
-//! * [`ring`] — DPDK-style bounded ring ports connecting workers to their
+//! * [`mod@ring`] — DPDK-style bounded ring ports connecting workers to their
 //!   host's software switch. Overflow drops are counted, not hidden,
 //!   modelling the TX/RX overflow discussion of §8.
 //! * [`tunnel`] — host-level tunnels that carry frames between compute

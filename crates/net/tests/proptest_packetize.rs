@@ -58,11 +58,13 @@ proptest! {
         src_mac in any::<[u8; 6]>(),
         dst_mac in any::<[u8; 6]>(),
         ethertype in any::<u16>(),
+        trace in any::<u64>(),
     ) {
         let f = Frame {
             src: MacAddr(src_mac),
             dst: MacAddr(dst_mac),
             ethertype,
+            trace,
             payload: Bytes::from(payload),
         };
         let decoded = Frame::decode(f.encode()).expect("roundtrip");

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use typhoon_diag::DiagMutex as Mutex;
 use typhoon_metrics::{RateMeter, Registry};
 use typhoon_model::{Bolt, Emitter, RouteDecision, RoutingState, Spout, TaskId};
+use typhoon_trace::{Hop, TraceCtx};
 use typhoon_tuple::ser::{decode_tuple, encode_tuple_vec, SerStats};
 use typhoon_tuple::{MessageId, StreamId, Tuple, Value};
 
@@ -78,18 +79,23 @@ pub struct ExecutorCtx {
     pub mem_cap_items: Option<usize>,
     /// Cooperative shutdown flag.
     pub shutdown: Arc<AtomicBool>,
+    /// End-to-end tracing context (disabled by default; hops recorded here
+    /// mirror the Typhoon side so the baselines are comparable).
+    pub trace: TraceCtx,
 
     // ---- internal scratch ----
     pub(crate) rng: SmallRng,
-    pub(crate) pending: HashMap<u64, Instant>,
+    pub(crate) pending: HashMap<u64, (Instant, u64)>,
     pub(crate) current_root: u64,
+    pub(crate) current_trace: u64,
     pub(crate) accum_xor: u64,
     pub(crate) rate_window_start: Instant,
     pub(crate) rate_window_count: u32,
     /// Per-destination transfer buffers, modelling Storm's disruptor-backed
     /// transfer queues: sends batch up and flush on size or on the 1 ms
-    /// flush tick, exactly like the JVM implementation's flush tuple.
-    pub(crate) transfer: HashMap<TaskId, Vec<Bytes>>,
+    /// flush tick, exactly like the JVM implementation's flush tuple. Each
+    /// blob carries its trace id (0 = untraced).
+    pub(crate) transfer: HashMap<TaskId, Vec<(Bytes, u64)>>,
     pub(crate) last_transfer_flush: Instant,
 }
 
@@ -135,8 +141,14 @@ impl ExecutorCtx {
             };
             self.accum_xor ^= anchor;
         }
+        tuple.meta.trace = self.current_trace;
         let blob = Bytes::from(encode_tuple_vec(tuple, &self.ser));
-        self.transfer.entry(dst).or_default().push(blob);
+        self.trace.record(self.current_trace, Hop::Serialize);
+        self.transfer
+            .entry(dst)
+            .or_default()
+            .push((blob, self.current_trace));
+        self.trace.record(self.current_trace, Hop::QueueOut);
         self.registry.counter("tuples.emitted").inc();
         if self.transfer.get(&dst).map_or(0, Vec::len) >= TRANSFER_BATCH {
             self.flush_destination(dst);
@@ -145,7 +157,8 @@ impl ExecutorCtx {
 
     fn flush_destination(&mut self, dst: TaskId) {
         if let Some(blobs) = self.transfer.remove(&dst) {
-            for blob in blobs {
+            for (blob, trace) in blobs {
+                self.trace.record(trace, Hop::NetHop);
                 if !self.outbound.send(dst, &blob) {
                     self.registry.counter("tuples.dropped").inc();
                 }
@@ -191,9 +204,12 @@ impl ExecutorCtx {
             copy.meta.stream = StreamId::DEBUG_MIRROR;
             copy.meta.message_id = MessageId::NONE;
             let saved_root = self.current_root;
-            self.current_root = 0; // mirrors are never anchored
+            let saved_trace = self.current_trace;
+            self.current_root = 0; // mirrors are never anchored (nor traced)
+            self.current_trace = 0;
             self.send_one(dbg, &mut copy);
             self.current_root = saved_root;
+            self.current_trace = saved_trace;
         }
     }
 
@@ -215,7 +231,7 @@ impl ExecutorCtx {
             ],
         );
         let blob = Bytes::from(encode_tuple_vec(&msg, &self.ser));
-        self.transfer.entry(acker).or_default().push(blob);
+        self.transfer.entry(acker).or_default().push((blob, 0));
         if self.transfer.get(&acker).map_or(0, Vec::len) >= TRANSFER_BATCH {
             self.flush_destination(acker);
         }
@@ -260,12 +276,13 @@ fn run_spout(ctx: &mut ExecutorCtx, mut spout: Box<dyn Spout>) {
             if tuple.meta.stream == StreamId::ACK_RESULT {
                 let root = tuple.get(0).and_then(Value::as_int).unwrap_or(0) as u64;
                 let ok = tuple.get(1).and_then(Value::as_bool).unwrap_or(false);
-                if let Some(born) = ctx.pending.remove(&root) {
+                if let Some((born, trace)) = ctx.pending.remove(&root) {
                     if ok {
                         ctx.registry.counter("acks.completed").inc();
                         ctx.registry
                             .histogram("latency")
                             .record_duration(born.elapsed());
+                        ctx.trace.record(trace, Hop::Ack);
                         spout.ack(root);
                     } else {
                         ctx.registry.counter("acks.failed").inc();
@@ -304,6 +321,9 @@ fn next_batch_rooted(ctx: &mut ExecutorCtx, spout: &mut dyn Spout) -> bool {
     let had_emissions = !collect.0.is_empty();
     ctx.rate_consume(collect.0.len() as u32);
     for (index, (stream, values)) in collect.0.into_iter().enumerate() {
+        let trace = ctx.trace.sample();
+        ctx.current_trace = trace;
+        ctx.trace.record(trace, Hop::SpoutEmit);
         if ctx.acker.is_some() {
             let root = ctx.rng.gen::<u64>() | 1;
             ctx.current_root = root;
@@ -312,13 +332,14 @@ fn next_batch_rooted(ctx: &mut ExecutorCtx, spout: &mut dyn Spout) -> bool {
             let xor = ctx.accum_xor;
             let task = ctx.task;
             ctx.send_acker(root, xor, Some(task));
-            ctx.pending.insert(root, Instant::now());
+            ctx.pending.insert(root, (Instant::now(), trace));
             ctx.current_root = 0;
             spout.emitted(index, root);
         } else {
             ctx.current_root = 0;
             ctx.emit_tuple(stream, values);
         }
+        ctx.current_trace = 0;
         ctx.meter.mark(1);
     }
     produced || had_emissions
@@ -359,9 +380,13 @@ fn run_bolt(ctx: &mut ExecutorCtx, mut bolt: Box<dyn Bolt>) {
             ctx.registry.counter("tuples.received").inc();
             ctx.meter.mark(1);
             let input_id = tuple.meta.message_id;
+            let input_trace = tuple.meta.trace;
+            ctx.trace.record(input_trace, Hop::Deserialize);
             ctx.current_root = input_id.root;
+            ctx.current_trace = input_trace;
             ctx.accum_xor = 0;
             bolt.execute(tuple, ctx);
+            ctx.trace.record(input_trace, Hop::BoltExecute);
             // Auto-ack (Storm's BasicBolt discipline): input anchor XOR
             // the anchors of everything emitted during execute.
             if input_id.is_anchored() {
@@ -369,6 +394,7 @@ fn run_bolt(ctx: &mut ExecutorCtx, mut bolt: Box<dyn Bolt>) {
                 ctx.send_acker(input_id.root, xor, None);
             }
             ctx.current_root = 0;
+            ctx.current_trace = 0;
         }
         ctx.flush_transfers(false);
         if !busy {
@@ -436,7 +462,7 @@ fn notify_spout(ctx: &mut ExecutorCtx, spout: TaskId, root: u64, outcome: AckOut
         ],
     );
     let blob = Bytes::from(encode_tuple_vec(&msg, &ctx.ser));
-    ctx.transfer.entry(spout).or_default().push(blob);
+    ctx.transfer.entry(spout).or_default().push((blob, 0));
 }
 
 /// Builds a default-scratch executor context (shared by Nimbus and tests).
@@ -473,9 +499,11 @@ pub fn make_ctx(
         mirror_to: Arc::new(Mutex::new(None)),
         mem_cap_items: None,
         shutdown,
+        trace: TraceCtx::disabled(),
         rng: SmallRng::seed_from_u64(task.0 as u64 ^ 0x5eed),
         pending: HashMap::new(),
         current_root: 0,
+        current_trace: 0,
         accum_xor: 0,
         rate_window_start: Instant::now(),
         rate_window_count: 0,

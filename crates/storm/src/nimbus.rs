@@ -20,6 +20,7 @@ use typhoon_model::{
     AppId, ComponentRegistry, Grouping, LogicalTopology, NodeKind, PhysicalTopology,
     RoundRobinScheduler, RoutingState, Scheduler, TaskId,
 };
+use typhoon_trace::Tracer;
 use typhoon_tuple::ser::SerStats;
 
 /// How executors exchange tuples.
@@ -58,6 +59,9 @@ pub struct StormConfig {
     /// cap crashes the worker with a simulated `OutOfMemoryError`
     /// (Fig. 11's overload failure).
     pub mem_caps: HashMap<String, usize>,
+    /// End-to-end trace sampling: 1 in `trace_sample` spout emissions is
+    /// traced across every hop (0 = off, the default).
+    pub trace_sample: u32,
 }
 
 impl StormConfig {
@@ -74,6 +78,7 @@ impl StormConfig {
             monitor_interval: Duration::from_millis(100),
             restart_failed: true,
             mem_caps: HashMap::new(),
+            trace_sample: 0,
         }
     }
 
@@ -102,6 +107,13 @@ impl StormConfig {
     /// Builder: cap a node's inbox (simulated worker memory bound).
     pub fn with_mem_cap(mut self, node: &str, items: usize) -> Self {
         self.mem_caps.insert(node.to_owned(), items);
+        self
+    }
+
+    /// Builder: enable end-to-end tuple tracing, sampling 1 in `rate`
+    /// spout emissions.
+    pub fn with_trace(mut self, rate: u32) -> Self {
+        self.trace_sample = rate;
         self
     }
 }
@@ -147,6 +159,7 @@ struct ClusterInner {
     next_task_base: Mutex<u32>,
     monitor_shutdown: Arc<AtomicBool>,
     monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// The Storm-like cluster: Nimbus + supervisors collapsed into one object
@@ -160,6 +173,7 @@ pub struct StormCluster {
 impl StormCluster {
     /// Boots a cluster with the given component registry.
     pub fn new(config: StormConfig, components: ComponentRegistry) -> Self {
+        let tracer = (config.trace_sample > 0).then(|| Tracer::new(config.trace_sample));
         let cluster = StormCluster {
             inner: Arc::new(ClusterInner {
                 config,
@@ -172,6 +186,7 @@ impl StormCluster {
                 next_task_base: Mutex::new(0),
                 monitor_shutdown: Arc::new(AtomicBool::new(false)),
                 monitor: Mutex::new(None),
+                tracer,
             }),
         };
         cluster.start_monitor();
@@ -181,6 +196,12 @@ impl StormCluster {
     /// Cluster-wide serialization counters (the Fig. 9 evidence).
     pub fn ser_stats(&self) -> &Arc<SerStats> {
         &self.inner.ser
+    }
+
+    /// The end-to-end tuple tracer (`None` unless the cluster was built
+    /// with [`StormConfig::with_trace`]).
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.inner.tracer.as_ref()
     }
 
     fn make_inbox(&self) -> Result<Inbox> {
@@ -324,6 +345,9 @@ impl StormCluster {
             .or_insert_with(|| Arc::new(Mutex::new(None)))
             .clone();
         ctx.mem_cap_items = self.inner.config.mem_caps.get(&bp.node).copied();
+        if let Some(t) = &self.inner.tracer {
+            ctx.trace = t.ctx();
+        }
 
         let component = if Some(task) == topo.acker_task {
             Component::Acker

@@ -21,6 +21,7 @@ use typhoon_net::{Frame, Tunnel};
 use typhoon_openflow::{
     wire, Action, DatapathId, FrameMeta, OfMessage, PacketInReason, PortNo, PortStatusReason,
 };
+use typhoon_trace::{Hop, TraceCtx};
 
 /// Tunable parameters of one switch.
 #[derive(Debug, Clone)]
@@ -70,6 +71,7 @@ struct Inner {
     ctrl_rx: Receiver<Bytes>,
     shutdown: AtomicBool,
     last_expire: Mutex<Instant>,
+    trace: Mutex<TraceCtx>,
 }
 
 /// A host's software SDN switch. Clone-able handle; the forwarding loop
@@ -101,6 +103,7 @@ impl Switch {
                 ctrl_rx: to_switch_rx,
                 shutdown: AtomicBool::new(false),
                 last_expire: Mutex::new(Instant::now()),
+                trace: Mutex::new(TraceCtx::disabled()),
                 config,
             }),
         };
@@ -142,6 +145,12 @@ impl Switch {
     /// Registers the tunnel used to reach peer host `host`.
     pub fn add_tunnel(&self, host: u32, tunnel: Box<dyn Tunnel + Send>) {
         self.inner.tunnels.lock().insert(host, tunnel);
+    }
+
+    /// Installs the tracing context used to record `SwitchMatch` spans for
+    /// traced frames (frames whose reserved header field is nonzero).
+    pub fn set_trace(&self, ctx: TraceCtx) {
+        *self.inner.trace.lock() = ctx;
     }
 
     /// Flow-table miss count (observability).
@@ -271,6 +280,13 @@ impl Switch {
 
     /// Runs one frame through the flow table and executes its actions.
     pub fn process_frame(&self, in_port: PortNo, frame: Frame) {
+        // Untraced frames (the overwhelming majority) pay one u64 compare.
+        if frame.trace != 0 {
+            self.inner
+                .trace
+                .lock()
+                .record(frame.trace, Hop::SwitchMatch);
+        }
         let meta = FrameMeta {
             in_port,
             dl_src: frame.src,

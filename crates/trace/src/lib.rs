@@ -1,0 +1,39 @@
+//! # typhoon-trace — end-to-end tuple tracing
+//!
+//! A lightweight span-based tracing layer that follows a *sampled* tuple
+//! across the whole pipeline — spout emit → serialization → executor/I/O
+//! queue → tunnel/ring hop → switch datapath match → deserialization →
+//! bolt execute → ack — the per-hop visibility the paper's control
+//! applications (§5: live debugger, fault detector, load balancer) get
+//! from SDN taps, and the measurement that per-hop event-time latency
+//! decomposition needs (Karimov et al., *Benchmarking Distributed Stream
+//! Data Processing Systems*).
+//!
+//! ## Design
+//!
+//! * **Sampling, not logging.** A [`Sampler`] stamps every 1-in-N spout
+//!   emission with a nonzero trace id (default [`Tracer::DEFAULT_SAMPLE`] =
+//!   1/1024; rate 0 turns the layer into a single always-false branch).
+//!   The id rides inside the tuple metadata on the wire and in a reserved
+//!   frame-header field, so downstream hops need no lookup tables.
+//! * **Lock-free, allocation-free recording.** Each worker owns a
+//!   fixed-size [`SpanBuf`] ring of atomic slots; [`TraceCtx::record`] is
+//!   a `fetch_add` plus three atomic stores. Untraced tuples (`trace == 0`)
+//!   cost one integer compare.
+//! * **Offline assembly.** A [`Tracer`] registers every span buffer,
+//!   [`Tracer::collect`]s raw spans, stitches them into per-trace hop
+//!   sequences, feeds per-hop latency deltas into `trace.hop.<label>`
+//!   [`typhoon_metrics::Histogram`]s, and renders the N slowest complete
+//!   traces as a [`TraceDump`] (JSON or text).
+//!
+//! See `docs/OBSERVABILITY.md` for the operator-facing guide.
+
+#![warn(missing_docs)]
+
+mod report;
+mod span;
+mod tracer;
+
+pub use report::{HopStat, TraceDump, TraceRecord};
+pub use span::{Hop, RawSpan, Sampler, SpanBuf, TraceCtx};
+pub use tracer::Tracer;

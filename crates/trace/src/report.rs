@@ -1,0 +1,236 @@
+//! Assembled trace records and operator-facing reports.
+
+use crate::span::Hop;
+use std::fmt::Write as _;
+
+/// One assembled trace: every hop recorded for a single sampled tuple,
+/// sorted by timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The trace id assigned at the spout.
+    pub id: u64,
+    /// `(hop, nanos-since-epoch)` pairs in timestamp order.
+    pub hops: Vec<(Hop, u64)>,
+}
+
+impl TraceRecord {
+    /// A trace is complete once the spout observed the ack — the last hop
+    /// of [`Hop::CANONICAL`].
+    pub fn is_complete(&self) -> bool {
+        self.hops.iter().any(|(h, _)| *h == Hop::Ack)
+    }
+
+    /// End-to-end latency: last timestamp minus first (0 for a trace with
+    /// fewer than two hops).
+    pub fn e2e_nanos(&self) -> u64 {
+        match (self.hops.first(), self.hops.last()) {
+            (Some((_, first)), Some((_, last))) => last.saturating_sub(*first),
+            _ => 0,
+        }
+    }
+
+    /// True when `sequence` appears as an ordered (not necessarily
+    /// contiguous) subsequence of this trace's hops.
+    pub fn contains_ordered(&self, sequence: &[Hop]) -> bool {
+        let mut want = sequence.iter();
+        let mut next = want.next();
+        for (hop, _) in &self.hops {
+            if Some(hop) == next {
+                next = want.next();
+            }
+        }
+        next.is_none()
+    }
+}
+
+/// Aggregate latency contribution of one hop across all completed traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopStat {
+    /// The pipeline stage.
+    pub hop: Hop,
+    /// Number of latency deltas recorded under this hop.
+    pub count: u64,
+    /// Mean nanoseconds spent reaching this hop from the previous one.
+    pub mean_ns: f64,
+    /// 99th-percentile nanoseconds for the same delta.
+    pub p99_ns: u64,
+}
+
+/// The N slowest complete traces plus per-hop aggregates, renderable as
+/// JSON ([`TraceDump::to_json`]) or a text table ([`TraceDump::to_text`]).
+#[derive(Debug, Clone, Default)]
+pub struct TraceDump {
+    /// Slowest complete traces, slowest first.
+    pub slowest: Vec<TraceRecord>,
+    /// Per-hop aggregates over every completed trace so far.
+    pub hops: Vec<HopStat>,
+    /// Total completed traces observed by the tracer.
+    pub completed: u64,
+}
+
+impl TraceDump {
+    /// Renders the dump as a single-line JSON object (hand-rolled — no
+    /// serde in the sanctioned offline dependency set).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"completed\":");
+        let _ = write!(s, "{}", self.completed);
+        s.push_str(",\"hops\":[");
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"hop\":\"{}\",\"count\":{},\"mean_ns\":{:.0},\"p99_ns\":{}}}",
+                h.hop.label(),
+                h.count,
+                h.mean_ns,
+                h.p99_ns
+            );
+        }
+        s.push_str("],\"slowest\":[");
+        for (i, t) in self.slowest.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"id\":{},\"e2e_ns\":{},\"hops\":[",
+                t.id,
+                t.e2e_nanos()
+            );
+            for (j, (hop, at)) in t.hops.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{{\"hop\":\"{}\",\"at_ns\":{}}}", hop.label(), at);
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders the dump as a human-readable table: per-hop aggregates
+    /// followed by the slowest traces with per-hop deltas.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "completed traces: {}", self.completed);
+        let _ = writeln!(
+            s,
+            "{:<14} {:>10} {:>12} {:>12}",
+            "hop", "count", "mean_us", "p99_us"
+        );
+        for h in &self.hops {
+            let _ = writeln!(
+                s,
+                "{:<14} {:>10} {:>12.1} {:>12.1}",
+                h.hop.label(),
+                h.count,
+                h.mean_ns / 1_000.0,
+                h.p99_ns as f64 / 1_000.0
+            );
+        }
+        for t in &self.slowest {
+            let _ = writeln!(
+                s,
+                "trace {} e2e {:.1}us:",
+                t.id,
+                t.e2e_nanos() as f64 / 1_000.0
+            );
+            let mut prev: Option<u64> = None;
+            for (hop, at) in &t.hops {
+                let delta = prev.map(|p| at.saturating_sub(p)).unwrap_or(0);
+                let _ = writeln!(
+                    s,
+                    "  {:<14} +{:>10.1}us",
+                    hop.label(),
+                    delta as f64 / 1_000.0
+                );
+                prev = Some(*at);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> TraceRecord {
+        TraceRecord {
+            id: 9,
+            hops: vec![
+                (Hop::SpoutEmit, 100),
+                (Hop::Serialize, 150),
+                (Hop::QueueOut, 180),
+                (Hop::NetHop, 240),
+                (Hop::SwitchMatch, 260),
+                (Hop::Deserialize, 300),
+                (Hop::BoltExecute, 400),
+                (Hop::Ack, 900),
+            ],
+        }
+    }
+
+    #[test]
+    fn completeness_and_e2e() {
+        let r = record();
+        assert!(r.is_complete());
+        assert_eq!(r.e2e_nanos(), 800);
+        let partial = TraceRecord {
+            id: 1,
+            hops: vec![(Hop::SpoutEmit, 5)],
+        };
+        assert!(!partial.is_complete());
+        assert_eq!(partial.e2e_nanos(), 0);
+    }
+
+    #[test]
+    fn ordered_subsequence_matching() {
+        let r = record();
+        assert!(r.contains_ordered(&Hop::CANONICAL));
+        assert!(r.contains_ordered(&[Hop::SpoutEmit, Hop::SwitchMatch, Hop::Ack]));
+        assert!(!r.contains_ordered(&[Hop::Ack, Hop::SpoutEmit]));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let dump = TraceDump {
+            slowest: vec![record()],
+            hops: vec![HopStat {
+                hop: Hop::NetHop,
+                count: 3,
+                mean_ns: 1234.5,
+                p99_ns: 2000,
+            }],
+            completed: 7,
+        };
+        let json = dump.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"completed\":7"));
+        assert!(json.contains("\"hop\":\"net_hop\""));
+        assert!(json.contains("\"e2e_ns\":800"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(!json.contains('\n'), "single line");
+    }
+
+    #[test]
+    fn text_lists_every_hop() {
+        let dump = TraceDump {
+            slowest: vec![record()],
+            hops: Vec::new(),
+            completed: 1,
+        };
+        let text = dump.to_text();
+        for hop in Hop::CANONICAL {
+            assert!(text.contains(hop.label()), "missing {hop}");
+        }
+    }
+}

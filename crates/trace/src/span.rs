@@ -1,0 +1,413 @@
+//! Hot-path types: hop labels, the sampler, and the lock-free span buffer.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One pipeline stage a traced tuple passes through.
+///
+/// The canonical end-to-end order is [`Hop::CANONICAL`]; a *complete*
+/// trace starts with [`Hop::SpoutEmit`] and ends with [`Hop::Ack`].
+/// Intermediate hops repeat once per worker the tuple traverses (a
+/// two-bolt chain records two `Serialize`/`Deserialize`/`BoltExecute`
+/// rounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u32)]
+pub enum Hop {
+    /// A spout produced the tuple (trace ids are assigned here).
+    SpoutEmit = 0,
+    /// The framework/executor serialized the tuple to its wire form.
+    Serialize = 1,
+    /// The serialized blob entered a per-destination egress batch.
+    QueueOut = 2,
+    /// The frame was pushed into the ring port / transport connection.
+    NetHop = 3,
+    /// A switch datapath matched the frame against its flow table.
+    SwitchMatch = 4,
+    /// A receiving worker decoded the tuple from its wire form.
+    Deserialize = 5,
+    /// A bolt finished executing the tuple.
+    BoltExecute = 6,
+    /// The spout learned the tuple tree completed (acker verdict).
+    Ack = 7,
+}
+
+impl Hop {
+    /// Every hop in canonical pipeline order.
+    pub const CANONICAL: [Hop; 8] = [
+        Hop::SpoutEmit,
+        Hop::Serialize,
+        Hop::QueueOut,
+        Hop::NetHop,
+        Hop::SwitchMatch,
+        Hop::Deserialize,
+        Hop::BoltExecute,
+        Hop::Ack,
+    ];
+
+    /// Stable lowercase label, used in metric names (`trace.hop.<label>`)
+    /// and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Hop::SpoutEmit => "spout_emit",
+            Hop::Serialize => "serialize",
+            Hop::QueueOut => "queue_out",
+            Hop::NetHop => "net_hop",
+            Hop::SwitchMatch => "switch_match",
+            Hop::Deserialize => "deserialize",
+            Hop::BoltExecute => "bolt_execute",
+            Hop::Ack => "ack",
+        }
+    }
+
+    /// Inverse of the `repr(u32)` discriminant (spans store hops as raw
+    /// integers in atomic slots).
+    pub fn from_u32(v: u32) -> Option<Hop> {
+        Hop::CANONICAL.into_iter().find(|h| *h as u32 == v)
+    }
+}
+
+impl fmt::Display for Hop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Decides which tuples get traced: every `rate`-th sampled emission
+/// receives a fresh nonzero trace id; everything else gets 0 (untraced).
+///
+/// `rate == 0` disables sampling entirely — [`Sampler::sample`] is then a
+/// single relaxed load and compare, the "compiled to a no-op check"
+/// guarantee of the trace layer.
+#[derive(Debug, Default)]
+pub struct Sampler {
+    rate: AtomicU32,
+    emissions: AtomicU64,
+    next_id: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler tracing 1 in `rate` emissions (0 = off).
+    pub fn new(rate: u32) -> Self {
+        Sampler {
+            rate: AtomicU32::new(rate),
+            emissions: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Current sampling rate (0 = off).
+    pub fn rate(&self) -> u32 {
+        self.rate.load(Ordering::Relaxed)
+    }
+
+    /// Retunes the sampling rate at runtime (0 = off).
+    pub fn set_rate(&self, rate: u32) {
+        self.rate.store(rate, Ordering::Relaxed);
+    }
+
+    /// Returns a fresh trace id for 1 in `rate` calls, 0 otherwise.
+    pub fn sample(&self) -> u64 {
+        let rate = self.rate.load(Ordering::Relaxed);
+        if rate == 0 {
+            return 0;
+        }
+        if !self
+            .emissions
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(rate as u64)
+        {
+            return 0;
+        }
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+struct Slot {
+    trace: AtomicU64,
+    hop: AtomicU32,
+    at_nanos: AtomicU64,
+}
+
+/// One raw span read back out of a [`SpanBuf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawSpan {
+    /// The trace the span belongs to (never 0).
+    pub trace: u64,
+    /// The pipeline stage.
+    pub hop: Hop,
+    /// Nanoseconds since the owning [`crate::Tracer`]'s epoch.
+    pub at_nanos: u64,
+}
+
+/// A fixed-size, lock-free ring of trace spans owned by one worker (or
+/// one switch datapath).
+///
+/// Writers claim a slot with a `fetch_add` on the head index and publish
+/// the span by storing the trace id last with `Release` ordering; the slot
+/// is invalidated (trace id 0) before the hop/timestamp words are
+/// rewritten, so a racing reader sees either the old span, the new span,
+/// or an empty slot — never a torn mix. When the ring wraps, the oldest
+/// spans are overwritten (traces older than the buffer window simply come
+/// back incomplete). No allocation ever happens after construction.
+pub struct SpanBuf {
+    slots: Box<[Slot]>,
+    head: AtomicUsize,
+}
+
+impl SpanBuf {
+    /// Default ring capacity (spans) per worker.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A ring holding `capacity` spans (rounded up to a power of two).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(8).next_power_of_two();
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                trace: AtomicU64::new(0),
+                hop: AtomicU32::new(0),
+                at_nanos: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpanBuf {
+            slots,
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Ring capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one span. Lock-free and allocation-free; callers must pass
+    /// a nonzero `trace`.
+    pub fn record(&self, trace: u64, hop: Hop, at_nanos: u64) {
+        debug_assert_ne!(trace, 0, "untraced spans must be filtered earlier");
+        let idx = self.head.fetch_add(1, Ordering::Relaxed) & (self.slots.len() - 1);
+        let slot = &self.slots[idx];
+        // Invalidate, write payload, publish.
+        slot.trace.store(0, Ordering::Release);
+        slot.hop.store(hop as u32, Ordering::Relaxed);
+        slot.at_nanos.store(at_nanos, Ordering::Relaxed);
+        slot.trace.store(trace, Ordering::Release);
+    }
+
+    /// Drains every published span, clearing the slots it read. Racing
+    /// writers may republish a slot concurrently; such spans are picked up
+    /// by the next drain.
+    pub fn drain(&self, out: &mut Vec<RawSpan>) {
+        for slot in self.slots.iter() {
+            let trace = slot.trace.swap(0, Ordering::Acquire);
+            if trace == 0 {
+                continue;
+            }
+            let hop = match Hop::from_u32(slot.hop.load(Ordering::Relaxed)) {
+                Some(h) => h,
+                None => continue, // torn slot: drop the span
+            };
+            out.push(RawSpan {
+                trace,
+                hop,
+                at_nanos: slot.at_nanos.load(Ordering::Relaxed),
+            });
+        }
+    }
+}
+
+impl fmt::Debug for SpanBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpanBuf(capacity={})", self.slots.len())
+    }
+}
+
+struct CtxInner {
+    sampler: Arc<Sampler>,
+    buf: Arc<SpanBuf>,
+    epoch: Instant,
+}
+
+/// The per-worker tracing handle threaded through the pipeline.
+///
+/// Pairs the cluster-wide [`Sampler`] with this worker's [`SpanBuf`] and
+/// the collector's epoch. A disabled (default) context makes every method
+/// a no-op; recording an untraced tuple (`trace == 0`) is a single
+/// compare. Cloning shares the same buffer — clone freely within a worker,
+/// but ask the [`crate::Tracer`] for a fresh context per worker so span
+/// buffers stay uncontended.
+#[derive(Clone, Default)]
+pub struct TraceCtx {
+    inner: Option<Arc<CtxInner>>,
+}
+
+impl TraceCtx {
+    /// A context that records nothing (the default).
+    pub fn disabled() -> TraceCtx {
+        TraceCtx::default()
+    }
+
+    pub(crate) fn enabled(sampler: Arc<Sampler>, buf: Arc<SpanBuf>, epoch: Instant) -> TraceCtx {
+        TraceCtx {
+            inner: Some(Arc::new(CtxInner {
+                sampler,
+                buf,
+                epoch,
+            })),
+        }
+    }
+
+    /// True when spans can actually be recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Samples one spout emission: a fresh nonzero trace id for 1 in
+    /// `rate` calls, 0 (untraced) otherwise.
+    pub fn sample(&self) -> u64 {
+        match &self.inner {
+            Some(i) => i.sampler.sample(),
+            None => 0,
+        }
+    }
+
+    /// Records `hop` for `trace` at the current monotonic time. No-op when
+    /// `trace == 0` or the context is disabled.
+    pub fn record(&self, trace: u64, hop: Hop) {
+        if trace == 0 {
+            return;
+        }
+        if let Some(i) = &self.inner {
+            i.buf
+                .record(trace, hop, i.epoch.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+impl fmt::Debug for TraceCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(i) => write!(f, "TraceCtx(rate={})", i.sampler.rate()),
+            None => f.write_str("TraceCtx(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_rate_zero_never_samples() {
+        let s = Sampler::new(0);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(), 0);
+        }
+    }
+
+    #[test]
+    fn sampler_one_in_n_and_ids_are_unique_nonzero() {
+        let s = Sampler::new(4);
+        let ids: Vec<u64> = (0..40).map(|_| s.sample()).filter(|&v| v != 0).collect();
+        assert_eq!(ids.len(), 10, "1 in 4 of 40 emissions");
+        let set: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(set.len(), ids.len(), "ids are unique");
+        assert!(ids.iter().all(|&v| v != 0));
+    }
+
+    #[test]
+    fn sampler_rate_is_runtime_tunable() {
+        let s = Sampler::new(0);
+        assert_eq!(s.sample(), 0);
+        s.set_rate(1);
+        assert_ne!(s.sample(), 0);
+        s.set_rate(0);
+        assert_eq!(s.sample(), 0);
+    }
+
+    #[test]
+    fn spanbuf_roundtrips_spans() {
+        let buf = SpanBuf::new(16);
+        buf.record(7, Hop::SpoutEmit, 100);
+        buf.record(7, Hop::Serialize, 200);
+        let mut out = Vec::new();
+        buf.drain(&mut out);
+        out.sort_by_key(|s| s.at_nanos);
+        assert_eq!(
+            out,
+            vec![
+                RawSpan {
+                    trace: 7,
+                    hop: Hop::SpoutEmit,
+                    at_nanos: 100
+                },
+                RawSpan {
+                    trace: 7,
+                    hop: Hop::Serialize,
+                    at_nanos: 200
+                },
+            ]
+        );
+        // Drain consumed the slots.
+        out.clear();
+        buf.drain(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spanbuf_wraps_and_overwrites_oldest() {
+        let buf = SpanBuf::new(8);
+        for i in 0..20u64 {
+            buf.record(i + 1, Hop::NetHop, i);
+        }
+        let mut out = Vec::new();
+        buf.drain(&mut out);
+        assert_eq!(out.len(), 8, "ring keeps exactly its capacity");
+        let min = out.iter().map(|s| s.at_nanos).min().unwrap();
+        assert_eq!(min, 12, "oldest spans were overwritten");
+    }
+
+    #[test]
+    fn spanbuf_concurrent_writers_never_tear() {
+        let buf = Arc::new(SpanBuf::new(1024));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let buf = buf.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        buf.record(t * 100_000 + i + 1, Hop::QueueOut, i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut out = Vec::new();
+        buf.drain(&mut out);
+        assert!(!out.is_empty());
+        for span in &out {
+            assert_ne!(span.trace, 0);
+            assert_eq!(span.hop, Hop::QueueOut);
+        }
+    }
+
+    #[test]
+    fn disabled_ctx_is_inert() {
+        let ctx = TraceCtx::disabled();
+        assert!(!ctx.is_enabled());
+        assert_eq!(ctx.sample(), 0);
+        ctx.record(42, Hop::Ack); // must not panic
+    }
+
+    #[test]
+    fn hop_u32_roundtrip_and_labels_are_unique() {
+        let mut labels = std::collections::HashSet::new();
+        for hop in Hop::CANONICAL {
+            assert_eq!(Hop::from_u32(hop as u32), Some(hop));
+            assert!(labels.insert(hop.label()));
+        }
+        assert_eq!(Hop::from_u32(99), None);
+    }
+}

@@ -24,7 +24,7 @@
 //! |---|---|
 //! | [`value`] | [`Value`] — the dynamically typed cell |
 //! | [`fields`] | [`Fields`] — named schema used for key extraction |
-//! | [`tuple`] | [`Tuple`] — values + routing/ack metadata |
+//! | [`mod@tuple`] | [`Tuple`] — values + routing/ack metadata |
 //! | [`stream`] | [`StreamId`], [`MessageId`], well-known streams |
 //! | [`ser`] | length-delimited binary wire format + meters |
 

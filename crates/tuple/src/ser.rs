@@ -5,7 +5,7 @@
 //! All integers are little-endian.
 //!
 //! ```text
-//! tuple   := src_task:u32 stream:u16 root:u64 anchor:u64 nvalues:u16 value*
+//! tuple   := src_task:u32 stream:u16 root:u64 anchor:u64 trace:u64 nvalues:u16 value*
 //! value   := tag:u8 payload
 //! payload := Nil            -> (empty)
 //!            Bool           -> u8 (0|1)
@@ -205,6 +205,7 @@ pub fn encode_tuple(t: &Tuple, buf: &mut Vec<u8>, stats: &SerStats) -> usize {
     put_u16(buf, t.meta.stream.0);
     put_u64(buf, t.meta.message_id.root);
     put_u64(buf, t.meta.message_id.anchor);
+    put_u64(buf, t.meta.trace);
     put_u16(buf, t.values.len() as u16);
     for v in &t.values {
         encode_value(v, buf);
@@ -230,6 +231,7 @@ pub fn decode_tuple(buf: &[u8], stats: &SerStats) -> Result<(Tuple, usize)> {
     let stream = StreamId(r.u16("stream")?);
     let root = r.u64("message root")?;
     let anchor = r.u64("message anchor")?;
+    let trace = r.u64("trace id")?;
     let nvalues = r.u16("value count")? as usize;
     let mut values = Vec::with_capacity(nvalues.min(1024));
     for _ in 0..nvalues {
@@ -243,6 +245,7 @@ pub fn decode_tuple(buf: &[u8], stats: &SerStats) -> Result<(Tuple, usize)> {
                 src_task,
                 stream,
                 message_id: MessageId { root, anchor },
+                trace,
             },
             values,
         },
@@ -309,7 +312,7 @@ mod tests {
         let t = Tuple::new(TaskId(1), vec![]);
         encode_tuple(&t, &mut buf, &stats);
         // Append a value with an invalid tag and patch the count.
-        buf[22] = 1; // nvalues (little-endian u16 at offset 22)
+        buf[30] = 1; // nvalues (little-endian u16 at offset 30)
         buf.push(0x7f);
         match decode_tuple(&buf, &stats) {
             Err(TupleError::BadTag(0x7f)) => {}
@@ -323,7 +326,7 @@ mod tests {
         let t = Tuple::new(TaskId(1), vec![Value::Str("abc".into())]);
         let mut buf = encode_tuple_vec(&t, &stats);
         // The str length field sits right after the tag; blow it up.
-        let tag_pos = 24; // meta (22) + nvalues consumed; first value tag
+        let tag_pos = 32; // meta (30) + nvalues consumed; first value tag
         assert_eq!(buf[tag_pos], TAG_STR);
         buf[tag_pos + 1..tag_pos + 5].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(

@@ -91,7 +91,7 @@ impl fmt::Display for StreamId {
 /// A spout assigns each root tuple a random non-zero `root`; every downstream
 /// anchor contributes a random `anchor` XORed into the acker's ledger. When
 /// the ledger value returns to zero the tree is fully processed (the classic
-/// Storm XOR trick reimplemented in [`typhoon-storm`]'s acker).
+/// Storm XOR trick reimplemented in `typhoon-storm`'s acker).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MessageId {
     /// Identifies the tuple tree (assigned by the spout).

@@ -31,15 +31,20 @@ pub struct TupleMeta {
     pub stream: StreamId,
     /// Guaranteed-processing lineage; [`MessageId::NONE`] when unanchored.
     pub message_id: MessageId,
+    /// End-to-end trace id (`typhoon-trace`); 0 = untraced. Rides the wire
+    /// with the tuple so every downstream hop can record a span without a
+    /// lookup table.
+    pub trace: u64,
 }
 
 impl TupleMeta {
-    /// Metadata for an unanchored tuple on a given stream.
+    /// Metadata for an unanchored, untraced tuple on a given stream.
     pub fn new(src_task: TaskId, stream: StreamId) -> Self {
         TupleMeta {
             src_task,
             stream,
             message_id: MessageId::NONE,
+            trace: 0,
         }
     }
 }

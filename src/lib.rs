@@ -12,8 +12,9 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`tuple`] | `typhoon-tuple` | values, tuples, streams, wire serialization |
+//! | [`mod@tuple`] | `typhoon-tuple` | values, tuples, streams, wire serialization |
 //! | [`metrics`] | `typhoon-metrics` | counters, rate timelines, latency CDFs |
+//! | [`trace`] | `typhoon-trace` | end-to-end tuple tracing: span buffers, hop reports |
 //! | [`model`] | `typhoon-model` | spouts/bolts, topologies, routing, schedulers |
 //! | [`coordinator`] | `typhoon-coordinator` | ZooKeeper-like coordination service |
 //! | [`openflow`] | `typhoon-openflow` | the OpenFlow protocol subset + wire codec |
@@ -85,6 +86,7 @@ pub use typhoon_net as net;
 pub use typhoon_openflow as openflow;
 pub use typhoon_storm as storm;
 pub use typhoon_switch as switch;
+pub use typhoon_trace as trace;
 pub use typhoon_tuple as tuple;
 
 /// The things most applications need, in one import.
