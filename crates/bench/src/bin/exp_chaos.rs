@@ -1,0 +1,163 @@
+//! Experiment: chaos — the word-count shape under injected tunnel faults.
+//!
+//! Runs the Fig. 2 word-count shape (replaying sequence source → 2 relay
+//! workers → 2 field-grouped sinks) on two hosts with every inter-host
+//! tunnel wrapped in a seeded [`typhoon_net::FaultInjector`], and measures how long
+//! full completion (every root acked) takes under each fault class
+//! compared to the clean baseline. This is the quantitative companion of
+//! the chaos test suite: recovery is not just *possible*, it is *cheap*
+//! relative to the heartbeat timeout the paper's Fig. 10 baseline pays.
+//!
+//! ```text
+//! exp_chaos [--roots N] [--seed S] [--class drop|delay|dup|corrupt|all]
+//! ```
+
+use std::time::{Duration, Instant};
+use typhoon_controller::apps::FaultDetector;
+use typhoon_core::{TyphoonCluster, TyphoonConfig};
+use typhoon_model::{ComponentRegistry, Fields, Grouping, LogicalTopology};
+use typhoon_net::{ChaosStats, FaultPlan, FaultSpec};
+
+const DEFAULT_ROOTS: i64 = 2_000;
+const DEFAULT_SEED: u64 = 0xc4a0_5eed;
+
+fn word_count_shape() -> LogicalTopology {
+    LogicalTopology::builder("chaos-word-count")
+        .spout("input", "seq-spout", 1, Fields::new(["seq", "payload"]))
+        .bolt("split", "relay", 2, Fields::new(["seq", "payload"]))
+        .bolt("count", "seq-sink", 2, Fields::new(["seq"]))
+        .edge("input", "split", Grouping::Shuffle)
+        .edge("split", "count", Grouping::Fields(vec!["seq".into()]))
+        .build()
+        .expect("valid topology")
+}
+
+struct Outcome {
+    completed: u64,
+    delivered: u64,
+    elapsed: Duration,
+    injected: Vec<(&'static str, u64)>,
+}
+
+fn run_class(name: &str, plan: FaultPlan, roots: i64) -> Outcome {
+    let mut reg = ComponentRegistry::new();
+    let (sink, _agg) = typhoon_bench::workloads::register_standard(&mut reg, 16, 8);
+    let mut config = TyphoonConfig::new(2)
+        .with_batch_size(8)
+        .with_acking(Duration::from_secs(2), 256)
+        .with_chaos(plan);
+    config.slots_per_host = 3;
+    let cluster = TyphoonCluster::new(config, reg).expect("cluster");
+    cluster.controller().add_app(Box::new(FaultDetector::new()));
+    cluster.register_spout("seq-spout", move || {
+        typhoon_bench::workloads::SeqSpout::new(16, 8).with_limit(roots)
+    });
+    let start = Instant::now();
+    let handle = cluster.submit(word_count_shape()).expect("submit");
+    let spout_task = handle.tasks_of("input")[0];
+    let completed = || {
+        handle
+            .worker(spout_task)
+            .map(|w| w.registry.snapshot().counter("acks.completed"))
+            .unwrap_or(0)
+    };
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while completed() < roots as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let elapsed = start.elapsed();
+    // Aggregate injected-fault counters over every directed edge.
+    let mut injected: Vec<(&'static str, u64)> = Vec::new();
+    for from in 0..2u32 {
+        for to in 0..2u32 {
+            if from == to {
+                continue;
+            }
+            if let Some(h) =
+                cluster.chaos_handle(typhoon_model::HostId(from), typhoon_model::HostId(to))
+            {
+                merge(&mut injected, h.stats());
+            }
+        }
+    }
+    let out = Outcome {
+        completed: completed(),
+        delivered: sink.count(),
+        elapsed,
+        injected,
+    };
+    cluster.shutdown();
+    let _ = name;
+    out
+}
+
+fn merge(acc: &mut Vec<(&'static str, u64)>, stats: &ChaosStats) {
+    for (k, v) in stats.named() {
+        match acc.iter_mut().find(|(name, _)| *name == k) {
+            Some((_, total)) => *total += v,
+            None => acc.push((k, v)),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let roots: i64 = get("--roots")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ROOTS);
+    let seed: u64 = get("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let class = get("--class").unwrap_or_else(|| "all".into());
+
+    let classes: Vec<(&str, FaultPlan)> = vec![
+        ("baseline", FaultPlan::clean(seed)),
+        (
+            "drop-5%",
+            FaultPlan::symmetric(seed, FaultSpec::CLEAN.dropping(0.05)),
+        ),
+        (
+            "delay-25ms",
+            FaultPlan::symmetric(seed, FaultSpec::CLEAN.delaying(Duration::from_millis(25))),
+        ),
+        (
+            "dup-10%",
+            FaultPlan::symmetric(seed, FaultSpec::CLEAN.duplicating(0.10)),
+        ),
+        (
+            "corrupt-5%",
+            FaultPlan::symmetric(seed, FaultSpec::CLEAN.corrupting(0.05)),
+        ),
+    ];
+    println!("# exp_chaos: word-count on 2 hosts, {roots} roots, seed {seed}");
+    println!(
+        "# {:<12} {:>10} {:>10} {:>10}  injected",
+        "class", "completed", "delivered", "secs"
+    );
+    for (name, plan) in classes {
+        if class != "all" && !name.starts_with(class.as_str()) {
+            continue;
+        }
+        let o = run_class(name, plan, roots);
+        let injected: Vec<String> = o
+            .injected
+            .iter()
+            .filter(|(k, v)| *v > 0 && *k != "chaos.forwarded")
+            .map(|(k, v)| format!("{}={v}", k.trim_start_matches("chaos.")))
+            .collect();
+        println!(
+            "  {:<12} {:>10} {:>10} {:>10.2}  {}",
+            name,
+            o.completed,
+            o.delivered,
+            o.elapsed.as_secs_f64(),
+            injected.join(" ")
+        );
+    }
+}

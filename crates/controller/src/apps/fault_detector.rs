@@ -25,12 +25,17 @@ use typhoon_openflow::{FlowMatch, FlowMod, PortNo, PortStatusReason};
 /// Coordinator path recording detected faults.
 pub const FAULTS: &str = "/typhoon/faults";
 
+/// Coordinator path recording detected host-link (tunnel) faults.
+pub const TUNNEL_FAULTS: &str = "/typhoon/faults/tunnels";
+
 /// The fault detector. Stateless between events, per the controller's
 /// design discipline: everything it needs is re-read from the coordinator.
 #[derive(Debug, Default)]
 pub struct FaultDetector {
-    /// Faults handled so far (observability for tests/experiments).
+    /// Worker faults handled so far (observability for tests/experiments).
     pub handled: u64,
+    /// Host-link faults handled so far (tunnel-peer `PortStatus` deletes).
+    pub tunnel_faults: u64,
 }
 
 impl FaultDetector {
@@ -53,6 +58,22 @@ impl ControlPlaneApp for FaultDetector {
         port: PortNo,
     ) {
         if reason != PortStatusReason::Delete {
+            return;
+        }
+        // A tunnel-peer pseudo-port delete is a *host-link* fault: the
+        // reporting switch tore down its tunnel to `peer`. Record it so the
+        // streaming manager can re-route around the partitioned link; no
+        // single task died, so the worker-redirect machinery below does
+        // not apply.
+        if let Some(peer) = port.tunnel_peer_id() {
+            self.tunnel_faults += 1;
+            let coord = ctl.global().coordinator();
+            let _ = coord.ensure_path(TUNNEL_FAULTS);
+            let _ = coord.create(
+                &format!("{TUNNEL_FAULTS}/host-{}-to-{}", host.0, peer),
+                format!("tunnel from host {} to host {peer} down", host.0).into_bytes(),
+                CreateMode::Persistent,
+            );
             return;
         }
         let global = ctl.global().clone();
@@ -174,6 +195,24 @@ mod tests {
         // (Routing-tuple delivery end-to-end is covered by the controller
         //  integration tests where install_topology runs first.)
         assert!(coord.exists(FAULTS));
+    }
+
+    #[test]
+    fn tunnel_peer_delete_records_link_fault() {
+        let global = GlobalState::new(Coordinator::new());
+        let ctl = Controller::new(global.clone());
+        let mut fd = FaultDetector::new();
+        fd.on_port_status(
+            &ctl,
+            HostId(0),
+            PortStatusReason::Delete,
+            PortNo::tunnel_peer(1),
+        );
+        assert_eq!(fd.tunnel_faults, 1);
+        assert_eq!(fd.handled, 0, "a link fault is not a worker fault");
+        assert!(global
+            .coordinator()
+            .exists(&format!("{TUNNEL_FAULTS}/host-0-to-1")));
     }
 
     #[test]

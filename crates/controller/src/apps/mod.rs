@@ -14,7 +14,7 @@ mod live_debugger;
 mod load_balancer;
 
 pub use auto_scaler::{AutoScaler, AutoScalerConfig};
-pub use fault_detector::FaultDetector;
+pub use fault_detector::{FaultDetector, FAULTS, TUNNEL_FAULTS};
 pub use live_debugger::{LiveDebugger, MIRROR_PRIORITY};
 pub use load_balancer::{LoadBalancer, LoadBalancerConfig};
 

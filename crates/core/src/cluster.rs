@@ -22,7 +22,9 @@ use typhoon_model::{
     AppId, ComponentRegistry, HostId, HostInfo, LogicalTopology, PhysicalTopology, ReconfigRequest,
     TaskId,
 };
-use typhoon_net::{InMemoryTunnel, TcpTunnel, Tunnel};
+use typhoon_net::{
+    ChaosHandle, FaultInjector, FaultPlan, InMemoryTunnel, TcpTunnel, Tunnel, TunnelConfig,
+};
 use typhoon_switch::{Switch, SwitchConfig, SwitchHandle};
 use typhoon_trace::Tracer;
 
@@ -55,6 +57,15 @@ pub struct TyphoonConfig {
     /// traced across every hop (0 = tracing off, the default — the hot
     /// path then pays a single integer compare per tuple).
     pub trace_sample: u32,
+    /// Chaos: wrap every inter-host tunnel in a
+    /// [`FaultInjector`] seeded from this plan. Each directed edge gets a
+    /// seed derived from `plan.seed` and the host pair, so one cluster
+    /// seed reproduces the whole fault sequence. Control it at runtime via
+    /// [`TyphoonCluster::chaos_handle`].
+    pub chaos: Option<FaultPlan>,
+    /// Write timeout on TCP tunnels (a stalled peer must not wedge the
+    /// datapath's `send`).
+    pub tunnel_write_timeout: Duration,
 }
 
 impl TyphoonConfig {
@@ -72,7 +83,15 @@ impl TyphoonConfig {
             ring_capacity: 8192,
             scheduler: SchedulerKind::Locality,
             trace_sample: 0,
+            chaos: None,
+            tunnel_write_timeout: Duration::from_secs(30),
         }
+    }
+
+    /// Builder: inject faults on every inter-host tunnel per `plan`.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
     }
 
     /// Builder: real TCP tunnels between hosts.
@@ -121,6 +140,9 @@ struct ClusterInner {
     manager_shutdown: Arc<AtomicBool>,
     manager_thread: DiagMutex<Option<std::thread::JoinHandle<()>>>,
     tracer: Option<Arc<Tracer>>,
+    /// Per-directed-edge chaos controls, keyed `(from, to)`; empty unless
+    /// the cluster was built with [`TyphoonConfig::with_chaos`].
+    chaos: BTreeMap<(HostId, HostId), ChaosHandle>,
 }
 
 /// A complete, running Typhoon deployment.
@@ -155,17 +177,38 @@ impl TyphoonCluster {
             controller.register_switch(HostId(h as u32), switch.dpid(), channel);
             switches.push(switch);
         }
-        // Full-mesh host tunnels (Fig. 3's inter-host fabric).
+        // Full-mesh host tunnels (Fig. 3's inter-host fabric), optionally
+        // wrapped in fault injectors (one per directed edge, each with a
+        // seed derived from the cluster seed and the host pair so a single
+        // seed reproduces the whole run).
+        let mut chaos_handles = BTreeMap::new();
         for i in 0..config.hosts {
             for j in (i + 1)..config.hosts {
-                let (a, b): (Box<dyn Tunnel + Send>, Box<dyn Tunnel + Send>) = if config.remote_tcp
-                {
-                    let (a, b) = TcpTunnel::pair()?;
-                    (Box::new(a), Box::new(b))
-                } else {
-                    let (a, b) = InMemoryTunnel::pair();
-                    (Box::new(a), Box::new(b))
-                };
+                let (mut a, mut b): (Box<dyn Tunnel + Send>, Box<dyn Tunnel + Send>) =
+                    if config.remote_tcp {
+                        let (a, b) = TcpTunnel::pair_with(TunnelConfig {
+                            write_timeout: config.tunnel_write_timeout,
+                        })?;
+                        (Box::new(a), Box::new(b))
+                    } else {
+                        let (a, b) = InMemoryTunnel::pair();
+                        (Box::new(a), Box::new(b))
+                    };
+                if let Some(plan) = config.chaos {
+                    let edge_plan = |from: usize, to: usize| FaultPlan {
+                        seed: plan
+                            .seed
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add(((from as u64) << 32) | to as u64),
+                        ..plan
+                    };
+                    let (ia, ha) = FaultInjector::wrap(a, edge_plan(i, j));
+                    let (ib, hb) = FaultInjector::wrap(b, edge_plan(j, i));
+                    a = Box::new(ia);
+                    b = Box::new(ib);
+                    chaos_handles.insert((HostId(i as u32), HostId(j as u32)), ha);
+                    chaos_handles.insert((HostId(j as u32), HostId(i as u32)), hb);
+                }
                 switches[i].add_tunnel(j as u32, a);
                 switches[j].add_tunnel(i as u32, b);
             }
@@ -237,6 +280,7 @@ impl TyphoonCluster {
                 manager_shutdown,
                 manager_thread: DiagMutex::new(Some(manager_thread)),
                 tracer,
+                chaos: chaos_handles,
             }),
         })
     }
@@ -275,6 +319,14 @@ impl TyphoonCluster {
     /// A host's agent.
     pub fn agent(&self, host: HostId) -> Option<&Arc<WorkerAgent>> {
         self.inner.hosts.get(&host).map(|rt| &rt.agent)
+    }
+
+    /// The chaos control for the directed tunnel edge `from → to`
+    /// (`None` unless built with [`TyphoonConfig::with_chaos`]). The
+    /// handle switches fault specs at runtime and exposes `chaos.*`
+    /// counters.
+    pub fn chaos_handle(&self, from: HostId, to: HostId) -> Option<&ChaosHandle> {
+        self.inner.chaos.get(&(from, to))
     }
 
     /// Registers (or replaces) a bolt component at runtime — the

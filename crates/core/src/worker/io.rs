@@ -57,6 +57,7 @@ pub struct IoLayer {
     batch_delay: Duration,
     registry: Registry,
     trace: TraceCtx,
+    egress_dead: bool,
 }
 
 impl IoLayer {
@@ -72,7 +73,16 @@ impl IoLayer {
             batch_delay: config.batch_delay,
             registry,
             trace: TraceCtx::disabled(),
+            egress_dead: false,
         }
+    }
+
+    /// True once an egress push observed the switch side of this worker's
+    /// ring gone (detach or switch shutdown). Every later send would be
+    /// silently lost, so the worker loop uses this to exit instead of
+    /// spinning on a dead port.
+    pub fn egress_dead(&self) -> bool {
+        self.egress_dead
     }
 
     /// Installs this worker's tracing context (records `QueueOut` and
@@ -175,6 +185,13 @@ impl IoLayer {
                     // worker counts it and moves on (recovery, if required,
                     // is the acker's job).
                     self.registry.counter("io.tx_dropped").inc();
+                }
+                Err(NetError::Disconnected | NetError::Broken(_)) => {
+                    // The switch side of the ring is gone for good — flag
+                    // it so the worker loop can exit instead of feeding a
+                    // dead port.
+                    self.egress_dead = true;
+                    self.registry.counter("io.tx_disconnected").inc();
                 }
                 Err(_) => {
                     self.registry.counter("io.tx_errors").inc();

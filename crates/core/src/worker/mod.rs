@@ -332,6 +332,7 @@ fn drain_ingress(ctx: &mut WorkerCtx) -> Option<Vec<Tuple>> {
 fn run_spout(ctx: &mut WorkerCtx, mut spout: Box<dyn Spout>) {
     spout.open();
     ctx.shared.ready.store(true, Ordering::Release);
+    let mut last_pending_sweep = Instant::now();
     loop {
         if ctx.shared.crash.load(Ordering::Acquire) {
             return; // abrupt: port drops, PortStatus delete fires
@@ -370,11 +371,34 @@ fn run_spout(ctx: &mut WorkerCtx, mut spout: Box<dyn Spout>) {
                 _ => {}
             }
         }
+        // The acker notifies completion/failure exactly once; if that
+        // notification frame is lost (a faulty tunnel), the root would
+        // otherwise sit in `pending` forever, leaking throttle budget and
+        // silently dropping the tuple. Sweep with a margin past the ack
+        // timeout so the acker's own expiry path wins when it is healthy.
+        if ctx.config.acking && last_pending_sweep.elapsed() >= Duration::from_millis(100) {
+            last_pending_sweep = Instant::now();
+            let give_up = ctx.config.ack_timeout + ctx.config.ack_timeout / 2;
+            let expired: Vec<u64> = ctx
+                .pending
+                .iter()
+                .filter(|(_, (born, _))| born.elapsed() >= give_up)
+                .map(|(&root, _)| root)
+                .collect();
+            for root in expired {
+                ctx.pending.remove(&root);
+                ctx.shared.registry.counter("acks.spout_timeout").inc();
+                spout.fail(root);
+            }
+        }
         let throttled = ctx.config.acking && ctx.pending.len() >= ctx.config.max_pending;
         if ctx.active && !throttled && ctx.rate_allows() {
             busy |= spout_batch(ctx, spout.as_mut());
         }
         ctx.io.flush_due();
+        if ctx.io.egress_dead() {
+            return; // the switch side of the port is gone; fail fast
+        }
         ctx.shared
             .registry
             .gauge("queue.depth")
@@ -460,6 +484,9 @@ fn run_bolt(ctx: &mut WorkerCtx, mut bolt: Box<dyn Bolt>) {
             }
         }
         ctx.io.flush_due();
+        if ctx.io.egress_dead() {
+            return; // the switch side of the port is gone; fail fast
+        }
         ctx.shared
             .registry
             .gauge("queue.depth")
@@ -505,6 +532,9 @@ fn run_acker(ctx: &mut WorkerCtx) {
             }
         }
         ctx.io.flush_due();
+        if ctx.io.egress_dead() {
+            return; // the switch side of the port is gone; fail fast
+        }
         if !busy {
             std::thread::sleep(Duration::from_micros(20)); // LINT: allow-sleep(idle backoff when the worker had no tuples to process)
         }

@@ -1,0 +1,665 @@
+//! Deterministic fault injection for tunnels — the chaos layer.
+//!
+//! The paper's headline robustness claim (Fig. 10: recovery within ~1 s of
+//! a worker fault) is only credible if the transport underneath survives
+//! *induced* faults, not just the one scripted crash. Karimov et al.
+//! (*Benchmarking Distributed Stream Data Processing Systems*) make the
+//! same point for throughput: sustainable numbers require measurement
+//! under backpressure and failure. [`FaultInjector`] wraps any
+//! [`Tunnel`] and perturbs traffic according to a seeded, deterministic
+//! [`FaultPlan`]: per-direction drop / delay / duplicate / corrupt-bytes /
+//! stall / hard-partition, switchable at runtime through a [`ChaosHandle`]
+//! so faults can start and stop mid-run.
+//!
+//! Injected faults are counted under the `chaos.*` namespace (see
+//! docs/OBSERVABILITY.md) and the same seed always produces the same
+//! fault sequence for a given call sequence, so failing chaos runs replay
+//! deterministically.
+
+use crate::frame::Frame;
+use crate::tunnel::Tunnel;
+use crate::{NetError, Result, TeardownCause};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use typhoon_diag::DiagMutex as Mutex;
+
+/// One direction's fault configuration. All probabilities are in `0..=1`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame's payload bytes are corrupted in flight.
+    pub corrupt: f64,
+    /// Added per-frame latency (applies to every frame when set).
+    pub delay: Option<Duration>,
+    /// Hold every frame back (neither delivered nor dropped) until the
+    /// spec is switched off — a live-lock style stall.
+    pub stall: bool,
+    /// Hard partition: every operation fails fast with
+    /// [`NetError::Broken`]`(`[`TeardownCause::Partitioned`]`)`.
+    pub partition: bool,
+}
+
+impl FaultSpec {
+    /// No faults.
+    pub const CLEAN: FaultSpec = FaultSpec {
+        drop: 0.0,
+        duplicate: 0.0,
+        corrupt: 0.0,
+        delay: None,
+        stall: false,
+        partition: false,
+    };
+
+    /// Builder: drop frames with probability `p`.
+    pub fn dropping(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Builder: duplicate frames with probability `p`.
+    pub fn duplicating(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Builder: corrupt frame payloads with probability `p`.
+    pub fn corrupting(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Builder: delay every frame by `d`.
+    pub fn delaying(mut self, d: Duration) -> Self {
+        self.delay = Some(d);
+        self
+    }
+
+    /// Builder: stall (hold back) every frame.
+    pub fn stalled(mut self) -> Self {
+        self.stall = true;
+        self
+    }
+
+    /// Builder: hard-partition the direction.
+    pub fn partitioned(mut self) -> Self {
+        self.partition = true;
+        self
+    }
+}
+
+/// A seeded, per-direction fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// PRNG seed: identical seeds + identical call sequences reproduce
+    /// identical fault sequences.
+    pub seed: u64,
+    /// Faults applied to outbound frames (`send`).
+    pub tx: FaultSpec,
+    /// Faults applied to inbound frames (`try_recv`).
+    pub rx: FaultSpec,
+}
+
+impl FaultPlan {
+    /// A fault-free plan (useful as a baseline that can be switched to a
+    /// faulty spec mid-run).
+    pub fn clean(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            tx: FaultSpec::CLEAN,
+            rx: FaultSpec::CLEAN,
+        }
+    }
+
+    /// The same spec in both directions.
+    pub fn symmetric(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan {
+            seed,
+            tx: spec,
+            rx: spec,
+        }
+    }
+
+    /// Faults on the send direction only.
+    pub fn tx_only(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan {
+            seed,
+            tx: spec,
+            rx: FaultSpec::CLEAN,
+        }
+    }
+
+    /// Faults on the receive direction only.
+    pub fn rx_only(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan {
+            seed,
+            tx: FaultSpec::CLEAN,
+            rx: spec,
+        }
+    }
+}
+
+/// `chaos.*` counters: what the injector actually did.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Frames forwarded unmodified (`chaos.forwarded`).
+    pub forwarded: AtomicU64,
+    /// Frames silently dropped (`chaos.dropped`).
+    pub dropped: AtomicU64,
+    /// Extra copies delivered (`chaos.duplicated`).
+    pub duplicated: AtomicU64,
+    /// Frames with corrupted payloads (`chaos.corrupted`).
+    pub corrupted: AtomicU64,
+    /// Frames held for added latency (`chaos.delayed`).
+    pub delayed: AtomicU64,
+    /// Frames held by an active stall (`chaos.stalled`).
+    pub stalled: AtomicU64,
+    /// Operations refused by a hard partition (`chaos.partitioned`).
+    pub partitioned: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Snapshot as `(metric name, value)` pairs under the `chaos.*`
+    /// namespace.
+    pub fn named(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("chaos.forwarded", self.forwarded.load(Ordering::Relaxed)),
+            ("chaos.dropped", self.dropped.load(Ordering::Relaxed)),
+            ("chaos.duplicated", self.duplicated.load(Ordering::Relaxed)),
+            ("chaos.corrupted", self.corrupted.load(Ordering::Relaxed)),
+            ("chaos.delayed", self.delayed.load(Ordering::Relaxed)),
+            ("chaos.stalled", self.stalled.load(Ordering::Relaxed)),
+            (
+                "chaos.partitioned",
+                self.partitioned.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+}
+
+/// A frame held back by a delay or stall. `due == None` means "until the
+/// stall is switched off".
+struct HeldFrame {
+    due: Option<Instant>,
+    frame: Frame,
+}
+
+struct ChaosState {
+    plan: FaultPlan,
+    rng: SmallRng,
+    tx_held: VecDeque<HeldFrame>,
+    rx_held: VecDeque<HeldFrame>,
+}
+
+struct ChaosShared {
+    state: Mutex<ChaosState>,
+    stats: ChaosStats,
+}
+
+/// Runtime control over a [`FaultInjector`]: switch the plan, heal the
+/// link, read the injected-fault counters. Cheap to clone.
+#[derive(Clone)]
+pub struct ChaosHandle {
+    shared: Arc<ChaosShared>,
+}
+
+impl ChaosHandle {
+    /// The current plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.shared.state.lock().plan
+    }
+
+    /// Replaces the whole plan (reseeding the PRNG from `plan.seed`).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut st = self.shared.state.lock();
+        st.rng = SmallRng::seed_from_u64(plan.seed);
+        st.plan = plan;
+    }
+
+    /// Replaces the outbound spec only (seed and PRNG state are kept, so
+    /// mid-run switches stay deterministic).
+    pub fn set_tx(&self, spec: FaultSpec) {
+        self.shared.state.lock().plan.tx = spec;
+    }
+
+    /// Replaces the inbound spec only.
+    pub fn set_rx(&self, spec: FaultSpec) {
+        self.shared.state.lock().plan.rx = spec;
+    }
+
+    /// Clears both directions to [`FaultSpec::CLEAN`]; stalled frames are
+    /// released on the next `send`/`try_recv`.
+    pub fn heal(&self) {
+        let mut st = self.shared.state.lock();
+        st.plan.tx = FaultSpec::CLEAN;
+        st.plan.rx = FaultSpec::CLEAN;
+    }
+
+    /// The injector's `chaos.*` counters.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.shared.stats
+    }
+}
+
+impl std::fmt::Debug for ChaosHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChaosHandle({:?})", self.plan())
+    }
+}
+
+/// A [`Tunnel`] wrapper that injects faults per its [`FaultPlan`].
+///
+/// Delayed and stalled frames are released lazily by later `send`/
+/// `try_recv` calls (the datapath polls its tunnels every round, so in
+/// practice release latency is one poll interval).
+pub struct FaultInjector {
+    inner: Box<dyn Tunnel + Send>,
+    shared: Arc<ChaosShared>,
+}
+
+impl FaultInjector {
+    /// Wraps `inner`, returning the injector and its control handle.
+    pub fn wrap(inner: Box<dyn Tunnel + Send>, plan: FaultPlan) -> (FaultInjector, ChaosHandle) {
+        let shared = Arc::new(ChaosShared {
+            state: Mutex::new(ChaosState {
+                rng: SmallRng::seed_from_u64(plan.seed),
+                plan,
+                tx_held: VecDeque::new(),
+                rx_held: VecDeque::new(),
+            }),
+            stats: ChaosStats::default(),
+        });
+        let handle = ChaosHandle {
+            shared: shared.clone(),
+        };
+        (FaultInjector { inner, shared }, handle)
+    }
+
+    /// A control handle for this injector.
+    pub fn handle(&self) -> ChaosHandle {
+        ChaosHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    fn stats(&self) -> &ChaosStats {
+        &self.shared.stats
+    }
+
+    /// Flips two payload bytes — enough to break tuple deserialization
+    /// downstream without touching the frame header (the switch still
+    /// routes it, like real in-flight corruption below the checksum).
+    fn corrupt_frame(frame: &Frame) -> Frame {
+        let mut corrupted = frame.clone();
+        let mut payload = corrupted.payload.to_vec();
+        if payload.is_empty() {
+            payload.push(0xa5);
+        } else {
+            let mid = payload.len() / 2;
+            payload[0] ^= 0xa5;
+            payload[mid] ^= 0x5a;
+        }
+        corrupted.payload = bytes::Bytes::from(payload);
+        corrupted
+    }
+
+    /// Releases outbound frames whose hold expired (delay elapsed, or the
+    /// stall was switched off). Caller must NOT hold the state lock.
+    fn flush_tx_held(&self) -> Result<()> {
+        loop {
+            let frame = {
+                let mut st = self.shared.state.lock();
+                let stalled = st.plan.tx.stall;
+                let now = Instant::now();
+                match st.tx_held.front() {
+                    Some(h) => {
+                        let release = match h.due {
+                            Some(due) => due <= now,
+                            None => !stalled,
+                        };
+                        if !release {
+                            return Ok(());
+                        }
+                    }
+                    None => return Ok(()),
+                }
+                st.tx_held.pop_front().map(|h| h.frame)
+            };
+            match frame {
+                Some(f) => {
+                    self.inner.send(&f)?;
+                    self.stats().forwarded.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Pops an inbound held frame whose hold expired, if any.
+    fn pop_rx_held(&self) -> Option<Frame> {
+        let mut st = self.shared.state.lock();
+        let stalled = st.plan.rx.stall;
+        let now = Instant::now();
+        let release = match st.rx_held.front() {
+            Some(h) => match h.due {
+                Some(due) => due <= now,
+                None => !stalled,
+            },
+            None => false,
+        };
+        if release {
+            st.rx_held.pop_front().map(|h| h.frame)
+        } else {
+            None
+        }
+    }
+}
+
+impl Tunnel for FaultInjector {
+    fn send(&self, frame: &Frame) -> Result<()> {
+        let (spec, drop, dup, corrupt) = {
+            let mut st = self.shared.state.lock();
+            let spec = st.plan.tx;
+            let drop = spec.drop > 0.0 && st.rng.gen_bool(spec.drop);
+            let dup = spec.duplicate > 0.0 && st.rng.gen_bool(spec.duplicate);
+            let corrupt = spec.corrupt > 0.0 && st.rng.gen_bool(spec.corrupt);
+            (spec, drop, dup, corrupt)
+        };
+        if spec.partition {
+            self.stats().partitioned.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::Broken(TeardownCause::Partitioned));
+        }
+        self.flush_tx_held()?;
+        if drop {
+            self.stats().dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let frame = if corrupt {
+            self.stats().corrupted.fetch_add(1, Ordering::Relaxed);
+            Self::corrupt_frame(frame)
+        } else {
+            frame.clone()
+        };
+        if spec.stall {
+            self.stats().stalled.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .state
+                .lock()
+                .tx_held
+                .push_back(HeldFrame { due: None, frame });
+            return Ok(());
+        }
+        if let Some(d) = spec.delay {
+            self.stats().delayed.fetch_add(1, Ordering::Relaxed);
+            self.shared.state.lock().tx_held.push_back(HeldFrame {
+                due: Some(Instant::now() + d),
+                frame,
+            });
+            return Ok(());
+        }
+        self.inner.send(&frame)?;
+        self.stats().forwarded.fetch_add(1, Ordering::Relaxed);
+        if dup {
+            self.inner.send(&frame)?;
+            self.stats().duplicated.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn try_recv(&self) -> Result<Option<Frame>> {
+        let rx_spec = {
+            let st = self.shared.state.lock();
+            st.plan.rx
+        };
+        if rx_spec.partition {
+            self.stats().partitioned.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::Broken(TeardownCause::Partitioned));
+        }
+        // Keep the outbound side moving even when the local worker only
+        // polls: release due delayed/stalled TX frames opportunistically.
+        self.flush_tx_held()?;
+        if let Some(frame) = self.pop_rx_held() {
+            return Ok(Some(frame));
+        }
+        loop {
+            let frame = match self.inner.try_recv()? {
+                Some(f) => f,
+                None => return Ok(None),
+            };
+            let (drop, dup, corrupt) = {
+                let mut st = self.shared.state.lock();
+                let spec = st.plan.rx;
+                (
+                    spec.drop > 0.0 && st.rng.gen_bool(spec.drop),
+                    spec.duplicate > 0.0 && st.rng.gen_bool(spec.duplicate),
+                    spec.corrupt > 0.0 && st.rng.gen_bool(spec.corrupt),
+                )
+            };
+            if drop {
+                self.stats().dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let frame = if corrupt {
+                self.stats().corrupted.fetch_add(1, Ordering::Relaxed);
+                Self::corrupt_frame(&frame)
+            } else {
+                frame
+            };
+            if rx_spec.stall {
+                self.stats().stalled.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .state
+                    .lock()
+                    .rx_held
+                    .push_back(HeldFrame { due: None, frame });
+                continue;
+            }
+            if let Some(d) = rx_spec.delay {
+                self.stats().delayed.fetch_add(1, Ordering::Relaxed);
+                self.shared.state.lock().rx_held.push_back(HeldFrame {
+                    due: Some(Instant::now() + d),
+                    frame,
+                });
+                continue;
+            }
+            if dup {
+                self.shared.state.lock().rx_held.push_back(HeldFrame {
+                    due: Some(Instant::now()),
+                    frame: frame.clone(),
+                });
+                self.stats().duplicated.fetch_add(1, Ordering::Relaxed);
+            }
+            self.stats().forwarded.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(frame));
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.state.lock();
+        write!(
+            f,
+            "FaultInjector(plan={:?}, tx_held={}, rx_held={})",
+            st.plan,
+            st.tx_held.len(),
+            st.rx_held.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::MacAddr;
+    use crate::tunnel::InMemoryTunnel;
+    use bytes::Bytes;
+    use typhoon_tuple::tuple::TaskId;
+
+    fn frame(n: u8) -> Frame {
+        Frame::typhoon(
+            MacAddr::worker(1, TaskId(n as u32)),
+            MacAddr::worker(1, TaskId(100)),
+            Bytes::from(vec![n; 16]),
+        )
+    }
+
+    fn wrapped(plan: FaultPlan) -> (FaultInjector, ChaosHandle, InMemoryTunnel) {
+        let (a, b) = InMemoryTunnel::pair();
+        let (inj, handle) = FaultInjector::wrap(Box::new(a), plan);
+        (inj, handle, b)
+    }
+
+    fn drain(t: &dyn Tunnel) -> Vec<Frame> {
+        let mut out = Vec::new();
+        while let Ok(Some(f)) = t.try_recv() {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let (inj, handle, peer) = wrapped(FaultPlan::clean(1));
+        for i in 0..10 {
+            inj.send(&frame(i)).unwrap();
+        }
+        assert_eq!(drain(&peer).len(), 10);
+        assert_eq!(handle.stats().forwarded.load(Ordering::Relaxed), 10);
+        assert_eq!(handle.stats().dropped.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn drop_ratio_is_deterministic_for_a_seed() {
+        let survivors = |seed: u64| {
+            let (inj, _h, peer) = wrapped(FaultPlan::tx_only(seed, FaultSpec::CLEAN.dropping(0.5)));
+            for i in 0..100 {
+                inj.send(&frame(i)).unwrap();
+            }
+            drain(&peer)
+                .iter()
+                .map(|f| f.payload[0])
+                .collect::<Vec<_>>()
+        };
+        let a = survivors(7);
+        let b = survivors(7);
+        assert_eq!(a, b, "same seed, same drop pattern");
+        assert!(a.len() < 100 && !a.is_empty(), "some but not all dropped");
+        assert_ne!(a, survivors(8), "different seed, different pattern");
+    }
+
+    #[test]
+    fn duplicate_delivers_extra_copies() {
+        let (inj, h, peer) = wrapped(FaultPlan::tx_only(3, FaultSpec::CLEAN.duplicating(1.0)));
+        for i in 0..5 {
+            inj.send(&frame(i)).unwrap();
+        }
+        assert_eq!(drain(&peer).len(), 10);
+        assert_eq!(h.stats().duplicated.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn corrupt_mangles_payload_but_not_headers() {
+        let (inj, h, peer) = wrapped(FaultPlan::tx_only(3, FaultSpec::CLEAN.corrupting(1.0)));
+        let original = frame(9);
+        inj.send(&original).unwrap();
+        let got = drain(&peer).pop().expect("delivered");
+        assert_eq!(got.src, original.src);
+        assert_eq!(got.dst, original.dst);
+        assert_ne!(got.payload, original.payload);
+        assert_eq!(h.stats().corrupted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn delay_holds_then_releases_frames() {
+        let (inj, _h, peer) = wrapped(FaultPlan::tx_only(
+            3,
+            FaultSpec::CLEAN.delaying(Duration::from_millis(30)),
+        ));
+        inj.send(&frame(1)).unwrap();
+        assert!(drain(&peer).is_empty(), "withheld during the delay");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            // Release happens lazily on the next tunnel operation.
+            let _ = inj.try_recv();
+            if !drain(&peer).is_empty() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "delayed frame never released");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn stall_holds_until_healed_losing_nothing() {
+        let (inj, handle, peer) = wrapped(FaultPlan::tx_only(3, FaultSpec::CLEAN.stalled()));
+        for i in 0..20 {
+            inj.send(&frame(i)).unwrap();
+        }
+        assert!(drain(&peer).is_empty(), "stall holds everything");
+        assert_eq!(handle.stats().stalled.load(Ordering::Relaxed), 20);
+        handle.heal();
+        let _ = inj.try_recv(); // release hook
+        let released = drain(&peer);
+        assert_eq!(released.len(), 20, "heal releases all held frames");
+        let order: Vec<u8> = released.iter().map(|f| f.payload[0]).collect();
+        assert_eq!(order, (0..20).collect::<Vec<u8>>(), "FIFO preserved");
+    }
+
+    #[test]
+    fn partition_fails_fast_with_typed_error_both_directions() {
+        let (inj, handle, peer) = wrapped(FaultPlan::symmetric(3, FaultSpec::CLEAN.partitioned()));
+        assert_eq!(
+            inj.send(&frame(0)).unwrap_err(),
+            NetError::Broken(TeardownCause::Partitioned)
+        );
+        peer.send(&frame(1)).unwrap();
+        assert_eq!(
+            inj.try_recv().unwrap_err(),
+            NetError::Broken(TeardownCause::Partitioned)
+        );
+        assert!(handle.stats().partitioned.load(Ordering::Relaxed) >= 2);
+        // Heal: the link works again (the frame sent during the partition
+        // by the peer is still buffered in the underlying tunnel).
+        handle.heal();
+        inj.send(&frame(2)).unwrap();
+        assert_eq!(drain(&peer).pop().unwrap().payload[0], 2);
+        assert_eq!(inj.try_recv().unwrap().unwrap().payload[0], 1);
+    }
+
+    #[test]
+    fn rx_faults_apply_to_inbound_frames() {
+        let (inj, h, peer) = wrapped(FaultPlan::rx_only(11, FaultSpec::CLEAN.dropping(1.0)));
+        for i in 0..5 {
+            peer.send(&frame(i)).unwrap();
+        }
+        assert!(inj.try_recv().unwrap().is_none(), "all inbound dropped");
+        assert_eq!(h.stats().dropped.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn plan_switch_mid_run_takes_effect() {
+        let (inj, handle, peer) = wrapped(FaultPlan::clean(5));
+        inj.send(&frame(0)).unwrap();
+        handle.set_tx(FaultSpec::CLEAN.dropping(1.0));
+        inj.send(&frame(1)).unwrap();
+        handle.set_tx(FaultSpec::CLEAN);
+        inj.send(&frame(2)).unwrap();
+        let got: Vec<u8> = drain(&peer).iter().map(|f| f.payload[0]).collect();
+        assert_eq!(got, vec![0, 2], "only the frame sent under drop=1 lost");
+    }
+
+    #[test]
+    fn disconnect_propagates_through_the_injector() {
+        let (inj, _h, peer) = wrapped(FaultPlan::clean(5));
+        drop(peer);
+        assert_eq!(inj.send(&frame(0)).unwrap_err(), NetError::Disconnected);
+        assert_eq!(inj.try_recv().unwrap_err(), NetError::Disconnected);
+    }
+}

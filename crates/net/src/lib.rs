@@ -19,20 +19,70 @@
 //!   in-memory implementation behind one trait.
 //! * [`batch`] — the configurable batching used throughout the I/O layer
 //!   for the latency/throughput trade-off studied in Figs. 8(c)/(d).
+//! * [`fault`] — the chaos layer: a [`FaultInjector`] tunnel wrapper with
+//!   a seeded, deterministic, runtime-switchable [`FaultPlan`] (drop /
+//!   delay / duplicate / corrupt / stall / hard-partition per direction)
+//!   used to prove the Fig. 10 recovery path under induced faults.
 
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod fault;
 pub mod frame;
 pub mod packetize;
 pub mod ring;
 pub mod tunnel;
 
 pub use batch::Batcher;
+pub use fault::{ChaosHandle, ChaosStats, FaultInjector, FaultPlan, FaultSpec};
 pub use frame::{Frame, MacAddr, TYPHOON_ETHERTYPE};
 pub use packetize::{Depacketizer, Packetizer};
 pub use ring::{ring, RingConsumer, RingProducer, RingStats};
-pub use tunnel::{InMemoryTunnel, TcpTunnel, Tunnel};
+pub use tunnel::{InMemoryTunnel, TcpTunnel, Tunnel, TunnelConfig, TunnelStats};
+
+/// Why a tunnel entered its broken (fail-fast) state.
+///
+/// Recorded once, by whichever side of the tunnel first observed the
+/// fault; every later `send`/`try_recv` echoes it back so operators can
+/// distinguish a clean peer close from stream corruption or a stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeardownCause {
+    /// The peer closed the connection (EOF on the reader).
+    PeerClosed,
+    /// A length prefix exceeded the frame bound — the stream is misframed
+    /// or corrupt.
+    CorruptLength,
+    /// A frame body failed to decode — the stream is misframed or corrupt.
+    DecodeError,
+    /// A socket read/write error (including a partial write that left the
+    /// stream misframed).
+    Io,
+    /// A write did not complete within the configured write timeout (a
+    /// stalled peer must not block `send` forever).
+    WriteTimeout,
+    /// An injected hard partition ([`fault::FaultInjector`]).
+    Partitioned,
+}
+
+impl TeardownCause {
+    /// Stable metric-name suffix: `net.tunnel.teardown.<label>`.
+    pub fn label(self) -> &'static str {
+        match self {
+            TeardownCause::PeerClosed => "peer_closed",
+            TeardownCause::CorruptLength => "corrupt_len",
+            TeardownCause::DecodeError => "decode_error",
+            TeardownCause::Io => "io_error",
+            TeardownCause::WriteTimeout => "write_timeout",
+            TeardownCause::Partitioned => "partitioned",
+        }
+    }
+}
+
+impl std::fmt::Display for TeardownCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Errors from the network substrate.
 #[derive(Debug)]
@@ -44,19 +94,26 @@ pub enum NetError {
     RingFull,
     /// The peer end of a tunnel or ring is gone.
     Disconnected,
+    /// The tunnel is poisoned: an earlier fault made its stream unusable
+    /// and every operation now fails fast instead of misframing or
+    /// hanging.
+    Broken(TeardownCause),
     /// Underlying socket error (TCP tunnels).
     Io(std::io::Error),
 }
 
 impl PartialEq for NetError {
     fn eq(&self, other: &Self) -> bool {
-        matches!(
-            (self, other),
-            (NetError::Malformed(_), NetError::Malformed(_))
-                | (NetError::RingFull, NetError::RingFull)
-                | (NetError::Disconnected, NetError::Disconnected)
-                | (NetError::Io(_), NetError::Io(_))
-        )
+        match (self, other) {
+            (NetError::Broken(a), NetError::Broken(b)) => a == b,
+            _ => matches!(
+                (self, other),
+                (NetError::Malformed(_), NetError::Malformed(_))
+                    | (NetError::RingFull, NetError::RingFull)
+                    | (NetError::Disconnected, NetError::Disconnected)
+                    | (NetError::Io(_), NetError::Io(_))
+            ),
+        }
     }
 }
 
@@ -66,6 +123,7 @@ impl std::fmt::Display for NetError {
             NetError::Malformed(what) => write!(f, "malformed frame: {what}"),
             NetError::RingFull => write!(f, "ring full, frame dropped"),
             NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Broken(cause) => write!(f, "tunnel broken: {cause}"),
             NetError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -119,7 +119,17 @@ impl RingConsumer {
             }
             None => {
                 if self.shared.closed.load(Ordering::Acquire) {
-                    Err(NetError::Disconnected)
+                    // The producer may have pushed and then closed between
+                    // our empty pop above and the `closed` load; a frame
+                    // enqueued before the close must still be delivered, so
+                    // re-check the queue after observing `closed`.
+                    match self.shared.queue.pop() {
+                        Some(f) => {
+                            self.shared.stats.dequeued.fetch_add(1, Ordering::Relaxed);
+                            Ok(Some(f))
+                        }
+                        None => Err(NetError::Disconnected),
+                    }
                 } else {
                     Ok(None)
                 }
@@ -249,6 +259,33 @@ mod tests {
         let (tx, rx) = ring(4);
         drop(rx);
         assert_eq!(tx.push(frame(0)).unwrap_err(), NetError::Disconnected);
+    }
+
+    /// Regression: a push racing a close must never lose the frame. The
+    /// producer pushes one frame and immediately closes while the consumer
+    /// spins on `pop`; before the close/drain re-check in `pop`, the
+    /// consumer could observe `Disconnected` with the frame still queued.
+    /// Many short rounds make the tiny race window trip reliably.
+    #[test]
+    fn close_pop_race_never_loses_the_last_frame() {
+        for round in 0..2000 {
+            let (tx, rx) = ring(4);
+            let producer = std::thread::spawn(move || {
+                tx.push(frame(7)).unwrap();
+                // tx drops here, closing the ring right after the push.
+            });
+            let mut got = 0;
+            loop {
+                match rx.pop() {
+                    Ok(Some(_)) => got += 1,
+                    Ok(None) => std::hint::spin_loop(),
+                    Err(NetError::Disconnected) => break,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            producer.join().unwrap();
+            assert_eq!(got, 1, "round {round}: frame lost to the close race");
+        }
     }
 
     #[test]

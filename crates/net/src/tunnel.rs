@@ -14,17 +14,178 @@
 //!   used for deterministic tests and as a faster LOCAL-style transport.
 
 use crate::frame::Frame;
-use crate::{NetError, Result};
+use crate::{NetError, Result, TeardownCause};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use typhoon_diag::{rank, DiagMutex as Mutex};
 
 /// Upper bound on a tunnelled frame, to stop a corrupt length prefix from
 /// allocating gigabytes.
 const MAX_TUNNEL_FRAME: usize = 64 * 1024 * 1024;
+
+/// TCP tunnel tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct TunnelConfig {
+    /// Upper bound on one blocking socket write. A stalled peer (zero
+    /// window, dead NIC) must not block `send` forever while the sender
+    /// holds the writer mutex; when the timeout fires the tunnel is
+    /// poisoned with [`TeardownCause::WriteTimeout`] and fails fast.
+    ///
+    /// The default is generous on purpose: the timeout guards against a
+    /// peer that *stopped reading*, not against transient backpressure or
+    /// scheduler starvation on a loaded box — a false positive here tears
+    /// a healthy tunnel down. Deployments wanting faster stall detection
+    /// lower it explicitly (see `TyphoonConfig::tunnel_write_timeout`).
+    pub write_timeout: Duration,
+}
+
+impl Default for TunnelConfig {
+    fn default() -> Self {
+        TunnelConfig {
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// `net.tunnel.*` counters for one tunnel endpoint: traffic totals plus
+/// one teardown counter per [`TeardownCause`], so operators can tell a
+/// clean peer close from corruption, I/O failure or a write stall.
+#[derive(Debug, Default)]
+pub struct TunnelStats {
+    /// Frames successfully written (`net.tunnel.sent`).
+    pub sent: AtomicU64,
+    /// Frames decoded off the wire (`net.tunnel.received`).
+    pub received: AtomicU64,
+    /// Sends refused because the tunnel was already broken
+    /// (`net.tunnel.rejected_sends`).
+    pub rejected_sends: AtomicU64,
+    /// Teardowns: peer closed cleanly (`net.tunnel.teardown.peer_closed`).
+    pub teardown_peer_closed: AtomicU64,
+    /// Teardowns: oversized length prefix
+    /// (`net.tunnel.teardown.corrupt_len`).
+    pub teardown_corrupt_len: AtomicU64,
+    /// Teardowns: frame decode failure
+    /// (`net.tunnel.teardown.decode_error`).
+    pub teardown_decode_error: AtomicU64,
+    /// Teardowns: socket I/O error (`net.tunnel.teardown.io_error`).
+    pub teardown_io_error: AtomicU64,
+    /// Teardowns: write timeout (`net.tunnel.teardown.write_timeout`).
+    pub teardown_write_timeout: AtomicU64,
+}
+
+impl TunnelStats {
+    fn record_teardown(&self, cause: TeardownCause) {
+        let cell = match cause {
+            TeardownCause::PeerClosed => &self.teardown_peer_closed,
+            TeardownCause::CorruptLength => &self.teardown_corrupt_len,
+            TeardownCause::DecodeError => &self.teardown_decode_error,
+            TeardownCause::Io => &self.teardown_io_error,
+            TeardownCause::WriteTimeout => &self.teardown_write_timeout,
+            // Partitions are injected above the TCP layer and counted by
+            // the injector's own `chaos.*` stats.
+            TeardownCause::Partitioned => return,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as `(metric name, value)` pairs under the `net.tunnel.*`
+    /// namespace (see docs/OBSERVABILITY.md).
+    pub fn named(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("net.tunnel.sent", self.sent.load(Ordering::Relaxed)),
+            ("net.tunnel.received", self.received.load(Ordering::Relaxed)),
+            (
+                "net.tunnel.rejected_sends",
+                self.rejected_sends.load(Ordering::Relaxed),
+            ),
+            (
+                "net.tunnel.teardown.peer_closed",
+                self.teardown_peer_closed.load(Ordering::Relaxed),
+            ),
+            (
+                "net.tunnel.teardown.corrupt_len",
+                self.teardown_corrupt_len.load(Ordering::Relaxed),
+            ),
+            (
+                "net.tunnel.teardown.decode_error",
+                self.teardown_decode_error.load(Ordering::Relaxed),
+            ),
+            (
+                "net.tunnel.teardown.io_error",
+                self.teardown_io_error.load(Ordering::Relaxed),
+            ),
+            (
+                "net.tunnel.teardown.write_timeout",
+                self.teardown_write_timeout.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+}
+
+/// The poisoned ("broken") state of a tunnel. The first fault wins; its
+/// cause is echoed by every later operation.
+#[derive(Debug, Default)]
+struct BrokenFlag {
+    // 0 = healthy, otherwise 1 + TeardownCause discriminant.
+    cause: AtomicU8,
+}
+
+impl BrokenFlag {
+    fn encode(cause: TeardownCause) -> u8 {
+        match cause {
+            TeardownCause::PeerClosed => 1,
+            TeardownCause::CorruptLength => 2,
+            TeardownCause::DecodeError => 3,
+            TeardownCause::Io => 4,
+            TeardownCause::WriteTimeout => 5,
+            TeardownCause::Partitioned => 6,
+        }
+    }
+
+    fn decode(v: u8) -> Option<TeardownCause> {
+        match v {
+            1 => Some(TeardownCause::PeerClosed),
+            2 => Some(TeardownCause::CorruptLength),
+            3 => Some(TeardownCause::DecodeError),
+            4 => Some(TeardownCause::Io),
+            5 => Some(TeardownCause::WriteTimeout),
+            6 => Some(TeardownCause::Partitioned),
+            _ => None,
+        }
+    }
+
+    /// Records `cause` if the tunnel was healthy; returns whether this
+    /// call was the one that poisoned it.
+    fn poison(&self, cause: TeardownCause) -> bool {
+        self.cause
+            .compare_exchange(0, Self::encode(cause), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    fn get(&self) -> Option<TeardownCause> {
+        Self::decode(self.cause.load(Ordering::Acquire))
+    }
+}
+
+/// State shared between the send path, the reader thread and `Drop`.
+#[derive(Debug, Default)]
+struct TunnelShared {
+    broken: BrokenFlag,
+    stats: TunnelStats,
+}
+
+impl TunnelShared {
+    fn teardown(&self, cause: TeardownCause) {
+        if self.broken.poison(cause) {
+            self.stats.record_teardown(cause);
+        }
+    }
+}
 
 /// A reliable, ordered, bidirectional frame pipe between two hosts.
 pub trait Tunnel: Send {
@@ -92,34 +253,59 @@ impl Tunnel for InMemoryTunnel {
 /// One endpoint of a TCP tunnel. Writes are length-prefixed and mutex-
 /// serialized; reads happen on a background thread that decodes frames and
 /// queues them for [`Tunnel::try_recv`].
+///
+/// Fail-fast discipline: any write error (including a partial write that
+/// left the stream misframed), write timeout, oversized length prefix or
+/// decode error poisons the tunnel. A poisoned tunnel refuses every
+/// further `send` with [`NetError::Broken`] immediately and `try_recv`
+/// fails the same way once buffered frames are drained — it never
+/// misframes and never hangs.
 pub struct TcpTunnel {
     writer: Arc<Mutex<TcpStream>>,
     rx: Receiver<Frame>,
+    shared: Arc<TunnelShared>,
 }
 
 impl TcpTunnel {
-    /// Wraps an established stream.
+    /// Wraps an established stream with default [`TunnelConfig`].
     pub fn from_stream(stream: TcpStream) -> Result<Self> {
+        Self::from_stream_with(stream, TunnelConfig::default())
+    }
+
+    /// Wraps an established stream.
+    pub fn from_stream_with(stream: TcpStream, config: TunnelConfig) -> Result<Self> {
         stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(config.write_timeout))?;
         let reader_stream = stream.try_clone()?;
         let (tx, rx) = unbounded(); // LINT: allow-unbounded(reader thread decouples socket reads; rings bound in-flight tuples upstream)
+        let shared = Arc::new(TunnelShared::default());
+        let reader_shared = shared.clone();
         std::thread::Builder::new()
             .name("tcp-tunnel-reader".into())
-            .spawn(move || Self::reader_loop(reader_stream, tx))
-            .expect("spawn tunnel reader");
+            .spawn(move || Self::reader_loop(reader_stream, tx, reader_shared))
+            .map_err(NetError::Io)?;
         Ok(TcpTunnel {
             writer: Arc::new(Mutex::with_rank(rank::TUNNEL, "net.tunnel.writer", stream)),
             rx,
+            shared,
         })
     }
 
     /// Creates a connected loopback pair (convenience for tests/benches).
     pub fn pair() -> Result<(TcpTunnel, TcpTunnel)> {
+        Self::pair_with(TunnelConfig::default())
+    }
+
+    /// Creates a connected loopback pair with explicit tunables.
+    pub fn pair_with(config: TunnelConfig) -> Result<(TcpTunnel, TcpTunnel)> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let client = TcpStream::connect(addr)?;
         let (server, _) = listener.accept()?;
-        Ok((Self::from_stream(client)?, Self::from_stream(server)?))
+        Ok((
+            Self::from_stream_with(client, config)?,
+            Self::from_stream_with(server, config)?,
+        ))
     }
 
     /// Connects to a peer host's tunnel listener.
@@ -127,46 +313,131 @@ impl TcpTunnel {
         Self::from_stream(TcpStream::connect(addr)?)
     }
 
-    fn reader_loop(mut stream: TcpStream, tx: Sender<Frame>) {
+    /// This endpoint's `net.tunnel.*` counters.
+    pub fn stats(&self) -> &TunnelStats {
+        &self.shared.stats
+    }
+
+    /// The cause that poisoned this tunnel, if any.
+    pub fn broken_cause(&self) -> Option<TeardownCause> {
+        self.shared.broken.get()
+    }
+
+    fn reader_loop(mut stream: TcpStream, tx: Sender<Frame>, shared: Arc<TunnelShared>) {
         let mut len_buf = [0u8; 4];
         loop {
-            if stream.read_exact(&mut len_buf).is_err() {
-                return; // peer closed; receiver sees Disconnected
+            if let Err(e) = stream.read_exact(&mut len_buf) {
+                shared.teardown(read_error_cause(&e));
+                return;
             }
             let len = u32::from_be_bytes(len_buf) as usize;
             if len > MAX_TUNNEL_FRAME {
-                return; // corrupt stream; tear the tunnel down
+                // Corrupt/misframed stream: poison, and shut the socket
+                // down so the peer fails fast too instead of writing into
+                // a stream nobody is framing correctly anymore.
+                shared.teardown(TeardownCause::CorruptLength);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
             }
             let mut body = vec![0u8; len];
-            if stream.read_exact(&mut body).is_err() {
+            if let Err(e) = stream.read_exact(&mut body) {
+                shared.teardown(read_error_cause(&e));
                 return;
             }
             match Frame::decode(Bytes::from(body)) {
                 Ok(frame) => {
+                    shared.stats.received.fetch_add(1, Ordering::Relaxed);
                     if tx.send(frame).is_err() {
-                        return; // endpoint dropped
+                        return; // our own endpoint dropped; not a fault
                     }
                 }
-                Err(_) => return,
+                Err(_) => {
+                    shared.teardown(TeardownCause::DecodeError);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
             }
         }
+    }
+
+    /// Maps the poisoned state to the error `try_recv`/`send` surface.
+    /// A clean peer close keeps the legacy `Disconnected` shape; every
+    /// other cause is a typed `Broken`.
+    fn broken_error(cause: TeardownCause) -> NetError {
+        match cause {
+            TeardownCause::PeerClosed => NetError::Disconnected,
+            other => NetError::Broken(other),
+        }
+    }
+}
+
+fn read_error_cause(e: &std::io::Error) -> TeardownCause {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        TeardownCause::PeerClosed
+    } else {
+        TeardownCause::Io
     }
 }
 
 impl Tunnel for TcpTunnel {
     fn send(&self, frame: &Frame) -> Result<()> {
+        if let Some(cause) = self.shared.broken.get() {
+            self.shared
+                .stats
+                .rejected_sends
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Self::broken_error(cause));
+        }
         let encoded = frame.encode();
         let mut w = self.writer.lock();
-        w.write_all(&(encoded.len() as u32).to_be_bytes())?;
-        w.write_all(&encoded)?;
-        Ok(())
+        // Re-check under the lock: a concurrent sender may have poisoned
+        // the tunnel while we waited (its partial write already misframed
+        // the stream, so ours must not go out).
+        if let Some(cause) = self.shared.broken.get() {
+            self.shared
+                .stats
+                .rejected_sends
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Self::broken_error(cause));
+        }
+        let result = w
+            .write_all(&(encoded.len() as u32).to_be_bytes())
+            .and_then(|()| w.write_all(&encoded));
+        match result {
+            Ok(()) => {
+                self.shared.stats.sent.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                // The prefix (or part of the body) may already be on the
+                // wire: the stream is misframed for good. Poison and shut
+                // the socket down so both sides fail fast.
+                let cause = match e.kind() {
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                        TeardownCause::WriteTimeout
+                    }
+                    _ => TeardownCause::Io,
+                };
+                self.shared.teardown(cause);
+                let _ = w.shutdown(std::net::Shutdown::Both);
+                Err(NetError::Broken(cause))
+            }
+        }
     }
 
     fn try_recv(&self) -> Result<Option<Frame>> {
+        // Buffered frames stay deliverable after any teardown; the typed
+        // error only surfaces once the queue is drained.
         match self.rx.try_recv() {
             Ok(f) => Ok(Some(f)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
+            Err(TryRecvError::Empty) => match self.shared.broken.get() {
+                None => Ok(None),
+                Some(cause) => Err(Self::broken_error(cause)),
+            },
+            Err(TryRecvError::Disconnected) => match self.shared.broken.get() {
+                None | Some(TeardownCause::PeerClosed) => Err(NetError::Disconnected),
+                Some(cause) => Err(Self::broken_error(cause)),
+            },
         }
     }
 }

@@ -31,9 +31,31 @@ impl PortNo {
     /// `OFPP_ANY` — wildcard in delete/stats requests.
     pub const ANY: PortNo = PortNo(0xffff_ffff);
 
-    /// True for physical (worker or tunnel) ports.
+    /// Base of the tunnel-peer pseudo-port range. A switch that tears a
+    /// tunnel down reports the loss as a `PortStatus` delete on
+    /// `tunnel_peer(remote_host)`, so host-link faults flow through the
+    /// same controller path as worker-port faults (Fig. 10).
+    pub const TUNNEL_PEER_BASE: u32 = 0xfff0_0000;
+
+    /// The pseudo-port standing for the tunnel to `host`.
+    pub fn tunnel_peer(host: u32) -> PortNo {
+        debug_assert!(host < 0xf_ff00, "host id overflows tunnel-peer range");
+        PortNo(Self::TUNNEL_PEER_BASE + host)
+    }
+
+    /// The remote host id when this is a tunnel-peer pseudo-port.
+    pub fn tunnel_peer_id(self) -> Option<u32> {
+        if (Self::TUNNEL_PEER_BASE..0xffff_ff00).contains(&self.0) {
+            Some(self.0 - Self::TUNNEL_PEER_BASE)
+        } else {
+            None
+        }
+    }
+
+    /// True for physical (worker or tunnel) ports; pseudo-ports (reserved
+    /// OpenFlow values and tunnel peers) are excluded.
     pub fn is_physical(self) -> bool {
-        self.0 < 0xffff_ff00
+        self.0 < Self::TUNNEL_PEER_BASE
     }
 }
 
@@ -44,6 +66,9 @@ impl fmt::Display for PortNo {
             PortNo::ALL => write!(f, "ALL"),
             PortNo::ANY => write!(f, "ANY"),
             PortNo::TUNNEL => write!(f, "TUNNEL"),
+            p if p.tunnel_peer_id().is_some() => {
+                write!(f, "tunnel-peer:{}", p.tunnel_peer_id().unwrap_or(0))
+            }
             PortNo(n) => write!(f, "port{n}"),
         }
     }
@@ -70,6 +95,17 @@ mod tests {
         assert!(!PortNo::ANY.is_physical());
         assert!(PortNo::TUNNEL.is_physical());
         assert!(PortNo(5).is_physical());
+        assert!(!PortNo::tunnel_peer(2).is_physical());
+    }
+
+    #[test]
+    fn tunnel_peer_round_trips() {
+        let p = PortNo::tunnel_peer(3);
+        assert_eq!(p.tunnel_peer_id(), Some(3));
+        assert_eq!(p.to_string(), "tunnel-peer:3");
+        assert_eq!(PortNo(7).tunnel_peer_id(), None);
+        assert_eq!(PortNo::CONTROLLER.tunnel_peer_id(), None);
+        assert_eq!(PortNo::TUNNEL.tunnel_peer_id(), None);
     }
 
     #[test]

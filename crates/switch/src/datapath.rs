@@ -12,12 +12,12 @@ use crate::table::FlowTable;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use typhoon_diag::{rank, DiagMutex as Mutex};
-use typhoon_net::{Frame, Tunnel};
+use typhoon_net::{Frame, NetError, Tunnel};
 use typhoon_openflow::{
     wire, Action, DatapathId, FrameMeta, OfMessage, PacketInReason, PortNo, PortStatusReason,
 };
@@ -67,6 +67,7 @@ struct Inner {
     table: Mutex<FlowTable>,
     groups: Mutex<GroupTable>,
     tunnels: Mutex<HashMap<u32, Box<dyn Tunnel + Send>>>,
+    tunnel_downs: AtomicU64,
     ctrl_tx: Sender<Bytes>,
     ctrl_rx: Receiver<Bytes>,
     shutdown: AtomicBool,
@@ -99,6 +100,7 @@ impl Switch {
                 table: Mutex::with_rank(rank::DATAPATH, "switch.datapath.table", FlowTable::new()),
                 groups: Mutex::new(GroupTable::new()),
                 tunnels: Mutex::new(HashMap::new()),
+                tunnel_downs: AtomicU64::new(0),
                 ctrl_tx: from_switch_tx,
                 ctrl_rx: to_switch_rx,
                 shutdown: AtomicBool::new(false),
@@ -145,6 +147,41 @@ impl Switch {
     /// Registers the tunnel used to reach peer host `host`.
     pub fn add_tunnel(&self, host: u32, tunnel: Box<dyn Tunnel + Send>) {
         self.inner.tunnels.lock().insert(host, tunnel);
+    }
+
+    /// True while the tunnel to `host` is registered (i.e. not torn down).
+    pub fn tunnel_alive(&self, host: u32) -> bool {
+        self.inner.tunnels.lock().contains_key(&host)
+    }
+
+    /// How many tunnels this switch has torn down (observability:
+    /// `switch.tunnel_downs`).
+    pub fn tunnel_down_count(&self) -> u64 {
+        self.inner.tunnel_downs.load(Ordering::Relaxed)
+    }
+
+    /// True when a tunnel error is unrecoverable (the link is gone or the
+    /// stream is poisoned) rather than transient backpressure.
+    fn tunnel_error_is_fatal(e: &NetError) -> bool {
+        matches!(
+            e,
+            NetError::Disconnected | NetError::Broken(_) | NetError::Io(_)
+        )
+    }
+
+    /// Tears down the tunnel to `host` and reports it to the controller as
+    /// a `PortStatus` delete on the tunnel-peer pseudo-port, so a lost
+    /// host link reaches the fault detector through the exact same channel
+    /// as a dead worker port (Fig. 10).
+    fn tunnel_down(&self, host: u32) {
+        let removed = self.inner.tunnels.lock().remove(&host).is_some();
+        if removed {
+            self.inner.tunnel_downs.fetch_add(1, Ordering::Relaxed);
+            self.send_event(OfMessage::PortStatus {
+                reason: PortStatusReason::Delete,
+                port: PortNo::tunnel_peer(host),
+            });
+        }
     }
 
     /// Installs the tracing context used to record `SwitchMatch` spans for
@@ -255,11 +292,22 @@ impl Switch {
 
     fn poll_tunnels(&self) -> bool {
         let mut frames = Vec::new();
+        let mut dead = Vec::new();
         {
             let tunnels = self.inner.tunnels.lock();
-            for tunnel in tunnels.values() {
-                let _ = tunnel.recv_batch(&mut frames, self.inner.config.poll_budget);
+            for (&host, tunnel) in tunnels.iter() {
+                // recv_batch appends whatever arrived before an error, so
+                // buffered frames are still delivered on the poll that
+                // detects the teardown.
+                if let Err(e) = tunnel.recv_batch(&mut frames, self.inner.config.poll_budget) {
+                    if Self::tunnel_error_is_fatal(&e) {
+                        dead.push(host);
+                    }
+                }
             }
+        }
+        for host in dead {
+            self.tunnel_down(host);
         }
         let busy = !frames.is_empty();
         for frame in frames {
@@ -308,6 +356,7 @@ impl Switch {
             return; // group recursion guard
         }
         let mut tun_dst: Option<u32> = None;
+        let mut dead_tunnel: Option<u32> = None;
         for action in actions {
             match *action {
                 Action::SetDlDst(mac) => {
@@ -320,7 +369,11 @@ impl Switch {
                     if let Some(host) = tun_dst {
                         let tunnels = self.inner.tunnels.lock();
                         if let Some(t) = tunnels.get(&host) {
-                            let _ = t.send(&frame);
+                            if let Err(e) = t.send(&frame) {
+                                if Self::tunnel_error_is_fatal(&e) {
+                                    dead_tunnel = Some(host);
+                                }
+                            }
                         }
                     }
                 }
@@ -358,6 +411,12 @@ impl Switch {
                     }
                 }
             }
+        }
+        // Tear down outside the action loop: `tunnel_down` re-takes the
+        // tunnels lock, and the event should fire once per frame even if
+        // several output actions hit the same dead tunnel.
+        if let Some(host) = dead_tunnel {
+            self.tunnel_down(host);
         }
     }
 
@@ -643,6 +702,79 @@ mod tests {
                     reason: PortStatusReason::Delete,
                     port
                 } if *port == PortNo(4)
+            )),
+            "got {events:?}"
+        );
+    }
+
+    /// Installs the Table 3 remote-transfer rule on the sender switch.
+    fn remote_rule(src: u32, dst: u32, peer_host: u32) -> OfMessage {
+        OfMessage::FlowMod(FlowMod::add(
+            10,
+            FlowMatch::any()
+                .in_port(PortNo(1))
+                .dl_src(w(src))
+                .dl_dst(w(dst))
+                .ether_type(TYPHOON_ETHERTYPE),
+            vec![Action::SetTunDst(peer_host), Action::Output(PortNo::TUNNEL)],
+        ))
+    }
+
+    #[test]
+    fn dead_tunnel_on_send_reports_tunnel_peer_delete() {
+        use typhoon_net::{FaultInjector, FaultPlan, FaultSpec};
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let (t1, _t2) = InMemoryTunnel::pair();
+        // TX-only partition: receive stays clean, so only the send path in
+        // `execute` can observe the fault.
+        let (inj, _handle) = FaultInjector::wrap(
+            Box::new(t1),
+            FaultPlan::tx_only(1, FaultSpec::CLEAN.partitioned()),
+        );
+        sw.add_tunnel(2, Box::new(inj));
+        let src = sw.attach_worker(PortNo(1));
+        send_ctrl(&ch, remote_rule(10, 20, 2));
+        sw.process_round();
+        let _ = drain_events(&ch);
+        assert!(sw.tunnel_alive(2));
+        src.tx.push(data_frame(10, w(20), 1)).unwrap();
+        sw.process_round();
+        assert!(!sw.tunnel_alive(2), "dead tunnel removed");
+        assert_eq!(sw.tunnel_down_count(), 1);
+        let events = drain_events(&ch);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                OfMessage::PortStatus {
+                    reason: PortStatusReason::Delete,
+                    port
+                } if *port == PortNo::tunnel_peer(2)
+            )),
+            "got {events:?}"
+        );
+    }
+
+    #[test]
+    fn partitioned_tunnel_on_recv_reports_tunnel_peer_delete() {
+        use typhoon_net::{FaultInjector, FaultPlan, FaultSpec};
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let (t1, _t2) = InMemoryTunnel::pair();
+        let (inj, handle) = FaultInjector::wrap(Box::new(t1), FaultPlan::clean(1));
+        sw.add_tunnel(2, Box::new(inj));
+        let _ = drain_events(&ch);
+        sw.process_round();
+        assert!(sw.tunnel_alive(2), "healthy tunnel stays up");
+        handle.set_rx(FaultSpec::CLEAN.partitioned());
+        sw.process_round();
+        assert!(!sw.tunnel_alive(2), "partitioned tunnel torn down");
+        let events = drain_events(&ch);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                OfMessage::PortStatus {
+                    reason: PortStatusReason::Delete,
+                    port
+                } if *port == PortNo::tunnel_peer(2)
             )),
             "got {events:?}"
         );

@@ -1,0 +1,243 @@
+//! Chaos suite: the Fig. 2 word-count shape on 2 hosts, with every
+//! inter-host tunnel wrapped in a seeded [`FaultInjector`], one fault
+//! class per test: drop, delay, duplicate, corrupt-bytes, stall and
+//! hard-partition.
+//!
+//! Contract under test (the Fig. 10 robustness claim, generalized): for
+//! the recoverable classes the topology must *fully* recover — every
+//! spout root acked complete, every sequence delivered at least once
+//! (at-least-once semantics: replays may duplicate, never lose) — and for
+//! a hard partition the failure must surface as a *typed* signal (tunnel
+//! teardown + `PortStatus` delete + a coordinator fault record) within
+//! the heartbeat timeout. Nothing may hang: every wait is
+//! deadline-bounded.
+//!
+//! All randomness derives from one seed so a failing run replays exactly:
+//!
+//! ```text
+//! CHAOS_SEED=<seed> cargo test --test chaos
+//! ```
+
+use std::time::{Duration, Instant};
+use typhoon::controller::apps::{FaultDetector, TUNNEL_FAULTS};
+use typhoon::net::{FaultPlan, FaultSpec};
+use typhoon::prelude::*;
+use typhoon_bench::workloads::{register_standard, SinkCounter};
+use typhoon_model::{ComponentRegistry, Fields, HostId};
+
+/// Heartbeat timeout bound (matches `exp_fig10`): a fault must surface as
+/// a typed signal well within this.
+const HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Spout roots per run. Small enough to keep the suite quick, large
+/// enough that per-frame fault probabilities bite hundreds of times.
+const ROOTS: i64 = 120;
+
+fn chaos_seed() -> u64 {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xc4a0_5eed);
+    // Captured output is shown on failure: this is the replay handle.
+    println!("CHAOS_SEED={seed}");
+    seed
+}
+
+/// The Fig. 2 word-count shape — 1 source, 2 shuffle-grouped middle
+/// workers, field-grouped sinks — built from components whose delivery is
+/// exactly checkable: the source is the replaying `SeqSpout` (fails →
+/// replays, the at-least-once contract), the sinks count every sequence.
+fn word_count_shape() -> LogicalTopology {
+    LogicalTopology::builder("chaos-word-count")
+        .spout("input", "seq-spout", 1, Fields::new(["seq", "payload"]))
+        .bolt("split", "relay", 2, Fields::new(["seq", "payload"]))
+        .bolt("count", "seq-sink", 2, Fields::new(["seq"]))
+        .edge("input", "split", Grouping::Shuffle)
+        .edge("split", "count", Grouping::Fields(vec!["seq".into()]))
+        .build()
+        .expect("valid topology")
+}
+
+struct ChaosRun {
+    cluster: TyphoonCluster,
+    handle: TyphoonTopologyHandle,
+    sink: SinkCounter,
+}
+
+/// Boots a 2-host acking cluster with `plan` on every tunnel edge and
+/// submits the word-count shape. Few slots per host force cross-host
+/// edges, so tuples and acks genuinely cross the faulty tunnels.
+fn launch(plan: FaultPlan) -> ChaosRun {
+    let mut reg = ComponentRegistry::new();
+    let (sink, _agg) = register_standard(&mut reg, 16, 4);
+    let mut config = TyphoonConfig::new(2)
+        .with_batch_size(4)
+        .with_acking(Duration::from_secs(2), 64)
+        .with_chaos(plan);
+    config.slots_per_host = 3;
+    let cluster = TyphoonCluster::new(config, reg).expect("cluster");
+    cluster.controller().add_app(Box::new(FaultDetector::new()));
+    // Cap the sequence: the run is done when every root completes.
+    cluster.register_spout("seq-spout", || {
+        typhoon_bench::workloads::SeqSpout::new(16, 4).with_limit(ROOTS)
+    });
+    let handle = cluster.submit(word_count_shape()).expect("submit");
+    ChaosRun {
+        cluster,
+        handle,
+        sink,
+    }
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + timeout;
+    while Instant::now() < end {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+fn completed_roots(run: &ChaosRun) -> u64 {
+    run.handle
+        .tasks_of("input")
+        .first()
+        .and_then(|&t| run.handle.worker(t))
+        .map(|w| w.registry.snapshot().counter("acks.completed"))
+        .unwrap_or(0)
+}
+
+/// Asserts full recovery: all roots complete, no sequence silently lost.
+fn assert_recovers(run: &ChaosRun, what: &str) {
+    assert!(
+        wait_until(Duration::from_secs(90), || completed_roots(run)
+            == ROOTS as u64),
+        "[{what}] only {}/{ROOTS} roots completed",
+        completed_roots(run)
+    );
+    // At-least-once: replays may duplicate, but every sequence arrived.
+    assert!(
+        run.sink.count() >= ROOTS as u64,
+        "[{what}] sink saw {} < {ROOTS} — an acked tuple was lost",
+        run.sink.count()
+    );
+    run.cluster.shutdown();
+}
+
+#[test]
+fn clean_baseline_completes() {
+    let run = launch(FaultPlan::clean(chaos_seed()));
+    assert_recovers(&run, "baseline");
+}
+
+#[test]
+fn recovers_from_frame_drops() {
+    let run = launch(FaultPlan::symmetric(
+        chaos_seed(),
+        FaultSpec::CLEAN.dropping(0.05),
+    ));
+    assert_recovers(&run, "drop");
+}
+
+#[test]
+fn recovers_from_added_delay() {
+    let run = launch(FaultPlan::symmetric(
+        chaos_seed(),
+        FaultSpec::CLEAN.delaying(Duration::from_millis(25)),
+    ));
+    assert_recovers(&run, "delay");
+}
+
+#[test]
+fn recovers_from_duplication() {
+    let run = launch(FaultPlan::symmetric(
+        chaos_seed(),
+        FaultSpec::CLEAN.duplicating(0.10),
+    ));
+    assert_recovers(&run, "duplicate");
+}
+
+#[test]
+fn recovers_from_corrupt_bytes() {
+    let run = launch(FaultPlan::symmetric(
+        chaos_seed(),
+        FaultSpec::CLEAN.corrupting(0.05),
+    ));
+    assert_recovers(&run, "corrupt");
+}
+
+#[test]
+fn recovers_after_a_stall_heals() {
+    // Start stalled in both directions: cross-host traffic is withheld
+    // (not dropped, not failed — the nastiest case for liveness).
+    let seed = chaos_seed();
+    let run = launch(FaultPlan::symmetric(seed, FaultSpec::CLEAN.stalled()));
+    // Let the system run into the stall, then heal every edge at runtime.
+    std::thread::sleep(Duration::from_secs(2));
+    assert!(
+        completed_roots(&run) < ROOTS as u64,
+        "stall had no effect — the topology never crossed hosts"
+    );
+    for from in 0..2u32 {
+        for to in 0..2u32 {
+            if from != to {
+                run.cluster
+                    .chaos_handle(HostId(from), HostId(to))
+                    .expect("chaos handle")
+                    .heal();
+            }
+        }
+    }
+    assert_recovers(&run, "stall-heal");
+}
+
+#[test]
+fn partition_surfaces_as_typed_fault_within_heartbeat_timeout() {
+    // Healthy start, then a hard partition of the host link mid-run.
+    let run = launch(FaultPlan::clean(chaos_seed()));
+    assert!(
+        wait_until(Duration::from_secs(30), || run.sink.count() > 0),
+        "no traffic before the partition"
+    );
+    let partitioned = Instant::now();
+    for from in 0..2u32 {
+        for to in 0..2u32 {
+            if from != to {
+                run.cluster
+                    .chaos_handle(HostId(from), HostId(to))
+                    .expect("chaos handle")
+                    .set_plan(FaultPlan::symmetric(1, FaultSpec::CLEAN.partitioned()));
+            }
+        }
+    }
+    // The typed failure path: each switch tears its tunnel down, reports a
+    // tunnel-peer PortStatus delete, and the fault detector records the
+    // link fault in the coordinator — all inside the heartbeat timeout.
+    assert!(
+        wait_until(HEARTBEAT_TIMEOUT, || {
+            (0..2u32).all(|h| {
+                run.cluster
+                    .switch(HostId(h))
+                    .map(|s| s.tunnel_down_count() >= 1)
+                    .unwrap_or(false)
+            })
+        }),
+        "switches never tore the partitioned tunnels down"
+    );
+    assert!(
+        wait_until(HEARTBEAT_TIMEOUT, || {
+            let coord = run.cluster.global().coordinator();
+            coord.exists(&format!("{TUNNEL_FAULTS}/host-0-to-1"))
+                || coord.exists(&format!("{TUNNEL_FAULTS}/host-1-to-0"))
+        }),
+        "fault detector never recorded the link fault"
+    );
+    assert!(
+        partitioned.elapsed() < HEARTBEAT_TIMEOUT * 2,
+        "typed failure took longer than the heartbeat budget"
+    );
+    // Shutdown must stay clean — no hang with the fabric partitioned.
+    run.cluster.shutdown();
+}
