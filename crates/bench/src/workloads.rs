@@ -23,9 +23,10 @@ pub struct SeqSpout {
     limit: i64,
     payload: String,
     batch: usize,
-    replay: Vec<i64>,
+    replay: Vec<(i64, u64)>,
     inflight: HashMap<u64, i64>,
     last_batch: Vec<i64>,
+    last_prev_roots: Vec<Option<u64>>,
 }
 
 impl SeqSpout {
@@ -39,6 +40,7 @@ impl SeqSpout {
             replay: Vec::new(),
             inflight: HashMap::new(),
             last_batch: Vec::new(),
+            last_prev_roots: Vec::new(),
         }
     }
 
@@ -52,19 +54,21 @@ impl SeqSpout {
 impl Spout for SeqSpout {
     fn next_batch(&mut self, out: &mut dyn Emitter) -> bool {
         self.last_batch.clear();
+        self.last_prev_roots.clear();
         let mut emitted = false;
         for _ in 0..self.batch {
-            let seq = if let Some(seq) = self.replay.pop() {
-                seq
+            let (seq, prev_root) = if let Some((seq, prev)) = self.replay.pop() {
+                (seq, Some(prev))
             } else if self.next < self.limit {
                 let s = self.next;
                 self.next += 1;
-                s
+                (s, None)
             } else {
                 break;
             };
             out.emit(vec![Value::Int(seq), Value::Str(self.payload.clone())]);
             self.last_batch.push(seq);
+            self.last_prev_roots.push(prev_root);
             emitted = true;
         }
         emitted
@@ -76,9 +80,116 @@ impl Spout for SeqSpout {
         }
     }
 
+    fn replay_root(&mut self, index: usize) -> Option<u64> {
+        self.last_prev_roots.get(index).copied().flatten()
+    }
+
     fn fail(&mut self, root: u64) {
         if let Some(seq) = self.inflight.remove(&root) {
-            self.replay.push(seq);
+            // Remember the failed attempt's root: the replay reuses its
+            // base with a bumped round byte, keeping downstream dedup keys
+            // stable across replays.
+            self.replay.push((seq, root));
+        }
+    }
+
+    fn ack(&mut self, root: u64) {
+        self.inflight.remove(&root);
+    }
+}
+
+/// A *deterministic, replayable* sentence source for the crash-recovery
+/// experiments: sentence `i` is a pure function of `i` (and the seed), so
+/// a fault run and a no-fault baseline emit the identical sentence stream
+/// and their final word counts can be compared exactly. Failed roots are
+/// replayed with the original root's base (bumped round byte), the link
+/// that lets restored count bolts dedup already-folded replays.
+pub struct ReplaySentenceSpout {
+    next: i64,
+    limit: i64,
+    batch: usize,
+    seed: u64,
+    words_per_sentence: usize,
+    replay: Vec<(i64, u64)>,
+    inflight: HashMap<u64, i64>,
+    last_batch: Vec<i64>,
+    last_prev_roots: Vec<Option<u64>>,
+}
+
+impl ReplaySentenceSpout {
+    /// A seeded deterministic sentence source emitting `limit` sentences.
+    pub fn new(seed: u64, batch: usize, limit: i64) -> Self {
+        ReplaySentenceSpout {
+            next: 0,
+            limit,
+            batch: batch.max(1),
+            seed,
+            words_per_sentence: 6,
+            replay: Vec::new(),
+            inflight: HashMap::new(),
+            last_batch: Vec::new(),
+            last_prev_roots: Vec::new(),
+        }
+    }
+
+    /// The sentence for sequence number `seq` — pure, so replays and
+    /// baseline runs regenerate the exact same words.
+    pub fn sentence(seed: u64, seq: i64, words_per_sentence: usize) -> String {
+        let mut words = Vec::with_capacity(words_per_sentence);
+        for pos in 0..words_per_sentence {
+            // splitmix64 over (seed, seq, pos).
+            let mut x = seed
+                .wrapping_add((seq as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add((pos as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            words.push(WORDS[(x % WORDS.len() as u64) as usize]);
+        }
+        words.join(" ")
+    }
+}
+
+impl Spout for ReplaySentenceSpout {
+    fn next_batch(&mut self, out: &mut dyn Emitter) -> bool {
+        self.last_batch.clear();
+        self.last_prev_roots.clear();
+        let mut emitted = false;
+        for _ in 0..self.batch {
+            let (seq, prev_root) = if let Some((seq, prev)) = self.replay.pop() {
+                (seq, Some(prev))
+            } else if self.next < self.limit {
+                let s = self.next;
+                self.next += 1;
+                (s, None)
+            } else {
+                break;
+            };
+            out.emit(vec![Value::Str(Self::sentence(
+                self.seed,
+                seq,
+                self.words_per_sentence,
+            ))]);
+            self.last_batch.push(seq);
+            self.last_prev_roots.push(prev_root);
+            emitted = true;
+        }
+        emitted
+    }
+
+    fn emitted(&mut self, index: usize, root: u64) {
+        if let Some(&seq) = self.last_batch.get(index) {
+            self.inflight.insert(root, seq);
+        }
+    }
+
+    fn replay_root(&mut self, index: usize) -> Option<u64> {
+        self.last_prev_roots.get(index).copied().flatten()
+    }
+
+    fn fail(&mut self, root: u64) {
+        if let Some(seq) = self.inflight.remove(&root) {
+            self.replay.push((seq, root));
         }
     }
 
@@ -249,6 +360,29 @@ impl Bolt for CountBolt {
     fn is_stateful(&self) -> bool {
         true
     }
+
+    fn checkpoint(&self) -> Option<Vec<(String, Value)>> {
+        let mut state: Vec<(String, Value)> = self
+            .counts
+            .iter()
+            .map(|(w, c)| (w.clone(), Value::Int(*c)))
+            .collect();
+        state.sort_by(|a, b| a.0.cmp(&b.0));
+        Some(state)
+    }
+
+    fn restore(&mut self, state: Vec<(String, Value)>, out: &mut dyn Emitter) {
+        self.counts.clear();
+        for (word, v) in state {
+            if let Some(c) = v.as_int() {
+                self.counts.insert(word.clone(), c);
+                // Re-emit restored counts (unanchored): the latest-wins
+                // aggregator downstream re-converges even though the
+                // pre-crash in-flight emissions died with the old worker.
+                out.emit(vec![Value::Str(word), Value::Int(c)]);
+            }
+        }
+    }
 }
 
 /// Terminal aggregation sink: tracks the latest count per word.
@@ -334,6 +468,55 @@ pub fn broadcast_topology(sinks: usize) -> LogicalTopology {
         .spout("source", "seq-spout", 1, Fields::new(["seq", "payload"]))
         .bolt("sink", "null-sink", sinks, Fields::new(["seq"]))
         .edge("source", "sink", Grouping::All)
+        .build()
+        .expect("valid")
+}
+
+/// The exact word counts a run over `roots` sentences of seed `seed` must
+/// converge to, recomputed from the pure sentence function — the ground
+/// truth the crash-recovery tests and experiments compare against.
+pub fn expected_word_counts(seed: u64, roots: i64) -> HashMap<String, i64> {
+    let mut counts = HashMap::new();
+    for seq in 0..roots {
+        for word in ReplaySentenceSpout::sentence(seed, seq, 6).split_whitespace() {
+            *counts.entry(word.to_owned()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Registers the deterministic replayable sentence source under
+/// `replay-sentence-spout` (the crash-recovery workload's source).
+pub fn register_replay_spout(reg: &mut ComponentRegistry, seed: u64, batch: usize, limit: i64) {
+    reg.register_spout("replay-sentence-spout", move || {
+        ReplaySentenceSpout::new(seed, batch, limit)
+    });
+}
+
+/// The word-count topology wired to the deterministic replayable source —
+/// the crash-recovery experiments' workload: identical seeds produce
+/// identical word streams, so post-recovery counts can be compared
+/// exactly against a no-fault baseline.
+pub fn recovery_word_count_topology(splits: usize, counts: usize) -> LogicalTopology {
+    LogicalTopology::builder("word-count-recovery")
+        .spout(
+            "input",
+            "replay-sentence-spout",
+            1,
+            Fields::new(["sentence"]),
+        )
+        .bolt("split", "split", splits, Fields::new(["word"]))
+        .bolt_with_state(
+            "count",
+            "count",
+            counts,
+            Fields::new(["word", "count"]),
+            true,
+        )
+        .bolt("aggregator", "agg", 1, Fields::new(["word", "count"]))
+        .edge("input", "split", Grouping::Shuffle)
+        .edge("split", "count", Grouping::Fields(vec!["word".into()]))
+        .edge("count", "aggregator", Grouping::Global)
         .build()
         .expect("valid")
 }
@@ -442,6 +625,67 @@ mod tests {
     }
 
     #[test]
+    fn seq_spout_replays_with_the_original_root() {
+        let mut s = SeqSpout::new(4, 1).with_limit(10);
+        let mut out = VecEmitter::default();
+        assert!(s.next_batch(&mut out));
+        assert_eq!(s.replay_root(0), None, "fresh emission, fresh root");
+        s.emitted(0, 0x7700);
+        s.fail(0x7700);
+        assert!(s.next_batch(&mut out));
+        let replayed = out.emitted.last().unwrap().1[0].as_int().unwrap();
+        assert_eq!(replayed, 0, "failed seq is replayed");
+        assert_eq!(
+            s.replay_root(0),
+            Some(0x7700),
+            "replay carries the failed attempt's root"
+        );
+    }
+
+    #[test]
+    fn replay_sentence_spout_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut s = ReplaySentenceSpout::new(seed, 4, 8);
+            let mut out = VecEmitter::default();
+            while s.next_batch(&mut out) {}
+            out.emitted
+                .iter()
+                .map(|(_, v)| v[0].as_str().unwrap().to_owned())
+                .collect::<Vec<_>>()
+        };
+        let a = run(0xc4a0);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a, run(0xc4a0), "same seed, same sentences");
+        assert_ne!(a, run(0xc4a1), "different seed, different sentences");
+        assert_eq!(
+            ReplaySentenceSpout::sentence(0xc4a0, 3, 6),
+            a[3],
+            "sentence(seq) is pure"
+        );
+    }
+
+    #[test]
+    fn count_bolt_checkpoint_restore_roundtrips_and_reemits() {
+        let mut b = CountBolt::new();
+        let mut out = VecEmitter::default();
+        for w in ["x", "y", "x"] {
+            b.execute(Tuple::new(TaskId(0), vec![Value::Str(w.into())]), &mut out);
+        }
+        let snap = b.checkpoint().expect("stateful bolt snapshots");
+        let mut fresh = CountBolt::new();
+        out.emitted.clear();
+        fresh.restore(snap, &mut out);
+        assert_eq!(out.emitted.len(), 2, "restored entries re-emitted");
+        out.emitted.clear();
+        fresh.execute(
+            Tuple::new(TaskId(0), vec![Value::Str("x".into())]),
+            &mut out,
+        );
+        let last = &out.emitted.last().unwrap().1;
+        assert_eq!(last[1].as_int(), Some(3), "counting resumes from snapshot");
+    }
+
+    #[test]
     fn seq_sink_detects_out_of_order() {
         let counter = SinkCounter::new();
         let mut sink = SeqSinkBolt {
@@ -460,6 +704,7 @@ mod tests {
         forwarding_topology().validate().unwrap();
         broadcast_topology(6).validate().unwrap();
         word_count_topology(2, 4).validate().unwrap();
+        recovery_word_count_topology(2, 2).validate().unwrap();
     }
 
     #[test]

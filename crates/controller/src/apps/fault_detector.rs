@@ -36,6 +36,8 @@ pub struct FaultDetector {
     pub handled: u64,
     /// Host-link faults handled so far (tunnel-peer `PortStatus` deletes).
     pub tunnel_faults: u64,
+    /// Predecessor hop-set shrinks performed (stateless victims only).
+    pub shrinks: u64,
 }
 
 impl FaultDetector {
@@ -102,23 +104,37 @@ impl ControlPlaneApp for FaultDetector {
             for h in ctl.hosts() {
                 ctl.send_flow_mod(h, FlowMod::delete(FlowMatch::any().dl_dst(dead_mac)));
             }
-            // (3) Redirect predecessors to the surviving siblings.
-            let survivors: Vec<TaskId> = physical
-                .tasks_of(&dead.node)
-                .into_iter()
-                .filter(|&t| t != dead.task)
-                .collect();
-            for pred in logical.predecessors(&dead.node) {
-                let pred_tasks = physical.tasks_of(pred);
-                ctl.send_control_many(
-                    physical.app,
-                    &pred_tasks,
-                    &ControlTuple::Routing {
-                        downstream: dead.node.clone(),
-                        next_hops: Some(survivors.clone()),
-                        policy: None,
-                    },
-                );
+            // (3) Redirect predecessors to the surviving siblings — but
+            // only when the dead node is *stateless*. A stateful node's
+            // partitions are not interchangeable: rerouting its keys to a
+            // sibling would fold them into the wrong partition, and once
+            // the restored task replays them too they would be counted
+            // twice. Stateful victims keep their full hop set; in-flight
+            // tuples to the dead task go unacked and replay into the
+            // restored worker, whose checkpoint ledger dedups exactly.
+            let is_stateful = logical
+                .node(&dead.node)
+                .map(|n| n.stateful)
+                .unwrap_or(false);
+            if !is_stateful {
+                self.shrinks += 1;
+                let survivors: Vec<TaskId> = physical
+                    .tasks_of(&dead.node)
+                    .into_iter()
+                    .filter(|&t| t != dead.task)
+                    .collect();
+                for pred in logical.predecessors(&dead.node) {
+                    let pred_tasks = physical.tasks_of(pred);
+                    ctl.send_control_many(
+                        physical.app,
+                        &pred_tasks,
+                        &ControlTuple::Routing {
+                            downstream: dead.node.clone(),
+                            next_hops: Some(survivors.clone()),
+                            policy: None,
+                        },
+                    );
+                }
             }
             // (4) Record the fault for the streaming manager.
             let coord = global.coordinator();
@@ -195,6 +211,42 @@ mod tests {
         // (Routing-tuple delivery end-to-end is covered by the controller
         //  integration tests where install_topology runs first.)
         assert!(coord.exists(FAULTS));
+    }
+
+    #[test]
+    fn stateful_victim_records_fault_but_keeps_predecessor_hops() {
+        // Regression for the reroute/replay double-count window: shrinking
+        // a stateful node's hop set folds rerouted keys into the wrong
+        // partition, and the restored task replays them again afterwards.
+        let global = GlobalState::new(Coordinator::new());
+        let ctl = Controller::new(global.clone());
+        let (sw, ch) = Switch::new(SwitchConfig::new(0));
+        ctl.register_switch(HostId(0), sw.dpid(), ch);
+
+        let logical = word_count_example();
+        let phys = LocalityScheduler
+            .schedule(AppId(1), &logical, &[HostInfo::new(0, "h0", 8)])
+            .unwrap();
+        global.set_logical(&logical).unwrap();
+        global.set_physical(&phys).unwrap();
+
+        let mut fd = FaultDetector::new();
+        // "count" is stateful: fault recorded, no shrink.
+        let count_task = phys.tasks_of("count")[0];
+        let count_port = PortNo(phys.assignment(count_task).unwrap().switch_port);
+        fd.on_port_status(&ctl, HostId(0), PortStatusReason::Delete, count_port);
+        assert_eq!(fd.handled, 1);
+        assert_eq!(fd.shrinks, 0, "stateful victim must not shrink hops");
+        assert!(global
+            .coordinator()
+            .exists(&format!("{FAULTS}/word-count/task-{}", count_task.0)));
+
+        // "split" is stateless: same event class, now with a shrink.
+        let split_task = phys.tasks_of("split")[0];
+        let split_port = PortNo(phys.assignment(split_task).unwrap().switch_port);
+        fd.on_port_status(&ctl, HostId(0), PortStatusReason::Delete, split_port);
+        assert_eq!(fd.handled, 2);
+        assert_eq!(fd.shrinks, 1, "stateless victim shrinks hops");
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub enum ControlTuple {
         /// New batch size (tuples).
         size: u32,
     },
+    /// `REPLAY`: crash recovery — the recovery manager tells a spout to
+    /// fail-and-replay every pending (un-acked) root *now* instead of
+    /// waiting out the ack timeout, so a recovered stateful task is
+    /// refilled promptly (§4, Fig. 10).
+    Replay,
+    /// `RESTATE`: crash recovery — a surviving stateful bolt re-emits its
+    /// full snapshot downstream. Emissions it made toward a dead task were
+    /// lost with that task, and the dedup ledger (correctly) refuses to
+    /// re-fold the replays that would have regenerated them; the snapshot
+    /// re-emission re-converges latest-wins consumers.
+    Restate,
 }
 
 impl ControlTuple {
@@ -72,6 +83,8 @@ impl ControlTuple {
             ControlTuple::Activate => StreamId::CTRL_ACTIVATE,
             ControlTuple::Deactivate => StreamId::CTRL_DEACTIVATE,
             ControlTuple::BatchSize { .. } => StreamId::CTRL_BATCH_SIZE,
+            ControlTuple::Replay => StreamId::CTRL_REPLAY,
+            ControlTuple::Restate => StreamId::CTRL_RESTATE,
         }
     }
 
@@ -110,7 +123,11 @@ impl ControlTuple {
                 };
                 vec![Value::Str(downstream.clone()), hops, policy_val]
             }
-            ControlTuple::Signal | ControlTuple::Activate | ControlTuple::Deactivate => vec![],
+            ControlTuple::Signal
+            | ControlTuple::Activate
+            | ControlTuple::Deactivate
+            | ControlTuple::Replay
+            | ControlTuple::Restate => vec![],
             ControlTuple::MetricReq { request_id } => vec![Value::Int(*request_id as i64)],
             ControlTuple::MetricResp {
                 request_id,
@@ -224,6 +241,8 @@ impl ControlTuple {
             StreamId::CTRL_BATCH_SIZE => Some(ControlTuple::BatchSize {
                 size: v.first()?.as_int()? as u32,
             }),
+            StreamId::CTRL_REPLAY => Some(ControlTuple::Replay),
+            StreamId::CTRL_RESTATE => Some(ControlTuple::Restate),
             _ => None,
         }
     }
@@ -272,6 +291,8 @@ mod tests {
         roundtrip(ControlTuple::Signal);
         roundtrip(ControlTuple::Activate);
         roundtrip(ControlTuple::Deactivate);
+        roundtrip(ControlTuple::Replay);
+        roundtrip(ControlTuple::Restate);
         roundtrip(ControlTuple::InputRate {
             tuples_per_sec: 5000,
         });

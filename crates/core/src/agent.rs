@@ -11,7 +11,7 @@
 use crate::worker::{self, Role, Route, WorkerConfig, WorkerShared};
 use crate::{CoreError, Result};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use typhoon_coordinator::global::GlobalState;
@@ -40,6 +40,7 @@ pub struct WorkerAgent {
     workers: Mutex<HashMap<(AppId, TaskId), WorkerEntry>>,
     next_port: AtomicU32,
     tracer: Option<Arc<Tracer>>,
+    alive: AtomicBool,
 }
 
 impl WorkerAgent {
@@ -63,7 +64,21 @@ impl WorkerAgent {
             workers: Mutex::new(HashMap::new()),
             next_port: AtomicU32::new(1),
             tracer,
+            alive: AtomicBool::new(true),
         }))
+    }
+
+    /// Whether this agent's host is still alive. A dead host (chaos
+    /// host-kill) keeps its switch running as SDN substrate — that is what
+    /// lets port-status detection outrun heartbeats (§4, Fig. 10) — but
+    /// accepts no new workers and is skipped by placement.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Marks the host dead (see [`WorkerAgent::is_alive`]).
+    pub fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
     }
 
     /// This agent's host description.
@@ -107,9 +122,13 @@ impl WorkerAgent {
                 NodeKind::Bolt => Role::Bolt(components.make_bolt(&config.component)?),
             }
         };
+        if !self.is_alive() {
+            return Err(CoreError::Timeout("agent on a live host"));
+        }
         let worker_port = self.switch.attach_worker(port);
         let shared = WorkerShared::new();
         let shared2 = shared.clone();
+        let panic_registry = shared.registry.clone();
         let ser = self.ser.clone();
         let trace = self
             .tracer
@@ -117,14 +136,18 @@ impl WorkerAgent {
             .map(|t| t.ctx())
             .unwrap_or_else(TraceCtx::disabled);
         let key = (config.app, config.task);
-        let thread = std::thread::Builder::new()
-            .name(format!("typhoon-{}-{}", config.node, config.task))
-            .spawn(move || {
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    worker::run_worker(config, role, worker_port, routes, ser, shared2, trace);
-                }));
-            })
-            .expect("spawn typhoon worker");
+        // Supervised spawn (TL006): a panicking worker is recorded and
+        // counted, then its thread exits — dropping the port so the switch
+        // datapath reports the PortStatus delete that drives recovery.
+        let thread = typhoon_diag::spawn_supervised(
+            &format!("typhoon-{}-{}", config.node, config.task),
+            move |_event| {
+                panic_registry.counter("recovery.panics").inc();
+            },
+            move || {
+                worker::run_worker(config, role, worker_port, routes, ser, shared2, trace);
+            },
+        );
         self.workers.lock().insert(
             key,
             WorkerEntry {
@@ -194,6 +217,55 @@ impl WorkerAgent {
                 let _ = t.join();
             }
             // No detach_worker: the datapath must discover it.
+        }
+    }
+
+    /// Crashes a worker *without* removing its bookkeeping entry and
+    /// without joining the thread. The dead entry is what heartbeat-based
+    /// detection keys on ([`WorkerAgent::dead_workers`]); the switch
+    /// datapath independently discovers the dead port. This is the chaos
+    /// worker-kill primitive: the killer returns immediately, like a real
+    /// `kill -9` would.
+    pub fn crash_detached(&self, app: AppId, task: TaskId) {
+        let workers = self.workers.lock();
+        if let Some(e) = workers.get(&(app, task)) {
+            e.shared.crash.store(true, Ordering::Release);
+        }
+    }
+
+    /// Crashes every worker on this host without reaping entries — the
+    /// chaos host-kill primitive. Pair with [`WorkerAgent::mark_dead`].
+    pub fn crash_all_detached(&self) {
+        let workers = self.workers.lock();
+        for e in workers.values() {
+            e.shared.crash.store(true, Ordering::Release);
+        }
+    }
+
+    /// Workers whose threads have exited while their entry is still
+    /// registered. Gracefully killed workers are removed from the map
+    /// first, so anything listed here died unexpectedly (panic, crash
+    /// flag, fail-fast exit). This is the heartbeat fallback's view of
+    /// the world when SDN port-status detection is disabled (Fig. 10
+    /// baseline).
+    pub fn dead_workers(&self) -> Vec<(AppId, TaskId)> {
+        let workers = self.workers.lock();
+        workers
+            .iter()
+            .filter(|(_, e)| e.thread.as_ref().map(|t| t.is_finished()).unwrap_or(true))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Removes a dead worker's entry (joining its finished thread),
+    /// freeing the slot for the replacement. No port detach: the datapath
+    /// already discovered — or will discover — the dead port.
+    pub fn reap(&self, app: AppId, task: TaskId) {
+        let entry = self.workers.lock().remove(&(app, task));
+        if let Some(mut e) = entry {
+            if let Some(t) = e.thread.take() {
+                let _ = t.join();
+            }
         }
     }
 

@@ -1,0 +1,376 @@
+//! Epoch-based checkpointing of stateful bolt state (crash recovery).
+//!
+//! The paper's robustness story (§4, Fig. 10) needs more than detection:
+//! a killed stateful bolt must come back *with its state*. This module
+//! implements the storage half of that contract:
+//!
+//! * Every checkpoint interval the worker snapshots a stateful bolt's
+//!   state (via [`typhoon_model::Bolt::checkpoint`]) **atomically with**
+//!   its replay-dedup ledger, serializes the pair through
+//!   `typhoon-tuple`'s wire codec, and stores the blob in `typhoon-kv`'s
+//!   binary namespace.
+//! * The latest epoch per task is indexed under the coordinator at
+//!   [`CHECKPOINTS`]`/<topology>/<node>/task-<id>`, which is what the
+//!   recovery manager reads when it restarts the task elsewhere.
+//! * A retention window keeps the last `retention` epochs and deletes
+//!   older blobs on every save, so checkpoint storage is bounded.
+//!
+//! Snapshotting state and ledger as one blob is what makes recovery
+//! exact: after a restore, a replayed tuple is folded **iff** its
+//! `(base_root, position)` key is absent from the restored ledger — the
+//! ledger and the counts always describe the same instant.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use typhoon_coordinator::Coordinator;
+use typhoon_kv::KvStore;
+use typhoon_model::TaskId;
+use typhoon_tuple::ser::{decode_tuple, encode_tuple_vec, SerStats};
+use typhoon_tuple::{Tuple, Value};
+
+/// Coordinator path under which latest-epoch checkpoint indexes live.
+pub const CHECKPOINTS: &str = "/typhoon/checkpoints";
+
+/// Default cap on distinct roots remembered by a [`DedupLedger`].
+pub const DEFAULT_LEDGER_ROOTS: usize = 4096;
+
+/// Replay-dedup ledger of a stateful bolt: which `(base_root, position)`
+/// tuples have already been folded into the bolt's state.
+///
+/// Roots are remembered in arrival order and evicted oldest-first once
+/// the ledger holds more than `cap` distinct roots — by then the acker
+/// has long since expired the root, so no replay can still arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DedupLedger {
+    seen: HashMap<u64, HashSet<u16>>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl Default for DedupLedger {
+    fn default() -> Self {
+        Self::new(DEFAULT_LEDGER_ROOTS)
+    }
+}
+
+impl DedupLedger {
+    /// An empty ledger remembering at most `cap` distinct roots.
+    pub fn new(cap: usize) -> Self {
+        DedupLedger {
+            seen: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records `(base_root, position)`. Returns `true` when the pair is
+    /// fresh (the caller should fold the tuple) and `false` when it was
+    /// already folded (a replay duplicate — skip execution, just ack).
+    pub fn observe(&mut self, base_root: u64, position: u16) -> bool {
+        let entry = self.seen.entry(base_root).or_insert_with(|| {
+            self.order.push_back(base_root);
+            HashSet::new()
+        });
+        let fresh = entry.insert(position);
+        while self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        fresh
+    }
+
+    /// Number of distinct roots currently remembered.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Serializes the ledger into a flat binary blob (little-endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.seen.len() * 16);
+        out.extend_from_slice(&(self.cap as u32).to_le_bytes());
+        out.extend_from_slice(&(self.order.len() as u32).to_le_bytes());
+        for root in &self.order {
+            let positions = match self.seen.get(root) {
+                Some(p) => p,
+                None => continue,
+            };
+            out.extend_from_slice(&root.to_le_bytes());
+            out.extend_from_slice(&(positions.len() as u32).to_le_bytes());
+            let mut sorted: Vec<u16> = positions.iter().copied().collect();
+            sorted.sort_unstable();
+            for p in sorted {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a blob produced by [`DedupLedger::encode`]; `None` on a
+    /// truncated or malformed blob.
+    pub fn decode(bytes: &[u8]) -> Option<DedupLedger> {
+        fn take<'a>(b: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if b.len() < n {
+                return None;
+            }
+            let (head, tail) = b.split_at(n);
+            *b = tail;
+            Some(head)
+        }
+        let mut b = bytes;
+        let cap = u32::from_le_bytes(take(&mut b, 4)?.try_into().ok()?) as usize;
+        let roots = u32::from_le_bytes(take(&mut b, 4)?.try_into().ok()?) as usize;
+        let mut ledger = DedupLedger::new(cap);
+        for _ in 0..roots {
+            let root = u64::from_le_bytes(take(&mut b, 8)?.try_into().ok()?);
+            let npos = u32::from_le_bytes(take(&mut b, 4)?.try_into().ok()?) as usize;
+            let mut positions = HashSet::with_capacity(npos);
+            for _ in 0..npos {
+                positions.insert(u16::from_le_bytes(take(&mut b, 2)?.try_into().ok()?));
+            }
+            ledger.order.push_back(root);
+            ledger.seen.insert(root, positions);
+        }
+        b.is_empty().then_some(ledger)
+    }
+}
+
+/// One restored checkpoint: the epoch it was taken at, the bolt state,
+/// and the dedup ledger consistent with that state.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// Monotonic per-task checkpoint epoch (1-based).
+    pub epoch: u64,
+    /// The bolt's state as (key, value) pairs.
+    pub state: Vec<(String, Value)>,
+    /// The replay-dedup ledger snapshotted with the state.
+    pub ledger: DedupLedger,
+}
+
+/// Checkpoint storage: `typhoon-kv` blobs indexed by a coordinator znode
+/// per task holding the latest epoch.
+#[derive(Clone)]
+pub struct CheckpointStore {
+    kv: Arc<KvStore>,
+    coord: Coordinator,
+    ser: Arc<SerStats>,
+    retention: u64,
+}
+
+impl CheckpointStore {
+    /// Builds a store keeping the most recent `retention` epochs per task.
+    pub fn new(kv: Arc<KvStore>, coord: Coordinator, ser: Arc<SerStats>, retention: u64) -> Self {
+        CheckpointStore {
+            kv,
+            coord,
+            ser,
+            retention: retention.max(1),
+        }
+    }
+
+    fn index_path(topology: &str, node: &str, task: TaskId) -> String {
+        format!("{CHECKPOINTS}/{topology}/{node}/task-{}", task.0)
+    }
+
+    fn blob_key(topology: &str, node: &str, task: TaskId, epoch: u64) -> String {
+        format!("ckpt/{topology}/{node}/{}/{epoch}", task.0)
+    }
+
+    /// Persists epoch `epoch` of `(topology, node, task)`: snapshot blob
+    /// into the kv store, latest-epoch index into the coordinator, and
+    /// drops the epoch that just left the retention window.
+    pub fn save(
+        &self,
+        topology: &str,
+        node: &str,
+        task: TaskId,
+        epoch: u64,
+        state: &[(String, Value)],
+        ledger: &DedupLedger,
+    ) {
+        let mut values = Vec::with_capacity(2 + state.len() * 2);
+        values.push(Value::Int(epoch as i64));
+        values.push(Value::Blob(ledger.encode()));
+        for (key, value) in state {
+            values.push(Value::Str(key.clone()));
+            values.push(value.clone());
+        }
+        let blob = encode_tuple_vec(&Tuple::new(task, values), &self.ser);
+        self.kv
+            .bset(&Self::blob_key(topology, node, task, epoch), blob);
+        let path = Self::index_path(topology, node, task);
+        if let Some(parent) = path.rsplit_once('/').map(|(p, _)| p) {
+            let _ = self.coord.ensure_path(parent);
+        }
+        let _ = self.coord.put(&path, epoch.to_string().into_bytes());
+        if epoch > self.retention {
+            self.kv.bdel(&Self::blob_key(
+                topology,
+                node,
+                task,
+                epoch - self.retention,
+            ));
+        }
+    }
+
+    /// The latest checkpoint epoch recorded for `(topology, node, task)`.
+    pub fn latest_epoch(&self, topology: &str, node: &str, task: TaskId) -> Option<u64> {
+        let (bytes, _) = self
+            .coord
+            .get(&Self::index_path(topology, node, task))
+            .ok()?;
+        String::from_utf8(bytes).ok()?.parse().ok()
+    }
+
+    /// Loads the most recent checkpoint of `(topology, node, task)`;
+    /// `None` when the task was never checkpointed (recovery then starts
+    /// the replacement empty).
+    pub fn load_latest(&self, topology: &str, node: &str, task: TaskId) -> Option<Checkpoint> {
+        let epoch = self.latest_epoch(topology, node, task)?;
+        let blob = self.kv.bget(&Self::blob_key(topology, node, task, epoch))?;
+        let (tuple, _) = decode_tuple(&blob, &self.ser).ok()?;
+        let mut values = tuple.values.into_iter();
+        let stored_epoch = values.next()?.as_int()? as u64;
+        let ledger = match values.next()? {
+            Value::Blob(bytes) => DedupLedger::decode(&bytes)?,
+            _ => return None,
+        };
+        let mut state = Vec::new();
+        while let Some(key) = values.next() {
+            let key = key.as_str()?.to_owned();
+            state.push((key, values.next()?));
+        }
+        Some(Checkpoint {
+            epoch: stored_epoch,
+            state,
+            ledger,
+        })
+    }
+
+    /// Drops every checkpoint of a retired task (post-recovery cleanup of
+    /// the dead task's index; blobs age out via retention).
+    pub fn forget(&self, topology: &str, node: &str, task: TaskId) {
+        let _ = self.coord.delete(&Self::index_path(topology, node, task));
+    }
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CheckpointStore(retention {})", self.retention)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_dedups_by_root_and_position() {
+        let mut ledger = DedupLedger::default();
+        assert!(ledger.observe(0x100, 0));
+        assert!(ledger.observe(0x100, 1), "new position, same root");
+        assert!(ledger.observe(0x200, 0), "same position, new root");
+        assert!(!ledger.observe(0x100, 0), "exact replay is a duplicate");
+        assert!(!ledger.observe(0x100, 1));
+        assert_eq!(ledger.len(), 2);
+    }
+
+    #[test]
+    fn ledger_evicts_oldest_roots_beyond_cap() {
+        let mut ledger = DedupLedger::new(2);
+        assert!(ledger.observe(1, 0));
+        assert!(ledger.observe(2, 0));
+        assert!(ledger.observe(3, 0));
+        assert_eq!(ledger.len(), 2);
+        // Root 1 aged out: a (very) late replay would re-fold, which is
+        // why the cap must exceed the ack-timeout root horizon.
+        assert!(ledger.observe(1, 0));
+    }
+
+    #[test]
+    fn ledger_codec_roundtrips() {
+        let mut ledger = DedupLedger::new(64);
+        for root in [0xAA00u64, 0xBB00, 0xCC00] {
+            for pos in 0..5u16 {
+                ledger.observe(root, pos);
+            }
+        }
+        let decoded = DedupLedger::decode(&ledger.encode()).expect("decodes");
+        assert_eq!(decoded, ledger);
+        assert!(DedupLedger::decode(&[1, 2, 3]).is_none(), "truncated blob");
+    }
+
+    fn store(retention: u64) -> CheckpointStore {
+        CheckpointStore::new(
+            Arc::new(KvStore::new()),
+            Coordinator::new(),
+            SerStats::shared(),
+            retention,
+        )
+    }
+
+    #[test]
+    fn save_load_roundtrips_state_and_ledger() {
+        let store = store(3);
+        let mut ledger = DedupLedger::default();
+        ledger.observe(0xF00, 7);
+        let state = vec![
+            ("storm".to_owned(), Value::Int(3)),
+            ("typhoon".to_owned(), Value::Int(5)),
+        ];
+        store.save("wc", "count", TaskId(4), 1, &state, &ledger);
+        let loaded = store.load_latest("wc", "count", TaskId(4)).expect("loaded");
+        assert_eq!(loaded.epoch, 1);
+        assert_eq!(loaded.state, state);
+        assert_eq!(loaded.ledger, ledger);
+        assert!(store.load_latest("wc", "count", TaskId(5)).is_none());
+        assert!(store.load_latest("wc", "split", TaskId(4)).is_none());
+    }
+
+    #[test]
+    fn later_epochs_win_and_retention_prunes() {
+        let store = store(2);
+        let ledger = DedupLedger::default();
+        for epoch in 1..=4u64 {
+            let state = vec![("n".to_owned(), Value::Int(epoch as i64))];
+            store.save("wc", "count", TaskId(1), epoch, &state, &ledger);
+        }
+        assert_eq!(store.latest_epoch("wc", "count", TaskId(1)), Some(4));
+        let loaded = store.load_latest("wc", "count", TaskId(1)).expect("loaded");
+        assert_eq!(loaded.state, vec![("n".to_owned(), Value::Int(4))]);
+        // Retention 2: epochs 1 and 2 were pruned from the kv store.
+        assert!(store
+            .kv
+            .bget(&CheckpointStore::blob_key("wc", "count", TaskId(1), 1))
+            .is_none());
+        assert!(store
+            .kv
+            .bget(&CheckpointStore::blob_key("wc", "count", TaskId(1), 2))
+            .is_none());
+        assert!(store
+            .kv
+            .bget(&CheckpointStore::blob_key("wc", "count", TaskId(1), 3))
+            .is_some());
+    }
+
+    #[test]
+    fn forget_clears_the_index() {
+        let store = store(3);
+        store.save(
+            "wc",
+            "count",
+            TaskId(9),
+            1,
+            &[("w".to_owned(), Value::Int(1))],
+            &DedupLedger::default(),
+        );
+        assert!(store.latest_epoch("wc", "count", TaskId(9)).is_some());
+        store.forget("wc", "count", TaskId(9));
+        assert!(store.latest_epoch("wc", "count", TaskId(9)).is_none());
+    }
+}

@@ -7,23 +7,26 @@
 //! so every experiment runs the same application code on both systems.
 
 use crate::agent::WorkerAgent;
-use crate::manager::{ManagerConfig, SchedulerKind, StreamingManager};
+use crate::checkpoint::CheckpointStore;
+use crate::manager::{ManagerConfig, RecoveryManager, SchedulerKind, StreamingManager};
 use crate::worker::{IoConfig, WorkerShared};
 use crate::{CoreError, Result};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use typhoon_controller::{Controller, ControllerHandle};
 use typhoon_coordinator::global::GlobalState;
 use typhoon_coordinator::Coordinator;
 use typhoon_diag::{rank, DiagMutex, DiagRwLock as RwLock};
+use typhoon_kv::KvStore;
 use typhoon_model::{
-    AppId, ComponentRegistry, HostId, HostInfo, LogicalTopology, PhysicalTopology, ReconfigRequest,
-    TaskId,
+    AppId, ComponentRegistry, HostId, HostInfo, LogicalTopology, NodeKind, PhysicalTopology,
+    ReconfigRequest, TaskId,
 };
 use typhoon_net::{
-    ChaosHandle, FaultInjector, FaultPlan, InMemoryTunnel, TcpTunnel, Tunnel, TunnelConfig,
+    ChaosHandle, FaultInjector, FaultPlan, InMemoryTunnel, KillClass, TcpTunnel, Tunnel,
+    TunnelConfig,
 };
 use typhoon_switch::{Switch, SwitchConfig, SwitchHandle};
 use typhoon_trace::Tracer;
@@ -66,6 +69,18 @@ pub struct TyphoonConfig {
     /// Write timeout on TCP tunnels (a stalled peer must not wedge the
     /// datapath's `send`).
     pub tunnel_write_timeout: Duration,
+    /// Epoch interval between stateful-bolt checkpoints; `None` disables
+    /// checkpointing. Keep it well below `ack_timeout` (checkpointing
+    /// bolts withhold acks until the fold is durable).
+    pub checkpoint_interval: Option<Duration>,
+    /// How many checkpoint epochs to retain per task.
+    pub checkpoint_retention: u64,
+    /// Heartbeat timeout for the recovery manager's fallback detection;
+    /// `None` disables automatic crash recovery entirely. With the
+    /// fault-detector app installed, SDN port-status detection writes
+    /// fault records in milliseconds and this timeout never gates
+    /// recovery (the Fig. 10 comparison).
+    pub recovery_heartbeat: Option<Duration>,
 }
 
 impl TyphoonConfig {
@@ -85,7 +100,23 @@ impl TyphoonConfig {
             trace_sample: 0,
             chaos: None,
             tunnel_write_timeout: Duration::from_secs(30),
+            checkpoint_interval: None,
+            checkpoint_retention: 3,
+            recovery_heartbeat: None,
         }
+    }
+
+    /// Builder: checkpoint stateful bolts every `interval`.
+    pub fn with_checkpoints(mut self, interval: Duration) -> Self {
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Builder: enable automatic crash recovery with the given heartbeat
+    /// timeout for fallback detection.
+    pub fn with_recovery(mut self, heartbeat: Duration) -> Self {
+        self.recovery_heartbeat = Some(heartbeat);
+        self
     }
 
     /// Builder: inject faults on every inter-host tunnel per `plan`.
@@ -137,12 +168,16 @@ struct ClusterInner {
     hosts: BTreeMap<HostId, HostRuntime>,
     components: Arc<RwLock<ComponentRegistry>>,
     manager: Arc<StreamingManager>,
+    recovery: Option<Arc<RecoveryManager>>,
     manager_shutdown: Arc<AtomicBool>,
     manager_thread: DiagMutex<Option<std::thread::JoinHandle<()>>>,
     tracer: Option<Arc<Tracer>>,
     /// Per-directed-edge chaos controls, keyed `(from, to)`; empty unless
     /// the cluster was built with [`TyphoonConfig::with_chaos`].
     chaos: BTreeMap<(HostId, HostId), ChaosHandle>,
+    /// Cluster-level chaos control (process-kill faults + counters);
+    /// `None` unless built with [`TyphoonConfig::with_chaos`].
+    cluster_chaos: Option<ChaosHandle>,
 }
 
 /// A complete, running Typhoon deployment.
@@ -238,35 +273,72 @@ impl TyphoonCluster {
         }
         let agents: BTreeMap<HostId, Arc<WorkerAgent>> =
             hosts.iter().map(|(&h, rt)| (h, rt.agent.clone())).collect();
+        let checkpoint_store = config.checkpoint_interval.map(|_| {
+            Arc::new(CheckpointStore::new(
+                Arc::new(KvStore::new()),
+                global.coordinator().clone(),
+                ser.clone(),
+                config.checkpoint_retention,
+            ))
+        });
         let manager = Arc::new(StreamingManager::new(
             global.clone(),
             controller.clone(),
-            agents,
+            agents.clone(),
             ManagerConfig {
                 io: config.io.clone(),
                 acking: config.acking,
                 ack_timeout: config.ack_timeout,
                 max_pending: config.max_pending,
                 scheduler: config.scheduler,
+                checkpoint_store,
+                checkpoint_interval: config
+                    .checkpoint_interval
+                    .unwrap_or(ManagerConfig::default().checkpoint_interval),
                 ..ManagerConfig::default()
             },
         ));
+        let recovery = config
+            .recovery_heartbeat
+            .map(|hb| Arc::new(RecoveryManager::new(manager.clone(), hb)));
         let controller_handle = controller.spawn(config.controller_tick);
 
         // The dynamic-topology-manager loop: drain reconfiguration
-        // requests submitted via the coordinator (REST API, auto-scaler).
+        // requests submitted via the coordinator (REST API, auto-scaler)
+        // and run recovery sweeps.
         let manager_shutdown = Arc::new(AtomicBool::new(false));
         let manager2 = manager.clone();
+        let recovery2 = recovery.clone();
         let shutdown2 = manager_shutdown.clone();
-        let manager_thread = std::thread::Builder::new()
-            .name("typhoon-manager".into())
-            .spawn(move || {
+        let manager_thread = typhoon_diag::spawn_supervised(
+            "typhoon-manager",
+            |_| {},
+            move || {
                 while !shutdown2.load(Ordering::Acquire) {
                     manager2.process_pending();
+                    if let Some(r) = &recovery2 {
+                        r.poll();
+                    }
                     std::thread::sleep(Duration::from_millis(20)); // LINT: allow-sleep(manager housekeeping tick on a dedicated thread)
                 }
-            })
-            .expect("spawn manager loop");
+            },
+        );
+
+        // Process-kill chaos: a seeded killer thread executes the plan's
+        // one-shot kill once a topology is running.
+        let cluster_chaos = config.chaos.map(ChaosHandle::standalone);
+        if let Some(handle) = cluster_chaos.clone().filter(|h| h.kill_spec().is_some()) {
+            let global2 = global.clone();
+            let agents2 = agents.clone();
+            let shutdown3 = manager_shutdown.clone();
+            typhoon_diag::spawn_supervised(
+                "typhoon-chaos-killer",
+                |_| {},
+                move || {
+                    run_chaos_killer(&global2, &agents2, &handle, &shutdown3);
+                },
+            );
+        }
 
         Ok(TyphoonCluster {
             inner: Arc::new(ClusterInner {
@@ -277,10 +349,12 @@ impl TyphoonCluster {
                 hosts,
                 components,
                 manager,
+                recovery,
                 manager_shutdown,
                 manager_thread: DiagMutex::new(Some(manager_thread)),
                 tracer,
                 chaos: chaos_handles,
+                cluster_chaos,
             }),
         })
     }
@@ -327,6 +401,30 @@ impl TyphoonCluster {
     /// counters.
     pub fn chaos_handle(&self, from: HostId, to: HostId) -> Option<&ChaosHandle> {
         self.inner.chaos.get(&(from, to))
+    }
+
+    /// The cluster-level chaos control: process-kill spec + the
+    /// `chaos.killed_*` counters (`None` unless built with
+    /// [`TyphoonConfig::with_chaos`]).
+    pub fn cluster_chaos(&self) -> Option<&ChaosHandle> {
+        self.inner.cluster_chaos.as_ref()
+    }
+
+    /// The recovery manager (`None` unless built with
+    /// [`TyphoonConfig::with_recovery`]).
+    pub fn recovery(&self) -> Option<&Arc<RecoveryManager>> {
+        self.inner.recovery.as_ref()
+    }
+
+    /// Kills a whole simulated host: every worker on it crashes and the
+    /// host is marked dead for placement. Its switch keeps running as SDN
+    /// substrate, so port-status detection still fires (Fig. 10); the
+    /// recovery manager re-schedules the dead tasks onto surviving hosts.
+    pub fn kill_host(&self, host: HostId) {
+        if let Some(rt) = self.inner.hosts.get(&host) {
+            rt.agent.mark_dead();
+            rt.agent.crash_all_detached();
+        }
     }
 
     /// Registers (or replaces) a bolt component at runtime — the
@@ -387,6 +485,120 @@ impl TyphoonCluster {
 impl std::fmt::Debug for TyphoonCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "TyphoonCluster({} hosts)", self.inner.hosts.len())
+    }
+}
+
+/// The seeded chaos killer: waits for the first topology, sleeps out the
+/// armed delay, then executes one kill. The victim derives from the plan
+/// seed over a sorted candidate list, so a fixed `CHAOS_SEED` reproduces
+/// the exact same kill. Spouts and the acker are never direct victims
+/// (killing the source of truth for replay is a different experiment);
+/// stateful bolts are preferred — they exercise the checkpoint/restore
+/// path, which is what the chaos kill classes exist to stress.
+fn run_chaos_killer(
+    global: &GlobalState,
+    agents: &BTreeMap<HostId, Arc<WorkerAgent>>,
+    handle: &ChaosHandle,
+    shutdown: &AtomicBool,
+) {
+    let spec = match handle.kill_spec() {
+        Some(s) => s,
+        None => return,
+    };
+    let seed = handle.plan().seed;
+    // Wait for a running topology (the kill delay counts from here).
+    let topo = loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match global.list_topologies() {
+            Ok(mut ts) if !ts.is_empty() => {
+                ts.sort();
+                break ts.remove(0);
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)), // LINT: allow-sleep(chaos killer waiting for a topology to kill)
+        }
+    };
+    let deadline = Instant::now() + spec.after;
+    while Instant::now() < deadline {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5)); // LINT: allow-sleep(chaos killer arming delay, bounded by the deadline)
+    }
+    let (logical, physical) = match (global.get_logical(&topo), global.get_physical(&topo)) {
+        (Ok(l), Ok(p)) => (l, p),
+        _ => return,
+    };
+    // Candidates: bolt tasks only, stateful ones preferred.
+    let mut bolts: Vec<_> = physical
+        .assignments
+        .iter()
+        .filter(|a| {
+            logical
+                .node(&a.node)
+                .map(|n| n.kind == NodeKind::Bolt)
+                .unwrap_or(false)
+        })
+        .collect();
+    bolts.sort_by_key(|a| a.task);
+    let stateful: Vec<_> = bolts
+        .iter()
+        .copied()
+        .filter(|a| logical.node(&a.node).map(|n| n.stateful).unwrap_or(false))
+        .collect();
+    let pool = if stateful.is_empty() {
+        &bolts
+    } else {
+        &stateful
+    };
+    let victim = match pool.get(seed as usize % pool.len().max(1)) {
+        Some(v) => (*v).clone(),
+        None => return,
+    };
+    match spec.class {
+        KillClass::Worker => {
+            if let Some(agent) = agents.get(&victim.host) {
+                eprintln!(
+                    "typhoon-chaos: killing worker task-{} ({}) on host {} (seed {seed:#x})",
+                    victim.task.0, victim.node, victim.host.0
+                );
+                agent.crash_detached(physical.app, victim.task);
+                handle.stats().record_kill(KillClass::Worker);
+            }
+        }
+        KillClass::Host => {
+            // Prefer a host holding a candidate but no spout/acker: hosts
+            // that keep the source of truth stay up.
+            let hosts_spout: std::collections::BTreeSet<HostId> = physical
+                .assignments
+                .iter()
+                .filter(|a| {
+                    logical
+                        .node(&a.node)
+                        .map(|n| n.kind == NodeKind::Spout)
+                        .unwrap_or(a.node == crate::ACKER_NODE)
+                })
+                .map(|a| a.host)
+                .collect();
+            let mut candidate_hosts: Vec<HostId> = pool
+                .iter()
+                .map(|a| a.host)
+                .filter(|h| !hosts_spout.contains(h))
+                .collect();
+            candidate_hosts.sort_unstable();
+            candidate_hosts.dedup();
+            let host = candidate_hosts
+                .get(seed as usize % candidate_hosts.len().max(1))
+                .copied()
+                .unwrap_or(victim.host);
+            if let Some(agent) = agents.get(&host) {
+                eprintln!("typhoon-chaos: killing host {} (seed {seed:#x})", host.0);
+                agent.mark_dead();
+                agent.crash_all_detached();
+                handle.stats().record_kill(KillClass::Host);
+            }
+        }
     }
 }
 

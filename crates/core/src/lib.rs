@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod checkpoint;
 pub mod cluster;
 pub mod manager;
 pub mod update;
@@ -32,7 +33,7 @@ pub mod worker;
 
 pub use agent::WorkerAgent;
 pub use cluster::{TyphoonCluster, TyphoonConfig, TyphoonTopologyHandle};
-pub use manager::{SchedulerKind, StreamingManager};
+pub use manager::{RecoveryManager, RecoveryReport, SchedulerKind, StreamingManager};
 
 /// Errors raised by the Typhoon framework.
 #[derive(Debug)]

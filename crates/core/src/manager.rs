@@ -12,14 +12,19 @@
 //! the §3.5 stable-update ordering computed by [`crate::update`].
 
 use crate::agent::WorkerAgent;
+use crate::checkpoint::CheckpointStore;
 use crate::update::{plan_update, UpdatePlan};
-use crate::worker::{IoConfig, Route};
+use crate::worker::{CheckpointSpec, IoConfig, Route};
 use crate::{CoreError, Result, ACKER_NODE};
-use std::collections::BTreeMap;
-use std::time::Duration;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use typhoon_controller::apps::FAULTS;
 use typhoon_controller::{rules, ControlTuple, Controller};
 use typhoon_coordinator::global::GlobalState;
+use typhoon_coordinator::CreateMode;
 use typhoon_diag::DiagMutex as Mutex;
+use typhoon_metrics::Registry;
 use typhoon_model::{
     AppId, Grouping, HostId, LocalityScheduler, LogicalTopology, NodeKind, PhysicalTopology,
     ReconfigRequest, RoundRobinScheduler, RoutingState, Scheduler, TaskAssignment, TaskId,
@@ -65,6 +70,14 @@ pub struct ManagerConfig {
     pub drain_wait: Duration,
     /// Placement strategy (ablation hook; Typhoon defaults to locality).
     pub scheduler: SchedulerKind,
+    /// Checkpoint store for stateful-bolt snapshots; `None` disables
+    /// checkpointing (and therefore checkpoint-based crash recovery).
+    pub checkpoint_store: Option<Arc<CheckpointStore>>,
+    /// Epoch interval between stateful-bolt checkpoints. Must be well
+    /// below `ack_timeout`: a checkpointing bolt withholds acks until the
+    /// fold is durable, so an interval near the ack timeout would make the
+    /// spout replay tuples that are merely awaiting their next checkpoint.
+    pub checkpoint_interval: Duration,
 }
 
 impl Default for ManagerConfig {
@@ -78,6 +91,8 @@ impl Default for ManagerConfig {
             signal_wait: Duration::from_millis(50),
             drain_wait: Duration::from_millis(100),
             scheduler: SchedulerKind::default(),
+            checkpoint_store: None,
+            checkpoint_interval: Duration::from_millis(200),
         }
     }
 }
@@ -150,6 +165,7 @@ impl StreamingManager {
         physical: &PhysicalTopology,
         assignment: &TaskAssignment,
         acker: Option<TaskId>,
+        restore: bool,
     ) -> Result<()> {
         let agent = self.agent(assignment.host)?;
         let is_acker = assignment.node == ACKER_NODE;
@@ -179,6 +195,16 @@ impl StreamingManager {
             // Spouts start deactivated; the manager sends ACTIVATE once the
             // whole topology is deployed (Table 2, step (v) of §3.2).
             start_active: false,
+            checkpoint: self
+                .config
+                .checkpoint_store
+                .as_ref()
+                .map(|store| CheckpointSpec {
+                    store: store.clone(),
+                    topology: logical.name.clone(),
+                    interval: self.config.checkpoint_interval,
+                }),
+            restore,
         };
         agent.launch(
             kind,
@@ -247,7 +273,7 @@ impl StreamingManager {
         }
         // (iv) Application setup: launch workers.
         for assignment in &physical.assignments {
-            self.launch_assignment(&logical, &physical, assignment, acker)?;
+            self.launch_assignment(&logical, &physical, assignment, acker, false)?;
         }
         // (v) Activate the topology: unthrottle the first workers.
         self.activate_spouts(app, &logical, &physical);
@@ -349,11 +375,12 @@ impl StreamingManager {
         Ok(physical)
     }
 
-    /// The host with the most free slots (greedy).
+    /// The host with the most free slots (greedy), skipping dead hosts.
     fn pick_host(&self, physical: &PhysicalTopology) -> Result<HostId> {
         let by_host = physical.by_host();
         self.agents
             .values()
+            .filter(|agent| agent.is_alive())
             .map(|agent| {
                 let planned = by_host.get(&agent.info().id).map_or(0, Vec::len);
                 let used = agent.used_slots().max(planned);
@@ -418,7 +445,7 @@ impl StreamingManager {
         // 1. Launch the new workers first (Fig. 6(a) step 1) — they are
         //    born with the *new* routing table.
         for assignment in &plan.launches {
-            self.launch_assignment(&new_logical, &new_physical, assignment, acker)?;
+            self.launch_assignment(&new_logical, &new_physical, assignment, acker, false)?;
         }
         // 2. Notification + network setup for the new shape.
         self.global.set_logical(&new_logical)?;
@@ -531,5 +558,318 @@ impl StreamingManager {
 impl std::fmt::Debug for StreamingManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "StreamingManager({} agents)", self.agents.len())
+    }
+}
+
+/// Phase-by-phase latency breakdown of one completed task recovery
+/// (detection is measured by the caller: SDN port-status detection fires
+/// in milliseconds, the heartbeat fallback only after the timeout —
+/// Fig. 10's comparison).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Topology the recovered task belongs to.
+    pub topology: String,
+    /// Logical node of the recovered task.
+    pub node: String,
+    /// The recovered task (the dead task's ID is *reused*: same ID means
+    /// same worker MAC, so upstream routing state stays valid and only
+    /// the steering flow rules move).
+    pub task: TaskId,
+    /// The surviving host the task was re-scheduled onto.
+    pub host: HostId,
+    /// Re-scheduling: pick a surviving slot, bump the physical topology.
+    pub reschedule: Duration,
+    /// Restart: relaunch the worker and wait for readiness (includes the
+    /// checkpoint restore, which runs before the worker signals ready).
+    pub restart: Duration,
+    /// Checkpoint restore alone, as measured inside the worker.
+    pub restore: Duration,
+    /// Replay kick-off: un-shrink predecessors + `REPLAY` to the spouts.
+    pub replay: Duration,
+    /// End-to-end recovery latency (from fault-record consumption).
+    pub total: Duration,
+}
+
+/// The recovery manager (§4): consumes `/typhoon/faults` records — written
+/// in milliseconds by the SDN fault detector, or after a timeout by this
+/// manager's own heartbeat fallback — and brings the dead task back:
+///
+/// 1. **Re-schedule**: reap the dead worker's slot, pick a surviving host
+///    with free capacity, re-assign the *same* task ID there.
+/// 2. **Network setup**: re-install steering flow rules for the new
+///    placement via the controller.
+/// 3. **Restart + restore**: relaunch the worker with `restore = true` so
+///    it loads its latest checkpoint before signalling ready.
+/// 4. **Un-shrink**: predecessors of a stateless dead node had their
+///    `nextHops` shrunk by the fault detector; restore the full hop set.
+/// 5. **Replay**: tell every spout to fail-and-replay its pending roots
+///    now instead of waiting out the ack timeout; the restored dedup
+///    ledger drops replays that were already folded into the snapshot.
+pub struct RecoveryManager {
+    manager: Arc<StreamingManager>,
+    registry: Registry,
+    heartbeat_timeout: Duration,
+    suspects: Mutex<HashMap<(String, TaskId), Instant>>,
+    reports: Mutex<Vec<RecoveryReport>>,
+}
+
+impl RecoveryManager {
+    /// Creates a recovery manager over `manager`'s cluster. The heartbeat
+    /// timeout gates the fallback detection path only; SDN port-status
+    /// detection (when the fault-detector app is installed) writes fault
+    /// records long before it fires.
+    pub fn new(manager: Arc<StreamingManager>, heartbeat_timeout: Duration) -> Self {
+        RecoveryManager {
+            manager,
+            registry: Registry::new(),
+            heartbeat_timeout,
+            suspects: Mutex::new(HashMap::new()),
+            reports: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Recovery metrics: `recovery.detected`, `recovery.heartbeat_detected`,
+    /// `recovery.recovered`, `recovery.failed` and the phase histograms.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Reports of every recovery completed so far.
+    pub fn reports(&self) -> Vec<RecoveryReport> {
+        self.reports.lock().clone()
+    }
+
+    /// One recovery sweep: run heartbeat fallback detection, then drain
+    /// and act on recorded faults. Returns how many tasks were recovered.
+    pub fn poll(&self) -> usize {
+        self.heartbeat_scan();
+        self.drain_faults()
+    }
+
+    /// The heartbeat fallback (the Fig. 10 baseline): workers whose
+    /// threads died — or whose whole host died — while their bookkeeping
+    /// entry is still registered are suspects; a suspect that stays dead
+    /// past the heartbeat timeout gets a fault record synthesized exactly
+    /// as the SDN fault detector would have written it.
+    fn heartbeat_scan(&self) {
+        let m = &*self.manager;
+        let now = Instant::now();
+        let topologies = match m.global.list_topologies() {
+            Ok(t) => t,
+            Err(_) => return,
+        };
+        let dead_by_host: HashMap<HostId, (bool, HashSet<(AppId, TaskId)>)> = m
+            .agents
+            .iter()
+            .map(|(&host, agent)| {
+                let dead_set = agent.dead_workers().into_iter().collect();
+                (host, (agent.is_alive(), dead_set))
+            })
+            .collect();
+        let mut suspects = self.suspects.lock();
+        let mut currently_dead: HashSet<(String, TaskId)> = HashSet::new();
+        for name in topologies {
+            let physical = match m.global.get_physical(&name) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            for a in &physical.assignments {
+                let dead = dead_by_host
+                    .get(&a.host)
+                    .map(|(alive, dead_set)| !alive || dead_set.contains(&(physical.app, a.task)))
+                    .unwrap_or(false);
+                if !dead {
+                    continue;
+                }
+                let key = (name.clone(), a.task);
+                currently_dead.insert(key.clone());
+                let first_seen = *suspects.entry(key).or_insert(now);
+                if now.duration_since(first_seen) < self.heartbeat_timeout {
+                    continue;
+                }
+                let coord = m.global.coordinator();
+                let path = format!("{FAULTS}/{name}/task-{}", a.task.0);
+                if !coord.exists(&path) {
+                    let _ = coord.ensure_path(&format!("{FAULTS}/{name}"));
+                    if coord
+                        .create(&path, a.node.clone().into_bytes(), CreateMode::Persistent)
+                        .is_ok()
+                    {
+                        self.registry.counter("recovery.heartbeat_detected").inc();
+                    }
+                }
+            }
+        }
+        // Forget suspects that came back (recovered or never really dead).
+        suspects.retain(|key, _| currently_dead.contains(key));
+    }
+
+    /// Consumes every recorded worker fault, recovering each dead task.
+    fn drain_faults(&self) -> usize {
+        let m = &*self.manager;
+        let coord = m.global.coordinator();
+        let mut recovered = 0;
+        for topo in coord.children(FAULTS).unwrap_or_default() {
+            if topo == "tunnels" {
+                continue; // link faults are the tunnel manager's problem
+            }
+            let base = format!("{FAULTS}/{topo}");
+            for child in coord.children(&base).unwrap_or_default() {
+                let task = match child
+                    .strip_prefix("task-")
+                    .and_then(|s| s.parse::<u32>().ok())
+                {
+                    Some(id) => TaskId(id),
+                    None => continue,
+                };
+                let path = format!("{base}/{child}");
+                self.registry.counter("recovery.detected").inc();
+                match self.recover_task(&topo, task) {
+                    Ok(report) => {
+                        let _ = coord.delete(&path);
+                        if let Some(report) = report {
+                            recovered += 1;
+                            self.registry.counter("recovery.recovered").inc();
+                            let h = |n: &str, d: Duration| {
+                                self.registry.histogram(n).record(d.as_millis() as u64)
+                            };
+                            h("recovery.reschedule_ms", report.reschedule);
+                            h("recovery.restart_ms", report.restart);
+                            h("recovery.restore_ms", report.restore);
+                            h("recovery.replay_ms", report.replay);
+                            h("recovery.total_ms", report.total);
+                            self.reports.lock().push(report);
+                        }
+                    }
+                    Err(e) => {
+                        // Leave the fault record in place: the next sweep
+                        // retries (capacity may have freed up meanwhile).
+                        self.registry.counter("recovery.failed").inc();
+                        eprintln!("typhoon: recovery of {topo:?}/task-{} failed: {e}", task.0);
+                    }
+                }
+            }
+        }
+        recovered
+    }
+
+    /// Recovers one dead task. Returns `Ok(None)` for stale fault records
+    /// (the task is no longer assigned — e.g. its topology was killed).
+    fn recover_task(&self, topo: &str, task: TaskId) -> Result<Option<RecoveryReport>> {
+        let m = &*self.manager;
+        let t0 = Instant::now();
+        let logical = m.global.get_logical(topo)?;
+        let mut physical = m.global.get_physical(topo)?;
+        let dead = match physical.assignment(task).cloned() {
+            Some(d) => d,
+            None => return Ok(None),
+        };
+        let app = physical.app;
+        let acker = physical
+            .assignments
+            .iter()
+            .find(|a| a.node == ACKER_NODE)
+            .map(|a| a.task);
+        // (1) Re-schedule onto a surviving slot, reusing the task ID.
+        if let Ok(agent) = m.agent(dead.host) {
+            agent.reap(app, task);
+        }
+        physical.assignments.retain(|a| a.task != task);
+        let target = m.pick_host(&physical)?;
+        let port = m.agent(target)?.alloc_port().0;
+        let replacement = TaskAssignment {
+            task,
+            node: dead.node.clone(),
+            component: dead.component.clone(),
+            host: target,
+            switch_port: port,
+        };
+        physical.assignments.push(replacement.clone());
+        physical.version += 1;
+        m.global.set_physical(&physical)?;
+        let reschedule = t0.elapsed();
+        // (2) Network setup: steer the dead task's MAC to its new port.
+        m.controller.install_topology(&logical, &physical);
+        if let Some(acker) = acker {
+            m.install_ack_rules(&physical, acker);
+        }
+        // (3) Restart with restore: the worker loads its latest checkpoint
+        // during init, before signalling ready.
+        let t1 = Instant::now();
+        m.launch_assignment(&logical, &physical, &replacement, acker, true)?;
+        let restart = t1.elapsed();
+        let restore = m
+            .agent(target)
+            .ok()
+            .and_then(|a| a.worker(app, task))
+            .map(|shared| {
+                let ms = shared.registry.snapshot().gauge("recovery.restore_ms");
+                Duration::from_millis(ms.max(0) as u64)
+            })
+            .unwrap_or_default();
+        let t2 = Instant::now();
+        let is_spout = logical
+            .node(&dead.node)
+            .map(|n| n.kind == NodeKind::Spout)
+            .unwrap_or(false);
+        if is_spout {
+            m.controller
+                .send_control(app, task, &ControlTuple::Activate);
+        }
+        // (4) Un-shrink predecessors back to the full hop set. (The fault
+        // detector only shrank stateless nodes' predecessors; re-sending
+        // the full set is idempotent for the rest.)
+        let hops = physical.tasks_of(&dead.node);
+        for pred in logical.predecessors(&dead.node) {
+            for pt in physical.tasks_of(pred) {
+                m.controller.send_control(
+                    app,
+                    pt,
+                    &ControlTuple::Routing {
+                        downstream: dead.node.clone(),
+                        next_hops: Some(hops.clone()),
+                        policy: None,
+                    },
+                );
+            }
+        }
+        // (4b) Surviving stateful tasks re-emit their snapshots: emissions
+        // they routed toward the dead task were lost with it, and their
+        // dedup ledgers (correctly) refuse to re-fold the replays that
+        // would have regenerated them. The unanchored snapshot re-emission
+        // re-converges latest-wins consumers downstream.
+        for node in logical.nodes.iter().filter(|n| n.stateful) {
+            for st in physical.tasks_of(&node.name) {
+                if st != task {
+                    m.controller.send_control(app, st, &ControlTuple::Restate);
+                }
+            }
+        }
+        // (5) Replay: fail-and-replay pending roots immediately. Replays
+        // already folded into the restored snapshot are deduped by the
+        // ledger; the rest re-fold — counts come out exact.
+        for node in logical.nodes.iter().filter(|n| n.kind == NodeKind::Spout) {
+            for st in physical.tasks_of(&node.name) {
+                m.controller.send_control(app, st, &ControlTuple::Replay);
+            }
+        }
+        let replay = t2.elapsed();
+        Ok(Some(RecoveryReport {
+            topology: topo.to_string(),
+            node: dead.node,
+            task,
+            host: target,
+            reschedule,
+            restart,
+            restore,
+            replay,
+            total: t0.elapsed(),
+        }))
+    }
+}
+
+impl std::fmt::Debug for RecoveryManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RecoveryManager(timeout {:?})", self.heartbeat_timeout)
     }
 }

@@ -52,6 +52,11 @@ pub struct FrameworkLayer {
     registry: Registry,
     rng_state: u64,
     trace: TraceCtx,
+    // Emission-position scope for anchor stamping: `emission_seq` counts
+    // anchors handed out while routing tuples of `seq_root`, and resets
+    // when the root changes (= a new input is being processed).
+    seq_root: u64,
+    emission_seq: u16,
 }
 
 impl FrameworkLayer {
@@ -71,6 +76,8 @@ impl FrameworkLayer {
             registry,
             rng_state: (task.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
             trace: TraceCtx::disabled(),
+            seq_root: 0,
+            emission_seq: 0,
         }
     }
 
@@ -92,6 +99,27 @@ impl FrameworkLayer {
         x ^= x >> 27;
         self.rng_state = x;
         x.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1
+    }
+
+    /// An anchor whose low 16 bits carry the *emission position* within
+    /// the current input's processing (crash recovery, see
+    /// [`MessageId::ANCHOR_POSITION_MASK`]): for a deterministic bolt the
+    /// n-th emission of a replayed input is the same logical tuple, so
+    /// `(base_root, position)` is a replay-stable dedup key downstream.
+    /// The high 48 bits stay random so XOR-lineage tracking is unaffected.
+    fn scoped_anchor(&mut self, root: u64) -> u64 {
+        if root != self.seq_root {
+            self.seq_root = root;
+            self.emission_seq = 0;
+        }
+        let pos = self.emission_seq as u64;
+        self.emission_seq = self.emission_seq.wrapping_add(1);
+        loop {
+            let high = self.next_anchor() & !MessageId::ANCHOR_POSITION_MASK;
+            if high != 0 {
+                return high | pos;
+            }
+        }
     }
 
     /// Routes one outgoing tuple, returning serialized, addressed blobs.
@@ -129,7 +157,7 @@ impl FrameworkLayer {
         }
         for dst in unicasts {
             if anchored {
-                let anchor = self.next_anchor();
+                let anchor = self.scoped_anchor(root);
                 tuple.meta.message_id = MessageId { root, anchor };
                 out.push(Addressed {
                     dst: MacAddr::worker(self.app.0, dst),
@@ -150,7 +178,7 @@ impl FrameworkLayer {
             if anchored {
                 // Per-destination anchors require per-destination blobs.
                 for dst in hops {
-                    let anchor = self.next_anchor();
+                    let anchor = self.scoped_anchor(root);
                     tuple.meta.message_id = MessageId { root, anchor };
                     out.push(Addressed {
                         dst: MacAddr::worker(self.app.0, dst),
@@ -362,5 +390,36 @@ mod tests {
     fn empty_broadcast_hops_produce_nothing() {
         let mut fw = layer(Grouping::All, vec![]);
         assert!(fw.route(data_tuple(), false).is_empty());
+    }
+
+    #[test]
+    fn anchor_positions_count_per_input_and_reset_on_new_root() {
+        let mut fw = layer(Grouping::Shuffle, vec![1, 2]);
+        // Three emissions while processing root A: positions 0, 1, 2.
+        for expect in 0..3u16 {
+            let t = data_tuple().with_message_id(MessageId {
+                root: 0xA00,
+                anchor: 0,
+            });
+            let out = fw.route(t, true);
+            assert_eq!(MessageId::anchor_position(out[0].anchor_xor), expect);
+        }
+        // A new input (root B) restarts the position sequence.
+        let t = data_tuple().with_message_id(MessageId {
+            root: 0xB00,
+            anchor: 0,
+        });
+        let out = fw.route(t, true);
+        assert_eq!(MessageId::anchor_position(out[0].anchor_xor), 0);
+        // A replay round of root A shares its base: positions restart so
+        // dedup keys line up with round 0.
+        let replayed = MessageId::next_round(0xA00);
+        let t = data_tuple().with_message_id(MessageId {
+            root: replayed,
+            anchor: 0,
+        });
+        let out = fw.route(t, true);
+        assert_eq!(MessageId::anchor_position(out[0].anchor_xor), 0);
+        assert_ne!(out[0].anchor_xor, 0, "anchors stay nonzero");
     }
 }

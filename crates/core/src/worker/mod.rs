@@ -14,6 +14,7 @@ pub mod io;
 pub use framework::{Addressed, Classified, FrameworkLayer, Route};
 pub use io::{IoConfig, IoLayer};
 
+use crate::checkpoint::{CheckpointStore, DedupLedger};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -61,6 +62,25 @@ pub struct WorkerConfig {
     pub max_pending: usize,
     /// Whether the spout starts active (`ACTIVATE`/`DEACTIVATE` toggle it).
     pub start_active: bool,
+    /// Epoch checkpointing of stateful bolt state (crash recovery); `None`
+    /// disables checkpointing for this worker.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Whether this worker is a crash-recovery replacement and must
+    /// restore the latest checkpoint of its `(topology, node, task)`
+    /// before processing.
+    pub restore: bool,
+}
+
+/// Where and how often a stateful bolt checkpoints (crash recovery).
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Snapshot storage (kv blobs + coordinator epoch index).
+    pub store: Arc<CheckpointStore>,
+    /// The owning topology's name (part of the storage key).
+    pub topology: String,
+    /// Time between epoch snapshots. Must be well below the ack timeout:
+    /// acks of folded tuples are withheld until the fold is durable.
+    pub interval: Duration,
 }
 
 /// Shared handles the agent (and experiments) keep for a running worker.
@@ -120,12 +140,20 @@ struct WorkerCtx {
 
 impl WorkerCtx {
     fn next_root(&mut self) -> u64 {
-        let mut x = self.root_seed;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.root_seed = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1
+        // Fresh roots keep their low byte (the replay-round counter, see
+        // `MessageId::ROOT_ROUND_MASK`) zeroed; replays of the same
+        // logical tuple bump it, keeping `base_root` stable for dedup.
+        loop {
+            let mut x = self.root_seed;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.root_seed = x;
+            let root = x.wrapping_mul(0x2545_f491_4f6c_dd1d) & !MessageId::ROOT_ROUND_MASK;
+            if root != 0 {
+                return root;
+            }
+        }
     }
 
     /// True when the current 100 ms window still has emission budget.
@@ -226,6 +254,30 @@ impl WorkerCtx {
             ControlTuple::Deactivate => self.active = false,
             ControlTuple::BatchSize { size } => self.io.set_batch_size(size as usize),
             ControlTuple::MetricResp { .. } => { /* controller-bound only */ }
+            ControlTuple::Replay => { /* spout-only; handled in run_spout */ }
+            ControlTuple::Restate => {
+                // Crash recovery: emissions this bolt made toward a task
+                // that died were lost, and the dedup ledger refuses to
+                // re-fold the replays that would regenerate them. Round-trip
+                // the snapshot through restore(), whose re-emissions take
+                // the ordinary routed path (unanchored, like a fresh
+                // restore) so latest-wins consumers re-converge.
+                if let Some(bolt) = bolt {
+                    if bolt.is_stateful() {
+                        if let Some(state) = bolt.checkpoint() {
+                            let mut sink = SignalEmitter::default();
+                            bolt.restore(state, &mut sink);
+                            self.shared.registry.counter("recovery.restated").inc();
+                            for (stream, values) in sink.emitted {
+                                let tuple = Tuple::on_stream(self.config.task, stream, values);
+                                let addressed = self.fw.route(tuple, false);
+                                self.dispatch(addressed);
+                            }
+                            self.io.flush_all();
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -349,6 +401,19 @@ fn run_spout(ctx: &mut WorkerCtx, mut spout: Box<dyn Spout>) {
         for tuple in tuples {
             busy = true;
             match ctx.fw.classify(&tuple) {
+                Classified::Control(ControlTuple::Replay) => {
+                    // Crash recovery: fail every pending root *now* so the
+                    // spout replays into the recovered task without waiting
+                    // out the ack timeout (§4 — replay is part of the
+                    // recovery critical path, not the slow path).
+                    let roots: Vec<u64> = ctx.pending.keys().copied().collect();
+                    for root in roots {
+                        if ctx.pending.remove(&root).is_some() {
+                            ctx.shared.registry.counter("recovery.replayed_roots").inc();
+                            spout.fail(root);
+                        }
+                    }
+                }
                 Classified::Control(ct) => ctx.handle_control(ct, None),
                 Classified::AckResult => {
                     let root = tuple.get(0).and_then(Value::as_int).unwrap_or(0) as u64;
@@ -425,7 +490,14 @@ fn spout_batch(ctx: &mut WorkerCtx, spout: &mut dyn Spout) -> bool {
         ctx.current_trace = trace;
         ctx.trace.record(trace, Hop::SpoutEmit);
         if ctx.config.acking {
-            let root = ctx.next_root();
+            // A replayed tuple keeps its original root's base and bumps
+            // the round byte: the acker sees a fresh tree (a half-acked
+            // tree from the failed round can never wedge this one) while
+            // downstream dedup keys stay stable across rounds.
+            let root = match spout.replay_root(index) {
+                Some(prev) => MessageId::next_round(prev),
+                None => ctx.next_root(),
+            };
             ctx.current_root = root;
             ctx.accum_xor = 0;
             RoutedEmitter { ctx }.emit_on(stream, values);
@@ -443,14 +515,152 @@ fn spout_batch(ctx: &mut WorkerCtx, spout: &mut dyn Spout) -> bool {
     produced || had
 }
 
+/// Per-worker epoch checkpointing + replay dedup for a stateful bolt.
+///
+/// The exactness contract: a tuple's ack is **withheld until the fold is
+/// durable** (included in a saved checkpoint). Crash before the save →
+/// the ack never went out → the acker times the root out → the spout
+/// replays it → the restored ledger (snapshotted atomically with the
+/// state) does not contain it → the replay folds into the restored
+/// state. Crash after the save → the replay (if any partial tree
+/// branches still fail) hits the ledger and is skipped. Either way every
+/// tuple is folded exactly once.
+struct BoltCheckpointer {
+    spec: CheckpointSpec,
+    ledger: DedupLedger,
+    epoch: u64,
+    deferred_acks: Vec<(u64, u64)>,
+    last_save: Instant,
+    dirty: bool,
+}
+
+impl BoltCheckpointer {
+    /// Arms checkpointing for a capable stateful bolt (one that reports
+    /// state via [`Bolt::checkpoint`]); restores the latest snapshot when
+    /// this worker is a crash-recovery replacement.
+    fn init(ctx: &mut WorkerCtx, bolt: &mut dyn Bolt) -> Option<BoltCheckpointer> {
+        let spec = ctx.config.checkpoint.clone()?;
+        // Checkpoint-exact recovery needs all three legs: a stateful bolt
+        // that can snapshot itself, and acking (the replay half).
+        if !ctx.config.acking || !bolt.is_stateful() || bolt.checkpoint().is_none() {
+            return None;
+        }
+        let mut ledger = DedupLedger::default();
+        let mut epoch = 0;
+        if ctx.config.restore {
+            let restore_started = Instant::now();
+            if let Some(ckpt) =
+                spec.store
+                    .load_latest(&spec.topology, &ctx.config.node, ctx.config.task)
+            {
+                // Reinstall state, then flush it downstream *unanchored*:
+                // the dead task's post-checkpoint in-flight emissions are
+                // lost, so latest-value consumers must reconverge.
+                let mut sink = SignalEmitter::default();
+                bolt.restore(ckpt.state, &mut sink);
+                for (stream, values) in sink.emitted {
+                    let tuple = Tuple::on_stream(ctx.config.task, stream, values);
+                    let addressed = ctx.fw.route(tuple, false);
+                    ctx.dispatch(addressed);
+                }
+                ctx.io.flush_all();
+                ledger = ckpt.ledger;
+                epoch = ckpt.epoch;
+                ctx.shared.registry.counter("recovery.restored").inc();
+                ctx.shared
+                    .registry
+                    .gauge("recovery.restore_epoch")
+                    .set(epoch as i64);
+                let restore_ms = restore_started.elapsed().as_millis() as u64;
+                ctx.shared
+                    .registry
+                    .histogram("recovery.restore_ms")
+                    .record(restore_ms);
+                // Mirrored as a gauge so the recovery manager can read the
+                // phase latency back out of a snapshot for its report.
+                ctx.shared
+                    .registry
+                    .gauge("recovery.restore_ms")
+                    .set(restore_ms as i64);
+            }
+        }
+        Some(BoltCheckpointer {
+            spec,
+            ledger,
+            epoch,
+            deferred_acks: Vec::new(),
+            last_save: Instant::now(),
+            dirty: false,
+        })
+    }
+
+    /// True when the anchored input was already folded into checkpointed
+    /// state (a crash-replay or reroute duplicate) and must be skipped.
+    fn is_duplicate(&mut self, id: MessageId) -> bool {
+        let fresh = self.ledger.observe(
+            MessageId::base_root(id.root),
+            MessageId::anchor_position(id.anchor),
+        );
+        self.dirty = true;
+        !fresh
+    }
+
+    /// Withholds a folded tuple's ack until the next checkpoint makes the
+    /// fold durable.
+    fn defer_ack(&mut self, root: u64, xor: u64) {
+        self.deferred_acks.push((root, xor));
+        self.dirty = true;
+    }
+
+    /// Checkpoints when the interval elapsed and anything changed.
+    fn tick(&mut self, ctx: &mut WorkerCtx, bolt: &dyn Bolt) {
+        if self.dirty && self.last_save.elapsed() >= self.spec.interval {
+            self.save_now(ctx, bolt);
+        }
+    }
+
+    /// Snapshots state + ledger, then releases the withheld acks.
+    fn save_now(&mut self, ctx: &mut WorkerCtx, bolt: &dyn Bolt) {
+        self.last_save = Instant::now();
+        if !self.dirty {
+            return;
+        }
+        let state = match bolt.checkpoint() {
+            Some(s) => s,
+            None => return,
+        };
+        self.epoch += 1;
+        self.spec.store.save(
+            &self.spec.topology,
+            &ctx.config.node,
+            ctx.config.task,
+            self.epoch,
+            &state,
+            &self.ledger,
+        );
+        self.dirty = false;
+        ctx.shared.registry.counter("recovery.checkpoints").inc();
+        for (root, xor) in std::mem::take(&mut self.deferred_acks) {
+            ctx.send_ack(root, xor, None);
+        }
+        ctx.io.flush_all();
+    }
+}
+
 fn run_bolt(ctx: &mut WorkerCtx, mut bolt: Box<dyn Bolt>) {
     bolt.prepare();
+    let mut ckpt = BoltCheckpointer::init(ctx, bolt.as_mut());
     ctx.shared.ready.store(true, Ordering::Release);
     loop {
         if ctx.shared.crash.load(Ordering::Acquire) {
             return;
         }
         if ctx.shared.shutdown.load(Ordering::Acquire) {
+            // Graceful stop: make the final folds durable and release
+            // their acks so a planned kill never forces replays.
+            if let Some(c) = ckpt.as_mut() {
+                c.save_now(ctx, bolt.as_ref());
+            }
             ctx.io.flush_all();
             return;
         }
@@ -468,6 +678,18 @@ fn run_bolt(ctx: &mut WorkerCtx, mut bolt: Box<dyn Bolt>) {
                     ctx.shared.meter.mark(1);
                     let input_id = tuple.meta.message_id;
                     let input_trace = tuple.meta.trace;
+                    if ctx.config.acking && input_id.is_anchored() {
+                        if let Some(c) = ckpt.as_mut() {
+                            if c.is_duplicate(input_id) {
+                                // Already folded into (checkpointed) state:
+                                // skip execution, complete this branch of
+                                // the ack tree immediately.
+                                ctx.shared.registry.counter("recovery.deduped").inc();
+                                ctx.send_ack(input_id.root, input_id.anchor, None);
+                                continue;
+                            }
+                        }
+                    }
                     ctx.current_root = input_id.root;
                     ctx.current_trace = input_trace;
                     ctx.accum_xor = 0;
@@ -475,13 +697,19 @@ fn run_bolt(ctx: &mut WorkerCtx, mut bolt: Box<dyn Bolt>) {
                     ctx.trace.record(input_trace, Hop::BoltExecute);
                     if ctx.config.acking && input_id.is_anchored() {
                         let xor = input_id.anchor ^ ctx.accum_xor;
-                        ctx.send_ack(input_id.root, xor, None);
+                        match ckpt.as_mut() {
+                            Some(c) => c.defer_ack(input_id.root, xor),
+                            None => ctx.send_ack(input_id.root, xor, None),
+                        }
                     }
                     ctx.current_root = 0;
                     ctx.current_trace = 0;
                 }
                 _ => {}
             }
+        }
+        if let Some(c) = ckpt.as_mut() {
+            c.tick(ctx, bolt.as_ref());
         }
         ctx.io.flush_due();
         if ctx.io.egress_dead() {

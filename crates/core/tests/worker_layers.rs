@@ -85,6 +85,8 @@ fn spawn_echo_worker() -> (
         ack_timeout: Duration::from_secs(30),
         max_pending: 64,
         start_active: true,
+        checkpoint: None,
+        restore: false,
     };
     let routes = vec![Route {
         stream: StreamId::DEFAULT,

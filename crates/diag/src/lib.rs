@@ -38,7 +38,7 @@
 
 #![warn(missing_docs)]
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use typhoon_metrics::Registry;
 
 mod mutex;
@@ -46,6 +46,76 @@ mod rwlock;
 
 pub use mutex::{DiagMutex, DiagMutexGuard};
 pub use rwlock::{DiagRwLock, DiagRwLockReadGuard, DiagRwLockWriteGuard};
+
+/// A panic captured from a supervised thread (see [`spawn_supervised`]).
+#[derive(Debug, Clone)]
+pub struct PanicEvent {
+    /// The thread's name as passed to [`spawn_supervised`].
+    pub thread: String,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim,
+    /// anything else as an opaque marker).
+    pub message: String,
+}
+
+fn panic_log() -> &'static Mutex<Vec<PanicEvent>> {
+    static LOG: OnceLock<Mutex<Vec<PanicEvent>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// All panics captured by [`spawn_supervised`] so far, oldest first.
+pub fn panic_events() -> Vec<PanicEvent> {
+    panic_log().lock().map(|l| l.clone()).unwrap_or_default()
+}
+
+/// Spawns a named thread whose panics are *captured*, never silently
+/// swallowed: a panic is stringified, appended to the process-wide panic
+/// log ([`panic_events`]), counted in [`registry`] under
+/// `diag.thread.panics` (plus a per-thread counter), and handed to
+/// `on_panic` so the embedder can surface it as a fault event.
+///
+/// This is the workspace-mandated replacement for raw `thread::spawn` in
+/// the long-running layers (`typhoon-core`, `typhoon-switch`) — enforced
+/// by `typhoon-lint` rule TL006. A worker thread that panics must become
+/// a *detectable* fault (dead switch port → `PortStatus` delete →
+/// recovery), not a silent dead thread.
+pub fn spawn_supervised<F, H>(name: &str, on_panic: H, body: F) -> std::thread::JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+    H: FnOnce(&PanicEvent) + Send + 'static,
+{
+    let thread_name = name.to_owned();
+    std::thread::Builder::new()
+        .name(thread_name.clone())
+        .spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+            if let Err(payload) = result {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_owned()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_owned()
+                };
+                let event = PanicEvent {
+                    thread: thread_name.clone(),
+                    message,
+                };
+                registry().counter("diag.thread.panics").inc();
+                registry()
+                    .counter(&format!("diag.thread.panics.{thread_name}"))
+                    .inc();
+                eprintln!(
+                    "typhoon-diag: supervised thread `{}` panicked: {}",
+                    event.thread, event.message
+                );
+                if let Ok(mut log) = panic_log().lock() {
+                    log.push(event.clone());
+                }
+                on_panic(&event);
+            }
+        })
+        .expect("spawn supervised thread")
+}
 
 /// Acquisition-order rank of a lock. Threads must acquire ranked locks in
 /// strictly increasing rank order; rank `0` (`LockRank::UNRANKED`) opts a
@@ -248,6 +318,45 @@ mod tests {
     fn registry_is_shared() {
         registry().counter("diag.test.shared").inc();
         assert!(registry().snapshot().counter("diag.test.shared") >= 1);
+    }
+
+    #[test]
+    fn supervised_spawn_captures_panics() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let notified = Arc::new(AtomicBool::new(false));
+        let notified2 = notified.clone();
+        let handle = spawn_supervised(
+            "diag-test-panicker",
+            move |event| {
+                assert_eq!(event.thread, "diag-test-panicker");
+                assert!(event.message.contains("boom"));
+                notified2.store(true, Ordering::Release);
+            },
+            || panic!("boom in supervised thread"),
+        );
+        // The panic is contained: join succeeds instead of propagating.
+        assert!(handle.join().is_ok());
+        assert!(notified.load(Ordering::Acquire));
+        assert!(panic_events()
+            .iter()
+            .any(|e| e.thread == "diag-test-panicker"));
+        assert!(registry().snapshot().counter("diag.thread.panics") >= 1);
+    }
+
+    #[test]
+    fn supervised_spawn_runs_body_normally() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran2 = ran.clone();
+        let handle = spawn_supervised(
+            "diag-test-clean",
+            |_| panic!("on_panic must not fire for a clean exit"),
+            move || ran2.store(true, Ordering::Release),
+        );
+        assert!(handle.join().is_ok());
+        assert!(ran.load(Ordering::Acquire));
     }
 
     // Compile-time/profile guarantee: in release builds the wrappers are

@@ -20,6 +20,7 @@ const SHARDS: usize = 16;
 struct Shard {
     strings: HashMap<String, String>,
     hashes: HashMap<String, BTreeMap<String, i64>>,
+    blobs: HashMap<String, Vec<u8>>,
 }
 
 /// The store. Clone-free sharing via `Arc` at call sites.
@@ -60,13 +61,31 @@ impl KvStore {
         self.shard(key).read().strings.get(key).cloned()
     }
 
-    /// `DEL key` (string and hash namespaces). Returns whether anything
-    /// was removed.
+    /// `DEL key` (string, hash and blob namespaces). Returns whether
+    /// anything was removed.
     pub fn del(&self, key: &str) -> bool {
         let mut shard = self.shard(key).write();
         let a = shard.strings.remove(key).is_some();
         let b = shard.hashes.remove(key).is_some();
-        a || b
+        let c = shard.blobs.remove(key).is_some();
+        a || b || c
+    }
+
+    /// `SET key bytes` on the binary namespace — checkpoint snapshots are
+    /// opaque `typhoon-tuple`-encoded blobs, not UTF-8 strings.
+    pub fn bset(&self, key: &str, value: Vec<u8>) {
+        self.shard(key).write().blobs.insert(key.to_owned(), value);
+    }
+
+    /// `GET key` on the binary namespace.
+    pub fn bget(&self, key: &str) -> Option<Vec<u8>> {
+        self.shard(key).read().blobs.get(key).cloned()
+    }
+
+    /// `DEL key` on the binary namespace only. Returns whether a blob was
+    /// removed.
+    pub fn bdel(&self, key: &str) -> bool {
+        self.shard(key).write().blobs.remove(key).is_some()
     }
 
     /// `HINCRBY key field by` — atomic per-field increment; returns the
@@ -139,13 +158,13 @@ impl KvStore {
             .collect()
     }
 
-    /// Total number of string keys (diagnostics).
+    /// Total number of keys across namespaces (diagnostics).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
             .map(|s| {
                 let s = s.read();
-                s.strings.len() + s.hashes.len()
+                s.strings.len() + s.hashes.len() + s.blobs.len()
             })
             .sum()
     }
@@ -200,6 +219,26 @@ mod tests {
         assert_eq!(kv.wget("campaign:1", 12), 6);
         assert_eq!(kv.windows("campaign:1"), vec![(3, 2), (12, 6)]);
         assert_eq!(kv.wget("campaign:1", 99), 0);
+    }
+
+    #[test]
+    fn blob_set_get_del() {
+        let kv = KvStore::new();
+        let snapshot = vec![0u8, 159, 146, 150, 255];
+        kv.bset("ckpt:wc:count:3", snapshot.clone());
+        assert_eq!(kv.bget("ckpt:wc:count:3"), Some(snapshot));
+        assert!(kv.bdel("ckpt:wc:count:3"));
+        assert_eq!(kv.bget("ckpt:wc:count:3"), None);
+        assert!(!kv.bdel("ckpt:wc:count:3"));
+    }
+
+    #[test]
+    fn del_clears_blob_namespace_too() {
+        let kv = KvStore::new();
+        kv.bset("k", vec![1, 2, 3]);
+        assert!(kv.del("k"));
+        assert_eq!(kv.bget("k"), None);
+        assert!(kv.is_empty());
     }
 
     #[test]

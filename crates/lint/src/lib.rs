@@ -4,7 +4,7 @@
 //! Typhoon workspace relies on (see `docs/CONCURRENCY.md`). It is not a
 //! Rust parser: it tokenizes just enough (comments and string literals
 //! stripped, `#[cfg(test)]` regions tracked by brace matching) to make the
-//! five rules below reliable on idiomatic code, and it runs in
+//! six rules below reliable on idiomatic code, and it runs in
 //! milliseconds with zero dependencies so CI can gate on it.
 //!
 //! | Rule  | What it flags | Waiver |
@@ -14,6 +14,7 @@
 //! | TL003 | `unsafe` without a `// SAFETY:` comment | the `// SAFETY:` comment itself |
 //! | TL004 | unbounded channels in non-test code (unbackpressured queues hide overload) | `// LINT: allow-unbounded(reason)` |
 //! | TL005 | `std::thread::sleep` in library code (blocks an executor thread) | `// LINT: allow-sleep(reason)` |
+//! | TL006 | raw `thread::spawn`/`thread::Builder` in runtime crates instead of `typhoon_diag::spawn_supervised` (a silent thread death is an undetectable fault) | `// LINT: allow-raw-spawn(reason)` |
 //!
 //! Waivers go on the offending line or the line directly above it, and
 //! must carry a reason in parentheses.
@@ -37,6 +38,14 @@ pub const HOT_CRATES: &[&str] = &[
     "crates/controller",
 ];
 
+/// Crates whose `src/` must spawn threads through
+/// `typhoon_diag::spawn_supervised` (TL006). These own the long-lived
+/// runtime threads — workers, switch datapaths, manager loops — where an
+/// uncaught panic silently kills a thread the rest of the system assumes
+/// is alive; the supervised wrapper turns that into a counted, logged
+/// fault the recovery machinery can observe.
+pub const SUPERVISED_CRATES: &[&str] = &["crates/core", "crates/switch"];
+
 /// Directories never scanned (build output, vendored shims, VCS, and the
 /// linter's own violation fixtures).
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
@@ -44,7 +53,7 @@ const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
 /// One linter finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule identifier, `TL001`..`TL005`.
+    /// Rule identifier, `TL001`..`TL006`.
     pub rule: &'static str,
     /// Path relative to the scanned root.
     pub path: String,
@@ -335,6 +344,9 @@ pub fn check_source(rel: &str, source: &str) -> Vec<Diagnostic> {
         cfg_test_mask(&lines)
     };
     let hot = HOT_CRATES.iter().any(|c| rel.starts_with(&format!("{c}/")));
+    let supervised = SUPERVISED_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("{c}/")));
     let in_bin_dir = rel.contains("/bin/");
 
     let mut diags = Vec::new();
@@ -416,6 +428,21 @@ pub fn check_source(rel: &str, source: &str) -> Vec<Diagnostic> {
                 "`thread::sleep` in library code blocks an executor thread; \
                  prefer condvars/timeouts, or waive with \
                  `// LINT: allow-sleep(reason)`"
+                    .into(),
+            );
+        }
+
+        // TL006: raw thread spawns in runtime crates. A panic in a raw
+        // thread dies silently; the supervised wrapper logs it, counts it
+        // and lets recovery observe it.
+        if supervised && has_raw_spawn(code) && !waived(&lines, i, "allow-raw-spawn") {
+            push(
+                "TL006",
+                i,
+                "runtime crate spawns a raw thread; use \
+                 `typhoon_diag::spawn_supervised` so a panic is captured, \
+                 counted and visible to crash recovery (waive: \
+                 `// LINT: allow-raw-spawn(reason)`)"
                     .into(),
             );
         }
@@ -512,6 +539,10 @@ fn has_unbounded(code: &str) -> bool {
 
 fn has_sleep(code: &str) -> bool {
     code.contains("thread::sleep")
+}
+
+fn has_raw_spawn(code: &str) -> bool {
+    code.contains("thread::spawn") || code.contains("thread::Builder")
 }
 
 // ----------------------------------------------------------------- walking
@@ -646,6 +677,28 @@ mod tests {
         assert_eq!(check_source("crates/mq/src/x.rs", bad)[0].rule, "TL004");
         let mention = "/// unbounded channels are discouraged\nfn f(unbounded_ok: u8) {}\n";
         assert!(check_source("crates/mq/src/x.rs", mention).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_flagged_in_runtime_crates_only() {
+        let spawn = "let h = std::thread::spawn(move || work());\n";
+        let builder = "let h = std::thread::Builder::new().name(n).spawn(f);\n";
+        assert_eq!(check_source("crates/core/src/x.rs", spawn)[0].rule, "TL006");
+        assert_eq!(
+            check_source("crates/switch/src/x.rs", builder)[0].rule,
+            "TL006"
+        );
+        // Outside the supervised crates, raw spawns are fine.
+        assert!(check_source("crates/bench/src/x.rs", spawn).is_empty());
+        // Test trees are exempt.
+        assert!(check_source("crates/core/tests/t.rs", spawn).is_empty());
+        // The supervised wrapper itself is not a raw spawn.
+        let ok = "let h = typhoon_diag::spawn_supervised(name, cb, body);\n";
+        assert!(check_source("crates/core/src/x.rs", ok).is_empty());
+        // Waivers work like every other rule's.
+        let waived =
+            "// LINT: allow-raw-spawn(scoped thread joined two lines down)\nstd::thread::spawn(f);\n";
+        assert!(check_source("crates/core/src/x.rs", waived).is_empty());
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Runtime-crate fixture: raw spawns where spawn_supervised is required.
+
+fn looper() {
+    let _h = std::thread::spawn(|| {});
+}
+
+fn named() {
+    let _h = std::thread::Builder::new().name("x".into()).spawn(|| {});
+}

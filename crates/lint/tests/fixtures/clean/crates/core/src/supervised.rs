@@ -1,0 +1,12 @@
+//! Runtime-crate fixture: spawns done right — supervised, or waived with
+//! a reason. The linter must report nothing here.
+
+fn supervised() {
+    let _h = typhoon_diag::spawn_supervised("worker", |_e| {}, || {});
+}
+
+fn short_lived() {
+    // LINT: allow-raw-spawn(scoped helper joined before return)
+    let h = std::thread::spawn(|| {});
+    let _ = h.join();
+}

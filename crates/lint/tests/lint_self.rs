@@ -21,6 +21,8 @@ fn lib_reports_exact_rules_and_lines_for_bad_fixture() {
     assert_eq!(
         got,
         vec![
+            ("TL006", "crates/core/src/raw_spawn.rs", 4),
+            ("TL006", "crates/core/src/raw_spawn.rs", 8),
             ("TL002", "crates/storm/src/raw_lock.rs", 3),
             ("TL002", "crates/storm/src/raw_lock.rs", 5),
             ("TL001", "violations.rs", 5),
@@ -57,10 +59,12 @@ fn binary_json_output_and_exit_codes() {
         r#""rule":"TL003","path":"violations.rs","line":20"#,
         r#""rule":"TL002","path":"crates/storm/src/raw_lock.rs","line":3"#,
         r#""rule":"TL002","path":"crates/storm/src/raw_lock.rs","line":5"#,
+        r#""rule":"TL006","path":"crates/core/src/raw_spawn.rs","line":4"#,
+        r#""rule":"TL006","path":"crates/core/src/raw_spawn.rs","line":8"#,
     ] {
         assert!(json.contains(expected), "missing {expected} in:\n{json}");
     }
-    assert_eq!(json.matches(r#""rule":"#).count(), 7, "no extras:\n{json}");
+    assert_eq!(json.matches(r#""rule":"#).count(), 9, "no extras:\n{json}");
 
     let clean = Command::new(bin)
         .args(["check", "--json", "--root"])

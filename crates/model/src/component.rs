@@ -81,6 +81,17 @@ pub trait Spout: Send {
     /// Notification that the tuple tree rooted at `root` failed; a reliable
     /// spout replays the corresponding tuple.
     fn fail(&mut self, _root: u64) {}
+
+    /// Crash-recovery hook: before assigning a root to the `index`-th
+    /// emission of the current batch, the runtime asks whether this
+    /// emission is a *replay* of a previously failed tuple. A reliable
+    /// spout returns the failed tuple's original root; the runtime then
+    /// derives the replay root from it (same base, bumped round byte) so
+    /// downstream dedup keys stay stable across replays. `None` (the
+    /// default) means a fresh emission with a fresh root.
+    fn replay_root(&mut self, _index: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// A processing node. Receives tuples, emits tuples.
@@ -101,6 +112,21 @@ pub trait Bolt: Send {
     fn is_stateful(&self) -> bool {
         false
     }
+
+    /// Crash-recovery hook: snapshot this bolt's in-memory state as
+    /// (key, value) pairs for an epoch checkpoint. `None` (the default)
+    /// opts the bolt out of checkpointing; a stateful bolt that wants
+    /// exactly-once recovery returns its full state here.
+    fn checkpoint(&self) -> Option<Vec<(String, Value)>> {
+        None
+    }
+
+    /// Crash-recovery hook: reinstall a snapshot previously produced by
+    /// [`Bolt::checkpoint`] into a *fresh* instance of this bolt, replacing
+    /// whatever state it holds. The bolt may re-emit restored entries on
+    /// `out` (unanchored) so latest-value downstream consumers converge
+    /// after pre-crash in-flight emissions were lost.
+    fn restore(&mut self, _state: Vec<(String, Value)>, _out: &mut dyn Emitter) {}
 }
 
 /// Factory producing fresh spout instances, one per task.
@@ -269,5 +295,66 @@ mod tests {
         let mut out = VecEmitter::default();
         b.on_signal(&mut out);
         assert!(out.emitted.is_empty());
+    }
+
+    #[test]
+    fn default_recovery_hooks_opt_out() {
+        let mut b = EchoBolt;
+        assert!(b.checkpoint().is_none());
+        let mut out = VecEmitter::default();
+        b.restore(vec![("k".into(), Value::Int(1))], &mut out);
+        assert!(out.emitted.is_empty());
+        let mut s = OneShotSpout { fired: false };
+        assert!(s.replay_root(0).is_none());
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_through_a_stateful_bolt() {
+        struct Counter {
+            counts: HashMap<String, i64>,
+        }
+        impl Bolt for Counter {
+            fn execute(&mut self, input: Tuple, _out: &mut dyn Emitter) {
+                if let Some(word) = input.values.first().and_then(|v| v.as_str()) {
+                    *self.counts.entry(word.to_owned()).or_insert(0) += 1;
+                }
+            }
+            fn is_stateful(&self) -> bool {
+                true
+            }
+            fn checkpoint(&self) -> Option<Vec<(String, Value)>> {
+                Some(
+                    self.counts
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Int(*v)))
+                        .collect(),
+                )
+            }
+            fn restore(&mut self, state: Vec<(String, Value)>, out: &mut dyn Emitter) {
+                self.counts = state
+                    .iter()
+                    .filter_map(|(k, v)| v.as_int().map(|n| (k.clone(), n)))
+                    .collect();
+                for (k, v) in state {
+                    out.emit(vec![Value::Str(k), v]);
+                }
+            }
+        }
+        let mut original = Counter {
+            counts: HashMap::new(),
+        };
+        let mut sink = VecEmitter::default();
+        for w in ["a", "b", "a"] {
+            original.execute(Tuple::new(TaskId(0), vec![Value::Str(w.into())]), &mut sink);
+        }
+        let snap = original.checkpoint().expect("stateful bolt snapshots");
+        let mut replacement = Counter {
+            counts: HashMap::new(),
+        };
+        let mut flush = VecEmitter::default();
+        replacement.restore(snap, &mut flush);
+        assert_eq!(replacement.counts.get("a"), Some(&2));
+        assert_eq!(replacement.counts.get("b"), Some(&1));
+        assert_eq!(flush.emitted.len(), 2, "restore re-emits restored state");
     }
 }

@@ -94,6 +94,49 @@ impl FaultSpec {
     }
 }
 
+/// What a process-level kill fault takes down (§4's crash experiments):
+/// one worker thread, or a whole simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillClass {
+    /// Kill one worker thread (`kill -9` on a single worker process).
+    Worker,
+    /// Kill every worker on one host and mark the host dead for
+    /// placement. The host's switch stays up as SDN substrate — that is
+    /// what lets port-status detection outrun heartbeats (Fig. 10).
+    Host,
+}
+
+/// A seeded, one-shot process-kill fault. Unlike the per-frame tunnel
+/// faults, kills are executed by the cluster runtime (which owns the
+/// agents); the chaos layer carries the spec so one seed reproduces the
+/// whole fault sequence, kills included. Victim selection derives from
+/// the plan seed, so a fixed `CHAOS_SEED` replays the same kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// What dies.
+    pub class: KillClass,
+    /// How long after topology submission the kill fires.
+    pub after: Duration,
+}
+
+impl KillSpec {
+    /// Kill one seeded-choice worker `after` the topology starts.
+    pub fn worker(after: Duration) -> Self {
+        KillSpec {
+            class: KillClass::Worker,
+            after,
+        }
+    }
+
+    /// Kill one seeded-choice host `after` the topology starts.
+    pub fn host(after: Duration) -> Self {
+        KillSpec {
+            class: KillClass::Host,
+            after,
+        }
+    }
+}
+
 /// A seeded, per-direction fault plan.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultPlan {
@@ -104,6 +147,8 @@ pub struct FaultPlan {
     pub tx: FaultSpec,
     /// Faults applied to inbound frames (`try_recv`).
     pub rx: FaultSpec,
+    /// Optional one-shot process kill (executed by the cluster runtime).
+    pub kill: Option<KillSpec>,
 }
 
 impl FaultPlan {
@@ -114,6 +159,7 @@ impl FaultPlan {
             seed,
             tx: FaultSpec::CLEAN,
             rx: FaultSpec::CLEAN,
+            kill: None,
         }
     }
 
@@ -123,6 +169,7 @@ impl FaultPlan {
             seed,
             tx: spec,
             rx: spec,
+            kill: None,
         }
     }
 
@@ -132,6 +179,7 @@ impl FaultPlan {
             seed,
             tx: spec,
             rx: FaultSpec::CLEAN,
+            kill: None,
         }
     }
 
@@ -141,7 +189,14 @@ impl FaultPlan {
             seed,
             tx: FaultSpec::CLEAN,
             rx: spec,
+            kill: None,
         }
+    }
+
+    /// Builder: arm a one-shot process kill.
+    pub fn with_kill(mut self, kill: KillSpec) -> Self {
+        self.kill = Some(kill);
+        self
     }
 }
 
@@ -162,6 +217,10 @@ pub struct ChaosStats {
     pub stalled: AtomicU64,
     /// Operations refused by a hard partition (`chaos.partitioned`).
     pub partitioned: AtomicU64,
+    /// Worker threads killed by the chaos runtime (`chaos.killed_workers`).
+    pub killed_workers: AtomicU64,
+    /// Hosts killed by the chaos runtime (`chaos.killed_hosts`).
+    pub killed_hosts: AtomicU64,
 }
 
 impl ChaosStats {
@@ -179,7 +238,23 @@ impl ChaosStats {
                 "chaos.partitioned",
                 self.partitioned.load(Ordering::Relaxed),
             ),
+            (
+                "chaos.killed_workers",
+                self.killed_workers.load(Ordering::Relaxed),
+            ),
+            (
+                "chaos.killed_hosts",
+                self.killed_hosts.load(Ordering::Relaxed),
+            ),
         ]
+    }
+
+    /// Records an executed kill under the matching counter.
+    pub fn record_kill(&self, class: KillClass) {
+        match class {
+            KillClass::Worker => self.killed_workers.fetch_add(1, Ordering::Relaxed),
+            KillClass::Host => self.killed_hosts.fetch_add(1, Ordering::Relaxed),
+        };
     }
 }
 
@@ -210,9 +285,37 @@ pub struct ChaosHandle {
 }
 
 impl ChaosHandle {
+    /// A handle not backed by any tunnel injector: the cluster runtime
+    /// uses one as its process-kill control and `chaos.killed_*` counter
+    /// surface, so kill faults are driven through the same `ChaosHandle`
+    /// API as link faults.
+    pub fn standalone(plan: FaultPlan) -> ChaosHandle {
+        ChaosHandle {
+            shared: Arc::new(ChaosShared {
+                state: Mutex::new(ChaosState {
+                    rng: SmallRng::seed_from_u64(plan.seed),
+                    plan,
+                    tx_held: VecDeque::new(),
+                    rx_held: VecDeque::new(),
+                }),
+                stats: ChaosStats::default(),
+            }),
+        }
+    }
+
     /// The current plan.
     pub fn plan(&self) -> FaultPlan {
         self.shared.state.lock().plan
+    }
+
+    /// The armed process-kill spec, if any.
+    pub fn kill_spec(&self) -> Option<KillSpec> {
+        self.shared.state.lock().plan.kill
+    }
+
+    /// Arms (or disarms, with `None`) the process-kill spec.
+    pub fn set_kill(&self, kill: Option<KillSpec>) {
+        self.shared.state.lock().plan.kill = kill;
     }
 
     /// Replaces the whole plan (reseeding the PRNG from `plan.seed`).
@@ -653,6 +756,30 @@ mod tests {
         inj.send(&frame(2)).unwrap();
         let got: Vec<u8> = drain(&peer).iter().map(|f| f.payload[0]).collect();
         assert_eq!(got, vec![0, 2], "only the frame sent under drop=1 lost");
+    }
+
+    #[test]
+    fn kill_spec_rides_the_plan_and_counts_executions() {
+        let plan = FaultPlan::clean(9).with_kill(KillSpec::worker(Duration::from_millis(250)));
+        let handle = ChaosHandle::standalone(plan);
+        assert_eq!(
+            handle.kill_spec(),
+            Some(KillSpec {
+                class: KillClass::Worker,
+                after: Duration::from_millis(250),
+            })
+        );
+        handle.stats().record_kill(KillClass::Worker);
+        handle.stats().record_kill(KillClass::Host);
+        let named = handle.stats().named();
+        assert!(named.contains(&("chaos.killed_workers", 1)));
+        assert!(named.contains(&("chaos.killed_hosts", 1)));
+        handle.set_kill(None);
+        assert_eq!(handle.kill_spec(), None, "disarmed");
+        // A kill spec never perturbs the per-frame fault path.
+        let (inj, _h, peer) = wrapped(plan);
+        inj.send(&frame(1)).unwrap();
+        assert_eq!(drain(&peer).len(), 1);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod ring;
 pub mod tunnel;
 
 pub use batch::Batcher;
-pub use fault::{ChaosHandle, ChaosStats, FaultInjector, FaultPlan, FaultSpec};
+pub use fault::{
+    ChaosHandle, ChaosStats, FaultInjector, FaultPlan, FaultSpec, KillClass, KillSpec,
+};
 pub use frame::{Frame, MacAddr, TYPHOON_ETHERTYPE};
 pub use packetize::{Depacketizer, Packetizer};
 pub use ring::{ring, RingConsumer, RingProducer, RingStats};

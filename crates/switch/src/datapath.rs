@@ -424,17 +424,18 @@ impl Switch {
     pub fn spawn(&self) -> SwitchHandle {
         let switch = self.clone();
         let loop_switch = self.clone();
-        let thread = std::thread::Builder::new()
-            .name(format!("datapath-{}", self.dpid()))
-            .spawn(move || {
+        let thread = typhoon_diag::spawn_supervised(
+            &format!("datapath-{}", self.dpid()),
+            |_event| { /* diag's panic log + counters suffice; no extra callback */ },
+            move || {
                 while !loop_switch.inner.shutdown.load(Ordering::Acquire) {
                     if !loop_switch.process_round() {
                         // LINT: allow-sleep(configured idle_sleep when the datapath processed nothing this round)
                         std::thread::sleep(loop_switch.inner.config.idle_sleep);
                     }
                 }
-            })
-            .expect("spawn datapath");
+            },
+        );
         SwitchHandle {
             switch,
             thread: Some(thread),

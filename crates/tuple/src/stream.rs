@@ -44,13 +44,26 @@ impl StreamId {
     pub const ACK_RESULT: StreamId = StreamId(10);
     /// Stream carrying mirrored tuples to a live-debug worker.
     pub const DEBUG_MIRROR: StreamId = StreamId(11);
+    /// `REPLAY` control stream: the recovery manager tells a spout to
+    /// immediately fail-and-replay every pending root (crash recovery,
+    /// §4 Fig. 10 — replay must not wait out the ack timeout).
+    pub const CTRL_REPLAY: StreamId = StreamId(12);
+    /// `RESTATE` control stream: the recovery manager tells a surviving
+    /// stateful bolt to re-emit its snapshot downstream. Emissions made
+    /// toward a task that died were lost with it, and the dedup ledger
+    /// (correctly) refuses to re-fold the replays that would regenerate
+    /// them — the snapshot re-emission re-converges latest-wins consumers.
+    pub const CTRL_RESTATE: StreamId = StreamId(13);
 
     /// First stream ID available to applications.
     pub const FIRST_USER: StreamId = StreamId(16);
 
-    /// True for the framework-reserved control streams (Table 2).
+    /// True for the framework-reserved control streams (Table 2 plus the
+    /// recovery extension).
     pub fn is_control(self) -> bool {
         (Self::CTRL_ROUTING.0..=Self::CTRL_BATCH_SIZE.0).contains(&self.0)
+            || self == Self::CTRL_REPLAY
+            || self == Self::CTRL_RESTATE
     }
 
     /// True for acker coordination streams.
@@ -81,6 +94,8 @@ impl fmt::Display for StreamId {
             StreamId::ACK => write!(f, "ack"),
             StreamId::ACK_RESULT => write!(f, "ack:result"),
             StreamId::DEBUG_MIRROR => write!(f, "debug:mirror"),
+            StreamId::CTRL_REPLAY => write!(f, "ctrl:replay"),
+            StreamId::CTRL_RESTATE => write!(f, "ctrl:restate"),
             StreamId(n) => write!(f, "stream:{n}"),
         }
     }
@@ -104,6 +119,45 @@ impl MessageId {
     /// A message ID meaning "unanchored": reliability tracking is off for
     /// this tuple.
     pub const NONE: MessageId = MessageId { root: 0, anchor: 0 };
+
+    /// Bit mask of the *replay round* carried in a root's low byte.
+    ///
+    /// Spouts allocate roots with the round byte zeroed and bump it once
+    /// per replay of the same logical tuple. The acker then sees each
+    /// replay round as a fresh tuple tree (a half-acked tree from the dead
+    /// round can never wedge the new one), while [`MessageId::base_root`]
+    /// stays stable across rounds — which is the key stateful bolts dedup
+    /// replayed tuples on after a crash restore.
+    pub const ROOT_ROUND_MASK: u64 = 0xFF;
+
+    /// Bit mask of the *emission position* stamped into an anchor's low
+    /// 16 bits by the framework layer. For a deterministic bolt the n-th
+    /// emission while processing a given input is the same tuple on every
+    /// replay, so `(base_root, position)` identifies a tuple across replay
+    /// rounds even though the anchor's random high bits differ.
+    pub const ANCHOR_POSITION_MASK: u64 = 0xFFFF;
+
+    /// The replay-stable identity of a root: the root with its round byte
+    /// cleared.
+    pub fn base_root(root: u64) -> u64 {
+        root & !Self::ROOT_ROUND_MASK
+    }
+
+    /// The replay round of a root (0 = the original emission).
+    pub fn replay_round(root: u64) -> u8 {
+        (root & Self::ROOT_ROUND_MASK) as u8
+    }
+
+    /// The next replay round of `root`: same base, round byte bumped
+    /// (wrapping — by round 256 the round-0 acker entry is long expired).
+    pub fn next_round(root: u64) -> u64 {
+        Self::base_root(root) | ((root + 1) & Self::ROOT_ROUND_MASK)
+    }
+
+    /// The emission position stamped into an anchor's low bits.
+    pub fn anchor_position(anchor: u64) -> u16 {
+        (anchor & Self::ANCHOR_POSITION_MASK) as u16
+    }
 
     /// True when the tuple participates in guaranteed processing.
     pub fn is_anchored(self) -> bool {
@@ -129,6 +183,8 @@ mod tests {
     fn control_stream_classification() {
         assert!(StreamId::CTRL_ROUTING.is_control());
         assert!(StreamId::CTRL_BATCH_SIZE.is_control());
+        assert!(StreamId::CTRL_REPLAY.is_control());
+        assert!(StreamId::CTRL_RESTATE.is_control());
         assert!(!StreamId::DEFAULT.is_control());
         assert!(!StreamId::ACK.is_control());
         assert!(!StreamId::FIRST_USER.is_control());
@@ -153,6 +209,7 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(StreamId::CTRL_SIGNAL.to_string(), "ctrl:signal");
+        assert_eq!(StreamId::CTRL_REPLAY.to_string(), "ctrl:replay");
         assert_eq!(StreamId(99).to_string(), "stream:99");
     }
 
@@ -161,5 +218,33 @@ mod tests {
         assert!(!MessageId::NONE.is_anchored());
         assert!(MessageId { root: 1, anchor: 2 }.is_anchored());
         assert_eq!(MessageId::NONE.to_string(), "unanchored");
+    }
+
+    #[test]
+    fn replay_rounds_share_a_base_root() {
+        let root = 0xDEAD_BEEF_0000_4200u64;
+        assert_eq!(MessageId::replay_round(root), 0);
+        let r1 = MessageId::next_round(root);
+        let r2 = MessageId::next_round(r1);
+        assert_eq!(MessageId::replay_round(r1), 1);
+        assert_eq!(MessageId::replay_round(r2), 2);
+        assert_ne!(root, r1);
+        assert_ne!(r1, r2);
+        assert_eq!(MessageId::base_root(root), MessageId::base_root(r1));
+        assert_eq!(MessageId::base_root(root), MessageId::base_root(r2));
+    }
+
+    #[test]
+    fn round_byte_wraps_without_touching_the_base() {
+        let root = 0xAAAA_0000_0000_00FFu64;
+        let next = MessageId::next_round(root);
+        assert_eq!(MessageId::replay_round(next), 0);
+        assert_eq!(MessageId::base_root(next), MessageId::base_root(root));
+    }
+
+    #[test]
+    fn anchor_position_reads_low_bits() {
+        assert_eq!(MessageId::anchor_position(0xFFFF_FFFF_FFFF_0042), 0x42);
+        assert_eq!(MessageId::anchor_position(0x1234), 0x1234);
     }
 }
