@@ -1,0 +1,124 @@
+//! Kernel: recovery re-steer vs. in-flight acks (the PR-4 replay
+//! protocol).
+//!
+//! When a worker dies, the recovery path *re-steers*: it bumps the
+//! root's replay round, re-seeds the outstanding-anchor set, and
+//! re-emits the lost tuples. Acks from the pre-crash round can still be
+//! in flight while that happens. The fixed protocol tags every ack with
+//! the round it was issued in and drops acks whose round is stale; the
+//! pre-fix protocol applies any ack it receives, so a stale ack can
+//! retire a *replayed* anchor and the fresh ack for the same anchor then
+//! lands on an absent entry — a **double ack**.
+//!
+//! Invariants: no double ack ever, and after recovery settles the
+//! outstanding set is empty with exactly one retirement per replayed
+//! anchor.
+
+use crate::sync::{thread, Mutex};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The root's per-topology ack bookkeeping.
+pub struct RootState {
+    /// Current replay round; bumped by every re-steer.
+    pub round: u32,
+    /// Anchors awaiting an ack in the current round.
+    pub outstanding: HashSet<u8>,
+    /// Acks accepted in the current round.
+    pub retired: u32,
+    /// Acks that landed on an anchor not outstanding — the violation.
+    pub double_acks: u32,
+}
+
+/// Shared ack/replay state in both protocol flavours.
+pub struct RecoveryKernel {
+    state: Mutex<RootState>,
+}
+
+impl RecoveryKernel {
+    /// A root in round 1 with `anchors` outstanding.
+    pub fn new(anchors: impl IntoIterator<Item = u8>) -> Self {
+        RecoveryKernel {
+            state: Mutex::new(RootState {
+                round: 1,
+                outstanding: anchors.into_iter().collect(),
+                retired: 0,
+                double_acks: 0,
+            }),
+        }
+    }
+
+    /// Applies an ack issued in `round`. `fixed` drops acks from a
+    /// stale round; `!fixed` applies whatever arrives.
+    pub fn ack(&self, fixed: bool, anchor: u8, round: u32) {
+        let mut st = self.state.lock();
+        if fixed && round != st.round {
+            return; // stale in-flight ack from before the re-steer
+        }
+        if st.outstanding.remove(&anchor) {
+            st.retired += 1;
+        } else {
+            st.double_acks += 1;
+        }
+    }
+
+    /// Re-steer: bump the round, reset the outstanding set to the
+    /// replayed anchors, forget the dead round's retirements. Returns
+    /// the new round for the replayed tuples' acks.
+    pub fn replay(&self, anchors: impl IntoIterator<Item = u8>) -> u32 {
+        let mut st = self.state.lock();
+        st.round += 1;
+        st.outstanding = anchors.into_iter().collect();
+        st.retired = 0;
+        st.round
+    }
+
+    /// Snapshot of the final bookkeeping for scenario assertions.
+    pub fn finish(&self) -> RootState {
+        let st = self.state.lock();
+        RootState {
+            round: st.round,
+            outstanding: st.outstanding.clone(),
+            retired: st.retired,
+            double_acks: st.double_acks,
+        }
+    }
+}
+
+/// A stale ack from round 1 races a re-steer to round 2 that replays
+/// the same anchor plus one more. Whatever the interleaving, no ack may
+/// double-retire and the replayed round must settle exactly.
+pub fn resteer_ack_scenario(fixed: bool) {
+    let kernel = Arc::new(RecoveryKernel::new([1u8]));
+
+    let stale_kernel = Arc::clone(&kernel);
+    let stale_acker = thread::spawn(move || {
+        // An ack for anchor 1, issued before the crash (round 1), still
+        // in flight while recovery runs.
+        stale_kernel.ack(fixed, 1, 1);
+    });
+
+    let recovery_kernel = Arc::clone(&kernel);
+    let recovery = thread::spawn(move || {
+        let round = recovery_kernel.replay([1u8, 2u8]);
+        recovery_kernel.ack(fixed, 1, round);
+        recovery_kernel.ack(fixed, 2, round);
+    });
+
+    stale_acker.join();
+    recovery.join();
+
+    let st = kernel.finish();
+    assert_eq!(
+        st.double_acks, 0,
+        "double ack: an in-flight pre-crash ack retired a replayed anchor"
+    );
+    assert!(
+        st.outstanding.is_empty(),
+        "replayed anchors left outstanding after recovery settled"
+    );
+    assert_eq!(
+        st.retired, 2,
+        "replayed round must retire exactly one ack per anchor"
+    );
+}

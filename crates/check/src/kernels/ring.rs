@@ -1,0 +1,107 @@
+//! Kernel: ring close vs. pop (the PR-3 `typhoon-net` race).
+//!
+//! `crates/net/src/ring.rs` lets a producer push one last frame and then
+//! close (producer drop closes implicitly). The consumer's `pop` observes
+//! the queue and the `closed` flag in two separate atomic steps; before
+//! PR 3 a pop could see the queue empty, lose the CPU to the
+//! push-then-close, and then observe `closed == true` — reporting
+//! `Disconnected` with the final frame still queued. The fix re-checks
+//! the queue *after* observing `closed`.
+//!
+//! Invariant: **no lost tuple** — every frame pushed before the close is
+//! delivered before `Disconnected`.
+
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{thread, Mutex, Notify};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What a blocking pop observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop {
+    /// A frame (its payload tag).
+    Frame(u32),
+    /// Closed and (believed) drained.
+    Disconnected,
+}
+
+/// The ring's shared state, reduced to the two cells the race runs on:
+/// the frame queue and the closed flag.
+pub struct RingKernel {
+    queue: Mutex<VecDeque<u32>>,
+    closed: AtomicBool,
+    notify: Notify,
+}
+
+impl RingKernel {
+    /// An open, empty ring.
+    pub fn new() -> Self {
+        RingKernel {
+            queue: Mutex::new(VecDeque::new()),
+            closed: AtomicBool::new(false),
+            notify: Notify::new(),
+        }
+    }
+
+    /// Producer: enqueue one frame.
+    pub fn push(&self, frame: u32) {
+        self.queue.lock().push_back(frame);
+        self.notify.notify_all();
+    }
+
+    /// Producer: close the ring (the `Drop` half of the real producer).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.notify.notify_all();
+    }
+
+    /// Consumer: blocking pop. `fixed` selects the post-PR-3 protocol
+    /// (re-check the queue after observing `closed`); `!fixed` is the
+    /// seed-state logic that loses the close/pop race.
+    pub fn pop_wait(&self, fixed: bool) -> Pop {
+        loop {
+            let seen = self.notify.epoch();
+            if let Some(frame) = self.queue.lock().pop_front() {
+                return Pop::Frame(frame);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                if fixed {
+                    // A frame enqueued between our empty pop and the
+                    // `closed` load must still be delivered.
+                    if let Some(frame) = self.queue.lock().pop_front() {
+                        return Pop::Frame(frame);
+                    }
+                }
+                return Pop::Disconnected;
+            }
+            self.notify.wait_from(seen);
+        }
+    }
+}
+
+impl Default for RingKernel {
+    fn default() -> Self {
+        RingKernel::new()
+    }
+}
+
+/// The PR-3 scenario: one producer pushes a single frame and immediately
+/// closes; the consumer drains until `Disconnected`. The frame must
+/// arrive.
+pub fn close_pop_scenario(fixed: bool) {
+    let ring = Arc::new(RingKernel::new());
+    let producer_ring = Arc::clone(&ring);
+    let producer = thread::spawn(move || {
+        producer_ring.push(7);
+        producer_ring.close();
+    });
+    let mut got = 0u32;
+    while let Pop::Frame(_) = ring.pop_wait(fixed) {
+        got += 1;
+    }
+    producer.join();
+    assert_eq!(
+        got, 1,
+        "close/pop race: Disconnected reported with the final frame still queued"
+    );
+}

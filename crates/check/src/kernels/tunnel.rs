@@ -1,0 +1,182 @@
+//! Kernel: tunnel send vs. teardown (the PR-3 `TcpTunnel` hardening).
+//!
+//! A `TcpTunnel` frames tuples onto a byte stream as `[len, payload…]`.
+//! Two invariants came out of PR 3:
+//!
+//! * **No torn frames** — a frame's length prefix and payload bytes must
+//!   be written as one unit. Pre-fix, each write took the wire lock
+//!   separately, so two senders (or a sender and the teardown path)
+//!   could interleave mid-frame and desynchronize the stream for every
+//!   frame after.
+//! * **First-cause teardown** — once the tunnel is poisoned with a
+//!   [`TeardownCause`]-style code, later teardowns must not overwrite
+//!   it: operators root-cause from the *first* failure, and recovery
+//!   keys off a stable cause.
+//!
+//! The kernel models the wire as a byte vector and payload bytes as the
+//! frame's tag repeated, so a torn stream is detectable by parsing.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{thread, Mutex};
+use std::sync::Arc;
+
+/// The tunnel's shared state: the byte stream, the whole-frame writer
+/// lock (unused by the pre-fix protocol), and the poison cause cell.
+pub struct TunnelKernel {
+    wire: Mutex<Vec<u8>>,
+    writer: Mutex<()>,
+    broken: AtomicU64,
+}
+
+impl TunnelKernel {
+    /// A healthy tunnel with an empty wire.
+    pub fn new() -> Self {
+        TunnelKernel {
+            wire: Mutex::new(Vec::new()),
+            writer: Mutex::new(()),
+            broken: AtomicU64::new(0),
+        }
+    }
+
+    /// Sends one frame of `len` payload bytes, each equal to `tag`.
+    /// Returns `false` when refused because the tunnel is broken.
+    ///
+    /// `fixed` holds the writer lock across the length prefix *and* the
+    /// payload (the post-PR-3 protocol); `!fixed` writes them as two
+    /// independent wire appends, which is the torn-frame race.
+    pub fn send(&self, fixed: bool, tag: u8, len: u8) -> bool {
+        let _writer = if fixed {
+            Some(self.writer.lock())
+        } else {
+            None
+        };
+        if self.broken.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        self.wire.lock().push(len);
+        let mut written = 0;
+        while written < len {
+            self.wire.lock().push(tag);
+            written += 1;
+        }
+        true
+    }
+
+    /// Poisons the tunnel with `cause`. `fixed` keeps the first cause
+    /// (compare-exchange from healthy); `!fixed` is a plain store that
+    /// lets a later teardown overwrite the original diagnosis.
+    pub fn teardown(&self, fixed: bool, cause: u64) {
+        if fixed {
+            let _ = self
+                .broken
+                .compare_exchange(0, cause, Ordering::AcqRel, Ordering::Acquire);
+        } else {
+            self.broken.store(cause, Ordering::Release);
+        }
+    }
+
+    /// Current poison cause (0 = healthy).
+    pub fn cause(&self) -> u64 {
+        self.broken.load(Ordering::Acquire)
+    }
+
+    /// Parses the wire into frame tags; `None` on a torn stream (short
+    /// frame, or payload bytes that disagree with each other).
+    pub fn parse_wire(&self) -> Option<Vec<u8>> {
+        let wire = self.wire.lock();
+        let mut frames = Vec::new();
+        let mut i = 0;
+        while i < wire.len() {
+            let len = wire[i] as usize;
+            i += 1;
+            if i + len > wire.len() {
+                return None; // truncated frame
+            }
+            let payload = &wire[i..i + len];
+            let tag = payload.first().copied()?;
+            if payload.iter().any(|b| *b != tag) {
+                return None; // interleaved payload bytes
+            }
+            frames.push(tag);
+            i += len;
+        }
+        Some(frames)
+    }
+}
+
+impl Default for TunnelKernel {
+    fn default() -> Self {
+        TunnelKernel::new()
+    }
+}
+
+/// Two senders race a teardown. Every accepted frame must appear on the
+/// wire whole and exactly once; the stream must always parse.
+pub fn send_send_teardown_scenario(fixed: bool) {
+    let tunnel = Arc::new(TunnelKernel::new());
+    let mut senders = Vec::new();
+    let mut handles = Vec::new();
+    for tag in [1u8, 2u8] {
+        let t = Arc::clone(&tunnel);
+        let (result_tx, result_rx) = crate::sync::bounded(1);
+        handles.push(thread::spawn(move || {
+            let ok = t.send(fixed, tag, 2);
+            let _ = result_tx.send((tag, ok));
+        }));
+        senders.push(result_rx);
+    }
+    {
+        let t = Arc::clone(&tunnel);
+        handles.push(thread::spawn(move || {
+            t.teardown(fixed, 1);
+        }));
+    }
+    let mut accepted = Vec::new();
+    for rx in senders {
+        if let Ok((tag, ok)) = rx.recv() {
+            if ok {
+                accepted.push(tag);
+            }
+        }
+    }
+    for h in handles {
+        h.join();
+    }
+    let frames = tunnel
+        .parse_wire()
+        .expect("torn frame: wire does not parse as whole frames");
+    for tag in accepted {
+        assert_eq!(
+            frames.iter().filter(|t| **t == tag).count(),
+            1,
+            "accepted frame {tag} must be on the wire exactly once"
+        );
+    }
+}
+
+/// Two teardowns race an observer. Once the observer has seen a cause,
+/// the cause must never change (first-cause wins).
+pub fn first_cause_scenario(fixed: bool) {
+    let tunnel = Arc::new(TunnelKernel::new());
+    let mut handles = Vec::new();
+    for cause in [1u64, 2u64] {
+        let t = Arc::clone(&tunnel);
+        handles.push(thread::spawn(move || {
+            t.teardown(fixed, cause);
+        }));
+    }
+    for h in handles {
+        h.join();
+    }
+    // Both teardowns have landed; the recorded cause is now the tunnel's
+    // permanent diagnosis. Replaying a teardown (a second I/O error on
+    // the dead socket) must not change it.
+    let diagnosed = tunnel.cause();
+    assert!(diagnosed != 0, "a teardown must have landed");
+    tunnel.teardown(fixed, 9);
+    assert_eq!(
+        tunnel.cause(),
+        diagnosed,
+        "teardown cause changed after diagnosis (first-cause invariant)"
+    );
+}

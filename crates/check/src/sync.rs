@@ -1,0 +1,44 @@
+//! The primitive facade the kernels compile against.
+//!
+//! With the `model` feature (default) every name here resolves to the
+//! checker's controlled primitives in [`crate::shim`]; without it, to the
+//! real thing — `typhoon-diag` locks, std atomics and threads, and a
+//! condvar-backed bounded channel — so the *same kernel source* runs
+//! either under exhaustive schedule exploration or as a plain
+//! multi-threaded stress test.
+//!
+//! API surface (mirrors the `typhoon-diag` wrappers plus the workspace's
+//! channel idiom):
+//!
+//! * [`Mutex`] / [`RwLock`] — `with_rank(LockRank, name, value)`, `new`,
+//!   `lock` / `read` / `write`.
+//! * [`atomic`] — `AtomicBool`, `AtomicU64` with std signatures.
+//! * [`bounded`] — blocking bounded channel with explicit `close`.
+//! * [`Notify`] — epoch-based wakeup (`epoch` / `wait_from` /
+//!   `notify_all`), the race-free replacement for condition spinning.
+//! * [`thread`] — `spawn` / `JoinHandle::join` / `yield_now`.
+
+/// Error returned by channel operations after `close`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+impl std::fmt::Display for Closed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel closed")
+    }
+}
+
+#[cfg(feature = "model")]
+pub use crate::shim::{
+    atomic, bounded, thread, Mutex, MutexGuard, Notify, Receiver, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, Sender,
+};
+
+#[cfg(not(feature = "model"))]
+mod real;
+
+#[cfg(not(feature = "model"))]
+pub use real::{
+    atomic, bounded, thread, Mutex, MutexGuard, Notify, Receiver, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, Sender,
+};

@@ -1,0 +1,225 @@
+//! Real-primitive backing for the facade: `typhoon-diag` locks, std
+//! atomics and threads, and a condvar-backed bounded channel. Compiled
+//! with `--no-default-features`; the kernels then run as ordinary
+//! multi-threaded stress tests.
+
+use super::Closed;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, PoisonError};
+
+pub use typhoon_diag::{
+    DiagMutex as Mutex, DiagMutexGuard as MutexGuard, DiagRwLock as RwLock,
+    DiagRwLockReadGuard as RwLockReadGuard, DiagRwLockWriteGuard as RwLockWriteGuard,
+};
+
+/// Std atomics (same paths the model shims expose).
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+}
+
+// ----------------------------------------------------------------- channel
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+struct Chan<T> {
+    state: std::sync::Mutex<ChanState<T>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChanState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Creates a bounded blocking channel with the model facade's semantics.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: std::sync::Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            closed: false,
+        }),
+        cv: Condvar::new(),
+        cap: cap.max(1),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+/// Sending half.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocking send; `Err` returns the value when the channel is closed.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut st = self.chan.lock();
+        loop {
+            if st.closed {
+                return Err(value);
+            }
+            if st.queue.len() < self.chan.cap {
+                st.queue.push_back(value);
+                self.chan.cv.notify_all();
+                return Ok(());
+            }
+            st = self
+                .chan
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking send.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let mut st = self.chan.lock();
+        if st.closed || st.queue.len() >= self.chan.cap {
+            return Err(value);
+        }
+        st.queue.push_back(value);
+        self.chan.cv.notify_all();
+        Ok(())
+    }
+
+    /// Closes the channel; blocked peers wake with [`Closed`].
+    pub fn close(&self) {
+        self.chan.lock().closed = true;
+        self.chan.cv.notify_all();
+    }
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocking receive; [`Closed`] once closed *and* drained.
+    pub fn recv(&self) -> Result<T, Closed> {
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.cv.notify_all();
+                return Ok(v);
+            }
+            if st.closed {
+                return Err(Closed);
+            }
+            st = self
+                .chan
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when empty but open.
+    pub fn try_recv(&self) -> Result<Option<T>, Closed> {
+        let mut st = self.chan.lock();
+        match st.queue.pop_front() {
+            Some(v) => {
+                self.chan.cv.notify_all();
+                Ok(Some(v))
+            }
+            None if st.closed => Err(Closed),
+            None => Ok(None),
+        }
+    }
+
+    /// Closes the channel from the receiving side.
+    pub fn close(&self) {
+        self.chan.lock().closed = true;
+        self.chan.cv.notify_all();
+    }
+}
+
+// ------------------------------------------------------------------ notify
+
+/// Epoch-based wakeup: real implementation over mutex + condvar. The
+/// epoch read / predicate check / `wait_from` protocol makes the lost
+/// wakeup between check and wait impossible.
+#[derive(Default)]
+pub struct Notify {
+    epoch: std::sync::Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notify {
+    /// A fresh notifier.
+    pub fn new() -> Self {
+        Notify::default()
+    }
+
+    /// Current notification epoch.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until the epoch advances past `seen`.
+    pub fn wait_from(&self, seen: u64) {
+        let mut epoch = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        while *epoch == seen {
+            epoch = self.cv.wait(epoch).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        *self.epoch.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        self.cv.notify_all();
+    }
+}
+
+// ------------------------------------------------------------------ thread
+
+/// Real threads behind the model API.
+pub mod thread {
+    /// Handle to a spawned thread.
+    pub struct JoinHandle(std::thread::JoinHandle<()>);
+
+    impl JoinHandle {
+        /// Blocks until the thread finishes; propagates a child panic so
+        /// stress runs fail loudly like model runs do.
+        pub fn join(self) {
+            if let Err(payload) = self.0.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Spawns a real thread.
+    pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+        JoinHandle(std::thread::spawn(f))
+    }
+
+    /// Voluntary yield.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}

@@ -67,11 +67,27 @@ impl Controller {
                     "controller.switches",
                     BTreeMap::new(),
                 ),
-                apps: Mutex::new(Vec::new()),
-                port_stats: Mutex::new(HashMap::new()),
-                flow_stats: Mutex::new(HashMap::new()),
-                depacketizers: Mutex::new(HashMap::new()),
-                barrier_waiters: Mutex::new(HashMap::new()),
+                apps: Mutex::with_rank(rank::CTRL_APPS, "controller.apps", Vec::new()),
+                port_stats: Mutex::with_rank(
+                    rank::CTRL_PORT_STATS,
+                    "controller.port_stats",
+                    HashMap::new(),
+                ),
+                flow_stats: Mutex::with_rank(
+                    rank::CTRL_FLOW_STATS,
+                    "controller.flow_stats",
+                    HashMap::new(),
+                ),
+                depacketizers: Mutex::with_rank(
+                    rank::CTRL_DEPACKETIZERS,
+                    "controller.depacketizers",
+                    HashMap::new(),
+                ),
+                barrier_waiters: Mutex::with_rank(
+                    rank::CTRL_BARRIER_WAITERS,
+                    "controller.barrier_waiters",
+                    HashMap::new(),
+                ),
                 ser: SerStats::shared(),
                 packetizer: Packetizer::default(),
                 next_xid: AtomicU32::new(1),
@@ -114,11 +130,17 @@ impl Controller {
     }
 
     fn send_to_switch(&self, host: HostId, msg: &OfMessage) -> bool {
-        let switches = self.inner.switches.read();
-        match switches.get(&host) {
-            Some(b) => b.channel.to_switch.send(wire::encode(msg)).is_ok(),
-            None => false,
-        }
+        // Clone the sender and release the switches lock before the
+        // blocking send: a switch with a full inbox must not stall every
+        // thread that needs the switch table (TL008).
+        let tx = {
+            let switches = self.inner.switches.read();
+            match switches.get(&host) {
+                Some(b) => b.channel.to_switch.clone(),
+                None => return false,
+            }
+        };
+        tx.send(wire::encode(msg)).is_ok()
     }
 
     /// Installs the full Table 3 rule plan for a scheduled topology

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use typhoon_coordinator::global::GlobalState;
-use typhoon_diag::{DiagMutex as Mutex, DiagRwLock as RwLock};
+use typhoon_diag::{rank, DiagMutex as Mutex, DiagRwLock as RwLock};
 use typhoon_model::{AppId, ComponentRegistry, HostInfo, NodeKind, TaskId};
 use typhoon_openflow::PortNo;
 use typhoon_switch::Switch;
@@ -61,7 +61,7 @@ impl WorkerAgent {
             switch,
             components,
             ser,
-            workers: Mutex::new(HashMap::new()),
+            workers: Mutex::with_rank(rank::AGENT_WORKERS, "core.agent.workers", HashMap::new()),
             next_port: AtomicU32::new(1),
             tracer,
             alive: AtomicBool::new(true),

@@ -351,7 +351,11 @@ impl TyphoonCluster {
                 manager,
                 recovery,
                 manager_shutdown,
-                manager_thread: DiagMutex::new(Some(manager_thread)),
+                manager_thread: DiagMutex::with_rank(
+                    rank::CLUSTER_MANAGER,
+                    "core.cluster.manager_thread",
+                    Some(manager_thread),
+                ),
                 tracer,
                 chaos: chaos_handles,
                 cluster_chaos,

@@ -23,7 +23,7 @@ use typhoon_controller::apps::FAULTS;
 use typhoon_controller::{rules, ControlTuple, Controller};
 use typhoon_coordinator::global::GlobalState;
 use typhoon_coordinator::CreateMode;
-use typhoon_diag::DiagMutex as Mutex;
+use typhoon_diag::{rank, DiagMutex as Mutex};
 use typhoon_metrics::Registry;
 use typhoon_model::{
     AppId, Grouping, HostId, LocalityScheduler, LogicalTopology, NodeKind, PhysicalTopology,
@@ -119,7 +119,7 @@ impl StreamingManager {
             controller,
             agents,
             config,
-            next_app: Mutex::new(1),
+            next_app: Mutex::with_rank(rank::CORE_APP_IDS, "core.manager.next_app", 1),
         }
     }
 
@@ -623,8 +623,12 @@ impl RecoveryManager {
             manager,
             registry: Registry::new(),
             heartbeat_timeout,
-            suspects: Mutex::new(HashMap::new()),
-            reports: Mutex::new(Vec::new()),
+            suspects: Mutex::with_rank(
+                rank::CORE_SUSPECTS,
+                "core.manager.suspects",
+                HashMap::new(),
+            ),
+            reports: Mutex::with_rank(rank::CORE_REPORTS, "core.manager.reports", Vec::new()),
         }
     }
 

@@ -139,16 +139,84 @@ pub mod rank {
 
     /// `typhoon-core` `cluster.rs` — outermost supervisor state.
     pub const CLUSTER: LockRank = LockRank(100);
+    /// `typhoon-core` `cluster.rs` — manager-loop join handle.
+    pub const CLUSTER_MANAGER: LockRank = LockRank(110);
+    /// `typhoon-core` `manager.rs` — application-id allocator.
+    pub const CORE_APP_IDS: LockRank = LockRank(120);
+    /// `typhoon-core` `manager.rs` — failure-detector suspect map; held
+    /// across coordinator calls, so it must stay below `COORD_GLOBAL`.
+    pub const CORE_SUSPECTS: LockRank = LockRank(130);
+    /// `typhoon-core` `manager.rs` — recovery report log.
+    pub const CORE_REPORTS: LockRank = LockRank(140);
+    /// `typhoon-core` `agent.rs` — per-host worker table.
+    pub const AGENT_WORKERS: LockRank = LockRank(150);
     /// `typhoon-storm` `nimbus.rs` — topology master state.
     pub const NIMBUS: LockRank = LockRank(200);
+    /// `typhoon-storm` `nimbus.rs` — application-id allocator.
+    pub const NIMBUS_APP_IDS: LockRank = LockRank(210);
+    /// `typhoon-storm` `nimbus.rs` — task-id range allocator.
+    pub const NIMBUS_TASK_IDS: LockRank = LockRank(215);
+    /// `typhoon-storm` `nimbus.rs` — monitor-thread join handle.
+    pub const NIMBUS_MONITOR: LockRank = LockRank(220);
+    /// `typhoon-storm` `nimbus.rs` — per-topology shutdown flags; held
+    /// while pruning heartbeats in `kill`, so it stays below
+    /// `NIMBUS_HEARTBEATS`.
+    pub const TOPO_SHUTDOWNS: LockRank = LockRank(230);
+    /// `typhoon-storm` `nimbus.rs` — per-topology restart counters.
+    pub const TOPO_RESTARTS: LockRank = LockRank(235);
+    /// `typhoon-storm` `nimbus.rs` — per-topology rate meters.
+    pub const TOPO_METERS: LockRank = LockRank(240);
+    /// `typhoon-storm` `nimbus.rs` — per-topology metric registries.
+    pub const TOPO_REGISTRIES: LockRank = LockRank(245);
+    /// `typhoon-storm` `nimbus.rs` — input-rate cell map; held while
+    /// locking the inner cell, so it stays below `EXEC_RATE_CELL`.
+    pub const TOPO_INPUT_RATES: LockRank = LockRank(250);
+    /// `typhoon-storm` `nimbus.rs` — debug-mirror cell map; held while
+    /// locking the inner cell, so it stays below `EXEC_MIRROR_CELL`.
+    pub const TOPO_MIRRORS: LockRank = LockRank(255);
+    /// `typhoon-storm` — worker heartbeat map (nimbus + executors).
+    pub const NIMBUS_HEARTBEATS: LockRank = LockRank(260);
+    /// `typhoon-storm` `executor.rs` — per-executor input-rate cell.
+    pub const EXEC_RATE_CELL: LockRank = LockRank(270);
+    /// `typhoon-storm` `executor.rs` — per-executor debug-mirror cell.
+    pub const EXEC_MIRROR_CELL: LockRank = LockRank(275);
+    /// `typhoon-storm` `transport.rs` — outbound TCP connection cache.
+    pub const TRANSPORT_CONNS: LockRank = LockRank(290);
+    /// `typhoon-controller` `controller.rs` — registered app list; held
+    /// across app callbacks that re-enter the controller and write
+    /// coordination state, so it stays below `COORD_GLOBAL`.
+    pub const CTRL_APPS: LockRank = LockRank(295);
     /// `typhoon-coordinator` `global.rs` — coordination service façade.
     pub const COORD_GLOBAL: LockRank = LockRank(300);
     /// `typhoon-coordinator` `store.rs` — znode tree + watches.
     pub const COORD_STORE: LockRank = LockRank(400);
+    /// `typhoon-controller` `controller.rs` — port-stats cache.
+    pub const CTRL_PORT_STATS: LockRank = LockRank(470);
+    /// `typhoon-controller` `controller.rs` — flow-stats cache.
+    pub const CTRL_FLOW_STATS: LockRank = LockRank(475);
+    /// `typhoon-controller` `controller.rs` — per-switch depacketizers.
+    pub const CTRL_DEPACKETIZERS: LockRank = LockRank(480);
+    /// `typhoon-controller` `controller.rs` — barrier reply waiters.
+    pub const CTRL_BARRIER_WAITERS: LockRank = LockRank(490);
     /// `typhoon-controller` `controller.rs` — SDN controller state.
     pub const CONTROLLER: LockRank = LockRank(500);
     /// `typhoon-switch` `datapath.rs` — software switch state.
     pub const DATAPATH: LockRank = LockRank(600);
+    /// `typhoon-switch` `datapath.rs` — wire-port table.
+    pub const DP_PORTS: LockRank = LockRank(610);
+    /// `typhoon-switch` `datapath.rs` — group table.
+    pub const DP_GROUPS: LockRank = LockRank(620);
+    /// `typhoon-switch` `datapath.rs` — tuple-trace recorder.
+    pub const DP_TRACE: LockRank = LockRank(630);
+    /// `typhoon-switch` `datapath.rs` — flow-expiry clock.
+    pub const DP_EXPIRE: LockRank = LockRank(640);
+    /// `typhoon-switch` `datapath.rs` — tunnel map; held across
+    /// `Tunnel::send`/`recv_batch`, so it stays below `CHAOS_STATE` and
+    /// `TUNNEL`.
+    pub const DP_TUNNELS: LockRank = LockRank(650);
+    /// `typhoon-net` `fault.rs` — fault-injector state; held across
+    /// inner tunnel sends, so it sits between `DP_TUNNELS` and `TUNNEL`.
+    pub const CHAOS_STATE: LockRank = LockRank(660);
     /// `typhoon-net` — tunnels and rings (innermost, leaf I/O).
     pub const TUNNEL: LockRank = LockRank(700);
 }

@@ -4,7 +4,7 @@
 //! Typhoon workspace relies on (see `docs/CONCURRENCY.md`). It is not a
 //! Rust parser: it tokenizes just enough (comments and string literals
 //! stripped, `#[cfg(test)]` regions tracked by brace matching) to make the
-//! six rules below reliable on idiomatic code, and it runs in
+//! eight rules below reliable on idiomatic code, and it runs in
 //! milliseconds with zero dependencies so CI can gate on it.
 //!
 //! | Rule  | What it flags | Waiver |
@@ -15,6 +15,8 @@
 //! | TL004 | unbounded channels in non-test code (unbackpressured queues hide overload) | `// LINT: allow-unbounded(reason)` |
 //! | TL005 | `std::thread::sleep` in library code (blocks an executor thread) | `// LINT: allow-sleep(reason)` |
 //! | TL006 | raw `thread::spawn`/`thread::Builder` in runtime crates instead of `typhoon_diag::spawn_supervised` (a silent thread death is an undetectable fault) | `// LINT: allow-raw-spawn(reason)` |
+//! | TL007 | lock-order violations: unranked Diag locks in hot-path crates, acquisition nesting that contradicts the declared ranks, and cycles in the acquisition-order graph (see [`graph`]) | `// LINT: allow-unranked-lock(reason)` |
+//! | TL008 | blocking channel `.send()`/`.recv()` while a lock guard is held (couples queue backpressure to the lock) | `// LINT: allow-send-under-lock(reason)` |
 //!
 //! Waivers go on the offending line or the line directly above it, and
 //! must carry a reason in parentheses.
@@ -25,6 +27,8 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod graph;
 
 /// Crates whose `src/` must use `typhoon-diag` wrappers instead of raw
 /// locks (TL002). These sit on the dataplane or control loops where an
@@ -74,15 +78,33 @@ impl fmt::Display for Diagnostic {
 }
 
 impl Diagnostic {
-    /// Serializes the diagnostic as a JSON object.
+    /// Serializes the diagnostic as a JSON object. Includes the rule's
+    /// one-line rationale so machine consumers (CI annotations, editor
+    /// integrations) can explain a finding without a lookup table.
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"rule":"{}","path":"{}","line":{},"message":"{}"}}"#,
+            r#"{{"rule":"{}","path":"{}","line":{},"message":"{}","rationale":"{}"}}"#,
             self.rule,
             json_escape(&self.path),
             self.line,
-            json_escape(&self.message)
+            json_escape(&self.message),
+            json_escape(rationale(self.rule))
         )
+    }
+}
+
+/// One-line rationale for each rule: *why* the workspace enforces it.
+pub fn rationale(rule: &str) -> &'static str {
+    match rule {
+        "TL001" => "Poisoned locks propagate panics across threads; recover the guard instead.",
+        "TL002" => "Hot-path locks need debug-build deadlock and hold-time diagnostics.",
+        "TL003" => "Every unsafe block needs a written proof of the invariants it relies on.",
+        "TL004" => "Unbounded queues hide overload instead of applying backpressure.",
+        "TL005" => "Sleeping blocks an executor thread the scheduler believes is live.",
+        "TL006" => "A raw thread dies silently; supervised spawns surface panics to recovery.",
+        "TL007" => "A total lock order (strictly increasing ranks) makes deadlock impossible.",
+        "TL008" => "Blocking channel ops under a lock couple queue pressure to the lock.",
+        _ => "Unknown rule.",
     }
 }
 
@@ -123,19 +145,19 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
 
 /// A source line after comment/string stripping, plus the comment text
 /// that was removed (waivers and SAFETY markers live in comments).
-struct Line {
+pub(crate) struct Line {
     /// Code with comments replaced by nothing and string/char literal
     /// *contents* blanked (delimiters kept), so pattern matches never fire
     /// inside literals or comments.
-    code: String,
+    pub(crate) code: String,
     /// Concatenated comment text on this line (line + block comments).
-    comment: String,
+    pub(crate) comment: String,
 }
 
 /// Strips comments and blanks string-literal contents, preserving line
 /// structure. Handles `//`, `/* */` (nested), `"…"` with escapes, raw
 /// strings `r#"…"#`, char literals, and lifetimes (`'a` is not a char).
-fn strip(source: &str) -> Vec<Line> {
+pub(crate) fn strip(source: &str) -> Vec<Line> {
     #[derive(PartialEq)]
     enum St {
         Code,
@@ -269,7 +291,7 @@ fn strip(source: &str) -> Vec<Line> {
 /// Marks lines inside `#[cfg(test)]`-gated brace regions. Handles the
 /// idiomatic `#[cfg(test)] mod tests { … }` (attribute and item on the
 /// same or following lines) by matching braces on stripped code.
-fn cfg_test_mask(lines: &[Line]) -> Vec<bool> {
+pub(crate) fn cfg_test_mask(lines: &[Line]) -> Vec<bool> {
     let mut mask = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
@@ -310,12 +332,12 @@ fn cfg_test_mask(lines: &[Line]) -> Vec<bool> {
 }
 
 /// True when `rel` (a /-separated relative path) lies in a test-only tree.
-fn is_test_path(rel: &str) -> bool {
+pub(crate) fn is_test_path(rel: &str) -> bool {
     rel.split('/')
         .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
 }
 
-fn waived(lines: &[Line], idx: usize, tag: &str) -> bool {
+pub(crate) fn waived(lines: &[Line], idx: usize, tag: &str) -> bool {
     let here = &lines[idx].comment;
     let above = idx.checked_sub(1).map(|p| lines[p].comment.as_str());
     let hit = |c: &str| {
@@ -548,7 +570,7 @@ fn has_raw_spawn(code: &str) -> bool {
 // ----------------------------------------------------------------- walking
 
 /// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -566,8 +588,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lints every `.rs` file in the workspace rooted at `root`. Diagnostics
-/// are sorted by path then line for stable output.
+/// Lints every `.rs` file in the workspace rooted at `root` — the
+/// per-file rules plus the whole-tree lock-order analysis (TL007/TL008).
+/// Diagnostics are stable-sorted by (path, line, rule).
 pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
     collect_rs(root, &mut files)?;
@@ -582,7 +605,13 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         let source = std::fs::read_to_string(&file)?;
         diags.extend(check_source(&rel, &source));
     }
-    diags.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    diags.extend(graph::analyze(root)?.diagnostics);
+    diags.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
     Ok(diags)
 }
 
@@ -711,7 +740,7 @@ mod tests {
         };
         assert_eq!(
             d.to_json(),
-            r#"{"rule":"TL001","path":"a\"b.rs","line":3,"message":"x\ny"}"#
+            r#"{"rule":"TL001","path":"a\"b.rs","line":3,"message":"x\ny","rationale":"Poisoned locks propagate panics across threads; recover the guard instead."}"#
         );
     }
 }

@@ -1,0 +1,24 @@
+//! TL007 fixture: a rank contradiction plus an unranked lock in a
+//! hot-path crate.
+use typhoon_diag::{DiagMutex as Mutex, LockRank};
+
+struct Tables {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+    scratch: Mutex<u32>,
+}
+
+fn build() -> Tables {
+    Tables {
+        outer: Mutex::with_rank(LockRank(300), "fixture.outer", 0),
+        inner: Mutex::with_rank(LockRank(200), "fixture.inner", 0),
+        scratch: Mutex::new(0),
+    }
+}
+
+fn nested(t: &Tables) {
+    let outer = t.outer.lock();
+    let inner = t.inner.lock();
+    drop(inner);
+    drop(outer);
+}

@@ -1,0 +1,13 @@
+//! TL008 fixture: a blocking channel send while a lock guard is live.
+use typhoon_diag::DiagMutex as Mutex;
+
+struct Hub {
+    peers: Mutex<Vec<u32>>,
+}
+
+fn broadcast(hub: &Hub, tx: &std::sync::mpsc::Sender<u32>) {
+    let peers = hub.peers.lock();
+    for &p in peers.iter() {
+        let _ = tx.send(p);
+    }
+}

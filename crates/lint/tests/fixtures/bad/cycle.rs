@@ -1,0 +1,28 @@
+//! TL007 fixture: an acquisition-order cycle between two locks.
+use typhoon_diag::{DiagMutex as Mutex, LockRank};
+
+struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+fn build() -> Pair {
+    Pair {
+        alpha: Mutex::with_rank(LockRank(0), "fixture.alpha", 0),
+        beta: Mutex::with_rank(LockRank(0), "fixture.beta", 0),
+    }
+}
+
+fn ab(p: &Pair) {
+    let a = p.alpha.lock();
+    let b = p.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+fn ba(p: &Pair) {
+    let b = p.beta.lock();
+    let a = p.alpha.lock();
+    drop(a);
+    drop(b);
+}

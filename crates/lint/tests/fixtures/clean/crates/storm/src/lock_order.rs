@@ -1,0 +1,25 @@
+//! Ranked locks acquired in increasing rank order, plus a waived
+//! unranked scratch lock.
+use typhoon_diag::{DiagMutex as Mutex, LockRank};
+
+struct Tables {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+    scratch: Mutex<u32>,
+}
+
+fn build() -> Tables {
+    Tables {
+        outer: Mutex::with_rank(LockRank(200), "fixture.outer", 0),
+        inner: Mutex::with_rank(LockRank(300), "fixture.inner", 0),
+        // LINT: allow-unranked-lock(scratch pad local to this helper)
+        scratch: Mutex::new(0),
+    }
+}
+
+fn nested(t: &Tables) {
+    let outer = t.outer.lock();
+    let inner = t.inner.lock();
+    drop(inner);
+    drop(outer);
+}

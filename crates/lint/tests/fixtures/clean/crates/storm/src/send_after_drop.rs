@@ -1,0 +1,33 @@
+//! The TL008-compliant shape: clone the senders under the lock, send
+//! after the guard drops — plus an explicitly waived handshake send.
+use typhoon_diag::DiagMutex as Mutex;
+
+#[derive(Clone)]
+struct Sender;
+
+impl Sender {
+    fn send(&self, _value: u32) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+struct Hub {
+    peers: Mutex<Vec<Sender>>,
+}
+
+fn broadcast(hub: &Hub, value: u32) {
+    let peers = {
+        let guard = hub.peers.lock();
+        guard.clone()
+    };
+    for tx in peers {
+        let _ = tx.send(value);
+    }
+}
+
+fn handshake(hub: &Hub, tx: &Sender, value: u32) {
+    let guard = hub.peers.lock();
+    // LINT: allow-send-under-lock(rendezvous handshake; the receiver drains before taking this lock)
+    let _ = tx.send(value);
+    drop(guard);
+}

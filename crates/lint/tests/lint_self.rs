@@ -23,8 +23,12 @@ fn lib_reports_exact_rules_and_lines_for_bad_fixture() {
         vec![
             ("TL006", "crates/core/src/raw_spawn.rs", 4),
             ("TL006", "crates/core/src/raw_spawn.rs", 8),
+            ("TL007", "crates/storm/src/lock_order.rs", 15),
+            ("TL007", "crates/storm/src/lock_order.rs", 21),
             ("TL002", "crates/storm/src/raw_lock.rs", 3),
             ("TL002", "crates/storm/src/raw_lock.rs", 5),
+            ("TL008", "crates/storm/src/send_under_lock.rs", 11),
+            ("TL007", "cycle.rs", 18),
             ("TL001", "violations.rs", 5),
             ("TL005", "violations.rs", 9),
             ("TL004", "violations.rs", 13),
@@ -61,10 +65,24 @@ fn binary_json_output_and_exit_codes() {
         r#""rule":"TL002","path":"crates/storm/src/raw_lock.rs","line":5"#,
         r#""rule":"TL006","path":"crates/core/src/raw_spawn.rs","line":4"#,
         r#""rule":"TL006","path":"crates/core/src/raw_spawn.rs","line":8"#,
+        r#""rule":"TL007","path":"crates/storm/src/lock_order.rs","line":15"#,
+        r#""rule":"TL007","path":"crates/storm/src/lock_order.rs","line":21"#,
+        r#""rule":"TL008","path":"crates/storm/src/send_under_lock.rs","line":11"#,
+        r#""rule":"TL007","path":"cycle.rs","line":18"#,
     ] {
         assert!(json.contains(expected), "missing {expected} in:\n{json}");
     }
-    assert_eq!(json.matches(r#""rule":"#).count(), 9, "no extras:\n{json}");
+    assert_eq!(json.matches(r#""rule":"#).count(), 13, "no extras:\n{json}");
+    // Every diagnostic carries a one-line rationale for its rule.
+    assert_eq!(
+        json.matches(r#""rationale":""#).count(),
+        13,
+        "every finding needs a rationale:\n{json}"
+    );
+    assert!(
+        json.contains("A total lock order (strictly increasing ranks) makes deadlock impossible."),
+        "TL007 rationale missing:\n{json}"
+    );
 
     let clean = Command::new(bin)
         .args(["check", "--json", "--root"])
@@ -73,6 +91,31 @@ fn binary_json_output_and_exit_codes() {
         .expect("run typhoon-lint");
     assert_eq!(clean.status.code(), Some(0), "clean tree must exit 0");
     assert_eq!(String::from_utf8(clean.stdout).expect("utf8").trim(), "[]");
+}
+
+#[test]
+fn binary_graph_emits_deterministic_dot() {
+    let bin = env!("CARGO_BIN_EXE_typhoon-lint");
+    let run = || {
+        let out = Command::new(bin)
+            .args(["graph", "--root"])
+            .arg(fixtures("clean"))
+            .output()
+            .expect("run typhoon-lint graph");
+        assert_eq!(out.status.code(), Some(0), "graph must exit 0");
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "DOT output must be deterministic");
+    assert!(
+        first.contains(r#""fixture.outer""#),
+        "ranked node missing:\n{first}"
+    );
+    assert!(
+        first.contains(r#""fixture.outer" -> "fixture.inner""#),
+        "nesting edge missing:\n{first}"
+    );
 }
 
 #[test]

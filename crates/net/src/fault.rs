@@ -25,7 +25,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use typhoon_diag::DiagMutex as Mutex;
+use typhoon_diag::{rank, DiagMutex as Mutex};
 
 /// One direction's fault configuration. All probabilities are in `0..=1`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -292,12 +292,16 @@ impl ChaosHandle {
     pub fn standalone(plan: FaultPlan) -> ChaosHandle {
         ChaosHandle {
             shared: Arc::new(ChaosShared {
-                state: Mutex::new(ChaosState {
-                    rng: SmallRng::seed_from_u64(plan.seed),
-                    plan,
-                    tx_held: VecDeque::new(),
-                    rx_held: VecDeque::new(),
-                }),
+                state: Mutex::with_rank(
+                    rank::CHAOS_STATE,
+                    "net.fault.state",
+                    ChaosState {
+                        rng: SmallRng::seed_from_u64(plan.seed),
+                        plan,
+                        tx_held: VecDeque::new(),
+                        rx_held: VecDeque::new(),
+                    },
+                ),
                 stats: ChaosStats::default(),
             }),
         }
@@ -370,12 +374,16 @@ impl FaultInjector {
     /// Wraps `inner`, returning the injector and its control handle.
     pub fn wrap(inner: Box<dyn Tunnel + Send>, plan: FaultPlan) -> (FaultInjector, ChaosHandle) {
         let shared = Arc::new(ChaosShared {
-            state: Mutex::new(ChaosState {
-                rng: SmallRng::seed_from_u64(plan.seed),
-                plan,
-                tx_held: VecDeque::new(),
-                rx_held: VecDeque::new(),
-            }),
+            state: Mutex::with_rank(
+                rank::CHAOS_STATE,
+                "net.fault.state",
+                ChaosState {
+                    rng: SmallRng::seed_from_u64(plan.seed),
+                    plan,
+                    tx_held: VecDeque::new(),
+                    rx_held: VecDeque::new(),
+                },
+            ),
             stats: ChaosStats::default(),
         });
         let handle = ChaosHandle {

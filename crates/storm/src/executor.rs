@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use typhoon_diag::DiagMutex as Mutex;
+use typhoon_diag::{rank, DiagMutex as Mutex};
 use typhoon_metrics::{RateMeter, Registry};
 use typhoon_model::{Bolt, Emitter, RouteDecision, RoutingState, Spout, TaskId};
 use typhoon_trace::{Hop, TraceCtx};
@@ -495,8 +495,16 @@ pub fn make_ctx(
         acker,
         max_pending,
         ack_timeout,
-        input_rate: Arc::new(Mutex::new(None)),
-        mirror_to: Arc::new(Mutex::new(None)),
+        input_rate: Arc::new(Mutex::with_rank(
+            rank::EXEC_RATE_CELL,
+            "storm.executor.input_rate",
+            None,
+        )),
+        mirror_to: Arc::new(Mutex::with_rank(
+            rank::EXEC_MIRROR_CELL,
+            "storm.executor.mirror_to",
+            None,
+        )),
         mem_cap_items: None,
         shutdown,
         trace: TraceCtx::disabled(),

@@ -180,12 +180,20 @@ impl StormCluster {
                 components,
                 directory: Directory::new(),
                 ser: SerStats::shared(),
-                heartbeats: Arc::new(Mutex::new(HashMap::new())),
+                heartbeats: Arc::new(Mutex::with_rank(
+                    rank::NIMBUS_HEARTBEATS,
+                    "storm.nimbus.heartbeats",
+                    HashMap::new(),
+                )),
                 topologies: Mutex::with_rank(rank::NIMBUS, "storm.nimbus.topologies", Vec::new()),
-                next_app: Mutex::new(1),
-                next_task_base: Mutex::new(0),
+                next_app: Mutex::with_rank(rank::NIMBUS_APP_IDS, "storm.nimbus.next_app", 1),
+                next_task_base: Mutex::with_rank(
+                    rank::NIMBUS_TASK_IDS,
+                    "storm.nimbus.next_task_base",
+                    0,
+                ),
                 monitor_shutdown: Arc::new(AtomicBool::new(false)),
-                monitor: Mutex::new(None),
+                monitor: Mutex::with_rank(rank::NIMBUS_MONITOR, "storm.nimbus.monitor", None),
                 tracer,
             }),
         };
@@ -274,12 +282,24 @@ impl StormCluster {
             physical,
             blueprints,
             acker_task,
-            shutdowns: Mutex::new(HashMap::new()),
-            meters: Mutex::new(HashMap::new()),
-            registries: Mutex::new(HashMap::new()),
-            input_rates: Mutex::new(HashMap::new()),
-            mirrors: Mutex::new(HashMap::new()),
-            restarts: Mutex::new(HashMap::new()),
+            shutdowns: Mutex::with_rank(
+                rank::TOPO_SHUTDOWNS,
+                "storm.topo.shutdowns",
+                HashMap::new(),
+            ),
+            meters: Mutex::with_rank(rank::TOPO_METERS, "storm.topo.meters", HashMap::new()),
+            registries: Mutex::with_rank(
+                rank::TOPO_REGISTRIES,
+                "storm.topo.registries",
+                HashMap::new(),
+            ),
+            input_rates: Mutex::with_rank(
+                rank::TOPO_INPUT_RATES,
+                "storm.topo.input_rates",
+                HashMap::new(),
+            ),
+            mirrors: Mutex::with_rank(rank::TOPO_MIRRORS, "storm.topo.mirrors", HashMap::new()),
+            restarts: Mutex::with_rank(rank::TOPO_RESTARTS, "storm.topo.restarts", HashMap::new()),
             stopped: AtomicBool::new(false),
         });
         let handle = TopologyHandle {
@@ -336,13 +356,25 @@ impl StormCluster {
             .input_rates
             .lock()
             .entry(task)
-            .or_insert_with(|| Arc::new(Mutex::new(None)))
+            .or_insert_with(|| {
+                Arc::new(Mutex::with_rank(
+                    rank::EXEC_RATE_CELL,
+                    "storm.executor.input_rate",
+                    None,
+                ))
+            })
             .clone();
         ctx.mirror_to = topo
             .mirrors
             .lock()
             .entry(task)
-            .or_insert_with(|| Arc::new(Mutex::new(None)))
+            .or_insert_with(|| {
+                Arc::new(Mutex::with_rank(
+                    rank::EXEC_MIRROR_CELL,
+                    "storm.executor.mirror_to",
+                    None,
+                ))
+            })
             .clone();
         ctx.mem_cap_items = self.inner.config.mem_caps.get(&bp.node).copied();
         if let Some(t) = &self.inner.tracer {

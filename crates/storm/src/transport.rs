@@ -15,7 +15,7 @@ use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use typhoon_diag::{DiagMutex as Mutex, DiagRwLock as RwLock};
+use typhoon_diag::{rank, DiagMutex as Mutex, DiagRwLock as RwLock};
 use typhoon_model::TaskId;
 
 /// Cap on one transported blob (guards against corrupt length prefixes).
@@ -173,7 +173,11 @@ impl Outbound {
     pub fn new(directory: Directory) -> Self {
         Outbound {
             directory,
-            tcp_conns: Mutex::new(HashMap::new()),
+            tcp_conns: Mutex::with_rank(
+                rank::TRANSPORT_CONNS,
+                "storm.transport.tcp_conns",
+                HashMap::new(),
+            ),
         }
     }
 

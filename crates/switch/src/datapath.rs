@@ -96,16 +96,36 @@ impl Switch {
         let (from_switch_tx, from_switch_rx) = bounded(65536);
         let switch = Switch {
             inner: Arc::new(Inner {
-                ports: Mutex::new(Ports::new(config.ring_capacity)),
+                ports: Mutex::with_rank(
+                    rank::DP_PORTS,
+                    "switch.datapath.ports",
+                    Ports::new(config.ring_capacity),
+                ),
                 table: Mutex::with_rank(rank::DATAPATH, "switch.datapath.table", FlowTable::new()),
-                groups: Mutex::new(GroupTable::new()),
-                tunnels: Mutex::new(HashMap::new()),
+                groups: Mutex::with_rank(
+                    rank::DP_GROUPS,
+                    "switch.datapath.groups",
+                    GroupTable::new(),
+                ),
+                tunnels: Mutex::with_rank(
+                    rank::DP_TUNNELS,
+                    "switch.datapath.tunnels",
+                    HashMap::new(),
+                ),
                 tunnel_downs: AtomicU64::new(0),
                 ctrl_tx: from_switch_tx,
                 ctrl_rx: to_switch_rx,
                 shutdown: AtomicBool::new(false),
-                last_expire: Mutex::new(Instant::now()),
-                trace: Mutex::new(TraceCtx::disabled()),
+                last_expire: Mutex::with_rank(
+                    rank::DP_EXPIRE,
+                    "switch.datapath.last_expire",
+                    Instant::now(),
+                ),
+                trace: Mutex::with_rank(
+                    rank::DP_TRACE,
+                    "switch.datapath.trace",
+                    TraceCtx::disabled(),
+                ),
                 config,
             }),
         };
@@ -369,6 +389,7 @@ impl Switch {
                     if let Some(host) = tun_dst {
                         let tunnels = self.inner.tunnels.lock();
                         if let Some(t) = tunnels.get(&host) {
+                            // LINT: allow-send-under-lock(Tunnel::send is a socket write, not a channel op; the per-tunnel writer lock ranks above this map lock)
                             if let Err(e) = t.send(&frame) {
                                 if Self::tunnel_error_is_fatal(&e) {
                                     dead_tunnel = Some(host);
