@@ -1,0 +1,98 @@
+//! `bench-gate` — compares a fresh `BENCH_*.json` matrix against the
+//! committed baselines and fails on direction-aware regressions.
+//!
+//! ```text
+//! bench-gate [--baseline DIR] --fresh DIR [--slack F] [--figures a,b,..] [--bless]
+//!
+//!   --baseline DIR   directory holding the committed BENCH_*.json
+//!                    baselines (default: .)
+//!   --fresh DIR      directory holding the just-generated matrix
+//!                    (each exp_* binary's --json output)
+//!   --slack F        multiply every per-metric tolerance by F (default 1;
+//!                    CI uses > 1 to absorb cross-machine variance)
+//!   --figures a,b    comma-separated figure subset (default: all nine)
+//!   --bless          instead of comparing, adopt the fresh files as the
+//!                    new baselines
+//! ```
+//!
+//! Exit codes: 0 = pass (or bless succeeded), 1 = regression / missing
+//! file / mode mismatch, 2 = usage error. The delta table always prints.
+
+use std::path::PathBuf;
+use typhoon_bench::gate;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-gate [--baseline DIR] --fresh DIR [--slack F] \
+         [--figures a,b,..] [--bless]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = PathBuf::from(".");
+    let mut fresh: Option<PathBuf> = None;
+    let mut slack = 1.0f64;
+    let mut figures: Vec<String> = gate::FIGURES.iter().map(|s| s.to_string()).collect();
+    let mut do_bless = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = it.next().map(PathBuf::from).unwrap_or_else(|| usage()),
+            "--fresh" => fresh = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage())),
+            "--slack" => {
+                slack = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--figures" => {
+                figures = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if figures.is_empty() {
+                    usage();
+                }
+            }
+            "--bless" => do_bless = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(fresh) = fresh else {
+        eprintln!("--fresh DIR is required");
+        usage();
+    };
+
+    if do_bless {
+        match gate::bless(&baseline, &fresh, &figures) {
+            Ok(refreshed) => {
+                for name in &refreshed {
+                    println!("blessed {} -> {}", name, baseline.join(name).display());
+                }
+                println!("bench-gate: {} baseline(s) refreshed", refreshed.len());
+            }
+            Err(e) => {
+                eprintln!("bench-gate --bless failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let outcome = gate::run(&baseline, &fresh, &figures, slack);
+    print!("{}", gate::render_table(&outcome, slack));
+    if !outcome.pass() {
+        std::process::exit(1);
+    }
+}

@@ -9,10 +9,26 @@
 //! actually cost).
 
 use std::time::Duration;
-use typhoon_bench::harness::{measure_rate, print_rate_row};
+use typhoon_bench::harness::{measure_rate, print_rate_row, BenchOpts};
+use typhoon_bench::report::{Direction, Report};
 use typhoon_bench::workloads::register_standard;
 use typhoon_core::{SchedulerKind, TyphoonCluster, TyphoonConfig};
 use typhoon_model::{ComponentRegistry, Fields, Grouping, LogicalTopology};
+
+/// Run parameters, compressed by `--short`.
+struct Cfg {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Cfg {
+    fn new(opts: &BenchOpts) -> Self {
+        Cfg {
+            warmup: opts.pick(Duration::from_secs(1), Duration::from_millis(300)),
+            measure: opts.pick(Duration::from_secs(4), Duration::from_secs(1)),
+        }
+    }
+}
 
 fn pipeline() -> LogicalTopology {
     LogicalTopology::builder("ablate")
@@ -27,7 +43,7 @@ fn pipeline() -> LogicalTopology {
         .expect("valid")
 }
 
-fn run(kind: SchedulerKind) -> (usize, f64) {
+fn run(cfg: &Cfg, kind: SchedulerKind) -> (usize, f64) {
     let mut reg = ComponentRegistry::new();
     let (sink, _) = register_standard(&mut reg, 100, 64);
     let mut config = TyphoonConfig::new(3)
@@ -39,20 +55,23 @@ fn run(kind: SchedulerKind) -> (usize, f64) {
     let handle = cluster.submit(pipeline()).expect("submit");
     let physical = handle.physical().expect("physical");
     let remote_pairs = physical.remote_edge_pairs(&pipeline());
-    let rate = measure_rate(
-        || sink.count(),
-        Duration::from_secs(1),
-        Duration::from_secs(4),
-    );
+    let rate = measure_rate(|| sink.count(), cfg.warmup, cfg.measure);
     cluster.shutdown();
     (remote_pairs, rate)
 }
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let cfg = Cfg::new(&opts);
     println!("== Ablation: locality vs round-robin scheduling ==");
     println!("# 6-task pipeline over 3 hosts × 2 slots, real TCP tunnels");
-    let (lo_remote, lo_rate) = run(SchedulerKind::Locality);
-    let (rr_remote, rr_rate) = run(SchedulerKind::RoundRobin);
+    let mut report = Report::new(
+        "ablation",
+        "locality vs round-robin scheduling",
+        opts.mode(),
+    );
+    let (lo_remote, lo_rate) = run(&cfg, SchedulerKind::Locality);
+    let (rr_remote, rr_rate) = run(&cfg, SchedulerKind::RoundRobin);
     print_rate_row(
         &format!("TYPHOON locality     (remote pairs={lo_remote})"),
         lo_rate,
@@ -65,4 +84,28 @@ fn main() {
         "# locality cuts remote edge pairs {rr_remote} → {lo_remote} and changes throughput by {:+.0}%",
         (lo_rate / rr_rate - 1.0) * 100.0
     );
+    // Placement is deterministic for a fixed pipeline, so the scheduler's
+    // objective — fewer remote pairs than round-robin — is exact.
+    report.exact(
+        "locality_pairs_saved",
+        rr_remote.saturating_sub(lo_remote) as f64,
+        "pairs",
+    );
+    report.metric(
+        "remote_pairs.locality",
+        lo_remote as f64,
+        "pairs",
+        Direction::LowerIsBetter,
+        0.0,
+    );
+    report.metric(
+        "remote_pairs.round_robin",
+        rr_remote as f64,
+        "pairs",
+        Direction::LowerIsBetter,
+        0.0,
+    );
+    report.throughput("throughput.locality", lo_rate);
+    report.throughput("throughput.round_robin", rr_rate);
+    opts.emit(&report);
 }

@@ -13,12 +13,13 @@
 //! ```
 
 use std::time::{Duration, Instant};
+use typhoon_bench::harness::BenchOpts;
+use typhoon_bench::report::{Direction, Report};
 use typhoon_controller::apps::FaultDetector;
 use typhoon_core::{TyphoonCluster, TyphoonConfig};
 use typhoon_model::{ComponentRegistry, Fields, Grouping, LogicalTopology};
 use typhoon_net::{ChaosStats, FaultPlan, FaultSpec};
 
-const DEFAULT_ROOTS: i64 = 2_000;
 const DEFAULT_SEED: u64 = 0xc4a0_5eed;
 
 fn word_count_shape() -> LogicalTopology {
@@ -101,7 +102,8 @@ fn merge(acc: &mut Vec<(&'static str, u64)>, stats: &ChaosStats) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = BenchOpts::from_env();
+    let args = &opts.rest;
     let get = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -110,28 +112,39 @@ fn main() {
     };
     let roots: i64 = get("--roots")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_ROOTS);
+        .unwrap_or_else(|| opts.pick(2_000, 300));
     let seed: u64 = get("--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_SEED);
     let class = get("--class").unwrap_or_else(|| "all".into());
+    let mut report = Report::new(
+        "chaos",
+        "completion time under injected tunnel faults",
+        opts.mode(),
+    )
+    .with_seed(seed);
 
-    let classes: Vec<(&str, FaultPlan)> = vec![
-        ("baseline", FaultPlan::clean(seed)),
+    // `key` is the dotted-metric-safe class name.
+    let classes: Vec<(&str, &str, FaultPlan)> = vec![
+        ("baseline", "baseline", FaultPlan::clean(seed)),
         (
             "drop-5%",
+            "drop",
             FaultPlan::symmetric(seed, FaultSpec::CLEAN.dropping(0.05)),
         ),
         (
             "delay-25ms",
+            "delay",
             FaultPlan::symmetric(seed, FaultSpec::CLEAN.delaying(Duration::from_millis(25))),
         ),
         (
             "dup-10%",
+            "dup",
             FaultPlan::symmetric(seed, FaultSpec::CLEAN.duplicating(0.10)),
         ),
         (
             "corrupt-5%",
+            "corrupt",
             FaultPlan::symmetric(seed, FaultSpec::CLEAN.corrupting(0.05)),
         ),
     ];
@@ -140,7 +153,7 @@ fn main() {
         "# {:<12} {:>10} {:>10} {:>10}  injected",
         "class", "completed", "delivered", "secs"
     );
-    for (name, plan) in classes {
+    for (name, key, plan) in classes {
         if class != "all" && !name.starts_with(class.as_str()) {
             continue;
         }
@@ -159,5 +172,26 @@ fn main() {
             o.elapsed.as_secs_f64(),
             injected.join(" ")
         );
+        // Every root must complete under every fault class — exactness.
+        report.exact(
+            format!("completion_ratio.{key}"),
+            o.completed as f64 / roots.max(1) as f64,
+            "ratio",
+        );
+        // Completion time: recovery must stay cheap. Wide tolerance —
+        // retransmit timing under drop/corrupt is scheduling-sensitive.
+        report.time_ms(
+            format!("completion_ms.{key}"),
+            o.elapsed.as_secs_f64() * 1e3,
+            1.5,
+        );
+        report.metric(
+            format!("delivered_ratio.{key}"),
+            o.delivered as f64 / roots.max(1) as f64,
+            "ratio",
+            Direction::HigherIsBetter,
+            0.5,
+        );
     }
+    opts.emit(&report);
 }

@@ -14,7 +14,11 @@
 //!   worker takes a share of the input and throughput stabilizes.
 
 use std::time::Duration;
-use typhoon_bench::harness::{print_aggregate_timeline, print_timeline};
+use typhoon_bench::harness::{
+    aggregate_timeline_points, print_aggregate_timeline, print_timeline, timeline_points,
+    window_mean, BenchOpts,
+};
+use typhoon_bench::report::{Direction, Report};
 use typhoon_bench::workloads::{word_count_topology, CountBolt, SentenceSpout, SplitBolt};
 use typhoon_controller::apps::{AutoScaler, AutoScalerConfig};
 use typhoon_core::{TyphoonCluster, TyphoonConfig};
@@ -23,11 +27,36 @@ use typhoon_model::{Bolt, ComponentRegistry, Emitter};
 use typhoon_storm::{StormCluster, StormConfig};
 use typhoon_tuple::Tuple;
 
-const TOTAL_SECS: usize = 40;
 /// Input sentences/sec — above 2×capacity, below 3×capacity.
 const INPUT_RATE: u32 = 3_000;
 /// Per-split service time: capacity ≈ 1250 sentences/sec each.
 const SERVICE: Duration = Duration::from_micros(800);
+
+/// Timeline parameters, compressed by `--short`. The short run keeps the
+/// same overload ratio; only the observation window, the auto-scaler
+/// cooldown, and the Storm OOM cap shrink so the scale-up (and at least
+/// one OOM cycle) land inside the window.
+struct Cfg {
+    total_secs: usize,
+    cooldown: Duration,
+    mem_cap: usize,
+}
+
+impl Cfg {
+    fn new(opts: &BenchOpts) -> Self {
+        Cfg {
+            total_secs: opts.pick(40, 16),
+            cooldown: Duration::from_secs(opts.pick(15, 4)),
+            mem_cap: opts.pick(4_000, 2_000),
+        }
+    }
+
+    /// Windows of the settled post-scale-up state: the last quarter of
+    /// the run.
+    fn post_windows(&self) -> (usize, usize) {
+        (self.total_secs * 3 / 4, self.total_secs)
+    }
+}
 
 /// A split worker with bounded service rate (sleeping does not consume
 /// the single benchmark CPU, so per-worker capacity is explicit and
@@ -49,7 +78,7 @@ fn register(reg: &mut ComponentRegistry) {
     reg.register_bolt("count", CountBolt::new);
 }
 
-fn run_storm() -> (Vec<RateMeter>, u64) {
+fn run_storm(cfg: &Cfg) -> (Vec<RateMeter>, u64) {
     let mut reg = ComponentRegistry::new();
     register(&mut reg);
     let config = StormConfig {
@@ -57,7 +86,7 @@ fn run_storm() -> (Vec<RateMeter>, u64) {
         monitor_interval: Duration::from_millis(100),
         ..StormConfig::local(3)
     }
-    .with_mem_cap("split", 4_000);
+    .with_mem_cap("split", cfg.mem_cap);
     let cluster = StormCluster::new(config, reg);
     let handle = cluster.submit(word_count_topology(2, 4)).expect("submit");
     handle.set_input_rate(handle.tasks_of("input")[0], Some(INPUT_RATE));
@@ -66,7 +95,7 @@ fn run_storm() -> (Vec<RateMeter>, u64) {
         .into_iter()
         .filter_map(|t| handle.meter(t))
         .collect();
-    std::thread::sleep(Duration::from_secs(TOTAL_SECS as u64));
+    std::thread::sleep(Duration::from_secs(cfg.total_secs as u64));
     let oom: u64 = handle
         .tasks_of("split")
         .into_iter()
@@ -76,7 +105,7 @@ fn run_storm() -> (Vec<RateMeter>, u64) {
     (meters, oom)
 }
 
-fn run_typhoon() -> (Vec<RateMeter>, Vec<(String, RateMeter)>, usize) {
+fn run_typhoon(cfg: &Cfg) -> (Vec<RateMeter>, Vec<(String, RateMeter)>, usize) {
     let mut reg = ComponentRegistry::new();
     register(&mut reg);
     let mut config = TyphoonConfig::new(3).with_batch_size(100);
@@ -98,7 +127,7 @@ fn run_typhoon() -> (Vec<RateMeter>, Vec<(String, RateMeter)>, usize) {
             low_watermark: 0, // no scale-down during the experiment
             min_parallelism: 2,
             max_parallelism: 3,
-            cooldown: Duration::from_secs(15),
+            cooldown: cfg.cooldown,
         })));
     let handle = cluster.submit(word_count_topology(2, 4)).expect("submit");
     cluster.controller().send_control(
@@ -113,7 +142,7 @@ fn run_typhoon() -> (Vec<RateMeter>, Vec<(String, RateMeter)>, usize) {
         .into_iter()
         .filter_map(|t| handle.worker(t).map(|w| w.meter))
         .collect();
-    std::thread::sleep(Duration::from_secs(TOTAL_SECS as u64));
+    std::thread::sleep(Duration::from_secs(cfg.total_secs as u64));
     // Collect split meters at the end so the scaled-up worker is included.
     let split_meters: Vec<(String, RateMeter)> = handle
         .tasks_of("split")
@@ -131,20 +160,55 @@ fn run_typhoon() -> (Vec<RateMeter>, Vec<(String, RateMeter)>, usize) {
 }
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let cfg = Cfg::new(&opts);
     println!("== Fig. 11: auto scale-up under overload ==");
     println!(
         "# input {INPUT_RATE} sentences/s vs per-split capacity ~{:.0}/s",
         1.0 / SERVICE.as_secs_f64()
     );
-    let (meters, oom) = run_storm();
+    let mut report = Report::new("fig11", "auto scale-up under overload", opts.mode());
+    let (post_from, post_to) = cfg.post_windows();
+
+    let (meters, oom) = run_storm(&cfg);
     println!("# storm: split workers OOM-restarted {oom} times");
-    print_aggregate_timeline("fig11a/storm-count-workers", &meters, TOTAL_SECS);
-    let (count_meters, split_meters, parallelism) = run_typhoon();
+    print_aggregate_timeline("fig11a/storm-count-workers", &meters, cfg.total_secs);
+    let storm_points = aggregate_timeline_points(&meters, cfg.total_secs);
+    report.push_series("fig11a/storm-count-workers", "tuples/sec", storm_points);
+    // Informational: the oscillation mechanism requires at least one OOM
+    // restart; loose upper tolerance, a drop to zero would flag a broken
+    // overload setup just as well via the throughput metrics below.
+    report.metric(
+        "storm_oom_restarts",
+        oom as f64,
+        "count",
+        Direction::LowerIsBetter,
+        5.0,
+    );
+
+    let (count_meters, split_meters, parallelism) = run_typhoon(&cfg);
     println!("# typhoon: final split parallelism = {parallelism} (auto-scaled from 2)");
-    print_aggregate_timeline("fig11b/typhoon-count-workers", &count_meters, TOTAL_SECS);
+    print_aggregate_timeline(
+        "fig11b/typhoon-count-workers",
+        &count_meters,
+        cfg.total_secs,
+    );
+    let ty_points = aggregate_timeline_points(&count_meters, cfg.total_secs);
+    let post_scale = window_mean(&ty_points, post_from, post_to);
+    report.push_series("fig11b/typhoon-count-workers", "tuples/sec", ty_points);
     for (label, meter) in &split_meters {
-        print_timeline(&format!("fig11c/typhoon-{label}"), meter, 0, TOTAL_SECS);
+        print_timeline(&format!("fig11c/typhoon-{label}"), meter, 0, cfg.total_secs);
+        report.push_series(
+            format!("fig11c/typhoon-{label}"),
+            "tuples/sec",
+            timeline_points(meter, 0, cfg.total_secs),
+        );
     }
+    // The figure's claim: the auto-scaler lands exactly one scale-up
+    // (2 → 3) and the post-scale throughput holds.
+    report.exact("final_split_parallelism", parallelism as f64, "workers");
+    report.throughput("throughput.typhoon.post_scale", post_scale);
     println!("# expected shape: storm oscillates with OOM restarts; typhoon");
     println!("# scales up once and stabilizes, the new split absorbing load.");
+    opts.emit(&report);
 }

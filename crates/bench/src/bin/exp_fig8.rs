@@ -17,7 +17,10 @@
 //! batch sizes and above it at large ones.
 
 use std::time::Duration;
-use typhoon_bench::harness::{measure_rate, print_cdf, print_hop_table, print_rate_row};
+use typhoon_bench::harness::{
+    measure_rate, print_cdf, print_hop_table, print_rate_row, quantile_from_cdf, BenchOpts,
+};
+use typhoon_bench::report::{Direction, Report, LATENCY_TOL};
 use typhoon_bench::workloads::{forwarding_topology, register_standard};
 use typhoon_core::{TyphoonCluster, TyphoonConfig};
 use typhoon_model::ComponentRegistry;
@@ -25,14 +28,33 @@ use typhoon_storm::{StormCluster, StormConfig};
 
 const PAYLOAD: usize = 100;
 const SPOUT_BATCH: usize = 64;
-const WARMUP: Duration = Duration::from_secs(1);
-const MEASURE: Duration = Duration::from_secs(3);
-const BATCH_SIZES: [usize; 4] = [100, 250, 500, 1000];
+
+/// Run parameters, compressed by `--short` (CI / baseline generation).
+struct Cfg {
+    warmup: Duration,
+    measure: Duration,
+    batches: &'static [usize],
+}
+
+impl Cfg {
+    fn new(opts: &BenchOpts) -> Self {
+        Cfg {
+            warmup: opts.pick(Duration::from_secs(1), Duration::from_millis(200)),
+            measure: opts.pick(Duration::from_secs(3), Duration::from_millis(600)),
+            batches: opts.pick(&[100, 250, 500, 1000][..], &[100, 1000][..]),
+        }
+    }
+}
 
 /// `(system label, remote placement, latency CDF points)`.
 type LabeledCdf = (String, bool, Vec<(u64, f64)>);
 
-fn storm_forwarding(remote: bool, acking: bool, rate_cap: Option<u32>) -> (f64, Vec<(u64, f64)>) {
+fn storm_forwarding(
+    cfg: &Cfg,
+    remote: bool,
+    acking: bool,
+    rate_cap: Option<u32>,
+) -> (f64, Vec<(u64, f64)>) {
     let mut reg = ComponentRegistry::new();
     let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
     let mut config = if remote {
@@ -48,7 +70,7 @@ fn storm_forwarding(remote: bool, acking: bool, rate_cap: Option<u32>) -> (f64, 
     if rate_cap.is_some() {
         handle.set_input_rate(handle.tasks_of("source")[0], rate_cap);
     }
-    let rate = measure_rate(|| sink.count(), WARMUP, MEASURE);
+    let rate = measure_rate(|| sink.count(), cfg.warmup, cfg.measure);
     let cdf = handle
         .registry(handle.tasks_of("source")[0])
         .map(|r| r.histogram("latency").cdf())
@@ -58,6 +80,7 @@ fn storm_forwarding(remote: bool, acking: bool, rate_cap: Option<u32>) -> (f64, 
 }
 
 fn typhoon_forwarding(
+    cfg: &Cfg,
     remote: bool,
     acking: bool,
     batch: usize,
@@ -95,7 +118,7 @@ fn typhoon_forwarding(
             },
         );
     }
-    let rate = measure_rate(|| sink.count(), WARMUP, MEASURE);
+    let rate = measure_rate(|| sink.count(), cfg.warmup, cfg.measure);
     let cdf = handle
         .worker(handle.tasks_of("source")[0])
         .map(|w| w.registry.histogram("latency").cdf())
@@ -104,20 +127,23 @@ fn typhoon_forwarding(
     (rate, cdf)
 }
 
-fn fig8a() {
+fn fig8a(cfg: &Cfg, report: &mut Report) {
     println!("== Fig. 8(a): tuple forwarding throughput (no acking) ==");
     for remote in [false, true] {
         let place = if remote { "REMOTE" } else { "LOCAL" };
-        let (storm, _) = storm_forwarding(remote, false, None);
+        let tag = if remote { "remote" } else { "local" };
+        let (storm, _) = storm_forwarding(cfg, remote, false, None);
         print_rate_row(&format!("STORM          ({place})"), storm);
-        for batch in BATCH_SIZES {
-            let (typhoon, _) = typhoon_forwarding(remote, false, batch, None);
+        report.throughput(format!("throughput.{tag}.storm"), storm);
+        for &batch in cfg.batches {
+            let (typhoon, _) = typhoon_forwarding(cfg, remote, false, batch, None);
             print_rate_row(&format!("TYPHOON({batch:<4})  ({place})"), typhoon);
+            report.throughput(format!("throughput.{tag}.typhoon.b{batch}"), typhoon);
         }
     }
 }
 
-fn fig8b_cd(print_throughput: bool, print_latency: bool) {
+fn fig8b_cd(cfg: &Cfg, report: &mut Report, print_throughput: bool, print_latency: bool) {
     if print_throughput {
         println!("== Fig. 8(b): tuple forwarding with ACK (guaranteed processing) ==");
     }
@@ -127,15 +153,18 @@ fn fig8b_cd(print_throughput: bool, print_latency: bool) {
     let mut cdfs: Vec<LabeledCdf> = Vec::new();
     for remote in [false, true] {
         let place = if remote { "REMOTE" } else { "LOCAL" };
-        let (storm, storm_cdf) = storm_forwarding(remote, true, rate_cap);
+        let tag = if remote { "remote" } else { "local" };
+        let (storm, storm_cdf) = storm_forwarding(cfg, remote, true, rate_cap);
         if print_throughput {
             print_rate_row(&format!("STORM+ACK      ({place})"), storm);
+            report.throughput(format!("throughput_ack.{tag}.storm"), storm);
         }
         cdfs.push(("STORM".into(), remote, storm_cdf));
-        for batch in BATCH_SIZES {
-            let (typhoon, cdf) = typhoon_forwarding(remote, true, batch, rate_cap);
+        for &batch in cfg.batches {
+            let (typhoon, cdf) = typhoon_forwarding(cfg, remote, true, batch, rate_cap);
             if print_throughput {
                 print_rate_row(&format!("TYPHOON({batch:<4})+ACK ({place})"), typhoon);
+                report.throughput(format!("throughput_ack.{tag}.typhoon.b{batch}"), typhoon);
             }
             cdfs.push((format!("TYPHOON({batch})"), remote, cdf));
         }
@@ -153,10 +182,28 @@ fn fig8b_cd(print_throughput: bool, print_latency: bool) {
                 print_cdf(&format!("remote/{label}"), cdf);
             }
         }
+        for (label, remote, cdf) in &cdfs {
+            let tag = if *remote { "remote" } else { "local" };
+            let system = label
+                .to_lowercase()
+                .replace("typhoon(", "typhoon.b")
+                .replace(')', "");
+            for (q, qname) in [(0.5, "p50_ms"), (0.99, "p99_ms")] {
+                if let Some(nanos) = quantile_from_cdf(cdf, q) {
+                    report.metric(
+                        format!("latency.{tag}.{system}.{qname}"),
+                        nanos as f64 / 1e6,
+                        "ms",
+                        Direction::LowerIsBetter,
+                        LATENCY_TOL,
+                    );
+                }
+            }
+        }
     }
 }
 
-fn fig8_trace(rate: u32) {
+fn fig8_trace(cfg: &Cfg, rate: u32) {
     println!("== exp_fig8 --trace: per-hop latency breakdown (Typhoon, ACK, 1/{rate} sampled) ==");
     for remote in [false, true] {
         let place = if remote { "REMOTE" } else { "LOCAL" };
@@ -175,7 +222,7 @@ fn fig8_trace(rate: u32) {
             .with_trace(rate);
         let cluster = TyphoonCluster::new(config, reg).expect("cluster");
         let _handle = cluster.submit(forwarding_topology()).expect("submit");
-        let _ = measure_rate(|| sink.count(), WARMUP, MEASURE);
+        let _ = measure_rate(|| sink.count(), cfg.warmup, cfg.measure);
         if let Some(tracer) = cluster.tracer() {
             print_hop_table(&format!("fig8/{place}"), tracer);
         }
@@ -184,28 +231,38 @@ fn fig8_trace(rate: u32) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(pos) = args.iter().position(|a| a == "--trace") {
-        let rate = args
+    let opts = BenchOpts::from_env();
+    let cfg = Cfg::new(&opts);
+    if let Some(pos) = opts.rest.iter().position(|a| a == "--trace") {
+        let rate = opts
+            .rest
             .get(pos + 1)
             .and_then(|r| r.parse::<u32>().ok())
             .unwrap_or(16);
-        fig8_trace(rate);
+        fig8_trace(&cfg, rate);
         return;
     }
-    let mode = args.first().cloned().unwrap_or_else(|| "all".into());
+    let mode = opts.rest.first().cloned().unwrap_or_else(|| "all".into());
+    let mut report = Report::new(
+        "fig8",
+        "baseline performance, Storm vs Typhoon",
+        opts.mode(),
+    );
     match mode.as_str() {
-        "a" => fig8a(),
-        "b" => fig8b_cd(true, false),
-        "cd" => fig8b_cd(false, true),
+        "a" => fig8a(&cfg, &mut report),
+        "b" => fig8b_cd(&cfg, &mut report, true, false),
+        "cd" => fig8b_cd(&cfg, &mut report, false, true),
         "all" => {
-            fig8a();
-            fig8b_cd(true, false);
-            fig8b_cd(false, true);
+            fig8a(&cfg, &mut report);
+            fig8b_cd(&cfg, &mut report, true, false);
+            fig8b_cd(&cfg, &mut report, false, true);
         }
         other => {
-            eprintln!("usage: exp_fig8 [a|b|cd|all] [--trace [rate]] (got {other:?})");
+            eprintln!(
+                "usage: exp_fig8 [a|b|cd|all] [--trace [rate]] [--json PATH] [--short] (got {other:?})"
+            );
             std::process::exit(2);
         }
     }
+    opts.emit(&report);
 }

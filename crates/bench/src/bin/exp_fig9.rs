@@ -12,7 +12,8 @@
 //! serializations per tuple; Typhoon performs exactly one.
 
 use std::time::Duration;
-use typhoon_bench::harness::{measure_rate, print_rate_row};
+use typhoon_bench::harness::{measure_rate, print_rate_row, BenchOpts};
+use typhoon_bench::report::{Direction, Report};
 use typhoon_bench::workloads::{broadcast_topology, register_standard};
 use typhoon_core::{TyphoonCluster, TyphoonConfig};
 use typhoon_model::ComponentRegistry;
@@ -20,12 +21,27 @@ use typhoon_storm::{StormCluster, StormConfig};
 
 const PAYLOAD: usize = 100;
 const SPOUT_BATCH: usize = 64;
-const WARMUP: Duration = Duration::from_secs(1);
-const MEASURE: Duration = Duration::from_secs(3);
+
+/// Run parameters, compressed by `--short`.
+struct Cfg {
+    warmup: Duration,
+    measure: Duration,
+    sinks: &'static [usize],
+}
+
+impl Cfg {
+    fn new(opts: &BenchOpts) -> Self {
+        Cfg {
+            warmup: opts.pick(Duration::from_secs(1), Duration::from_millis(200)),
+            measure: opts.pick(Duration::from_secs(3), Duration::from_millis(600)),
+            sinks: opts.pick(&[2, 3, 4, 5, 6][..], &[2, 4, 6][..]),
+        }
+    }
+}
 
 /// Runs one configuration; returns (per-sink rate, spout serializations
 /// per emitted tuple).
-fn storm_broadcast(remote: bool, sinks: usize) -> (f64, f64) {
+fn storm_broadcast(cfg: &Cfg, remote: bool, sinks: usize) -> (f64, f64) {
     let mut reg = ComponentRegistry::new();
     let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
     let config = if remote {
@@ -35,7 +51,7 @@ fn storm_broadcast(remote: bool, sinks: usize) -> (f64, f64) {
     };
     let cluster = StormCluster::new(config, reg);
     let handle = cluster.submit(broadcast_topology(sinks)).expect("submit");
-    let rate = measure_rate(|| sink.count(), WARMUP, MEASURE) / sinks as f64;
+    let rate = measure_rate(|| sink.count(), cfg.warmup, cfg.measure) / sinks as f64;
     let spout_task = handle.tasks_of("source")[0];
     let emitted_roots = handle
         .registry(spout_task)
@@ -53,7 +69,7 @@ fn storm_broadcast(remote: bool, sinks: usize) -> (f64, f64) {
     (rate, ser_per_tuple)
 }
 
-fn typhoon_broadcast(remote: bool, sinks: usize) -> (f64, f64) {
+fn typhoon_broadcast(cfg: &Cfg, remote: bool, sinks: usize) -> (f64, f64) {
     let mut reg = ComponentRegistry::new();
     let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
     let config = if remote {
@@ -65,7 +81,7 @@ fn typhoon_broadcast(remote: bool, sinks: usize) -> (f64, f64) {
     };
     let cluster = TyphoonCluster::new(config, reg).expect("cluster");
     let handle = cluster.submit(broadcast_topology(sinks)).expect("submit");
-    let rate = measure_rate(|| sink.count(), WARMUP, MEASURE) / sinks as f64;
+    let rate = measure_rate(|| sink.count(), cfg.warmup, cfg.measure) / sinks as f64;
     let spout_task = handle.tasks_of("source")[0];
     let roots = handle
         .worker(spout_task)
@@ -82,23 +98,52 @@ fn typhoon_broadcast(remote: bool, sinks: usize) -> (f64, f64) {
 }
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let cfg = Cfg::new(&opts);
+    let mut report = Report::new("fig9", "one-to-many communication", opts.mode());
     println!("== Fig. 9: one-to-many communication, 2..6 sink workers ==");
     println!("(rates are per-sink delivered tuples/sec, as in the paper's y-axis)");
     for remote in [false, true] {
         let place = if remote { "REMOTE" } else { "LOCAL" };
-        for sinks in 2..=6 {
-            let (storm, storm_ser) = storm_broadcast(remote, sinks);
+        let tag = if remote { "remote" } else { "local" };
+        for &sinks in cfg.sinks {
+            let (storm, storm_ser) = storm_broadcast(&cfg, remote, sinks);
             print_rate_row(
                 &format!("STORM   ({place}) sinks={sinks} ser/tuple={storm_ser:.1}"),
                 storm,
             );
+            report.throughput(
+                format!("throughput_per_sink.{tag}.storm.sinks{sinks}"),
+                storm,
+            );
+            report.metric(
+                format!("ser_per_tuple.{tag}.storm.sinks{sinks}"),
+                storm_ser,
+                "count",
+                Direction::LowerIsBetter,
+                0.25,
+            );
         }
-        for sinks in 2..=6 {
-            let (typhoon, ty_ser) = typhoon_broadcast(remote, sinks);
+        for &sinks in cfg.sinks {
+            let (typhoon, ty_ser) = typhoon_broadcast(&cfg, remote, sinks);
             print_rate_row(
                 &format!("TYPHOON ({place}) sinks={sinks} ser/tuple={ty_ser:.1}"),
                 typhoon,
             );
+            report.throughput(
+                format!("throughput_per_sink.{tag}.typhoon.sinks{sinks}"),
+                typhoon,
+            );
+            // The paper's mechanism claim: Typhoon serializes each tuple
+            // exactly once at any fanout. Pin it tightly.
+            report.metric(
+                format!("ser_per_tuple.{tag}.typhoon.sinks{sinks}"),
+                ty_ser,
+                "count",
+                Direction::LowerIsBetter,
+                0.25,
+            );
         }
     }
+    opts.emit(&report);
 }

@@ -24,6 +24,8 @@
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+use typhoon_bench::harness::BenchOpts;
+use typhoon_bench::report::Report;
 use typhoon_bench::workloads::{
     expected_word_counts, recovery_word_count_topology, register_replay_spout, register_standard,
 };
@@ -32,9 +34,7 @@ use typhoon_core::{RecoveryReport, SchedulerKind, TyphoonCluster, TyphoonConfig}
 use typhoon_model::ComponentRegistry;
 use typhoon_net::{FaultPlan, KillClass, KillSpec};
 
-const DEFAULT_ROOTS: i64 = 2_000;
 const DEFAULT_SEED: u64 = 0xc4a0_5eed;
-const HEARTBEAT: Duration = Duration::from_secs(5);
 
 struct Outcome {
     /// Kill execution → first completed recovery (includes detection).
@@ -47,7 +47,13 @@ struct Outcome {
     elapsed: Duration,
 }
 
-fn run_class(kill: KillSpec, sdn_detection: bool, roots: i64, seed: u64) -> Outcome {
+fn run_class(
+    kill: KillSpec,
+    sdn_detection: bool,
+    roots: i64,
+    seed: u64,
+    heartbeat: Duration,
+) -> Outcome {
     let mut reg = ComponentRegistry::new();
     let (_sink, agg) = register_standard(&mut reg, 16, 4);
     register_replay_spout(&mut reg, seed, 4, roots);
@@ -55,7 +61,7 @@ fn run_class(kill: KillSpec, sdn_detection: bool, roots: i64, seed: u64) -> Outc
         .with_batch_size(4)
         .with_acking(Duration::from_secs(2), 64)
         .with_checkpoints(Duration::from_millis(100))
-        .with_recovery(HEARTBEAT)
+        .with_recovery(heartbeat)
         .with_chaos(FaultPlan::clean(seed).with_kill(kill));
     config.slots_per_host = 8;
     config.scheduler = SchedulerKind::RoundRobin;
@@ -147,7 +153,8 @@ fn ms(d: Duration) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = BenchOpts::from_env();
+    let args = &opts.rest;
     let get = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -156,12 +163,17 @@ fn main() {
     };
     let roots: i64 = get("--roots")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_ROOTS);
+        .unwrap_or_else(|| opts.pick(2_000, 300));
     let seed: u64 = get("--seed")
         .or_else(|| std::env::var("CHAOS_SEED").ok())
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_SEED);
     let class = get("--class").unwrap_or_else(|| "all".into());
+    // The heartbeat fallback dominates the heartbeat-class detection time,
+    // so `--short` shrinks it to keep baseline generation fast.
+    let heartbeat = Duration::from_secs(opts.pick(5, 2));
+    let mut report =
+        Report::new("recovery", "crash recovery phase breakdown", opts.mode()).with_seed(seed);
 
     let kill_after = Duration::from_millis(300);
     let classes: Vec<(&str, KillSpec, bool)> = vec![
@@ -171,7 +183,7 @@ fn main() {
     ];
     println!("# exp_recovery: replayable word-count on 2 hosts, {roots} roots, seed {seed}");
     println!(
-        "# detection: SDN port-status when enabled, heartbeat timeout ({HEARTBEAT:?}) otherwise"
+        "# detection: SDN port-status when enabled, heartbeat timeout ({heartbeat:?}) otherwise"
     );
     println!(
         "# {:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9} {:>8} {:>6}",
@@ -191,7 +203,7 @@ fn main() {
         if class != "all" && name != class {
             continue;
         }
-        let o = run_class(kill, sdn, roots, seed);
+        let o = run_class(kill, sdn, roots, seed, heartbeat);
         // Sum phases over every recovered task (a host kill recovers many).
         let sum =
             |f: fn(&RecoveryReport) -> Duration| -> Duration { o.reports.iter().map(f).sum() };
@@ -216,5 +228,22 @@ fn main() {
             );
         }
         println!("    run completed in {:.2}s", o.elapsed.as_secs_f64());
+        // Detection is the SDN claim; the port-status path is fast but
+        // its absolute value is tiny (tens of ms), so relative tolerances
+        // must absorb scheduler jitter. The heartbeat class is dominated
+        // by the (configured) timeout and is therefore much tighter.
+        let detect_tol = if name == "heartbeat" { 1.0 } else { 9.0 };
+        report.time_ms(format!("detect_ms.{name}"), ms(o.detect), detect_tol);
+        report.time_ms(
+            format!("total_ms.{name}"),
+            o.elapsed.as_secs_f64() * 1e3,
+            2.0,
+        );
+        report.exact(
+            format!("exact.{name}"),
+            if o.exact { 1.0 } else { 0.0 },
+            "bool",
+        );
     }
+    opts.emit(&report);
 }

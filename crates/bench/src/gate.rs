@@ -1,0 +1,497 @@
+//! The bench regression gate — compares a fresh `BENCH_*.json` matrix
+//! against the committed baselines, direction-aware.
+//!
+//! Rules, per metric present in the baseline:
+//!
+//! * higher-is-better: **fail** when
+//!   `fresh < base * (1 - min(0.95, tolerance * slack))` — throughput may
+//!   not drop beyond tolerance; growth never fails.
+//! * lower-is-better: **fail** when
+//!   `fresh > base * (1 + tolerance * slack)` — latency / recovery phases
+//!   may not grow beyond tolerance; shrinkage never fails.
+//! * a metric missing from the fresh run fails; a metric only in the
+//!   fresh run is reported as `new` and passes (adopt it via `--bless`);
+//!   NaN on either side fails.
+//! * mode (`short` vs `full`) and figure id must match; schema version is
+//!   already enforced by [`Report::from_json`].
+//!
+//! `slack` is a global multiplier on every per-metric tolerance: CI runs
+//! on shared machines use `--slack` > 1 to absorb cross-machine variance
+//! while keeping the committed per-metric tolerances tight for local runs.
+//! `tolerance * slack` is clamped to 0.95 for higher-is-better metrics so
+//! a huge slack never lets a metric drop to ~zero unnoticed; tolerance 0
+//! metrics (exactness flags, serializations/tuple) ignore slack entirely
+//! and must not regress at all.
+
+use crate::report::{bench_file_name, Direction, Report};
+use std::path::Path;
+
+/// The nine figures of the short-mode matrix, in run order.
+pub const FIGURES: [&str; 9] = [
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig14", "ablation", "chaos", "recovery",
+];
+
+/// Comparison outcome for one metric.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Metric name (shared by baseline and fresh run).
+    pub name: String,
+    /// Unit label from the baseline.
+    pub unit: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Fresh value (`None` when missing from the fresh run).
+    pub fresh: Option<f64>,
+    /// Which way is better.
+    pub direction: Direction,
+    /// Effective relative tolerance after slack (already clamped).
+    pub allowed: f64,
+    /// Relative change `(fresh - base) / base` (0.0 when incomputable).
+    pub change: f64,
+    /// Whether this metric passes the gate.
+    pub pass: bool,
+    /// Short annotation for the table (`""`, `"missing"`, `"nan"`, …).
+    pub note: &'static str,
+}
+
+/// Comparison outcome for one figure (one `BENCH_*.json` pair).
+#[derive(Debug, Clone)]
+pub struct FigureOutcome {
+    /// Figure id.
+    pub figure: String,
+    /// Whether every check on this figure passed.
+    pub pass: bool,
+    /// File-level problems (missing file, mode mismatch, parse error…).
+    pub problems: Vec<String>,
+    /// Per-metric deltas (empty when a file-level problem prevented
+    /// comparison).
+    pub deltas: Vec<MetricDelta>,
+}
+
+/// Whole-gate outcome across all requested figures.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Per-figure outcomes, in requested order.
+    pub figures: Vec<FigureOutcome>,
+}
+
+impl GateOutcome {
+    /// Whether every figure passed.
+    pub fn pass(&self) -> bool {
+        self.figures.iter().all(|f| f.pass)
+    }
+}
+
+/// Effective tolerance after slack, clamped per direction (see module
+/// docs). Tolerance 0 stays 0: no amount of slack excuses an exactness
+/// regression.
+fn effective_tolerance(tolerance: f64, slack: f64, direction: Direction) -> f64 {
+    let eff = tolerance * slack.max(0.0);
+    match direction {
+        Direction::HigherIsBetter => eff.min(0.95),
+        Direction::LowerIsBetter => eff,
+    }
+}
+
+/// Compares one metric value pair under the gate rules.
+fn metric_passes(base: f64, fresh: f64, direction: Direction, allowed: f64) -> bool {
+    if base.is_nan() || fresh.is_nan() {
+        return false;
+    }
+    match direction {
+        Direction::HigherIsBetter => {
+            if base <= 0.0 {
+                // No meaningful relative floor below zero baseline.
+                fresh >= base - 1e-12
+            } else {
+                fresh >= base * (1.0 - allowed) - 1e-12
+            }
+        }
+        Direction::LowerIsBetter => {
+            if base <= 0.0 {
+                // A zero baseline cannot scale a relative ceiling; treat
+                // as informational (emitters keep gated metrics nonzero).
+                true
+            } else {
+                fresh <= base * (1.0 + allowed) + 1e-12
+            }
+        }
+    }
+}
+
+/// Compares a fresh report against its baseline.
+pub fn compare(base: &Report, fresh: &Report, slack: f64) -> FigureOutcome {
+    let mut out = FigureOutcome {
+        figure: base.figure.clone(),
+        pass: true,
+        problems: Vec::new(),
+        deltas: Vec::new(),
+    };
+    if base.figure != fresh.figure {
+        out.problems.push(format!(
+            "figure mismatch: baseline {:?} vs fresh {:?}",
+            base.figure, fresh.figure
+        ));
+    }
+    if base.mode != fresh.mode {
+        out.problems.push(format!(
+            "mode mismatch: baseline {:?} vs fresh {:?} — regenerate with the same mode",
+            base.mode, fresh.mode
+        ));
+    }
+    if !out.problems.is_empty() {
+        out.pass = false;
+        return out;
+    }
+    for m in &base.metrics {
+        let allowed = effective_tolerance(m.tolerance, slack, m.direction);
+        match fresh.find(&m.name) {
+            None => out.deltas.push(MetricDelta {
+                name: m.name.clone(),
+                unit: m.unit.clone(),
+                base: m.value,
+                fresh: None,
+                direction: m.direction,
+                allowed,
+                change: 0.0,
+                pass: false,
+                note: "missing",
+            }),
+            Some(f) => {
+                let pass = metric_passes(m.value, f.value, m.direction, allowed);
+                let change = if m.value != 0.0 && m.value.is_finite() && f.value.is_finite() {
+                    (f.value - m.value) / m.value
+                } else {
+                    0.0
+                };
+                out.deltas.push(MetricDelta {
+                    name: m.name.clone(),
+                    unit: m.unit.clone(),
+                    base: m.value,
+                    fresh: Some(f.value),
+                    direction: m.direction,
+                    allowed,
+                    change,
+                    pass,
+                    note: if m.value.is_nan() || f.value.is_nan() {
+                        "nan"
+                    } else {
+                        ""
+                    },
+                });
+            }
+        }
+    }
+    for f in &fresh.metrics {
+        if base.find(&f.name).is_none() {
+            out.deltas.push(MetricDelta {
+                name: f.name.clone(),
+                unit: f.unit.clone(),
+                base: f64::NAN,
+                fresh: Some(f.value),
+                direction: f.direction,
+                allowed: 0.0,
+                change: 0.0,
+                pass: true,
+                note: "new",
+            });
+        }
+    }
+    out.pass = out.deltas.iter().all(|d| d.pass);
+    out
+}
+
+/// Runs the gate over `figures`: reads `BENCH_<figure>.json` from both
+/// directories and compares each pair.
+pub fn run(baseline_dir: &Path, fresh_dir: &Path, figures: &[String], slack: f64) -> GateOutcome {
+    let mut out = GateOutcome {
+        figures: Vec::new(),
+    };
+    for figure in figures {
+        let name = bench_file_name(figure);
+        let base_path = baseline_dir.join(&name);
+        let fresh_path = fresh_dir.join(&name);
+        let mut fo = FigureOutcome {
+            figure: figure.clone(),
+            pass: true,
+            problems: Vec::new(),
+            deltas: Vec::new(),
+        };
+        match (Report::read(&base_path), Report::read(&fresh_path)) {
+            (Err(e), _) if !base_path.exists() => {
+                fo.pass = false;
+                fo.problems.push(format!(
+                    "no committed baseline ({e}); generate one and re-run with --bless"
+                ));
+            }
+            (Err(e), _) => {
+                fo.pass = false;
+                fo.problems.push(format!("baseline unreadable: {e}"));
+            }
+            (Ok(_), Err(e)) => {
+                fo.pass = false;
+                fo.problems.push(format!("fresh run unreadable: {e}"));
+            }
+            (Ok(base), Ok(fresh)) => {
+                fo = compare(&base, &fresh, slack);
+                fo.figure = figure.clone();
+            }
+        }
+        out.figures.push(fo);
+    }
+    out
+}
+
+/// Copies the fresh `BENCH_<figure>.json` files over the baselines,
+/// validating each parses first. Returns the refreshed file names.
+pub fn bless(
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    figures: &[String],
+) -> Result<Vec<String>, String> {
+    let mut refreshed = Vec::new();
+    for figure in figures {
+        let name = bench_file_name(figure);
+        let fresh_path = fresh_dir.join(&name);
+        if !fresh_path.exists() {
+            continue; // bless what ran; a partial matrix blesses partially
+        }
+        let report = Report::read(&fresh_path)?;
+        report
+            .write(&baseline_dir.join(&name))
+            .map_err(|e| format!("{}: {e}", baseline_dir.join(&name).display()))?;
+        refreshed.push(name);
+    }
+    if refreshed.is_empty() {
+        return Err(format!(
+            "nothing to bless: no BENCH_*.json in {}",
+            fresh_dir.display()
+        ));
+    }
+    Ok(refreshed)
+}
+
+/// Renders the human-readable delta table (also what CI prints into the
+/// job summary on failure).
+pub fn render_table(outcome: &GateOutcome, slack: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-gate: direction-aware comparison (slack ×{slack})"
+    );
+    for fo in &outcome.figures {
+        let verdict = if fo.pass { "PASS" } else { "FAIL" };
+        let _ = writeln!(out, "\n== {} [{verdict}] ==", fo.figure);
+        for p in &fo.problems {
+            let _ = writeln!(out, "  ! {p}");
+        }
+        if fo.deltas.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>14} {:>14} {:>8} {:>9}  verdict",
+            "metric", "baseline", "fresh", "delta", "allowed"
+        );
+        for d in &fo.deltas {
+            let fresh = d
+                .fresh
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".to_string());
+            let arrow = match d.direction {
+                Direction::HigherIsBetter => "↑",
+                Direction::LowerIsBetter => "↓",
+            };
+            let allowed = match d.direction {
+                Direction::HigherIsBetter => format!("-{:.0}%", d.allowed * 100.0),
+                Direction::LowerIsBetter => format!("+{:.0}%", d.allowed * 100.0),
+            };
+            let verdict = if d.pass { "ok" } else { "FAIL" };
+            let note = if d.note.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", d.note)
+            };
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>14.3} {:>14} {:>7.1}% {:>8}{arrow}  {verdict}{note}",
+                d.name,
+                d.base,
+                fresh,
+                d.change * 100.0,
+                allowed,
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nbench-gate overall: {}",
+        if outcome.pass() { "PASS" } else { "FAIL" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::THROUGHPUT_TOL;
+
+    fn base_report() -> Report {
+        let mut r = Report::new("fig9", "t", "short");
+        r.throughput("tput", 100_000.0); // tol 0.5, higher
+        r.time_ms("lat_ms", 10.0, 1.0); // tol 1.0, lower
+        r.exact("exact", 1.0, "bool"); // tol 0, higher
+        r
+    }
+
+    fn fresh_like(tput: f64, lat: f64, exact: f64) -> Report {
+        let mut r = Report::new("fig9", "t", "short");
+        r.throughput("tput", tput);
+        r.time_ms("lat_ms", lat, 1.0);
+        r.exact("exact", exact, "bool");
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = base_report();
+        let o = compare(&b, &b.clone(), 1.0);
+        assert!(o.pass, "{:?}", o);
+        assert_eq!(o.deltas.len(), 3);
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails() {
+        let b = base_report();
+        // tol 0.5: 49k < 100k * 0.5 → fail; 51k passes.
+        let o = compare(&b, &fresh_like(49_000.0, 10.0, 1.0), 1.0);
+        assert!(!o.pass);
+        assert!(!o.deltas.iter().find(|d| d.name == "tput").unwrap().pass);
+        let o = compare(&b, &fresh_like(51_000.0, 10.0, 1.0), 1.0);
+        assert!(o.pass, "within tolerance");
+        // Throughput growth never fails.
+        let o = compare(&b, &fresh_like(1e9, 10.0, 1.0), 1.0);
+        assert!(o.pass);
+    }
+
+    #[test]
+    fn latency_growth_beyond_tolerance_fails() {
+        let b = base_report();
+        // tol 1.0: 21ms > 10ms * 2 → fail; 19ms passes; shrink passes.
+        assert!(!compare(&b, &fresh_like(100_000.0, 21.0, 1.0), 1.0).pass);
+        assert!(compare(&b, &fresh_like(100_000.0, 19.0, 1.0), 1.0).pass);
+        assert!(compare(&b, &fresh_like(100_000.0, 0.1, 1.0), 1.0).pass);
+    }
+
+    #[test]
+    fn exactness_ignores_slack() {
+        let b = base_report();
+        let fresh = fresh_like(100_000.0, 10.0, 0.0);
+        for slack in [1.0, 10.0, 1000.0] {
+            let o = compare(&b, &fresh, slack);
+            assert!(
+                !o.deltas.iter().find(|d| d.name == "exact").unwrap().pass,
+                "tolerance-0 exactness metric must fail at slack {slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn slack_scales_tolerance_with_clamp() {
+        assert_eq!(
+            effective_tolerance(THROUGHPUT_TOL, 1.0, Direction::HigherIsBetter),
+            0.5
+        );
+        // 0.5 * 4 clamps at 0.95: even huge slack keeps a floor above zero.
+        assert_eq!(
+            effective_tolerance(THROUGHPUT_TOL, 4.0, Direction::HigherIsBetter),
+            0.95
+        );
+        let b = base_report();
+        // A 92% drop fails at slack 1.8 (floor 10%), passes at slack 4
+        // (clamped floor 5%); a 96% drop fails at any slack.
+        assert!(!compare(&b, &fresh_like(8_000.0, 10.0, 1.0), 1.8).pass);
+        assert!(compare(&b, &fresh_like(8_000.0, 10.0, 1.0), 4.0).pass);
+        assert!(!compare(&b, &fresh_like(4_000.0, 10.0, 1.0), 1e6).pass);
+    }
+
+    #[test]
+    fn missing_and_new_metrics() {
+        let b = base_report();
+        let mut fresh = Report::new("fig9", "t", "short");
+        fresh.throughput("tput", 100_000.0);
+        fresh.time_ms("lat_ms", 10.0, 1.0);
+        fresh.throughput("brand_new", 5.0);
+        let o = compare(&b, &fresh, 1.0);
+        assert!(!o.pass, "baseline metric gone missing must fail");
+        let missing = o.deltas.iter().find(|d| d.name == "exact").unwrap();
+        assert!(!missing.pass);
+        assert_eq!(missing.note, "missing");
+        let new = o.deltas.iter().find(|d| d.name == "brand_new").unwrap();
+        assert!(new.pass);
+        assert_eq!(new.note, "new");
+    }
+
+    #[test]
+    fn mode_mismatch_fails() {
+        let b = base_report();
+        let mut fresh = b.clone();
+        fresh.mode = "full".into();
+        let o = compare(&b, &fresh, 1.0);
+        assert!(!o.pass);
+        assert!(o.problems[0].contains("mode mismatch"), "{:?}", o.problems);
+    }
+
+    #[test]
+    fn nan_fails() {
+        let b = base_report();
+        let o = compare(&b, &fresh_like(f64::NAN, 10.0, 1.0), 1.0);
+        assert!(!o.pass);
+        assert_eq!(
+            o.deltas.iter().find(|d| d.name == "tput").unwrap().note,
+            "nan"
+        );
+    }
+
+    #[test]
+    fn run_and_bless_over_directories() {
+        let root = std::env::temp_dir().join(format!("typhoon-gate-{}", std::process::id()));
+        let base_dir = root.join("base");
+        let fresh_dir = root.join("fresh");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&fresh_dir).unwrap();
+        let figures = vec!["fig9".to_string()];
+
+        // No baseline yet: gate fails, pointing at --bless.
+        fresh_like(100_000.0, 10.0, 1.0)
+            .write(&fresh_dir.join(bench_file_name("fig9")))
+            .unwrap();
+        let o = run(&base_dir, &fresh_dir, &figures, 1.0);
+        assert!(!o.pass());
+        assert!(o.figures[0].problems[0].contains("--bless"));
+
+        // Bless adopts the fresh run; the gate then passes.
+        let refreshed = bless(&base_dir, &fresh_dir, &figures).unwrap();
+        assert_eq!(refreshed, vec!["BENCH_fig9.json".to_string()]);
+        assert!(run(&base_dir, &fresh_dir, &figures, 1.0).pass());
+
+        // A perturbed fresh run fails and the table says why.
+        fresh_like(10_000.0, 10.0, 1.0)
+            .write(&fresh_dir.join(bench_file_name("fig9")))
+            .unwrap();
+        let o = run(&base_dir, &fresh_dir, &figures, 1.0);
+        assert!(!o.pass());
+        let table = render_table(&o, 1.0);
+        assert!(table.contains("FAIL"), "{table}");
+        assert!(table.contains("tput"), "{table}");
+
+        // Missing fresh file fails.
+        std::fs::remove_file(fresh_dir.join(bench_file_name("fig9"))).unwrap();
+        let o = run(&base_dir, &fresh_dir, &figures, 1.0);
+        assert!(!o.pass());
+        assert!(o.figures[0].problems[0].contains("fresh run unreadable"));
+
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

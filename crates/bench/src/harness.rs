@@ -1,7 +1,80 @@
 //! Measurement helpers shared by the experiment binaries.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use typhoon_metrics::RateMeter;
+
+/// Command-line options every `exp_*` binary understands, parsed before
+/// binary-specific arguments:
+///
+/// * `--json <path>` — after the paper-style stdout tables, also write the
+///   figure's machine-readable [`crate::report::Report`] to `path`.
+/// * `--short` — compressed timelines / reduced sweep for CI and baseline
+///   generation; the emitted report records the mode so the gate never
+///   compares short against full runs.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOpts {
+    /// Where to write the `BENCH_<figure>.json` report, if requested.
+    pub json: Option<PathBuf>,
+    /// Compressed short mode (CI matrix / baseline generation).
+    pub short: bool,
+    /// Remaining arguments, with the common flags stripped.
+    pub rest: Vec<String>,
+}
+
+impl BenchOpts {
+    /// Parses `--json <path>` and `--short` out of `args`, leaving the
+    /// binary-specific remainder in `rest`.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = BenchOpts::default();
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => {
+                    opts.json = args.next().map(PathBuf::from);
+                    if opts.json.is_none() {
+                        eprintln!("--json requires a path argument");
+                        std::process::exit(2);
+                    }
+                }
+                "--short" => opts.short = true,
+                _ => opts.rest.push(arg),
+            }
+        }
+        opts
+    }
+
+    /// Parses the process arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Picks the full or short variant of a tunable.
+    pub fn pick<T>(&self, full: T, short: T) -> T {
+        if self.short {
+            short
+        } else {
+            full
+        }
+    }
+
+    /// `"short"` or `"full"`, as recorded in the report's `mode` field.
+    pub fn mode(&self) -> &'static str {
+        self.pick("full", "short")
+    }
+
+    /// Writes `report` to the `--json` path, if one was given, and prints
+    /// where it went. Exits non-zero on I/O failure so CI notices.
+    pub fn emit(&self, report: &crate::report::Report) {
+        if let Some(path) = &self.json {
+            if let Err(e) = report.write(path) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("# wrote {}", path.display());
+        }
+    }
+}
 
 /// Waits `dur` while the workload runs.
 pub fn run_for(dur: Duration) {
@@ -10,13 +83,21 @@ pub fn run_for(dur: Duration) {
 
 /// Measures the steady-state rate of a shared counter: samples `counter`
 /// at start and end of `dur`, returns events/sec.
+///
+/// Robust against counters that move backwards mid-window (a task
+/// re-registered after recovery resets its registry counter): the delta
+/// saturates at zero instead of underflowing, and a degenerate measurement
+/// window returns 0.0 instead of dividing by ~0.
 pub fn measure_rate(counter: impl Fn() -> u64, warmup: Duration, dur: Duration) -> f64 {
     std::thread::sleep(warmup); // LINT: allow-sleep(bench harness: warmup window before sampling)
     let start_count = counter();
     let start = Instant::now();
     std::thread::sleep(dur); // LINT: allow-sleep(bench harness: the wait IS the measurement window)
     let elapsed = start.elapsed().as_secs_f64();
-    (counter() - start_count) as f64 / elapsed
+    if elapsed < 1e-6 {
+        return 0.0;
+    }
+    counter().saturating_sub(start_count) as f64 / elapsed
 }
 
 /// Prints one paper-style throughput row.
@@ -24,25 +105,64 @@ pub fn print_rate_row(label: &str, tuples_per_sec: f64) {
     println!("{label:<40} {:>12.0} tuples/sec", tuples_per_sec);
 }
 
+/// The rates of windows `[from, to)` as a fixed-length vector, padding
+/// trailing never-written windows with zeros — figure timelines and their
+/// JSON series always have exactly `to - from` points.
+pub fn timeline_points(meter: &RateMeter, from: usize, to: usize) -> Vec<f64> {
+    let rates = meter.rates_per_sec();
+    (from..to)
+        .map(|t| rates.get(t).copied().unwrap_or(0.0))
+        .collect()
+}
+
+/// The summed rates of several meters over windows `[0, seconds)`,
+/// zero-padded to fixed length (aggregate sink throughput).
+pub fn aggregate_timeline_points(meters: &[RateMeter], seconds: usize) -> Vec<f64> {
+    let series: Vec<Vec<f64>> = meters.iter().map(|m| m.rates_per_sec()).collect();
+    (0..seconds)
+        .map(|t| {
+            series
+                .iter()
+                .map(|s| s.get(t).copied().unwrap_or(0.0))
+                .sum()
+        })
+        .collect()
+}
+
+/// Mean of the timeline points in windows `[from, to)` (0.0 when empty) —
+/// steady-state summaries of a phase of an aggregate timeline.
+pub fn window_mean(points: &[f64], from: usize, to: usize) -> f64 {
+    let slice: Vec<f64> = points
+        .iter()
+        .skip(from)
+        .take(to.saturating_sub(from))
+        .copied()
+        .collect();
+    if slice.is_empty() {
+        0.0
+    } else {
+        slice.iter().sum::<f64>() / slice.len() as f64
+    }
+}
+
 /// Prints a per-second timeline from a meter (the Fig. 10–12/14 series).
+/// Always prints exactly `to - from` rows: trailing windows the meter never
+/// wrote are zeros, matching [`print_aggregate_timeline`].
 pub fn print_timeline(label: &str, meter: &RateMeter, from: usize, to: usize) {
     println!("# {label}: time_sec tuples_per_sec");
-    for (i, rate) in meter.rates_per_sec().iter().enumerate() {
-        if i >= from && i < to {
-            println!("{label} {i:>4} {rate:>12.0}");
-        }
+    for (i, rate) in timeline_points(meter, from, to).iter().enumerate() {
+        let t = from + i;
+        println!("{label} {t:>4} {rate:>12.0}");
     }
 }
 
 /// Prints the sum-of-meters timeline (aggregate sink throughput).
 pub fn print_aggregate_timeline(label: &str, meters: &[RateMeter], seconds: usize) {
     println!("# {label}: time_sec aggregate_tuples_per_sec");
-    let series: Vec<Vec<f64>> = meters.iter().map(|m| m.rates_per_sec()).collect();
-    for t in 0..seconds {
-        let total: f64 = series
-            .iter()
-            .map(|s| s.get(t).copied().unwrap_or(0.0))
-            .sum();
+    for (t, total) in aggregate_timeline_points(meters, seconds)
+        .iter()
+        .enumerate()
+    {
         println!("{label} {t:>4} {total:>12.0}");
     }
 }
@@ -90,6 +210,16 @@ pub fn print_hop_table(label: &str, tracer: &typhoon_trace::Tracer) {
     );
 }
 
+/// Approximate quantile from CDF points `(value, cumulative fraction)`:
+/// the first value whose cumulative fraction reaches `q` (the last point
+/// for q beyond the recorded range, `None` for an empty CDF).
+pub fn quantile_from_cdf(cdf: &[(u64, f64)], q: f64) -> Option<u64> {
+    cdf.iter()
+        .find(|(_, frac)| *frac >= q)
+        .or(cdf.last())
+        .map(|(v, _)| *v)
+}
+
 /// Geometric helper: ratio between two rates, guarding zero.
 pub fn ratio(a: f64, b: f64) -> f64 {
     if b == 0.0 {
@@ -103,7 +233,7 @@ pub fn ratio(a: f64, b: f64) -> f64 {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn measure_rate_tracks_counter_growth() {
@@ -131,5 +261,70 @@ mod tests {
     fn ratio_guards_zero() {
         assert_eq!(ratio(4.0, 2.0), 2.0);
         assert!(ratio(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn measure_rate_survives_counter_reset() {
+        // A counter that moves backwards mid-window (task re-registered
+        // after recovery resets its registry) must yield 0.0, not a
+        // debug-build subtraction underflow panic.
+        let values = Arc::new(Mutex::new(vec![2000u64, 100].into_iter()));
+        let v2 = values.clone();
+        let rate = measure_rate(
+            move || v2.lock().unwrap().next().unwrap_or(0),
+            Duration::ZERO,
+            Duration::from_millis(10),
+        );
+        assert_eq!(rate, 0.0, "reset counter saturates to zero, got {rate}");
+    }
+
+    #[test]
+    fn timeline_points_pad_trailing_windows() {
+        let m = RateMeter::with_window(Duration::from_secs(1));
+        // Mark only window 0; ask for [0, 5): rows 1..5 must exist as zeros.
+        m.mark(50);
+        let points = timeline_points(&m, 0, 5);
+        assert_eq!(points.len(), 5, "fixed length [from, to)");
+        assert!(points[0] > 0.0);
+        assert_eq!(&points[1..], &[0.0; 4]);
+        // A fully unwritten meter still yields the fixed shape.
+        let empty = RateMeter::per_second();
+        assert_eq!(timeline_points(&empty, 2, 6), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn window_mean_over_phase() {
+        let points = [0.0, 10.0, 20.0, 30.0];
+        assert_eq!(window_mean(&points, 1, 4), 20.0);
+        assert_eq!(window_mean(&points, 4, 4), 0.0);
+        assert_eq!(window_mean(&points, 2, 10), 25.0);
+    }
+
+    #[test]
+    fn quantile_from_cdf_walks_fractions() {
+        let cdf = [(10u64, 0.25), (20, 0.5), (40, 1.0)];
+        assert_eq!(quantile_from_cdf(&cdf, 0.5), Some(20));
+        assert_eq!(quantile_from_cdf(&cdf, 0.51), Some(40));
+        assert_eq!(quantile_from_cdf(&cdf, 0.0), Some(10));
+        assert_eq!(quantile_from_cdf(&cdf, 2.0), Some(40), "clamps to last");
+        assert_eq!(quantile_from_cdf(&[], 0.5), None);
+    }
+
+    #[test]
+    fn bench_opts_strip_common_flags() {
+        let opts = BenchOpts::parse(
+            ["a", "--json", "out.json", "--short", "b"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(opts.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert!(opts.short);
+        assert_eq!(opts.rest, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(opts.mode(), "short");
+        assert_eq!(opts.pick(10, 2), 2);
+
+        let none = BenchOpts::parse(std::iter::empty());
+        assert!(none.json.is_none() && !none.short && none.rest.is_empty());
+        assert_eq!(none.mode(), "full");
     }
 }

@@ -14,9 +14,17 @@
 //! | `exp_fig11` | Fig. 11 auto-scaling timelines |
 //! | `exp_fig12` | Fig. 12 live-debugging overhead + Table 5 |
 //! | `exp_fig14` | Figs. 13/14 Yahoo analytics + runtime logic swap |
+//!
+//! Every experiment binary also understands `--json <path>` (write the
+//! figure's machine-readable [`report::Report`] as `BENCH_<figure>.json`)
+//! and `--short` (compressed timelines for CI and baseline generation).
+//! The `bench-gate` binary compares a fresh matrix against the committed
+//! baselines with direction-aware tolerances (see [`gate`]).
 
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod harness;
+pub mod report;
 pub mod workloads;
 pub mod yahoo;

@@ -1,0 +1,815 @@
+//! Machine-readable experiment reports — the `BENCH_<figure>.json` schema.
+//!
+//! Every `exp_*` binary can serialize the figures it reproduces into a
+//! stable, versioned JSON document (`--json <path>`), alongside the
+//! paper-style stdout tables. The committed `BENCH_<figure>.json` files at
+//! the repository root are the performance *trajectory*: each PR re-runs
+//! the short-mode matrix and the [`crate::gate`] comparator checks the
+//! fresh run against these baselines with direction-aware tolerances.
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "figure": "fig9",
+//!   "title": "one-to-many communication",
+//!   "mode": "short",
+//!   "seed": 3298844397,
+//!   "git_sha": "ebe4d69",
+//!   "metrics": [
+//!     {"name": "throughput.local.typhoon.sinks2", "value": 180524.0,
+//!      "unit": "tuples/sec", "direction": "higher", "tolerance": 0.5}
+//!   ],
+//!   "series": [
+//!     {"name": "fig10b/typhoon-count-workers", "unit": "tuples/sec",
+//!      "points": [0.0, 11983.0, 12050.0]}
+//!   ]
+//! }
+//! ```
+//!
+//! * `direction` — `"higher"` (throughput-like: a drop is a regression) or
+//!   `"lower"` (latency/recovery-time-like: growth is a regression).
+//! * `tolerance` — relative slack the gate allows in the *bad* direction
+//!   before failing (0.5 = a higher-is-better value may drop up to 50 %).
+//!   The emitter sets it per metric, because the emitter knows which
+//!   numbers are noisy (wall-clock timings) and which are mechanisms
+//!   (serializations per tuple, exactness flags — tolerance 0).
+//! * `series` — fixed-length timelines for plotting; the gate does not
+//!   compare them point-by-point, they document the shape behind the
+//!   summary metrics.
+//! * Non-finite metric values serialize as `null` and parse back as NaN;
+//!   the gate fails any comparison involving NaN.
+//!
+//! The external deps allowed in this workspace do not include a JSON
+//! crate, so (de)serialization is hand-rolled here, like
+//! `typhoon-lint --json` and `typhoon-trace`'s `TraceDump::to_json`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use typhoon_metrics::HistogramSummary;
+
+/// Version stamped into every report; [`Report::from_json`] rejects
+/// documents with any other version so the gate never silently compares
+/// incompatible schemas.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default relative tolerance for wall-clock throughput metrics (noisy:
+/// shared CI runners easily swing ±30 %).
+pub const THROUGHPUT_TOL: f64 = 0.5;
+
+/// Default relative tolerance for wall-clock latency / duration metrics
+/// (noisier still at millisecond scale; may double before failing).
+pub const LATENCY_TOL: f64 = 1.0;
+
+/// Which way is better for a metric — decides what the gate treats as a
+/// regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: a drop beyond tolerance is a regression.
+    HigherIsBetter,
+    /// Latency-like: growth beyond tolerance is a regression.
+    LowerIsBetter,
+}
+
+impl Direction {
+    /// The schema's string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::HigherIsBetter => "higher",
+            Direction::LowerIsBetter => "lower",
+        }
+    }
+
+    /// Parses the schema's string form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "higher" => Some(Direction::HigherIsBetter),
+            "lower" => Some(Direction::LowerIsBetter),
+            _ => None,
+        }
+    }
+}
+
+/// One gated scalar result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable dotted name, e.g. `throughput.local.typhoon.b100`.
+    pub name: String,
+    /// The measured value (NaN round-trips as JSON `null`).
+    pub value: f64,
+    /// Unit label, e.g. `tuples/sec`, `ms`, `count`, `bool`.
+    pub unit: String,
+    /// Which way is better.
+    pub direction: Direction,
+    /// Relative slack allowed in the bad direction before the gate fails.
+    pub tolerance: f64,
+}
+
+/// One ungated fixed-length timeline (documentation of shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Stable name, matching the stdout table label.
+    pub name: String,
+    /// Unit of each point.
+    pub unit: String,
+    /// One point per window, zero-padded to the figure's fixed length.
+    pub points: Vec<f64>,
+}
+
+/// A machine-readable experiment report (one figure / one binary run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Always [`SCHEMA_VERSION`] for freshly built reports.
+    pub schema_version: u64,
+    /// Figure id: `fig8` … `fig14`, `ablation`, `chaos`, `recovery`.
+    pub figure: String,
+    /// Human-readable one-liner.
+    pub title: String,
+    /// `"short"` or `"full"` — the gate refuses to compare across modes.
+    pub mode: String,
+    /// The workload seed, when the experiment is seeded.
+    pub seed: Option<u64>,
+    /// `git rev-parse --short HEAD` at emission time (`unknown` outside a
+    /// work tree).
+    pub git_sha: String,
+    /// Gated scalar results.
+    pub metrics: Vec<Metric>,
+    /// Ungated timelines.
+    pub series: Vec<Series>,
+}
+
+impl Report {
+    /// A new empty report for `figure`, stamped with the current git sha.
+    pub fn new(figure: &str, title: &str, mode: &str) -> Self {
+        Report {
+            schema_version: SCHEMA_VERSION,
+            figure: figure.to_string(),
+            title: title.to_string(),
+            mode: mode.to_string(),
+            seed: None,
+            git_sha: git_short_sha(),
+            metrics: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Records the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Adds a metric with full control over unit/direction/tolerance.
+    pub fn metric(
+        &mut self,
+        name: impl Into<String>,
+        value: f64,
+        unit: &str,
+        direction: Direction,
+        tolerance: f64,
+    ) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.into(),
+            value,
+            unit: unit.to_string(),
+            direction,
+            tolerance,
+        });
+        self
+    }
+
+    /// Adds a throughput metric (`tuples/sec`, higher is better,
+    /// [`THROUGHPUT_TOL`]).
+    pub fn throughput(&mut self, name: impl Into<String>, tuples_per_sec: f64) -> &mut Self {
+        self.metric(
+            name,
+            tuples_per_sec,
+            "tuples/sec",
+            Direction::HigherIsBetter,
+            THROUGHPUT_TOL,
+        )
+    }
+
+    /// Adds a duration metric in milliseconds (lower is better).
+    pub fn time_ms(&mut self, name: impl Into<String>, ms: f64, tolerance: f64) -> &mut Self {
+        self.metric(name, ms, "ms", Direction::LowerIsBetter, tolerance)
+    }
+
+    /// Adds an exactness/mechanism metric that may not regress at all
+    /// (tolerance 0): booleans as 0/1, exact counts, parallelism.
+    pub fn exact(&mut self, name: impl Into<String>, value: f64, unit: &str) -> &mut Self {
+        self.metric(name, value, unit, Direction::HigherIsBetter, 0.0)
+    }
+
+    /// Adds the standard latency quantile ladder (`<prefix>.p50_ms`,
+    /// `.p99_ms`, `.mean_ms`) from a histogram summary, all
+    /// lower-is-better with the given tolerance.
+    pub fn quantiles(
+        &mut self,
+        prefix: &str,
+        summary: &HistogramSummary,
+        tolerance: f64,
+    ) -> &mut Self {
+        self.time_ms(
+            format!("{prefix}.p50_ms"),
+            summary.p50_ns as f64 / 1e6,
+            tolerance,
+        );
+        self.time_ms(
+            format!("{prefix}.p99_ms"),
+            summary.p99_ns as f64 / 1e6,
+            tolerance,
+        );
+        self.time_ms(
+            format!("{prefix}.mean_ms"),
+            summary.mean_ns / 1e6,
+            tolerance,
+        )
+    }
+
+    /// Adds an ungated timeline.
+    pub fn push_series(
+        &mut self,
+        name: impl Into<String>,
+        unit: &str,
+        points: Vec<f64>,
+    ) -> &mut Self {
+        self.series.push(Series {
+            name: name.into(),
+            unit: unit.to_string(),
+            points,
+        });
+        self
+    }
+
+    /// Looks a metric up by name.
+    pub fn find(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes to the schema's JSON form (2-space indent: the files are
+    /// committed, so diffs should be line-per-field readable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"figure\": {},", quote(&self.figure));
+        let _ = writeln!(out, "  \"title\": {},", quote(&self.title));
+        let _ = writeln!(out, "  \"mode\": {},", quote(&self.mode));
+        match self.seed {
+            Some(seed) => {
+                let _ = writeln!(out, "  \"seed\": {seed},");
+            }
+            None => out.push_str("  \"seed\": null,\n"),
+        }
+        let _ = writeln!(out, "  \"git_sha\": {},", quote(&self.git_sha));
+        out.push_str("  \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let sep = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"value\": {}, \"unit\": {}, \"direction\": {}, \"tolerance\": {}}}{sep}",
+                quote(&m.name),
+                num(m.value),
+                quote(&m.unit),
+                quote(m.direction.as_str()),
+                num(m.tolerance),
+            );
+        }
+        out.push_str(if self.metrics.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            let sep = if i + 1 < self.series.len() { "," } else { "" };
+            let points: Vec<String> = s.points.iter().map(|p| num(*p)).collect();
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"unit\": {}, \"points\": [{}]}}{sep}",
+                quote(&s.name),
+                quote(&s.unit),
+                points.join(", "),
+            );
+        }
+        out.push_str(if self.series.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out
+    }
+
+    /// Parses a schema-version-1 document; rejects other versions and
+    /// structurally invalid documents with a descriptive error.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_obj().ok_or("top level must be an object")?;
+        let version = get(obj, "schema_version")?
+            .as_u64()
+            .ok_or("schema_version must be an unsigned integer")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (this build reads version {SCHEMA_VERSION})"
+            ));
+        }
+        let mut report = Report {
+            schema_version: version,
+            figure: get_str(obj, "figure")?,
+            title: get_str(obj, "title")?,
+            mode: get_str(obj, "mode")?,
+            seed: match get(obj, "seed")? {
+                json::Json::Null => None,
+                v => Some(
+                    v.as_u64()
+                        .ok_or("seed must be an unsigned integer or null")?,
+                ),
+            },
+            git_sha: get_str(obj, "git_sha")?,
+            metrics: Vec::new(),
+            series: Vec::new(),
+        };
+        for (i, m) in get(obj, "metrics")?
+            .as_arr()
+            .ok_or("metrics must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let m = m
+                .as_obj()
+                .ok_or_else(|| format!("metrics[{i}] must be an object"))?;
+            let direction = get_str(m, "direction")?;
+            report.metrics.push(Metric {
+                name: get_str(m, "name")?,
+                value: get(m, "value")?
+                    .as_f64()
+                    .ok_or_else(|| format!("metrics[{i}].value must be a number or null"))?,
+                unit: get_str(m, "unit")?,
+                direction: Direction::parse(&direction).ok_or_else(|| {
+                    format!(
+                        "metrics[{i}].direction must be \"higher\" or \"lower\", got {direction:?}"
+                    )
+                })?,
+                tolerance: get(m, "tolerance")?
+                    .as_f64()
+                    .ok_or_else(|| format!("metrics[{i}].tolerance must be a number"))?,
+            });
+        }
+        for (i, s) in get(obj, "series")?
+            .as_arr()
+            .ok_or("series must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let s = s
+                .as_obj()
+                .ok_or_else(|| format!("series[{i}] must be an object"))?;
+            let points = get(s, "points")?
+                .as_arr()
+                .ok_or_else(|| format!("series[{i}].points must be an array"))?
+                .iter()
+                .map(|p| {
+                    p.as_f64()
+                        .ok_or_else(|| format!("series[{i}].points must hold numbers"))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            report.series.push(Series {
+                name: get_str(s, "name")?,
+                unit: get_str(s, "unit")?,
+                points,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Writes the JSON document (plus trailing newline) to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// Reads and parses a report, prefixing errors with the path.
+    pub fn read(path: &Path) -> Result<Report, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// The canonical committed file name for a figure: `BENCH_<figure>.json`.
+pub fn bench_file_name(figure: &str) -> String {
+    format!("BENCH_{figure}.json")
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a work tree.
+pub fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// JSON string literal with escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number literal: shortest round-trip form; non-finite becomes
+/// `null` (parsed back as NaN).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn get<'a>(obj: &'a [(String, json::Json)], key: &str) -> Result<&'a json::Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing required key {key:?}"))
+}
+
+fn get_str(obj: &[(String, json::Json)], key: &str) -> Result<String, String> {
+    get(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{key} must be a string"))
+}
+
+/// Minimal recursive-descent JSON parser — just enough for the schema
+/// above (objects, arrays, strings with escapes, numbers, booleans, null).
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (f64 precision; u64 seeds fit: they are < 2^53 here).
+        Num(f64),
+        /// String literal.
+        Str(String),
+        /// Array.
+        Arr(Vec<Json>),
+        /// Object, insertion-ordered.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+            match self {
+                Json::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        /// Numbers parse to f64; `null` reads as NaN so non-finite metric
+        /// values round-trip (the gate fails NaN comparisons explicitly).
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                Json::Null => Some(f64::NAN),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing garbage at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl Parser {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Result<char, String> {
+            let c = self.peek().ok_or("unexpected end of input")?;
+            self.pos += 1;
+            Ok(c)
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, c: char) -> Result<(), String> {
+            let got = self.bump()?;
+            if got != c {
+                return Err(format!(
+                    "expected {c:?} at offset {}, got {got:?}",
+                    self.pos - 1
+                ));
+            }
+            Ok(())
+        }
+
+        fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+            for c in word.chars() {
+                self.expect(c)?;
+            }
+            Ok(value)
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            self.skip_ws();
+            match self.peek().ok_or("unexpected end of input")? {
+                '{' => self.object(),
+                '[' => self.array(),
+                '"' => Ok(Json::Str(self.string()?)),
+                't' => self.literal("true", Json::Bool(true)),
+                'f' => self.literal("false", Json::Bool(false)),
+                'n' => self.literal("null", Json::Null),
+                '-' | '0'..='9' => self.number(),
+                c => Err(format!("unexpected character {c:?} at offset {}", self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect('{')?;
+            let mut out = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some('}') {
+                self.pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(':')?;
+                out.push((key, self.value()?));
+                self.skip_ws();
+                match self.bump()? {
+                    ',' => continue,
+                    '}' => return Ok(Json::Obj(out)),
+                    c => return Err(format!("expected ',' or '}}', got {c:?}")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect('[')?;
+            let mut out = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(']') {
+                self.pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            loop {
+                out.push(self.value()?);
+                self.skip_ws();
+                match self.bump()? {
+                    ',' => continue,
+                    ']' => return Ok(Json::Arr(out)),
+                    c => return Err(format!("expected ',' or ']', got {c:?}")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect('"')?;
+            let mut out = String::new();
+            loop {
+                match self.bump()? {
+                    '"' => return Ok(out),
+                    '\\' => match self.bump()? {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect('\\')?;
+                                self.expect('u')?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00))
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u escape {code:#x}"))?,
+                            );
+                        }
+                        c => return Err(format!("invalid escape \\{c}")),
+                    },
+                    c => out.push(c),
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, String> {
+            let mut v = 0u32;
+            for _ in 0..4 {
+                let c = self.bump()?;
+                v = v * 16
+                    + c.to_digit(16)
+                        .ok_or_else(|| format!("invalid hex digit {c:?}"))?;
+            }
+            Ok(v)
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.pos;
+            if self.peek() == Some('-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some('0'..='9' | '.' | 'e' | 'E' | '+' | '-')) {
+                self.pos += 1;
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("invalid number {text:?}: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("fig9", "one-to-many communication", "short").with_seed(42);
+        r.throughput("throughput.local.typhoon.sinks2", 180_524.0);
+        r.metric(
+            "ser_per_tuple.local.typhoon.sinks2",
+            1.0,
+            "count",
+            Direction::LowerIsBetter,
+            0.25,
+        );
+        r.exact("recovery.exact.worker", 1.0, "bool");
+        r.time_ms("latency.local.p99_ms", 12.75, LATENCY_TOL);
+        r.push_series("fig10b/typhoon", "tuples/sec", vec![0.0, 11983.5, 12050.0]);
+        r
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let r = sample();
+        let json = r.to_json();
+        let parsed = Report::from_json(&json).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = Report::new("fig8", "baseline", "full");
+        assert_eq!(r.seed, None);
+        let parsed = Report::from_json(&r.to_json()).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let json = sample()
+            .to_json()
+            .replace("\"schema_version\": 1,", "\"schema_version\": 999,");
+        let err = Report::from_json(&json).expect_err("must reject");
+        assert!(err.contains("999"), "{err}");
+        assert!(err.contains("version 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_keys_and_bad_direction() {
+        let json = sample().to_json().replace("\"figure\": \"fig9\",", "");
+        assert!(Report::from_json(&json)
+            .expect_err("missing figure")
+            .contains("figure"));
+        let json = sample().to_json().replace("\"higher\"", "\"sideways\"");
+        assert!(Report::from_json(&json)
+            .expect_err("bad direction")
+            .contains("sideways"));
+    }
+
+    #[test]
+    fn non_finite_values_round_trip_as_null() {
+        let mut r = Report::new("fig8", "t", "full");
+        r.throughput("inf", f64::INFINITY);
+        let json = r.to_json();
+        assert!(json.contains("\"value\": null"), "{json}");
+        let parsed = Report::from_json(&json).expect("parse");
+        assert!(parsed.metrics[0].value.is_nan());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut r = Report::new("fig8", "quote \" backslash \\ newline \n tab \t", "full");
+        r.throughput("weird \"name\"", 1.0);
+        let parsed = Report::from_json(&r.to_json()).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn file_name_is_canonical() {
+        assert_eq!(bench_file_name("fig8"), "BENCH_fig8.json");
+    }
+
+    #[test]
+    fn write_and_read_file() {
+        let dir = std::env::temp_dir().join(format!("typhoon-report-{}", std::process::id()));
+        let path = dir.join(bench_file_name("fig9"));
+        let r = sample();
+        r.write(&path).expect("write");
+        let read = Report::read(&path).expect("read");
+        assert_eq!(read, r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantile_ladder_metrics() {
+        let s = typhoon_metrics::HistogramSummary {
+            count: 10,
+            mean_ns: 2_000_000.0,
+            min_ns: 1_000_000,
+            p50_ns: 1_500_000,
+            p90_ns: 3_000_000,
+            p99_ns: 4_000_000,
+            p999_ns: 4_500_000,
+            max_ns: 5_000_000,
+        };
+        let mut r = Report::new("fig8", "t", "full");
+        r.quantiles("latency.local", &s, LATENCY_TOL);
+        assert_eq!(r.find("latency.local.p50_ms").map(|m| m.value), Some(1.5));
+        assert_eq!(r.find("latency.local.p99_ms").map(|m| m.value), Some(4.0));
+        assert_eq!(r.find("latency.local.mean_ms").map(|m| m.value), Some(2.0));
+        assert!(r
+            .metrics
+            .iter()
+            .all(|m| m.direction == Direction::LowerIsBetter));
+    }
+}

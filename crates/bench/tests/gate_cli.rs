@@ -1,0 +1,155 @@
+//! End-to-end tests of the `bench-gate` binary: exit codes, the delta
+//! table, and `--bless` baseline refresh on synthetic reports.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use typhoon_bench::report::{bench_file_name, Report};
+
+fn gate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench-gate"))
+}
+
+struct TempDirs {
+    root: PathBuf,
+    base: PathBuf,
+    fresh: PathBuf,
+}
+
+impl TempDirs {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("typhoon-gate-cli-{tag}-{}", std::process::id()));
+        let base = root.join("base");
+        let fresh = root.join("fresh");
+        std::fs::create_dir_all(&base).expect("mkdir base");
+        std::fs::create_dir_all(&fresh).expect("mkdir fresh");
+        TempDirs { root, base, fresh }
+    }
+}
+
+impl Drop for TempDirs {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+fn sample(tput: f64) -> Report {
+    let mut r = Report::new("fig9", "one-to-many", "short").with_seed(7);
+    r.throughput("throughput.local", tput);
+    r.exact("ser_per_tuple_is_one", 1.0, "bool");
+    r
+}
+
+fn write(dir: &Path, report: &Report) {
+    report
+        .write(&dir.join(bench_file_name(&report.figure)))
+        .expect("write report");
+}
+
+#[test]
+fn unchanged_matrix_passes_with_exit_zero() {
+    let dirs = TempDirs::new("pass");
+    write(&dirs.base, &sample(100_000.0));
+    write(&dirs.fresh, &sample(99_000.0)); // ~1% noise: well within tolerance
+    let out = gate()
+        .args(["--baseline"])
+        .arg(&dirs.base)
+        .arg("--fresh")
+        .arg(&dirs.fresh)
+        .args(["--figures", "fig9"])
+        .output()
+        .expect("run bench-gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "expected pass:\n{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+}
+
+#[test]
+fn perturbed_metric_fails_with_delta_table() {
+    let dirs = TempDirs::new("fail");
+    write(&dirs.base, &sample(100_000.0));
+    write(&dirs.fresh, &sample(10_000.0)); // 90% drop: beyond tolerance
+    let out = gate()
+        .arg("--baseline")
+        .arg(&dirs.base)
+        .arg("--fresh")
+        .arg(&dirs.fresh)
+        .args(["--figures", "fig9"])
+        .output()
+        .expect("run bench-gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "exit 1 on regression:\n{stdout}"
+    );
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("throughput.local"), "{stdout}");
+    assert!(stdout.contains("-90.0%"), "delta column:\n{stdout}");
+}
+
+#[test]
+fn bless_refreshes_baselines() {
+    let dirs = TempDirs::new("bless");
+    write(&dirs.base, &sample(100_000.0));
+    write(&dirs.fresh, &sample(10_000.0));
+    let out = gate()
+        .arg("--baseline")
+        .arg(&dirs.base)
+        .arg("--fresh")
+        .arg(&dirs.fresh)
+        .args(["--figures", "fig9", "--bless"])
+        .output()
+        .expect("run bench-gate --bless");
+    assert!(out.status.success());
+    let refreshed =
+        Report::read(&dirs.base.join(bench_file_name("fig9"))).expect("refreshed baseline");
+    assert_eq!(
+        refreshed.find("throughput.local").map(|m| m.value),
+        Some(10_000.0)
+    );
+    // And the gate passes against the blessed baseline.
+    let out = gate()
+        .arg("--baseline")
+        .arg(&dirs.base)
+        .arg("--fresh")
+        .arg(&dirs.fresh)
+        .args(["--figures", "fig9"])
+        .output()
+        .expect("re-run bench-gate");
+    assert!(out.status.success());
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = gate().output().expect("run bench-gate");
+    assert_eq!(out.status.code(), Some(2), "--fresh is required");
+    let out = gate()
+        .args(["--fresh", "/nonexistent", "--bogus"])
+        .output()
+        .expect("run bench-gate");
+    assert_eq!(out.status.code(), Some(2), "unknown flag");
+}
+
+#[test]
+fn slack_relaxes_the_gate() {
+    let dirs = TempDirs::new("slack");
+    write(&dirs.base, &sample(100_000.0));
+    write(&dirs.fresh, &sample(30_000.0)); // 70% drop
+    let run = |slack: &str| {
+        gate()
+            .arg("--baseline")
+            .arg(&dirs.base)
+            .arg("--fresh")
+            .arg(&dirs.fresh)
+            .args(["--figures", "fig9", "--slack", slack])
+            .output()
+            .expect("run bench-gate")
+    };
+    assert_eq!(
+        run("1").status.code(),
+        Some(1),
+        "fails at slack 1 (tol 50%)"
+    );
+    assert!(run("1.6").status.success(), "passes at slack 1.6 (tol 80%)");
+}

@@ -9,7 +9,7 @@
 //!   could interleave mid-frame and desynchronize the stream for every
 //!   frame after.
 //! * **First-cause teardown** — once the tunnel is poisoned with a
-//!   [`TeardownCause`]-style code, later teardowns must not overwrite
+//!   `TeardownCause`-style code, later teardowns must not overwrite
 //!   it: operators root-cause from the *first* failure, and recovery
 //!   keys off a stable cause.
 //!

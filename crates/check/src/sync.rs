@@ -1,7 +1,7 @@
 //! The primitive facade the kernels compile against.
 //!
 //! With the `model` feature (default) every name here resolves to the
-//! checker's controlled primitives in [`crate::shim`]; without it, to the
+//! checker's controlled primitives in `crate::shim`; without it, to the
 //! real thing — `typhoon-diag` locks, std atomics and threads, and a
 //! condvar-backed bounded channel — so the *same kernel source* runs
 //! either under exhaustive schedule exploration or as a plain

@@ -30,6 +30,29 @@ pub struct Histogram {
     inner: Arc<Mutex<Inner>>,
 }
 
+/// Machine-readable snapshot of a [`Histogram`]: the quantile ladder the
+/// experiment reports serialize (values in nanoseconds, bucket-approximate
+/// except the exact min/max extremes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Arithmetic mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Exact smallest sample.
+    pub min_ns: u64,
+    /// Median (p50).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Exact largest sample.
+    pub max_ns: u64,
+}
+
 impl Default for Histogram {
     fn default() -> Self {
         Self::new()
@@ -172,6 +195,27 @@ impl Histogram {
         out
     }
 
+    /// One-shot machine-readable summary — count, mean and the standard
+    /// quantile ladder — for JSON export (`BENCH_*.json` latency metrics).
+    /// `None` when no samples were recorded.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.count() == 0 {
+            return None;
+        }
+        // `quantile` is None only when empty, checked above; samples may
+        // race in concurrently but can only add to the count.
+        Some(HistogramSummary {
+            count: self.count(),
+            mean_ns: self.mean(),
+            min_ns: self.quantile(0.0).unwrap_or(0),
+            p50_ns: self.quantile(0.5).unwrap_or(0),
+            p90_ns: self.quantile(0.9).unwrap_or(0),
+            p99_ns: self.quantile(0.99).unwrap_or(0),
+            p999_ns: self.quantile(0.999).unwrap_or(0),
+            max_ns: self.quantile(1.0).unwrap_or(0),
+        })
+    }
+
     /// Clears all recorded samples.
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
@@ -300,6 +344,22 @@ mod tests {
         h2.record(15);
         h2.record(16);
         assert_eq!(h2.cdf(), vec![(16, 1.0)]);
+    }
+
+    #[test]
+    fn summary_matches_quantile_ladder() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), None, "empty histogram has no summary");
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let s = h.summary().expect("non-empty");
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min_ns, 1000);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.p999_ns && s.p999_ns <= s.max_ns);
+        assert!((s.mean_ns - 500_500.0).abs() < 1.0);
     }
 
     #[test]

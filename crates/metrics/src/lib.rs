@@ -22,6 +22,6 @@ pub mod meter;
 pub mod registry;
 
 pub use counter::{Counter, Gauge};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, HistogramSummary};
 pub use meter::RateMeter;
 pub use registry::{MetricSnapshot, Registry};
