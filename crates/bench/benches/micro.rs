@@ -10,8 +10,8 @@ use typhoon_net::{Depacketizer, Frame, MacAddr, Packetizer};
 use typhoon_openflow::{
     wire, Action, FlowMatch, FlowMod, FrameMeta, OfMessage, PortNo, WrrSelector,
 };
-use typhoon_switch::FlowTable;
-use typhoon_tuple::ser::{decode_tuple, encode_tuple_vec, SerStats};
+use typhoon_switch::{FlowCache, FlowTable};
+use typhoon_tuple::ser::{decode_tuple, encode_tuple_vec, BatchEncoder, SerStats};
 use typhoon_tuple::{Tuple, Value};
 
 fn sample_tuple() -> Tuple {
@@ -105,6 +105,65 @@ fn bench_flow_table(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_flow_cache(c: &mut Criterion) {
+    let cache = FlowCache::new();
+    let now = Instant::now();
+    let meta = FrameMeta {
+        in_port: PortNo(3),
+        dl_src: MacAddr::worker(1, TaskId(3)),
+        dl_dst: MacAddr::worker(1, TaskId(103)),
+        ether_type: 0xffff,
+    };
+    cache.insert(
+        &meta,
+        &[Action::Output(PortNo(4))],
+        std::time::Duration::from_secs(30),
+        None,
+        now,
+    );
+    let cold = FrameMeta {
+        in_port: PortNo(9),
+        dl_src: MacAddr::worker(9, TaskId(9)),
+        dl_dst: MacAddr::worker(9, TaskId(9)),
+        ether_type: 0x0800,
+    };
+    let mut g = c.benchmark_group("flow-cache");
+    // The steady-state per-run datapath cost (must stay well under 1 µs
+    // per tuple — one probe amortizes over a whole same-headed run).
+    g.bench_function("probe-hit", |b| {
+        b.iter(|| cache.probe(black_box(&meta), 1, 64, now))
+    });
+    g.bench_function("probe-miss", |b| {
+        b.iter(|| cache.probe(black_box(&cold), 1, 64, now))
+    });
+    g.finish();
+}
+
+fn bench_batch_encoder(c: &mut Criterion) {
+    let stats = SerStats::default();
+    let tuple = sample_tuple();
+    let mut g = c.benchmark_group("batch-encoder");
+    g.throughput(Throughput::Elements(100));
+    // One shared allocation for 100 blobs vs. 100 separate buffers.
+    g.bench_function("encode-100-shared", |b| {
+        b.iter(|| {
+            let mut enc = BatchEncoder::new();
+            for _ in 0..100 {
+                enc.push(black_box(&tuple), &stats);
+            }
+            enc.finish()
+        })
+    });
+    g.bench_function("encode-100-separate", |b| {
+        b.iter(|| {
+            (0..100)
+                .map(|_| bytes::Bytes::from(encode_tuple_vec(black_box(&tuple), &stats)))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
 fn bench_routing_and_wrr(c: &mut Criterion) {
     let mut g = c.benchmark_group("routing");
     let tuple = sample_tuple();
@@ -135,6 +194,24 @@ fn bench_ring(c: &mut Criterion) {
         b.iter(|| {
             tx.push(frame.clone()).unwrap();
             rx.pop().unwrap().unwrap()
+        })
+    });
+    g.finish();
+    let mut g = c.benchmark_group("ring-batch");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("push-pop-batch-64", |b| {
+        let (tx, rx) = typhoon_net::ring(1024);
+        let frame = Frame::typhoon(
+            MacAddr::worker(1, TaskId(1)),
+            MacAddr::worker(1, TaskId(2)),
+            bytes::Bytes::from_static(&[0u8; 64]),
+        );
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            let mut batch: Vec<Frame> = (0..64).map(|_| frame.clone()).collect();
+            tx.push_batch(&mut batch);
+            out.clear();
+            rx.pop_batch(&mut out, 64).unwrap()
         })
     });
     g.finish();
@@ -175,6 +252,7 @@ criterion_group! {
     name = micro;
     config = configured();
     targets = bench_serialization, bench_packetizer, bench_flow_table,
+              bench_flow_cache, bench_batch_encoder,
               bench_routing_and_wrr, bench_ring, bench_openflow_wire
 }
 criterion_main!(micro);

@@ -85,7 +85,7 @@ fn typhoon_forwarding(
     acking: bool,
     batch: usize,
     rate_cap: Option<u32>,
-) -> (f64, Vec<(u64, f64)>) {
+) -> (f64, Vec<(u64, f64)>, f64) {
     let mut reg = ComponentRegistry::new();
     let (sink, _) = register_standard(&mut reg, PAYLOAD, SPOUT_BATCH);
     let mut config = if remote {
@@ -123,8 +123,9 @@ fn typhoon_forwarding(
         .worker(handle.tasks_of("source")[0])
         .map(|w| w.registry.histogram("latency").cdf())
         .unwrap_or_default();
+    let hit_ratio = cluster.cache_stats().hit_ratio();
     cluster.shutdown();
-    (rate, cdf)
+    (rate, cdf, hit_ratio)
 }
 
 fn fig8a(cfg: &Cfg, report: &mut Report) {
@@ -136,9 +137,19 @@ fn fig8a(cfg: &Cfg, report: &mut Report) {
         print_rate_row(&format!("STORM          ({place})"), storm);
         report.throughput(format!("throughput.{tag}.storm"), storm);
         for &batch in cfg.batches {
-            let (typhoon, _) = typhoon_forwarding(cfg, remote, false, batch, None);
+            let (typhoon, _, hit_ratio) = typhoon_forwarding(cfg, remote, false, batch, None);
             print_rate_row(&format!("TYPHOON({batch:<4})  ({place})"), typhoon);
+            println!("    flow-cache hit ratio: {:.4}", hit_ratio);
             report.throughput(format!("throughput.{tag}.typhoon.b{batch}"), typhoon);
+            // The megaflow fast path: steady state must resolve the vast
+            // majority of frames without the flow-table lock.
+            report.metric(
+                format!("cache.hit_ratio.{tag}.typhoon.b{batch}"),
+                hit_ratio,
+                "ratio",
+                Direction::HigherIsBetter,
+                0.1,
+            );
         }
     }
 }
@@ -161,7 +172,7 @@ fn fig8b_cd(cfg: &Cfg, report: &mut Report, print_throughput: bool, print_latenc
         }
         cdfs.push(("STORM".into(), remote, storm_cdf));
         for &batch in cfg.batches {
-            let (typhoon, cdf) = typhoon_forwarding(cfg, remote, true, batch, rate_cap);
+            let (typhoon, cdf, _) = typhoon_forwarding(cfg, remote, true, batch, rate_cap);
             if print_throughput {
                 print_rate_row(&format!("TYPHOON({batch:<4})+ACK ({place})"), typhoon);
                 report.throughput(format!("throughput_ack.{tag}.typhoon.b{batch}"), typhoon);

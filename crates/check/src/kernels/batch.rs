@@ -1,0 +1,203 @@
+//! Kernel: batched ring transfer vs. concurrent close (this PR's
+//! `push_batch`/`pop_batch` in `crates/net/src/ring.rs`).
+//!
+//! Batching amortizes the per-frame bookkeeping, but it widens the window
+//! in which the peer can close the ring: a close can now land *inside* a
+//! half-consumed batch. Two historical hazards are pinned here:
+//!
+//! * **Producer side** — `push_batch` observes `closed` mid-batch. The
+//!   naive protocol broke out of the loop and dropped the unattempted
+//!   remainder on the floor; the shipped protocol leaves the remainder in
+//!   the caller's vector so every frame is either enqueued or explicitly
+//!   returned (`enqueued + returned == batch length`, exact accounting).
+//!
+//! * **Consumer side** — `pop_batch` drains part of a batch and then hits
+//!   `Disconnected` on the emptied queue. The naive protocol returned the
+//!   error, so the caller treated the poll as dead and discarded the
+//!   frames already drained; the shipped protocol reports `Ok(n)` for any
+//!   partial drain and only surfaces `Disconnected` on an empty one —
+//!   PR 3's "no lost tuple" invariant extended to batches.
+
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{thread, Mutex, Notify};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What one `push_batch` reported to its caller.
+#[derive(Debug, Default)]
+pub struct PushOutcome {
+    /// Frames enqueued before the close (if any) was observed.
+    pub enqueued: usize,
+    /// True when the ring was observed closed mid-batch.
+    pub disconnected: bool,
+}
+
+/// What one blocking `pop_batch` observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BatchPop {
+    /// A non-empty drained batch (frame tags).
+    Frames(Vec<u32>),
+    /// Closed and drained.
+    Disconnected,
+}
+
+/// The ring reduced to the cells the batch protocols race on: the frame
+/// queue and the closed flag.
+pub struct BatchRing {
+    queue: Mutex<VecDeque<u32>>,
+    closed: AtomicBool,
+    notify: Notify,
+}
+
+impl BatchRing {
+    /// An open, empty ring.
+    pub fn new() -> Self {
+        BatchRing {
+            queue: Mutex::new(VecDeque::new()),
+            closed: AtomicBool::new(false),
+            notify: Notify::new(),
+        }
+    }
+
+    /// Producer: enqueue one frame (the spine of the seed-state `push`).
+    pub fn push(&self, frame: u32) {
+        self.queue.lock().push_back(frame);
+        self.notify.notify_all();
+    }
+
+    /// Either peer: close the ring.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.notify.notify_all();
+    }
+
+    /// Producer: enqueue a whole batch, checking `closed` before every
+    /// frame exactly like the real `push_batch`. `fixed` selects the
+    /// shipped protocol (the unattempted remainder is restored to the
+    /// caller's vector); `!fixed` is the naive protocol that breaks out
+    /// and silently drops the remainder.
+    pub fn push_batch(&self, batch: &mut Vec<u32>, fixed: bool) -> PushOutcome {
+        let mut outcome = PushOutcome::default();
+        let mut iter = std::mem::take(batch).into_iter();
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                outcome.disconnected = true;
+                if fixed {
+                    *batch = iter.collect();
+                }
+                break;
+            }
+            let frame = match iter.next() {
+                Some(f) => f,
+                None => break,
+            };
+            self.queue.lock().push_back(frame);
+            outcome.enqueued += 1;
+            self.notify.notify_all();
+        }
+        outcome
+    }
+
+    /// Consumer: blocking batched pop. `fixed` selects the shipped
+    /// protocol (a partial drain is returned even when the close is
+    /// observed right after it); `!fixed` is the naive protocol that
+    /// reports `Disconnected` for the whole poll, losing the frames it
+    /// had already drained.
+    pub fn pop_batch_wait(&self, max: usize, fixed: bool) -> BatchPop {
+        loop {
+            let seen = self.notify.epoch();
+            let mut drained = Vec::new();
+            {
+                let mut queue = self.queue.lock();
+                while drained.len() < max {
+                    match queue.pop_front() {
+                        Some(f) => drained.push(f),
+                        None => break,
+                    }
+                }
+            }
+            if drained.len() == max {
+                // A full batch never even looks at `closed`.
+                return BatchPop::Frames(drained);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                // Re-check for the push-then-close race (PR 3): a frame
+                // enqueued between our empty pop and the `closed` load
+                // must still be delivered. Both flavours do this — the
+                // single-frame race is pinned by the `ring` kernel.
+                {
+                    let mut queue = self.queue.lock();
+                    while drained.len() < max {
+                        match queue.pop_front() {
+                            Some(f) => drained.push(f),
+                            None => break,
+                        }
+                    }
+                }
+                if drained.is_empty() {
+                    return BatchPop::Disconnected;
+                }
+                if fixed {
+                    return BatchPop::Frames(drained);
+                }
+                // Naive protocol: the error outranks the partial drain and
+                // the caller never sees these frames.
+                return BatchPop::Disconnected;
+            }
+            if !drained.is_empty() {
+                return BatchPop::Frames(drained);
+            }
+            self.notify.wait_from(seen);
+        }
+    }
+}
+
+impl Default for BatchRing {
+    fn default() -> Self {
+        BatchRing::new()
+    }
+}
+
+/// Producer scenario: a 3-frame `push_batch` races a peer closing the
+/// ring. Every frame must be accounted for — enqueued or handed back.
+pub fn push_batch_close_scenario(fixed: bool) {
+    let ring = Arc::new(BatchRing::new());
+    let closer_ring = Arc::clone(&ring);
+    let closer = thread::spawn(move || {
+        closer_ring.close();
+    });
+    let mut batch = vec![1, 2, 3];
+    let outcome = ring.push_batch(&mut batch, fixed);
+    closer.join();
+    assert_eq!(
+        outcome.enqueued + batch.len(),
+        3,
+        "batch accounting: a frame was neither enqueued nor returned to the caller"
+    );
+    if !outcome.disconnected {
+        assert_eq!(outcome.enqueued, 3, "no close observed, all frames enqueued");
+    }
+}
+
+/// Consumer scenario: the producer pushes three frames and closes; the
+/// consumer drains with `pop_batch(max = 2)` until `Disconnected`. All
+/// three frames must arrive — none lost from a half-consumed batch.
+pub fn pop_batch_close_scenario(fixed: bool) {
+    let ring = Arc::new(BatchRing::new());
+    let producer_ring = Arc::clone(&ring);
+    let producer = thread::spawn(move || {
+        producer_ring.push(1);
+        producer_ring.push(2);
+        producer_ring.push(3);
+        producer_ring.close();
+    });
+    let mut got = 0usize;
+    while let BatchPop::Frames(frames) = ring.pop_batch_wait(2, fixed) {
+        got += frames.len();
+    }
+    producer.join();
+    assert_eq!(
+        got, 3,
+        "half-consumed batch: Disconnected discarded frames already drained"
+    );
+}

@@ -24,6 +24,7 @@
 //! * State every invariant as an `assert!` inside the scenario; the
 //!   checker reports the schedule that broke it.
 
+pub mod batch;
 pub mod checkpoint;
 pub mod recovery;
 pub mod ring;

@@ -10,7 +10,7 @@
 #![cfg(feature = "model")]
 
 use std::sync::Arc;
-use typhoon_check::kernels::{checkpoint, recovery, ring, tunnel};
+use typhoon_check::kernels::{batch, checkpoint, recovery, ring, tunnel};
 use typhoon_check::sync::{thread, Mutex};
 use typhoon_check::{Checker, Replay};
 
@@ -57,6 +57,56 @@ fn ring_close_pop_fixed_logic_passes() {
         report.schedules, report.exhausted
     );
     report.assert_ok();
+}
+
+// ------------------------------------------------- batched rings (this PR)
+
+#[test]
+fn push_batch_remainder_drop_is_found_on_prefix_logic() {
+    let failure = Checker::default()
+        .check("batch-push-close/prefix", || {
+            batch::push_batch_close_scenario(false)
+        })
+        .expect_failure();
+    println!("found the push_batch remainder drop:\n{failure}");
+    assert!(
+        failure.message.contains("batch accounting"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn push_batch_close_fixed_logic_passes() {
+    Checker::default()
+        .check("batch-push-close/fixed", || {
+            batch::push_batch_close_scenario(true)
+        })
+        .assert_ok();
+}
+
+#[test]
+fn pop_batch_partial_drain_loss_is_found_on_prefix_logic() {
+    let failure = Checker::default()
+        .check("batch-pop-close/prefix", || {
+            batch::pop_batch_close_scenario(false)
+        })
+        .expect_failure();
+    println!("found the pop_batch partial-drain loss:\n{failure}");
+    assert!(
+        failure.message.contains("half-consumed batch"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn pop_batch_close_fixed_logic_passes() {
+    Checker::default()
+        .check("batch-pop-close/fixed", || {
+            batch::pop_batch_close_scenario(true)
+        })
+        .assert_ok();
 }
 
 // ---------------------------------------------------------- tunnel (PR 3)

@@ -6,7 +6,7 @@
 
 #![cfg(not(feature = "model"))]
 
-use typhoon_check::kernels::{checkpoint, recovery, ring, tunnel};
+use typhoon_check::kernels::{batch, checkpoint, recovery, ring, tunnel};
 
 const RUNS: usize = 200;
 
@@ -14,6 +14,20 @@ const RUNS: usize = 200;
 fn ring_close_pop_fixed_stress() {
     for _ in 0..RUNS {
         ring::close_pop_scenario(true);
+    }
+}
+
+#[test]
+fn batch_push_close_fixed_stress() {
+    for _ in 0..RUNS {
+        batch::push_batch_close_scenario(true);
+    }
+}
+
+#[test]
+fn batch_pop_close_fixed_stress() {
+    for _ in 0..RUNS {
+        batch::pop_batch_close_scenario(true);
     }
 }
 

@@ -399,6 +399,22 @@ impl TyphoonCluster {
         self.inner.hosts.get(&host).map(|rt| &rt.agent)
     }
 
+    /// Cluster-wide flow-cache counters, summed across every host's
+    /// switch — the megaflow fast-path evidence (steady state should
+    /// resolve ≥ 90% of frames without touching the flow-table lock).
+    pub fn cache_stats(&self) -> typhoon_switch::CacheStats {
+        let mut total = typhoon_switch::CacheStats::default();
+        for rt in self.inner.hosts.values() {
+            let s = rt.switch.cache_stats();
+            total.hits += s.hits;
+            total.negative_hits += s.negative_hits;
+            total.misses += s.misses;
+            total.insertions += s.insertions;
+            total.invalidations += s.invalidations;
+        }
+        total
+    }
+
     /// The chaos control for the directed tunnel edge `from → to`
     /// (`None` unless built with [`TyphoonConfig::with_chaos`]). The
     /// handle switches fault specs at runtime and exposes `chaos.*`

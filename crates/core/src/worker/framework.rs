@@ -17,7 +17,7 @@ use typhoon_metrics::Registry;
 use typhoon_model::{AppId, Grouping, RouteDecision, RoutingState, TaskId};
 use typhoon_net::MacAddr;
 use typhoon_trace::{Hop, TraceCtx};
-use typhoon_tuple::ser::{encode_tuple_vec, SerStats};
+use typhoon_tuple::ser::{encode_tuple_vec, BatchEncoder, SerStats};
 use typhoon_tuple::{MessageId, StreamId, Tuple};
 
 /// One outgoing edge of this worker's node.
@@ -131,7 +131,6 @@ impl FrameworkLayer {
     ///   per-destination blobs because each copy needs a distinct anchor —
     ///   the paper never combines broadcast and guaranteed processing.
     pub fn route(&mut self, mut tuple: Tuple, acking: bool) -> Vec<Addressed> {
-        let mut out = Vec::new();
         let anchored = acking && tuple.meta.message_id.root != 0;
         let root = tuple.meta.message_id.root;
         let trace = tuple.meta.trace;
@@ -155,24 +154,40 @@ impl FrameworkLayer {
                 }
             }
         }
-        for dst in unicasts {
-            if anchored {
+        // The dominant case — one unicast emission, nothing to broadcast —
+        // skips the batch encoder's bookkeeping entirely: one encode, one
+        // buffer, straight to the I/O layer.
+        if unicasts.len() == 1 && broadcast_hops.is_none() {
+            let dst = unicasts[0];
+            let anchor = if anchored {
                 let anchor = self.scoped_anchor(root);
                 tuple.meta.message_id = MessageId { root, anchor };
-                out.push(Addressed {
-                    dst: MacAddr::worker(self.app.0, dst),
-                    blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
-                    anchor_xor: anchor,
-                    trace,
-                });
+                anchor
             } else {
-                out.push(Addressed {
-                    dst: MacAddr::worker(self.app.0, dst),
-                    blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
-                    anchor_xor: 0,
-                    trace,
-                });
-            }
+                0
+            };
+            return vec![Addressed {
+                dst: MacAddr::worker(self.app.0, dst),
+                blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
+                anchor_xor: anchor,
+                trace,
+            }];
+        }
+        // Every emission of this call encodes into one shared buffer; the
+        // blobs handed to the I/O layer are refcounted slices of it, so a
+        // multi-destination emission costs one allocation end to end.
+        let mut enc = BatchEncoder::new();
+        let mut addressed: Vec<(MacAddr, u64)> = Vec::new();
+        for dst in unicasts {
+            let anchor = if anchored {
+                let anchor = self.scoped_anchor(root);
+                tuple.meta.message_id = MessageId { root, anchor };
+                anchor
+            } else {
+                0
+            };
+            addressed.push((MacAddr::worker(self.app.0, dst), anchor));
+            enc.push(&tuple, &self.ser);
         }
         if let Some(hops) = broadcast_hops {
             if anchored {
@@ -180,26 +195,27 @@ impl FrameworkLayer {
                 for dst in hops {
                     let anchor = self.scoped_anchor(root);
                     tuple.meta.message_id = MessageId { root, anchor };
-                    out.push(Addressed {
-                        dst: MacAddr::worker(self.app.0, dst),
-                        blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
-                        anchor_xor: anchor,
-                        trace,
-                    });
+                    addressed.push((MacAddr::worker(self.app.0, dst), anchor));
+                    enc.push(&tuple, &self.ser);
                 }
             } else if !hops.is_empty() {
                 // The Typhoon fast path: serialize once, broadcast address,
                 // network-layer replication.
                 tuple.meta.message_id = MessageId::NONE;
-                out.push(Addressed {
-                    dst: MacAddr::BROADCAST,
-                    blob: Bytes::from(encode_tuple_vec(&tuple, &self.ser)),
-                    anchor_xor: 0,
-                    trace,
-                });
+                addressed.push((MacAddr::BROADCAST, 0));
+                enc.push(&tuple, &self.ser);
             }
         }
-        out
+        addressed
+            .into_iter()
+            .zip(enc.finish())
+            .map(|((dst, anchor_xor), blob)| Addressed {
+                dst,
+                blob,
+                anchor_xor,
+                trace,
+            })
+            .collect()
     }
 
     /// Serializes a tuple addressed to one explicit task (framework
@@ -344,6 +360,22 @@ mod tests {
         assert_ne!(xor, 0);
         let anchors: std::collections::HashSet<u64> = out.iter().map(|a| a.anchor_xor).collect();
         assert_eq!(anchors.len(), 3, "distinct anchors per copy");
+    }
+
+    #[test]
+    fn anchored_broadcast_blobs_share_one_allocation() {
+        let mut fw = layer(Grouping::All, vec![1, 2, 3]);
+        let t = data_tuple().with_message_id(MessageId { root: 9, anchor: 0 });
+        let out = fw.route(t, true);
+        assert_eq!(out.len(), 3);
+        // The three per-destination blobs are contiguous slices of the same
+        // encode buffer — batched zero-copy, not three allocations.
+        for pair in out.windows(2) {
+            // SAFETY: one-past-the-end pointer of a live slice, compared
+            // (never dereferenced) against the next slice's start.
+            let end = unsafe { pair[0].blob.as_ptr().add(pair[0].blob.len()) };
+            assert_eq!(end, pair[1].blob.as_ptr(), "adjacent slices of one buffer");
+        }
     }
 
     #[test]

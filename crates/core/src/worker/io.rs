@@ -96,12 +96,28 @@ impl IoLayer {
         self.batch_size
     }
 
-    /// Retunes the batch size (the `BATCH_SIZE` control tuple).
+    /// Retunes the batch size (the `BATCH_SIZE` control tuple). Lowering
+    /// the knob flushes every batch already at or above the new threshold
+    /// immediately — without this, buffered tuples would sit until the next
+    /// push or the delay timer (the `Batcher::poll_flush_at` bug, fixed in
+    /// both places).
     pub fn set_batch_size(&mut self, n: usize) {
         self.batch_size = n.max(1);
         self.registry
             .gauge("io.batch_size")
             .set(self.batch_size as i64);
+        let due: Vec<MacAddr> = self
+            .batches
+            .iter()
+            .filter(|(_, b)| b.blobs.len() >= self.batch_size)
+            .map(|(&d, _)| d)
+            .collect();
+        for dst in due {
+            let batch = self.batches.get_mut(&dst).unwrap();
+            let blobs = std::mem::take(&mut batch.blobs);
+            let trace = batch.trace;
+            self.send_batch(dst, &blobs, trace);
+        }
     }
 
     /// Frames waiting in the receive ring (the worker's queue depth, the
@@ -176,27 +192,38 @@ impl IoLayer {
     fn send_batch(&mut self, dst: MacAddr, blobs: &[Bytes], trace: u64) {
         let src = self.src_mac;
         self.trace.record(trace, Hop::NetHop);
-        for mut frame in self.packetizer.pack(src, dst, blobs) {
+        // Batch occupancy at flush time: full batches mean the size knob is
+        // the binding constraint (throughput mode), small ones mean the
+        // delay timer is (latency mode).
+        self.registry
+            .histogram("io.batch_occupancy")
+            .record(blobs.len() as u64);
+        let mut frames = self.packetizer.pack(src, dst, blobs);
+        for frame in &mut frames {
             frame.trace = trace;
-            match self.port.tx.push(frame) {
-                Ok(()) => self.registry.counter("io.frames_tx").inc(),
-                Err(NetError::RingFull) => {
-                    // §8: switch-level loss is possible under bursts; the
-                    // worker counts it and moves on (recovery, if required,
-                    // is the acker's job).
-                    self.registry.counter("io.tx_dropped").inc();
-                }
-                Err(NetError::Disconnected | NetError::Broken(_)) => {
-                    // The switch side of the ring is gone for good — flag
-                    // it so the worker loop can exit instead of feeding a
-                    // dead port.
-                    self.egress_dead = true;
-                    self.registry.counter("io.tx_disconnected").inc();
-                }
-                Err(_) => {
-                    self.registry.counter("io.tx_errors").inc();
-                }
-            }
+        }
+        let pushed = self.port.tx.push_batch(&mut frames);
+        if pushed.enqueued > 0 {
+            self.registry
+                .counter("io.frames_tx")
+                .add(pushed.enqueued as u64);
+        }
+        if pushed.dropped > 0 {
+            // §8: switch-level loss is possible under bursts; the worker
+            // counts it and moves on (recovery, if required, is the
+            // acker's job).
+            self.registry
+                .counter("io.tx_dropped")
+                .add(pushed.dropped as u64);
+        }
+        if pushed.disconnected {
+            // The switch side of the ring is gone for good — flag it so
+            // the worker loop can exit instead of feeding a dead port.
+            // `frames` still holds the batch remainder push_batch refused.
+            self.egress_dead = true;
+            self.registry
+                .counter("io.tx_disconnected")
+                .add(frames.len().max(1) as u64);
         }
     }
 
@@ -211,8 +238,10 @@ impl IoLayer {
         let mut frames: Vec<Frame> = Vec::new();
         self.port.rx.pop_batch(&mut frames, max_frames)?;
         let n = frames.len();
+        if n > 0 {
+            self.registry.counter("io.frames_rx").add(n as u64);
+        }
         for frame in &frames {
-            self.registry.counter("io.frames_rx").inc();
             match self.depacketizer.push(frame) {
                 Ok(blobs) => out.extend(blobs),
                 Err(_) => {
@@ -295,6 +324,52 @@ mod tests {
         assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 0);
         io.enqueue(d1, Bytes::from_static(b"c"), 0);
         assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 1);
+    }
+
+    #[test]
+    fn lowering_batch_size_flushes_waiting_batches() {
+        let (mut io, _sw) = io_on_switch(1000);
+        let dst = MacAddr::worker(1, TaskId(2));
+        for i in 0..5u8 {
+            io.enqueue(dst, Bytes::from(vec![i]), 0);
+        }
+        assert_eq!(io.registry.snapshot().counter("io.frames_tx"), 0);
+        // Retuning below the buffered count must flush immediately, not
+        // leave the tuples waiting for the delay timer.
+        io.set_batch_size(3);
+        let snap = io.registry.snapshot();
+        assert_eq!(snap.counter("io.frames_tx"), 1);
+        let (samples, mean, _, _) = snap.histograms["io.batch_occupancy"];
+        assert_eq!(samples, 1, "flush recorded one batch occupancy sample");
+        assert_eq!(mean, 5.0, "all five buffered tuples left in one batch");
+    }
+
+    #[test]
+    fn ingress_counts_frames_in_one_add() {
+        // Wire the worker port straight to a pair of rings so the test can
+        // play the switch side.
+        let (sw_tx, worker_rx) = typhoon_net::ring(16);
+        let (worker_tx, _sw_rx) = typhoon_net::ring(16);
+        let port = typhoon_switch::WorkerPort {
+            port: PortNo(1),
+            tx: worker_tx,
+            rx: worker_rx,
+        };
+        let dst = MacAddr::worker(1, TaskId(1));
+        let mut io = IoLayer::new(dst, port, &IoConfig::default(), Registry::new());
+        let src = MacAddr::worker(1, TaskId(9));
+        let packetizer = Packetizer::new(9000);
+        for frame in packetizer.pack(src, dst, &[Bytes::from_static(b"hi"), Bytes::from_static(b"ho")])
+        {
+            sw_tx.push(frame).unwrap();
+        }
+        let mut out = Vec::new();
+        let n = io.poll_ingress(&mut out, 64).unwrap();
+        assert_eq!(n, 1, "two tuples mux into one frame");
+        assert_eq!(io.registry.snapshot().counter("io.frames_rx"), 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(&out[0].1[..], b"hi");
+        assert_eq!(&out[1].1[..], b"ho");
     }
 
     #[test]

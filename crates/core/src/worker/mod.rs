@@ -738,6 +738,11 @@ fn run_acker(ctx: &mut WorkerCtx) {
             Some(t) => t,
             None => return,
         };
+        // XOR is associative, so every ack for one root within a drained
+        // batch collapses into a single ledger application — the acker does
+        // O(distinct roots) ledger work per poll instead of O(acks). Only
+        // the spout's init carries the owner identity; keep the first seen.
+        let mut combined: Vec<(u64, u64, Option<TaskId>)> = Vec::new();
         for tuple in tuples {
             if tuple.meta.stream != StreamId::ACK {
                 continue;
@@ -749,6 +754,17 @@ fn run_acker(ctx: &mut WorkerCtx) {
                 .get(2)
                 .and_then(Value::as_int)
                 .map(|s| TaskId(s as u32));
+            match combined.iter_mut().find(|(r, _, _)| *r == root) {
+                Some((_, x, s)) => {
+                    *x ^= xor;
+                    if s.is_none() {
+                        *s = spout;
+                    }
+                }
+                None => combined.push((root, xor, spout)),
+            }
+        }
+        for (root, xor, spout) in combined {
             if let Some((owner, outcome)) = ledger.apply(root, xor, spout, Instant::now()) {
                 acker_notify(ctx, owner, root, outcome);
             }

@@ -80,7 +80,15 @@ impl<T> Batcher<T> {
     }
 
     /// [`Batcher::poll_flush`] with an explicit clock.
+    ///
+    /// Also re-evaluates the size threshold: a `BATCH_SIZE` retune that
+    /// *lowers* the knob can leave already-buffered items at or above the
+    /// new size, and those must flush on the next poll rather than sit
+    /// until another push or the `max_delay` timer fires.
     pub fn poll_flush_at(&mut self, now: Instant) -> Option<Vec<T>> {
+        if self.items.len() >= self.batch_size.load(Ordering::Relaxed) && !self.items.is_empty() {
+            return self.take();
+        }
         match self.oldest {
             Some(t0) if now.saturating_duration_since(t0) >= self.max_delay => self.take(),
             _ => None,
@@ -145,6 +153,24 @@ mod tests {
         let batch = b.push(2).expect("new smaller threshold reached");
         assert_eq!(batch.len(), 2);
         assert_eq!(b.batch_size(), 2);
+    }
+
+    #[test]
+    fn lowering_knob_flushes_buffered_items_on_poll() {
+        let t0 = Instant::now();
+        let mut b = Batcher::new(1000, Duration::from_secs(10));
+        let knob = b.size_knob();
+        for i in 0..5 {
+            assert!(b.push_at(i, t0).is_none());
+        }
+        // BATCH_SIZE lowered below what is already buffered: the batch must
+        // flush on the next poll, not wait for another push or the timer.
+        knob.store(3, Ordering::Relaxed);
+        let batch = b.poll_flush_at(t0 + Duration::from_millis(1)).expect("retune flush");
+        assert_eq!(batch, vec![0, 1, 2, 3, 4]);
+        assert!(b.is_empty());
+        // The deadline clock must have been reset by that flush too.
+        assert!(b.poll_flush_at(t0 + Duration::from_secs(60)).is_none());
     }
 
     #[test]

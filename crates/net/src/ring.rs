@@ -66,6 +66,18 @@ pub fn ring(capacity: usize) -> (RingProducer, RingConsumer) {
     )
 }
 
+/// Outcome of a [`RingProducer::push_batch`] call.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPush {
+    /// Frames successfully enqueued.
+    pub enqueued: usize,
+    /// Frames dropped on overflow (counted in ring stats), like `push`.
+    pub dropped: usize,
+    /// True when the ring was observed closed mid-batch; the frames not
+    /// yet attempted remain in the caller's vector.
+    pub disconnected: bool,
+}
+
 impl RingProducer {
     /// Enqueues a frame. On overflow the frame is dropped (and counted),
     /// mirroring a full hardware TX queue.
@@ -83,6 +95,47 @@ impl RingProducer {
                 Err(NetError::RingFull)
             }
         }
+    }
+
+    /// Enqueues `batch` in order, pairing [`RingConsumer::pop_batch`]. The
+    /// `closed` flag is checked before every frame (exactly like `push`),
+    /// but its cost and the per-call bookkeeping are amortized over the
+    /// batch. Overflowed frames are dropped and counted like `push`; when
+    /// the ring is observed closed mid-batch, the remaining frames are
+    /// **left in `batch`** so the caller knows precisely which frames were
+    /// never attempted — no frame is silently dropped from a half-consumed
+    /// batch.
+    pub fn push_batch(&self, batch: &mut Vec<Frame>) -> BatchPush {
+        let mut result = BatchPush::default();
+        let mut iter = std::mem::take(batch).into_iter();
+        loop {
+            if self.shared.closed.load(Ordering::Acquire) {
+                result.disconnected = true;
+                *batch = iter.collect();
+                break;
+            }
+            let frame = match iter.next() {
+                Some(f) => f,
+                None => break,
+            };
+            match self.shared.queue.push(frame) {
+                Ok(()) => result.enqueued += 1,
+                Err(_) => result.dropped += 1,
+            }
+        }
+        if result.enqueued > 0 {
+            self.shared
+                .stats
+                .enqueued
+                .fetch_add(result.enqueued as u64, Ordering::Relaxed);
+        }
+        if result.dropped > 0 {
+            self.shared
+                .stats
+                .dropped
+                .fetch_add(result.dropped as u64, Ordering::Relaxed);
+        }
+        result
     }
 
     /// Shared statistics.
@@ -140,15 +193,27 @@ impl RingConsumer {
     /// Dequeues up to `max` frames into `out` (batch-amortized polling, as
     /// the southbound library "polls for incoming packets in shared memory
     /// RX ring buffers"). Returns the number appended.
+    ///
+    /// When the ring disconnects mid-drain, frames already appended are
+    /// **kept** and `Ok(n)` is returned — `Disconnected` only surfaces on a
+    /// call that drained nothing. (An earlier version propagated the error
+    /// after a partial drain, and callers holding the output vector in a
+    /// local dropped the final batch of a closing worker on the floor.)
     pub fn pop_batch(&self, out: &mut Vec<Frame>, max: usize) -> Result<usize> {
         let mut n = 0;
         while n < max {
-            match self.pop()? {
-                Some(f) => {
+            match self.pop() {
+                Ok(Some(f)) => {
                     out.push(f);
                     n += 1;
                 }
-                None => break,
+                Ok(None) => break,
+                Err(e) => {
+                    if n == 0 {
+                        return Err(e);
+                    }
+                    break;
+                }
             }
         }
         Ok(n)
@@ -242,6 +307,66 @@ mod tests {
         assert_eq!(rx.pop_batch(&mut out, 4).unwrap(), 4);
         assert_eq!(rx.pop_batch(&mut out, 100).unwrap(), 6);
         assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn push_batch_enqueues_in_order() {
+        let (tx, rx) = ring(16);
+        let mut batch: Vec<Frame> = (0..5).map(frame).collect();
+        let res = tx.push_batch(&mut batch);
+        assert_eq!(
+            res,
+            BatchPush {
+                enqueued: 5,
+                dropped: 0,
+                disconnected: false
+            }
+        );
+        assert!(batch.is_empty());
+        for i in 0..5 {
+            assert_eq!(rx.pop().unwrap().unwrap().payload[0], i);
+        }
+    }
+
+    #[test]
+    fn push_batch_overflow_drops_and_counts_like_push() {
+        let (tx, rx) = ring(3);
+        let mut batch: Vec<Frame> = (0..5).map(frame).collect();
+        let res = tx.push_batch(&mut batch);
+        assert_eq!(res.enqueued, 3);
+        assert_eq!(res.dropped, 2);
+        assert!(!res.disconnected);
+        let (enq, _, dropped) = rx.stats();
+        assert_eq!((enq, dropped), (3, 2));
+    }
+
+    #[test]
+    fn push_batch_on_closed_ring_leaves_frames_with_caller() {
+        let (tx, rx) = ring(8);
+        drop(rx);
+        let mut batch: Vec<Frame> = (0..4).map(frame).collect();
+        let res = tx.push_batch(&mut batch);
+        assert!(res.disconnected);
+        assert_eq!(res.enqueued, 0);
+        assert_eq!(batch.len(), 4, "nothing silently dropped");
+        assert_eq!(batch[0].payload[0], 0, "order preserved");
+    }
+
+    /// The PR-3 drain contract extended to batches: frames pushed via
+    /// `push_batch` before a close are all delivered via `pop_batch`, and
+    /// the consumer sees `Disconnected` only once the queue is empty.
+    #[test]
+    fn pop_batch_keeps_partial_drain_on_disconnect() {
+        let (tx, rx) = ring(8);
+        let mut batch: Vec<Frame> = (0..5).map(frame).collect();
+        assert_eq!(tx.push_batch(&mut batch).enqueued, 5);
+        tx.close();
+        let mut out = Vec::new();
+        // One call drains the 5 buffered frames and hits the close; the
+        // drained frames must be kept, not traded for the error.
+        assert_eq!(rx.pop_batch(&mut out, 100).unwrap(), 5);
+        assert_eq!(out.len(), 5);
+        assert_eq!(rx.pop_batch(&mut out, 100).unwrap_err(), NetError::Disconnected);
     }
 
     #[test]

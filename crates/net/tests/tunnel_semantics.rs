@@ -250,6 +250,97 @@ fn tcp_good_frames_before_corruption_still_deliver() {
     assert_eq!(err, NetError::Broken(TeardownCause::CorruptLength));
 }
 
+// ----------------------------------------- batched ring ops vs. close
+
+/// The PR-3 contract, batch edition: every frame `push_batch` reported
+/// enqueued before the producer dropped is delivered by `pop_batch`
+/// before `Disconnected` — partial drains included, nothing lost from a
+/// half-consumed batch.
+#[test]
+fn ring_batched_producer_drop_loses_nothing() {
+    const N: usize = 500;
+    let (tx, rx) = typhoon_net::ring(2 * N);
+    let sender = std::thread::spawn(move || {
+        let mut sent = 0usize;
+        while sent < N {
+            let chunk = (N - sent).min(8);
+            let mut batch: Vec<Frame> = (0..chunk).map(|i| frame(((sent + i) % 251) as u8)).collect();
+            let res = tx.push_batch(&mut batch);
+            assert!(!res.disconnected, "receiver never closes in this test");
+            assert_eq!(res.dropped, 0, "ring sized to avoid overflow");
+            sent += res.enqueued;
+        }
+        // tx drops here: peer-close while the receiver is mid-drain.
+    });
+    let end = Instant::now() + Duration::from_secs(30);
+    let mut got = 0usize;
+    let mut out: Vec<Frame> = Vec::new();
+    loop {
+        assert!(Instant::now() < end, "receiver hung at {got}/{N}");
+        out.clear();
+        match rx.pop_batch(&mut out, 7) {
+            Ok(0) => std::thread::yield_now(),
+            Ok(n) => got += n,
+            Err(e) => {
+                assert_eq!(e, NetError::Disconnected);
+                break;
+            }
+        }
+    }
+    sender.join().expect("sender");
+    assert_eq!(got, N, "frames lost around the close");
+    // And it stays terminal.
+    assert!(rx.pop_batch(&mut out, 7).is_err());
+}
+
+/// A `push_batch` racing the consumer's close must account for every
+/// frame: enqueued, dropped-on-overflow, or left in the caller's vector —
+/// none silently vanish, and the disconnect stays sticky.
+#[test]
+fn ring_push_batch_vs_concurrent_close_keeps_exact_accounting() {
+    let (tx, rx) = typhoon_net::ring(64);
+    let producer = std::thread::spawn(move || {
+        let mut enqueued = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            assert!(Instant::now() < deadline, "producer never saw the close");
+            let mut batch: Vec<Frame> = (0..8).map(|i| frame(i as u8)).collect();
+            let res = tx.push_batch(&mut batch);
+            enqueued += res.enqueued;
+            if res.disconnected {
+                assert_eq!(
+                    res.enqueued + res.dropped + batch.len(),
+                    8,
+                    "a frame was neither enqueued, dropped, nor returned"
+                );
+                // Sticky: a later batch is refused whole.
+                let mut again = vec![frame(0)];
+                let res2 = tx.push_batch(&mut again);
+                assert!(res2.disconnected);
+                assert_eq!(again.len(), 1, "refused frames stay with the caller");
+                return enqueued;
+            }
+            assert!(batch.is_empty(), "fully consumed batches leave nothing behind");
+        }
+    });
+    // Drain a couple of batches, then close mid-stream.
+    let mut out: Vec<Frame> = Vec::new();
+    let mut got = 0usize;
+    let end = Instant::now() + Duration::from_secs(30);
+    while got < 16 {
+        assert!(Instant::now() < end, "receiver hung before the close");
+        out.clear();
+        match rx.pop_batch(&mut out, 8) {
+            Ok(n) => got += n,
+            Err(_) => break,
+        }
+    }
+    rx.close();
+    let enqueued = producer.join().expect("producer");
+    // Whatever is still queued is everything enqueued minus what we read.
+    assert!(enqueued >= got, "cannot deliver more than was enqueued");
+}
+
 /// Multi-thread close/drain stress across the ring + tunnel stack is in
 /// `typhoon_net::ring` unit tests; here pin that a tunnel driven from two
 /// threads (sender thread + receiving drainer) delivers everything sent

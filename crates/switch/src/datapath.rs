@@ -1,11 +1,13 @@
 //! The forwarding engine.
 //!
 //! One datapath thread per host polls worker ports, tunnel ingress and the
-//! controller channel, runs each frame through the flow table and executes
-//! the matched action list. Broadcast and mirror replication clone the
-//! frame, whose payload is [`bytes::Bytes`] — a refcount bump, "negligible
-//! packet copy overhead in OVS" (§6.1).
+//! controller channel, resolves each *batch run* of same-headed frames once
+//! against the [`FlowCache`] (falling back to the flow table on a miss) and
+//! executes the matched action list. Broadcast and mirror replication clone
+//! the frame, whose payload is [`bytes::Bytes`] — a refcount bump,
+//! "negligible packet copy overhead in OVS" (§6.1).
 
+use crate::cache::{CacheStats, Displaced, FlowCache, Probe};
 use crate::group_table::GroupTable;
 use crate::port::{Ports, WorkerPort};
 use crate::table::FlowTable;
@@ -65,9 +67,15 @@ struct Inner {
     config: SwitchConfig,
     ports: Mutex<Ports>,
     table: Mutex<FlowTable>,
+    cache: FlowCache,
     groups: Mutex<GroupTable>,
     tunnels: Mutex<HashMap<u32, Box<dyn Tunnel + Send>>>,
     tunnel_downs: AtomicU64,
+    /// Per-frame table-miss total, mirrored from the match path so metrics
+    /// scrapes never contend with the datapath on the table lock.
+    misses: AtomicU64,
+    /// Installed-rule count, refreshed after every table mutation.
+    rules: AtomicU64,
     ctrl_tx: Sender<Bytes>,
     ctrl_rx: Receiver<Bytes>,
     shutdown: AtomicBool,
@@ -102,6 +110,7 @@ impl Switch {
                     Ports::new(config.ring_capacity),
                 ),
                 table: Mutex::with_rank(rank::DATAPATH, "switch.datapath.table", FlowTable::new()),
+                cache: FlowCache::new(),
                 groups: Mutex::with_rank(
                     rank::DP_GROUPS,
                     "switch.datapath.groups",
@@ -113,6 +122,8 @@ impl Switch {
                     HashMap::new(),
                 ),
                 tunnel_downs: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                rules: AtomicU64::new(0),
                 ctrl_tx: from_switch_tx,
                 ctrl_rx: to_switch_rx,
                 shutdown: AtomicBool::new(false),
@@ -167,6 +178,9 @@ impl Switch {
     /// Registers the tunnel used to reach peer host `host`.
     pub fn add_tunnel(&self, host: u32, tunnel: Box<dyn Tunnel + Send>) {
         self.inner.tunnels.lock().insert(host, tunnel);
+        // Topology changed: cached tunnel-output decisions may now be
+        // reachable again (e.g. recovery re-registering a torn-down link).
+        self.inner.cache.invalidate_all();
     }
 
     /// True while the tunnel to `host` is registered (i.e. not torn down).
@@ -197,6 +211,7 @@ impl Switch {
         let removed = self.inner.tunnels.lock().remove(&host).is_some();
         if removed {
             self.inner.tunnel_downs.fetch_add(1, Ordering::Relaxed);
+            self.inner.cache.invalidate_all();
             self.send_event(OfMessage::PortStatus {
                 reason: PortStatusReason::Delete,
                 port: PortNo::tunnel_peer(host),
@@ -210,14 +225,22 @@ impl Switch {
         *self.inner.trace.lock() = ctx;
     }
 
-    /// Flow-table miss count (observability).
+    /// Flow-table miss count (observability: `switch.misses`). Served from
+    /// a relaxed atomic mirrored on the match path, so metrics scrapes
+    /// never contend with the datapath on the hot table lock.
     pub fn miss_count(&self) -> u64 {
-        self.inner.table.lock().misses
+        self.inner.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of installed flow rules.
+    /// Number of installed flow rules (observability: `switch.rules`).
+    /// Refreshed after every table mutation; lock-free to read.
     pub fn rule_count(&self) -> usize {
-        self.inner.table.lock().len()
+        self.inner.rules.load(Ordering::Relaxed) as usize
+    }
+
+    /// Flow-cache counters (observability: `switch.cache.*`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
     }
 
     fn send_event(&self, msg: OfMessage) {
@@ -265,7 +288,20 @@ impl Switch {
                 ports: self.inner.ports.lock().port_numbers(),
             }),
             OfMessage::FlowMod(fm) => {
-                self.inner.table.lock().apply(&fm, Instant::now());
+                let now = Instant::now();
+                {
+                    let mut table = self.inner.table.lock();
+                    // Finalize cached hit counters against the pre-change
+                    // rules (a Modify/Delete must not lose or misroute them).
+                    self.inner
+                        .cache
+                        .drain_pending(|meta, p, b| table.credit(meta, p, b, now));
+                    table.apply(&fm, now);
+                    self.inner
+                        .rules
+                        .store(table.len() as u64, Ordering::Relaxed);
+                }
+                self.inner.cache.invalidate_all();
                 None
             }
             OfMessage::GroupMod(gm) => {
@@ -279,7 +315,13 @@ impl Switch {
                 None
             }
             OfMessage::FlowStatsRequest => {
-                Some(OfMessage::FlowStatsReply(self.inner.table.lock().stats()))
+                let now = Instant::now();
+                let mut table = self.inner.table.lock();
+                // Flush cache-accumulated hits first so the reply is exact.
+                self.inner
+                    .cache
+                    .drain_pending(|meta, p, b| table.credit(meta, p, b, now));
+                Some(OfMessage::FlowStatsReply(table.stats()))
             }
             OfMessage::PortStatsRequest => {
                 Some(OfMessage::PortStatsReply(self.inner.ports.lock().stats()))
@@ -291,10 +333,10 @@ impl Switch {
     }
 
     fn poll_ports(&self) -> bool {
-        let mut frames = Vec::new();
+        let mut batches = Vec::new();
         let dead = {
             let mut ports = self.inner.ports.lock();
-            ports.poll(self.inner.config.poll_budget, &mut frames)
+            ports.poll(self.inner.config.poll_budget, &mut batches)
         };
         for port in dead {
             // The fault detector's trigger: an unexpected port removal.
@@ -303,9 +345,9 @@ impl Switch {
                 port,
             });
         }
-        let busy = !frames.is_empty();
-        for (port, frame) in frames {
-            self.process_frame(port, frame);
+        let busy = !batches.is_empty();
+        for (port, frames) in batches {
+            self.process_frames(port, frames);
         }
         busy
     }
@@ -330,9 +372,7 @@ impl Switch {
             self.tunnel_down(host);
         }
         let busy = !frames.is_empty();
-        for frame in frames {
-            self.process_frame(PortNo::TUNNEL, frame);
-        }
+        self.process_frames(PortNo::TUNNEL, frames);
         busy
     }
 
@@ -342,33 +382,154 @@ impl Switch {
         if now.saturating_duration_since(*last) >= self.inner.config.expire_interval {
             *last = now;
             drop(last);
-            self.inner.table.lock().expire(now);
+            let evicted = {
+                let mut table = self.inner.table.lock();
+                // Credit cached hits before the sweep: they refresh the idle
+                // clocks of rules whose traffic never reached the table.
+                self.inner
+                    .cache
+                    .drain_pending(|meta, p, b| table.credit(meta, p, b, now));
+                let evicted = table.expire(now);
+                self.inner
+                    .rules
+                    .store(table.len() as u64, Ordering::Relaxed);
+                evicted
+            };
+            if evicted > 0 {
+                // An eviction can change which (lower-priority) rule a key
+                // resolves to; revalidate everything.
+                self.inner.cache.invalidate_all();
+            }
         }
     }
 
-    /// Runs one frame through the flow table and executes its actions.
+    /// Runs one frame through the datapath ([`Switch::process_frames`] of a
+    /// batch of one — the `PacketOut` and single-frame test path).
     pub fn process_frame(&self, in_port: PortNo, frame: Frame) {
-        // Untraced frames (the overwhelming majority) pay one u64 compare.
-        if frame.trace != 0 {
-            self.inner
-                .trace
-                .lock()
-                .record(frame.trace, Hop::SwitchMatch);
+        self.process_frames(in_port, vec![frame]);
+    }
+
+    /// Runs a batch of frames that arrived on `in_port` through the
+    /// datapath. Consecutive frames with identical headers form a *run*
+    /// that is resolved once — one cache probe (or one table lookup on
+    /// miss), one trace-lock visit, one port-lock visit — instead of
+    /// paying every cost per tuple.
+    pub fn process_frames(&self, in_port: PortNo, frames: Vec<Frame>) {
+        let mut it = frames.into_iter().peekable();
+        while let Some(first) = it.next() {
+            let key = (first.src, first.dst, first.ethertype);
+            let mut run = vec![first];
+            while let Some(f) = it.peek() {
+                if (f.src, f.dst, f.ethertype) == key {
+                    run.push(it.next().expect("peeked"));
+                } else {
+                    break;
+                }
+            }
+            self.process_run(in_port, run);
+        }
+    }
+
+    /// Resolves and forwards one same-headed run.
+    fn process_run(&self, in_port: PortNo, run: Vec<Frame>) {
+        // Untraced frames (the overwhelming majority) pay one u64 compare;
+        // traced ones share a single trace-lock acquisition per run.
+        if run.iter().any(|f| f.trace != 0) {
+            let trace = self.inner.trace.lock();
+            for f in run.iter().filter(|f| f.trace != 0) {
+                trace.record(f.trace, Hop::SwitchMatch);
+            }
         }
         let meta = FrameMeta {
             in_port,
-            dl_src: frame.src,
-            dl_dst: frame.dst,
-            ether_type: frame.ethertype,
+            dl_src: run[0].src,
+            dl_dst: run[0].dst,
+            ether_type: run[0].ethertype,
         };
-        let actions = {
-            let mut table = self.inner.table.lock();
-            match table.lookup(&meta, frame.wire_len(), Instant::now()) {
-                Some(a) => a,
-                None => return, // table miss: drop (counted)
+        let bytes: u64 = run.iter().map(|f| f.wire_len() as u64).sum();
+        let actions = match self.resolve(&meta, run.len() as u64, bytes) {
+            Some(a) => a,
+            None => return, // table miss: drop the whole run (counted)
+        };
+        // Fast paths for the two Table 3 staples, paying one lock per run.
+        // Everything else (broadcast, groups, controller) falls back to the
+        // general per-frame executor.
+        match actions[..] {
+            [Action::Output(p)] if p.is_physical() && p != PortNo::TUNNEL => {
+                self.inner.ports.lock().transmit_batch(p, run);
             }
-        };
-        self.execute(&actions, in_port, frame, 0);
+            [Action::SetTunDst(host), Action::Output(PortNo::TUNNEL)] => {
+                let mut dead = false;
+                {
+                    let tunnels = self.inner.tunnels.lock();
+                    if let Some(t) = tunnels.get(&host) {
+                        // Frames cross the tunnel one by one so the fault
+                        // injector keeps its per-frame semantics (mid-batch
+                        // drop/corrupt/partition stays reachable).
+                        for frame in &run {
+                            // LINT: allow-send-under-lock(Tunnel::send is a socket write, not a channel op; the per-tunnel writer lock ranks above this map lock)
+                            if let Err(e) = t.send(frame) {
+                                if Self::tunnel_error_is_fatal(&e) {
+                                    dead = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if dead {
+                    self.tunnel_down(host);
+                }
+            }
+            _ => {
+                for frame in run {
+                    self.execute(&actions, in_port, frame, 0);
+                }
+            }
+        }
+    }
+
+    /// Resolves a run's actions: flow cache first, table on a miss (which
+    /// also installs the result — positive or negative — for the next run).
+    fn resolve(&self, meta: &FrameMeta, packets: u64, bytes: u64) -> Option<Vec<Action>> {
+        let now = Instant::now();
+        match self.inner.cache.probe(meta, packets, bytes, now) {
+            Probe::Hit(actions) => Some(actions),
+            Probe::NegativeHit => {
+                self.inner.misses.fetch_add(packets, Ordering::Relaxed);
+                None
+            }
+            Probe::Miss => {
+                let mut table = self.inner.table.lock();
+                match table.lookup_credit(meta, packets, bytes, now) {
+                    Some(cf) => {
+                        let displaced = self.inner.cache.insert(
+                            meta,
+                            &cf.actions,
+                            cf.idle_timeout,
+                            cf.hard_remaining,
+                            now,
+                        );
+                        Self::credit_displaced(&mut table, displaced, now);
+                        Some(cf.actions)
+                    }
+                    None => {
+                        self.inner.misses.fetch_add(packets, Ordering::Relaxed);
+                        let displaced = self.inner.cache.insert_negative(meta, now);
+                        Self::credit_displaced(&mut table, displaced, now);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Credits pending hits displaced from an overwritten cache slot back
+    /// to the table (whose lock the caller already holds).
+    fn credit_displaced(table: &mut FlowTable, displaced: Option<Displaced>, now: Instant) {
+        if let Some(d) = displaced {
+            table.credit(&d.meta, d.packets, d.bytes, now);
+        }
     }
 
     fn execute(&self, actions: &[Action], in_port: PortNo, mut frame: Frame, depth: u8) {
@@ -906,6 +1067,112 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let _ = wp2;
+    }
+
+    #[test]
+    fn flow_cache_hits_after_first_run_and_keeps_stats_exact() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        send_ctrl(&ch, local_rule(10, 1, 20, 2));
+        sw.process_round();
+        let _ = drain_events(&ch);
+        // Round 1: cold cache — the run resolves via the table and is
+        // installed. Round 2: the run must hit the cache.
+        for round in 0..2u8 {
+            for i in 0..5u8 {
+                wp1.tx.push(data_frame(10, w(20), round * 10 + i)).unwrap();
+            }
+            sw.process_round();
+        }
+        let stats = sw.cache_stats();
+        assert_eq!(stats.hits, 5, "second run hit the cache");
+        assert_eq!(stats.misses, 5, "first run was the cold miss");
+        // FlowStats must still be exact: the cached hits are flushed into
+        // the table before the reply is built.
+        send_ctrl(&ch, OfMessage::FlowStatsRequest);
+        sw.process_round();
+        let replies = drain_events(&ch);
+        match &replies[0] {
+            OfMessage::FlowStatsReply(stats) => assert_eq!(stats[0].packets, 10),
+            other => panic!("unexpected {other:?}"),
+        }
+        for _ in 0..10 {
+            assert!(wp2.rx.pop().unwrap().is_some(), "all frames forwarded");
+        }
+    }
+
+    #[test]
+    fn flow_mod_invalidates_the_cache() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        let wp3 = sw.attach_worker(PortNo(3));
+        send_ctrl(&ch, local_rule(10, 1, 20, 2));
+        sw.process_round();
+        // Warm the cache toward port 2.
+        wp1.tx.push(data_frame(10, w(20), 1)).unwrap();
+        sw.process_round();
+        assert!(wp2.rx.pop().unwrap().is_some());
+        // Re-steer the flow to port 3 at higher priority; the cached
+        // decision must not survive the rule change.
+        send_ctrl(
+            &ch,
+            OfMessage::FlowMod(FlowMod::add(
+                20,
+                FlowMatch::any().in_port(PortNo(1)).dl_dst(w(20)),
+                vec![Action::Output(PortNo(3))],
+            )),
+        );
+        sw.process_round();
+        wp1.tx.push(data_frame(10, w(20), 2)).unwrap();
+        sw.process_round();
+        assert!(wp2.rx.pop().unwrap().is_none(), "old path no longer used");
+        assert!(wp3.rx.pop().unwrap().is_some(), "new rule took effect");
+        assert!(sw.cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn negative_cache_still_counts_per_frame_misses() {
+        let (sw, _ch) = Switch::new(SwitchConfig::new(1));
+        let wp1 = sw.attach_worker(PortNo(1));
+        // Two separate rounds of the same unmatched flow: the second round
+        // hits the negative entry yet must still count 3 misses.
+        for round in 0..2u8 {
+            for i in 0..3u8 {
+                wp1.tx.push(data_frame(10, w(20), round * 3 + i)).unwrap();
+            }
+            sw.process_round();
+        }
+        assert_eq!(sw.miss_count(), 6);
+        assert_eq!(sw.cache_stats().negative_hits, 3);
+    }
+
+    #[test]
+    fn mixed_batch_splits_into_runs() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        let wp3 = sw.attach_worker(PortNo(3));
+        send_ctrl(&ch, local_rule(10, 1, 20, 2));
+        send_ctrl(&ch, local_rule(11, 1, 30, 3));
+        sw.process_round();
+        // Interleave two flows in one port batch: A A B B A.
+        for (src, dst, n) in [(10, 20, 0), (10, 20, 1), (11, 30, 2), (11, 30, 3), (10, 20, 4)] {
+            wp1.tx
+                .push(Frame::typhoon(w(src), w(dst), Bytes::from(vec![n; 8])))
+                .unwrap();
+        }
+        sw.process_round();
+        let mut a = 0;
+        while wp2.rx.pop().unwrap().is_some() {
+            a += 1;
+        }
+        let mut b = 0;
+        while wp3.rx.pop().unwrap().is_some() {
+            b += 1;
+        }
+        assert_eq!((a, b), (3, 2));
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! data tuples between ports, across host-level tunnels, and to/from the
 //! controller.
 //!
+//! * [`cache`] — a megaflow-style exact-match cache in front of the flow
+//!   table, so steady-state traffic resolves once per batch run without
+//!   the table lock (the OVS kernel-datapath split the prototype relied
+//!   on).
 //! * [`table`] — the flow table: priority + specificity ordered matching,
 //!   idle/hard timeouts, per-rule packet/byte counters, add/modify/delete
 //!   with wildcard subsumption.
@@ -25,11 +29,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod datapath;
 pub mod group_table;
 pub mod port;
 pub mod table;
 
+pub use cache::{CacheStats, FlowCache};
 pub use datapath::{ControlChannel, Switch, SwitchConfig, SwitchHandle};
 pub use group_table::GroupTable;
 pub use port::WorkerPort;

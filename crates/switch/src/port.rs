@@ -95,25 +95,50 @@ impl Ports {
         }
     }
 
+    /// Sends a whole batch out `port` with one registry lookup, updating TX
+    /// stats per frame (overflow counts as a TX drop, a closed ring drops
+    /// silently — the next `poll` reaps the dead port and reports it).
+    pub(crate) fn transmit_batch(&mut self, port: PortNo, frames: Vec<Frame>) {
+        let entry = match self.entries.get_mut(&port) {
+            Some(e) => e,
+            None => return,
+        };
+        for frame in frames {
+            let len = frame.wire_len() as u64;
+            match entry.to_worker.push(frame) {
+                Ok(()) => {
+                    entry.stats.tx_packets += 1;
+                    entry.stats.tx_bytes += len;
+                }
+                Err(NetError::RingFull) => entry.stats.tx_dropped += 1,
+                Err(_) => {}
+            }
+        }
+    }
+
     /// Polls every port for received frames (up to `per_port` each),
-    /// collecting `(port, frame)` pairs. Ports whose worker died are
-    /// returned separately for `PortStatus` reporting.
-    pub(crate) fn poll(&mut self, per_port: usize, out: &mut Vec<(PortNo, Frame)>) -> Vec<PortNo> {
+    /// collecting one batch per non-idle port via `pop_batch`. Ports whose
+    /// worker died are returned separately for `PortStatus` reporting.
+    pub(crate) fn poll(
+        &mut self,
+        per_port: usize,
+        out: &mut Vec<(PortNo, Vec<Frame>)>,
+    ) -> Vec<PortNo> {
         let mut dead = Vec::new();
         for (&port, entry) in self.entries.iter_mut() {
-            for _ in 0..per_port {
-                match entry.from_worker.pop() {
-                    Ok(Some(frame)) => {
-                        entry.stats.rx_packets += 1;
-                        entry.stats.rx_bytes += frame.wire_len() as u64;
-                        out.push((port, frame));
-                    }
-                    Ok(None) => break,
-                    Err(_) => {
-                        dead.push(port);
-                        break;
-                    }
+            let mut batch = Vec::new();
+            match entry.from_worker.pop_batch(&mut batch, per_port) {
+                Ok(_) => {}
+                // pop_batch keeps a partial drain on disconnect, so frames
+                // pushed before the worker died are still forwarded.
+                Err(_) => dead.push(port),
+            }
+            if !batch.is_empty() {
+                for frame in &batch {
+                    entry.stats.rx_packets += 1;
+                    entry.stats.rx_bytes += frame.wire_len() as u64;
                 }
+                out.push((port, batch));
             }
         }
         for &port in &dead {
@@ -169,6 +194,7 @@ mod tests {
         assert!(dead.is_empty());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, PortNo(2));
+        assert_eq!(out[0].1.len(), 1);
         assert_eq!(ports.stats()[0].rx_packets, 1);
     }
 
@@ -220,6 +246,20 @@ mod tests {
         }
         let mut out = Vec::new();
         ports.poll(4, &mut out);
-        assert_eq!(out.len(), 4, "budget caps one poll round");
+        let drained: usize = out.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(drained, 4, "budget caps one poll round");
+    }
+
+    #[test]
+    fn transmit_batch_amortizes_the_lookup_with_exact_stats() {
+        let mut ports = Ports::new(2);
+        let wp = ports.attach(PortNo(1));
+        ports.transmit_batch(PortNo(1), (0..4).map(frame).collect());
+        let stats = ports.stats();
+        assert_eq!(stats[0].tx_packets, 2);
+        assert_eq!(stats[0].tx_dropped, 2, "overflow counted per frame");
+        assert_eq!(wp.rx.pop().unwrap().unwrap().payload[0], 0);
+        // A batch to a missing port is a silent no-op (poll reaps it).
+        ports.transmit_batch(PortNo(9), vec![frame(1)]);
     }
 }

@@ -50,11 +50,25 @@ impl FlowEntry {
     }
 }
 
+/// A matched rule's actions plus what the flow cache needs to mirror the
+/// rule's expiry behaviour (see [`crate::cache::FlowCache`]).
+#[derive(Debug)]
+pub struct CacheableFlow {
+    /// The matched actions.
+    pub actions: Vec<Action>,
+    /// The rule's idle timeout (ZERO = never idle-expires).
+    pub idle_timeout: Duration,
+    /// Time left until the hard timeout fires, or `None` when there is none.
+    pub hard_remaining: Option<Duration>,
+}
+
 /// A priority-ordered flow table.
 #[derive(Debug, Default)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
-    /// Frames that matched no rule (dropped), for observability.
+    /// Frames that matched no rule (dropped), for observability. With the
+    /// flow cache in front, this counts only misses that reached the table;
+    /// [`crate::Switch::miss_count`] is the per-frame total.
     pub misses: u64,
 }
 
@@ -143,6 +157,59 @@ impl FlowTable {
                 self.misses += 1;
                 None
             }
+        }
+    }
+
+    /// [`FlowTable::lookup`] for a whole same-key batch run: credits
+    /// `packets`/`bytes` in one step and returns the matched actions along
+    /// with the timeout data the flow cache mirrors. A miss counts every
+    /// frame of the run, preserving per-frame miss accounting.
+    pub fn lookup_credit(
+        &mut self,
+        meta: &FrameMeta,
+        packets: u64,
+        bytes: u64,
+        now: Instant,
+    ) -> Option<CacheableFlow> {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| !e.is_expired(now) && e.matcher.matches(meta))
+        {
+            Some(e) => {
+                e.packets += packets;
+                e.bytes += bytes;
+                e.last_hit = now;
+                Some(CacheableFlow {
+                    actions: e.actions.clone(),
+                    idle_timeout: e.idle_timeout,
+                    hard_remaining: if e.hard_timeout.is_zero() {
+                        None
+                    } else {
+                        Some(
+                            e.hard_timeout
+                                .saturating_sub(now.saturating_duration_since(e.installed)),
+                        )
+                    },
+                })
+            }
+            None => {
+                self.misses += packets;
+                None
+            }
+        }
+    }
+
+    /// Credits hit statistics accumulated in the flow cache back to the
+    /// matching rule. The hits are proof of traffic, so this also refreshes
+    /// the idle clock — without it, a rule whose frames all hit the cache
+    /// would idle-expire under constant load. Skips the expiry check:
+    /// the credited hits happened before any sweep that could run next.
+    pub fn credit(&mut self, meta: &FrameMeta, packets: u64, bytes: u64, now: Instant) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.matcher.matches(meta)) {
+            e.packets += packets;
+            e.bytes += bytes;
+            e.last_hit = now;
         }
     }
 
@@ -347,6 +414,51 @@ mod tests {
         assert!(t
             .lookup(&meta(0, w(1)), 1, t0 + Duration::from_secs(1))
             .is_none());
+    }
+
+    #[test]
+    fn lookup_credit_charges_a_whole_run_and_mirrors_timeouts() {
+        let mut t = FlowTable::new();
+        let t0 = Instant::now();
+        t.apply(
+            &FlowMod::add(5, FlowMatch::any(), vec![Action::Output(PortNo(1))])
+                .with_idle_timeout(Duration::from_secs(3))
+                .with_hard_timeout(Duration::from_secs(10)),
+            t0,
+        );
+        let cf = t
+            .lookup_credit(&meta(1, w(2)), 8, 800, t0 + Duration::from_secs(2))
+            .expect("match");
+        assert_eq!(cf.actions, vec![Action::Output(PortNo(1))]);
+        assert_eq!(cf.idle_timeout, Duration::from_secs(3));
+        assert_eq!(cf.hard_remaining, Some(Duration::from_secs(8)));
+        assert_eq!(t.entries()[0].packets, 8);
+        assert_eq!(t.entries()[0].bytes, 800);
+    }
+
+    #[test]
+    fn lookup_credit_miss_counts_every_frame_of_the_run() {
+        let mut t = FlowTable::new();
+        assert!(t
+            .lookup_credit(&meta(1, w(2)), 5, 500, Instant::now())
+            .is_none());
+        assert_eq!(t.misses, 5);
+    }
+
+    #[test]
+    fn credit_adds_counters_and_refreshes_idle_clock() {
+        let mut t = FlowTable::new();
+        let t0 = Instant::now();
+        t.apply(
+            &FlowMod::add(5, FlowMatch::any(), vec![]).with_idle_timeout(Duration::from_secs(2)),
+            t0,
+        );
+        // All traffic hit the cache; the credit at t0+1.9s proves the flow
+        // is alive and must reset the idle clock.
+        t.credit(&meta(1, w(2)), 100, 1000, t0 + Duration::from_millis(1900));
+        assert_eq!(t.entries()[0].packets, 100);
+        assert_eq!(t.expire(t0 + Duration::from_millis(2100)), 0);
+        assert_eq!(t.expire(t0 + Duration::from_millis(4000)), 1);
     }
 
     #[test]

@@ -9,9 +9,13 @@ use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// Cheaply cloneable, immutable, refcounted view of a byte buffer.
+///
+/// Backed by `Arc<Vec<u8>>` so `From<Vec<u8>>` (and therefore
+/// `BytesMut::freeze`) **moves** the allocation instead of copying it —
+/// the refcount-backed payload sharing the datapath relies on.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     off: usize,
     len: usize,
 }
@@ -110,7 +114,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             off: 0,
             len,
         }
@@ -473,6 +477,19 @@ mod tests {
         assert_eq!(r.get_u32(), 0xdeadbeef);
         assert_eq!(r.get_u64(), 42);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn from_vec_and_freeze_are_zero_copy() {
+        let v = vec![1u8, 2, 3, 4];
+        let ptr = v.as_ptr() as usize;
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr() as usize, ptr, "From<Vec> must move, not copy");
+        let mut m = BytesMut::new();
+        m.put_slice(&[5, 6, 7]);
+        let ptr = m.as_ptr() as usize;
+        let f = m.freeze();
+        assert_eq!(f.as_ptr() as usize, ptr, "freeze must move, not copy");
     }
 
     #[test]
