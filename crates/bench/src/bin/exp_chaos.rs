@@ -18,7 +18,7 @@ use typhoon_bench::report::{Direction, Report};
 use typhoon_controller::apps::FaultDetector;
 use typhoon_core::{TyphoonCluster, TyphoonConfig};
 use typhoon_model::{ComponentRegistry, Fields, Grouping, LogicalTopology};
-use typhoon_net::{ChaosStats, FaultPlan, FaultSpec};
+use typhoon_net::{ChaosStats, FaultPlan, FaultSpec, KillClass, KillSpec};
 
 const DEFAULT_SEED: u64 = 0xc4a0_5eed;
 
@@ -38,18 +38,30 @@ struct Outcome {
     delivered: u64,
     elapsed: Duration,
     injected: Vec<(&'static str, u64)>,
+    /// Leader-failover latency (elect + rule re-sync), 0 when no
+    /// controller kill was armed.
+    failover_ms: u64,
 }
 
 fn run_class(name: &str, plan: FaultPlan, roots: i64) -> Outcome {
+    // A controller kill needs a standby replica to fail over to.
+    let controller_kill = plan
+        .kill
+        .map(|k| k.class == KillClass::Controller)
+        .unwrap_or(false);
     let mut reg = ComponentRegistry::new();
     let (sink, _agg) = typhoon_bench::workloads::register_standard(&mut reg, 16, 8);
     let mut config = TyphoonConfig::new(2)
         .with_batch_size(8)
         .with_acking(Duration::from_secs(2), 256)
         .with_chaos(plan);
+    if controller_kill {
+        config = config.with_controller_replicas(2);
+    }
     config.slots_per_host = 3;
     let cluster = TyphoonCluster::new(config, reg).expect("cluster");
-    cluster.controller().add_app(Box::new(FaultDetector::new()));
+    // Registered per replica, so a successor leader detects faults too.
+    cluster.add_control_app(|| Box::new(FaultDetector::new()));
     cluster.register_spout("seq-spout", move || {
         typhoon_bench::workloads::SeqSpout::new(16, 8).with_limit(roots)
     });
@@ -81,11 +93,32 @@ fn run_class(name: &str, plan: FaultPlan, roots: i64) -> Outcome {
             }
         }
     }
+    let mut failover_ms = 0;
+    if controller_kill {
+        // The kill is armed on a delay; make sure the failover actually
+        // landed (and its latency was recorded) before reading it out.
+        let plane = cluster.control_plane();
+        let wait = Instant::now() + Duration::from_secs(10);
+        while plane
+            .registry()
+            .snapshot()
+            .counter("controller.ha.failovers")
+            == 0
+            && Instant::now() < wait
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        failover_ms = plane
+            .registry()
+            .snapshot()
+            .gauge("controller.ha.failover_ms") as u64;
+    }
     let out = Outcome {
         completed: completed(),
         delivered: sink.count(),
         elapsed,
         injected,
+        failover_ms,
     };
     cluster.shutdown();
     let _ = name;
@@ -147,6 +180,11 @@ fn main() {
             "corrupt",
             FaultPlan::symmetric(seed, FaultSpec::CLEAN.corrupting(0.05)),
         ),
+        (
+            "ctl-kill",
+            "ctl_kill",
+            FaultPlan::clean(seed).with_kill(KillSpec::controller(Duration::from_millis(10))),
+        ),
     ];
     println!("# exp_chaos: word-count on 2 hosts, {roots} roots, seed {seed}");
     println!(
@@ -192,6 +230,14 @@ fn main() {
             Direction::HigherIsBetter,
             0.5,
         );
+        if key == "ctl_kill" {
+            // Leader failover (election + rule re-sync) must stay cheap;
+            // the gate holds the budget. Sub-millisecond failovers floor
+            // at 1ms so the baseline is never zero (a zero baseline makes
+            // every relative comparison degenerate); the wide tolerance
+            // is the actual budget: ~tens of ms, not hundreds.
+            report.time_ms("failover_ms.ctl_kill", o.failover_ms.max(1) as f64, 20.0);
+        }
     }
     opts.emit(&report);
 }

@@ -98,7 +98,7 @@ fn run_typhoon(cfg: &Cfg) -> (RateMeter, f64, f64) {
     // Switch-level mirroring: a data-plane rule copy, no app involvement.
     let mut debugger = LiveDebugger::new();
     debugger.mirror_task(
-        cluster.controller(),
+        &cluster.controller(),
         handle.app(),
         physical.assignment(src).expect("task is placed").host,
         src,
@@ -109,7 +109,7 @@ fn run_typhoon(cfg: &Cfg) -> (RateMeter, f64, f64) {
     std::thread::sleep(Duration::from_secs(cfg.debug_off - cfg.debug_on));
     let (ser1, _) = cluster.ser_stats().counts();
     let n1 = sink_meter.total();
-    debugger.unmirror(cluster.controller());
+    debugger.unmirror(&cluster.controller());
     std::thread::sleep(Duration::from_secs(cfg.total_secs as u64 - cfg.debug_off));
     cluster.shutdown();
     let before = ser0 as f64 / n0.max(1) as f64;

@@ -79,6 +79,7 @@ fn run_class(
         let name = match class {
             KillClass::Worker => "chaos.killed_workers",
             KillClass::Host => "chaos.killed_hosts",
+            KillClass::Controller => "chaos.killed_controllers",
         };
         chaos
             .stats()

@@ -175,7 +175,10 @@ pub fn push_batch_close_scenario(fixed: bool) {
         "batch accounting: a frame was neither enqueued nor returned to the caller"
     );
     if !outcome.disconnected {
-        assert_eq!(outcome.enqueued, 3, "no close observed, all frames enqueued");
+        assert_eq!(
+            outcome.enqueued, 3,
+            "no close observed, all frames enqueued"
+        );
     }
 }
 

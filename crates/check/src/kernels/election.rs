@@ -1,0 +1,119 @@
+//! Kernel: leader election after a session expiry (the PR-10 HA race).
+//!
+//! `crates/coordinator/src/election.rs` arbitrates controller leadership:
+//! a candidate may claim the next term only while the leader slot is
+//! vacant, and the vacancy check plus the term bump must be one atomic
+//! step. The tempting-but-wrong protocol reads the current term under one
+//! lock acquisition and writes `term + 1` under a second one — a classic
+//! lost update: after one session expiry, two candidates can both observe
+//! the vacancy at term *t* and both claim term *t + 1*, so two
+//! controllers believe they hold the same fencing token and the
+//! switches' stale-leader check can no longer tell them apart.
+//!
+//! Invariant: **at most one leader per term** — no term is ever claimed
+//! by two candidates.
+
+use crate::sync::{thread, Mutex};
+use std::sync::Arc;
+
+/// The election's shared state, reduced to the two cells the race runs
+/// on: the leader slot and the last claimed term.
+struct Slot {
+    leader: Option<u32>,
+    term: u64,
+}
+
+/// A model of the coordinator-backed election register.
+pub struct ElectionKernel {
+    state: Mutex<Slot>,
+}
+
+impl ElectionKernel {
+    /// An election with an incumbent (candidate 0) holding term 1.
+    pub fn new() -> Self {
+        ElectionKernel {
+            state: Mutex::new(Slot {
+                leader: Some(0),
+                term: 1,
+            }),
+        }
+    }
+
+    /// The incumbent's session expires: the leader slot becomes vacant.
+    pub fn expire_session(&self) {
+        self.state.lock().leader = None;
+    }
+
+    /// Campaign for leadership. Returns the claimed term, or `None` if
+    /// another candidate already holds the slot. `fixed` selects the
+    /// shipped protocol (vacancy check + term bump in one critical
+    /// section); `!fixed` splits them across two lock acquisitions and
+    /// loses the update.
+    pub fn campaign(&self, candidate: u32, fixed: bool) -> Option<u64> {
+        if fixed {
+            let mut s = self.state.lock();
+            if s.leader.is_some() {
+                return None;
+            }
+            s.term += 1;
+            s.leader = Some(candidate);
+            Some(s.term)
+        } else {
+            let observed = {
+                let s = self.state.lock();
+                if s.leader.is_some() {
+                    return None;
+                }
+                s.term
+            };
+            // The slot can be claimed between these two acquisitions —
+            // this write does not re-check, so it steals the same term.
+            let mut s = self.state.lock();
+            s.term = observed + 1;
+            s.leader = Some(candidate);
+            Some(s.term)
+        }
+    }
+}
+
+impl Default for ElectionKernel {
+    fn default() -> Self {
+        ElectionKernel::new()
+    }
+}
+
+/// The PR-10 scenario: the incumbent's session expires and two candidates
+/// campaign for the vacant slot. At most one may win, and no term may be
+/// handed out twice.
+pub fn two_candidate_scenario(fixed: bool) {
+    let kernel = Arc::new(ElectionKernel::new());
+    kernel.expire_session();
+    let claims = Arc::new(Mutex::new(Vec::new()));
+
+    let handles: Vec<_> = [1u32, 2u32]
+        .into_iter()
+        .map(|candidate| {
+            let kernel = Arc::clone(&kernel);
+            let claims = Arc::clone(&claims);
+            thread::spawn(move || {
+                if let Some(term) = kernel.campaign(candidate, fixed) {
+                    claims.lock().push((term, candidate));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+
+    let claims = claims.lock();
+    for (i, (term, who)) in claims.iter().enumerate() {
+        for (other_term, other_who) in claims.iter().skip(i + 1) {
+            assert!(
+                term != other_term,
+                "at most one leader per term: candidates {who} and {other_who} \
+                 both claimed term {term}"
+            );
+        }
+    }
+}

@@ -10,7 +10,7 @@
 #![cfg(feature = "model")]
 
 use std::sync::Arc;
-use typhoon_check::kernels::{batch, checkpoint, recovery, ring, tunnel};
+use typhoon_check::kernels::{batch, checkpoint, election, recovery, ring, tunnel};
 use typhoon_check::sync::{thread, Mutex};
 use typhoon_check::{Checker, Replay};
 
@@ -207,6 +207,32 @@ fn recovery_round_tagged_acks_fixed_logic_passes() {
     Checker::default()
         .check("recovery-resteer/fixed", || {
             recovery::resteer_ack_scenario(true)
+        })
+        .assert_ok();
+}
+
+// ------------------------------------------------------- election (PR 10)
+
+#[test]
+fn election_double_claim_is_found_on_prefix_logic() {
+    let failure = Checker::default()
+        .check("election-two-candidates/prefix", || {
+            election::two_candidate_scenario(false)
+        })
+        .expect_failure();
+    println!("found the double-claimed-term race:\n{failure}");
+    assert!(
+        failure.message.contains("one leader per term"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn election_two_candidates_fixed_logic_passes() {
+    Checker::default()
+        .check("election-two-candidates/fixed", || {
+            election::two_candidate_scenario(true)
         })
         .assert_ok();
 }

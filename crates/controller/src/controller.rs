@@ -48,6 +48,9 @@ struct CtlInner {
     packetizer: Packetizer,
     next_xid: AtomicU32,
     shutdown: AtomicBool,
+    /// HA write-through: successful rule sends are recorded here so a
+    /// successor leader can re-install them (None outside an HA plane).
+    ledger: Option<Arc<crate::ha::RuleLedger>>,
 }
 
 /// The Typhoon SDN controller.
@@ -59,6 +62,17 @@ pub struct Controller {
 impl Controller {
     /// Creates a controller bound to the cluster's coordinator state.
     pub fn new(global: GlobalState) -> Self {
+        Self::build(global, None)
+    }
+
+    /// Creates a controller that write-through-records every rule it
+    /// successfully installs into `ledger` — the HA replica constructor
+    /// (a deposed leader's sends fail, so it records nothing).
+    pub fn with_ledger(global: GlobalState, ledger: Arc<crate::ha::RuleLedger>) -> Self {
+        Self::build(global, Some(ledger))
+    }
+
+    fn build(global: GlobalState, ledger: Option<Arc<crate::ha::RuleLedger>>) -> Self {
         Controller {
             inner: Arc::new(CtlInner {
                 global,
@@ -92,6 +106,7 @@ impl Controller {
                 packetizer: Packetizer::default(),
                 next_xid: AtomicU32::new(1),
                 shutdown: AtomicBool::new(false),
+                ledger,
             }),
         }
     }
@@ -129,6 +144,14 @@ impl Controller {
         self.inner.switches.read().keys().copied().collect()
     }
 
+    /// Drops every switch binding — the crash path of an HA replica. The
+    /// control channels close with the bindings; switches that have seen
+    /// a real leader degrade to headless forwarding until the next one
+    /// connects.
+    pub fn unregister_all(&self) {
+        self.inner.switches.write().clear();
+    }
+
     fn send_to_switch(&self, host: HostId, msg: &OfMessage) -> bool {
         // Clone the sender and release the switches lock before the
         // blocking send: a switch with a full inbox must not stall every
@@ -140,28 +163,38 @@ impl Controller {
                 None => return false,
             }
         };
-        tx.send(wire::encode(msg)).is_ok()
+        let ok = tx.send(wire::encode(msg)).is_ok();
+        if ok {
+            if let Some(ledger) = &self.inner.ledger {
+                ledger.record(host, msg);
+            }
+        }
+        ok
     }
 
     /// Installs the full Table 3 rule plan for a scheduled topology
     /// (§3.2 step (iii), "Network setup"), then fences each switch with a
-    /// barrier so callers know the rules are active.
-    pub fn install_topology(&self, logical: &LogicalTopology, physical: &PhysicalTopology) {
+    /// barrier so callers know the rules are active. Returns `false` when
+    /// any send or barrier fails — the leader may have died mid-install;
+    /// the caller should retry against the next leader.
+    pub fn install_topology(&self, logical: &LogicalTopology, physical: &PhysicalTopology) -> bool {
         let plan = build_rules(logical, physical);
+        let mut ok = true;
         for (host, groups) in &plan.groups {
             for gm in groups {
-                self.send_to_switch(*host, &OfMessage::GroupMod(gm.clone()));
+                ok &= self.send_to_switch(*host, &OfMessage::GroupMod(gm.clone()));
             }
         }
         for (host, flows) in &plan.flows {
             for fm in flows {
-                self.send_to_switch(*host, &OfMessage::FlowMod(fm.clone()));
+                ok &= self.send_to_switch(*host, &OfMessage::FlowMod(fm.clone()));
             }
         }
         let hosts: Vec<HostId> = plan.flows.keys().copied().collect();
         for host in hosts {
-            self.sync_switch(host, Duration::from_secs(5));
+            ok &= self.sync_switch(host, Duration::from_secs(5));
         }
+        ok
     }
 
     /// Removes every rule of a topology by sending per-rule strict deletes.

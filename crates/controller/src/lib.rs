@@ -21,16 +21,21 @@
 //! * [`rest`] — the user-facing command API ("REST" in the prototype): a
 //!   line-oriented TCP service for topology reconfiguration and debugging
 //!   requests.
+//! * [`ha`] — controller replication: leader election through the
+//!   coordinator, a persisted rule ledger, and failover re-sync against
+//!   headless switches.
 
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod control;
 pub mod controller;
+pub mod ha;
 pub mod rest;
 pub mod rules;
 
 pub use apps::{AppCtx, ControlPlaneApp};
 pub use control::ControlTuple;
 pub use controller::{Controller, ControllerHandle, SwitchBinding};
+pub use ha::{ControlPlane, HaConfig, RuleLedger};
 pub use rules::{build_rules, unicast_rules, RulePlan, CONTROL_PRIORITY, DATA_PRIORITY};

@@ -118,9 +118,15 @@ pub fn handle_command(global: &GlobalState, line: &str) -> String {
 }
 
 fn submit(global: &GlobalState, topology: &str, op: ReconfigOp) -> String {
-    match global.submit_reconfig(&ReconfigRequest::single(topology, op)) {
+    // The coordinator write can transiently fail while a controller
+    // failover is re-establishing state; retry under the shared fail-fast
+    // envelope and surface the typed give-up to the REST client.
+    let req = ReconfigRequest::single(topology, op);
+    match typhoon_net::retry(&typhoon_net::BackoffPolicy::fail_fast(), 0x5e57, |_| {
+        global.submit_reconfig(&req)
+    }) {
         Ok(()) => "OK submitted".to_owned(),
-        Err(e) => format!("ERR {e}"),
+        Err(e) => format!("ERR {}", e.last()),
     }
 }
 

@@ -28,12 +28,14 @@
 
 #![warn(missing_docs)]
 
+pub mod election;
 pub mod global;
 pub mod session;
 pub mod store;
 pub mod watch;
 mod wire;
 
+pub use election::{LeaderElection, LeaderInfo};
 pub use session::SessionId;
 pub use store::{Coordinator, CreateMode, NodeStat};
 pub use watch::{WatchEvent, WatchKind};

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use typhoon_controller::{Controller, ControllerHandle};
+use typhoon_controller::{ControlPlane, Controller, HaConfig};
 use typhoon_coordinator::global::GlobalState;
 use typhoon_coordinator::Coordinator;
 use typhoon_diag::{rank, DiagMutex, DiagRwLock as RwLock};
@@ -51,6 +51,15 @@ pub struct TyphoonConfig {
     pub max_pending: usize,
     /// Controller app tick interval.
     pub controller_tick: Duration,
+    /// Controller replicas (≥ 1). With more than one, a leader is elected
+    /// through the coordinator and the rest stand by; killing the leader
+    /// (chaos `KillSpec::controller`) triggers a failover during which
+    /// switches keep forwarding headless on their installed rules.
+    pub controller_replicas: usize,
+    /// Session timeout for controller replica liveness: a leader that
+    /// stops heartbeating is deposed after this long (the failover
+    /// detection bound).
+    pub controller_session_timeout: Duration,
     /// Switch port ring capacity (frames). §8 of the paper recommends
     /// large TX/RX queues to avoid switch-level drops under bursts.
     pub ring_capacity: usize,
@@ -95,6 +104,8 @@ impl TyphoonConfig {
             ack_timeout: Duration::from_secs(30),
             max_pending: 1024,
             controller_tick: Duration::from_millis(100),
+            controller_replicas: 1,
+            controller_session_timeout: Duration::from_millis(400),
             ring_capacity: 8192,
             scheduler: SchedulerKind::Locality,
             trace_sample: 0,
@@ -122,6 +133,12 @@ impl TyphoonConfig {
     /// Builder: inject faults on every inter-host tunnel per `plan`.
     pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Builder: run `n` controller replicas with leader election.
+    pub fn with_controller_replicas(mut self, n: usize) -> Self {
+        self.controller_replicas = n.max(1);
         self
     }
 
@@ -163,8 +180,7 @@ struct HostRuntime {
 struct ClusterInner {
     ser: Arc<typhoon_tuple::ser::SerStats>,
     global: GlobalState,
-    controller: Controller,
-    _controller_handle: ControllerHandle,
+    plane: ControlPlane,
     hosts: BTreeMap<HostId, HostRuntime>,
     components: Arc<RwLock<ComponentRegistry>>,
     manager: Arc<StreamingManager>,
@@ -191,7 +207,17 @@ impl TyphoonCluster {
     pub fn new(config: TyphoonConfig, components: ComponentRegistry) -> Result<TyphoonCluster> {
         let coordinator = Coordinator::new();
         let global = GlobalState::new(coordinator);
-        let controller = Controller::new(global.clone());
+        // The control plane: N controller replicas sharing one rule
+        // ledger; replica 0 wins the first election when the plane starts.
+        let plane = ControlPlane::new(
+            global.clone(),
+            config.controller_replicas,
+            HaConfig {
+                session_timeout: config.controller_session_timeout,
+                seed: config.chaos.map(|p| p.seed).unwrap_or(0x7f4a_7c15),
+                ..HaConfig::default()
+            },
+        );
         let components = Arc::new(RwLock::with_rank(
             rank::CLUSTER,
             "core.cluster.components",
@@ -200,16 +226,18 @@ impl TyphoonCluster {
         let ser = typhoon_tuple::ser::SerStats::shared();
         let tracer = (config.trace_sample > 0).then(|| Tracer::new(config.trace_sample));
 
-        // Hosts: one switch each, registered with the controller.
+        // Hosts: one switch each, put under control-plane management. The
+        // boot channel is dropped — the elected leader connects with its
+        // term as the fencing token when the plane starts.
         let mut switches = Vec::new();
         for h in 0..config.hosts {
             let mut sw_config = SwitchConfig::new(h as u64);
             sw_config.ring_capacity = config.ring_capacity;
-            let (switch, channel) = Switch::new(sw_config);
+            let (switch, _boot_channel) = Switch::new(sw_config);
             if let Some(t) = &tracer {
                 switch.set_trace(t.ctx());
             }
-            controller.register_switch(HostId(h as u32), switch.dpid(), channel);
+            plane.manage_switch(HostId(h as u32), switch.clone());
             switches.push(switch);
         }
         // Full-mesh host tunnels (Fig. 3's inter-host fabric), optionally
@@ -283,7 +311,7 @@ impl TyphoonCluster {
         });
         let manager = Arc::new(StreamingManager::new(
             global.clone(),
-            controller.clone(),
+            plane.clone(),
             agents.clone(),
             ManagerConfig {
                 io: config.io.clone(),
@@ -301,7 +329,10 @@ impl TyphoonCluster {
         let recovery = config
             .recovery_heartbeat
             .map(|hb| Arc::new(RecoveryManager::new(manager.clone(), hb)));
-        let controller_handle = controller.spawn(config.controller_tick);
+        // Switch threads are running: start the plane (spawns each
+        // replica's pump, elects the initial leader, connects + fences
+        // every switch at term 1, starts the liveness monitor).
+        plane.start(config.controller_tick);
 
         // The dynamic-topology-manager loop: drain reconfiguration
         // requests submitted via the coordinator (REST API, auto-scaler)
@@ -330,12 +361,13 @@ impl TyphoonCluster {
         if let Some(handle) = cluster_chaos.clone().filter(|h| h.kill_spec().is_some()) {
             let global2 = global.clone();
             let agents2 = agents.clone();
+            let plane2 = plane.clone();
             let shutdown3 = manager_shutdown.clone();
             typhoon_diag::spawn_supervised(
                 "typhoon-chaos-killer",
                 |_| {},
                 move || {
-                    run_chaos_killer(&global2, &agents2, &handle, &shutdown3);
+                    run_chaos_killer(&global2, &agents2, &plane2, &handle, &shutdown3);
                 },
             );
         }
@@ -344,8 +376,7 @@ impl TyphoonCluster {
             inner: Arc::new(ClusterInner {
                 ser,
                 global,
-                controller,
-                _controller_handle: controller_handle,
+                plane,
                 hosts,
                 components,
                 manager,
@@ -374,9 +405,35 @@ impl TyphoonCluster {
         &self.inner.ser
     }
 
-    /// The SDN controller (register control-plane apps here).
-    pub fn controller(&self) -> &Controller {
-        &self.inner.controller
+    /// The SDN controller — the *current leader* of the (possibly
+    /// replicated) control plane. An app registered on the returned
+    /// handle lives on that replica only; in replicated setups use
+    /// [`TyphoonCluster::add_control_app`] so the app survives failover.
+    ///
+    /// # Panics
+    /// When no leader emerges within the failover bound (the control
+    /// plane is wedged — nothing sensible can proceed).
+    pub fn controller(&self) -> Controller {
+        self.inner
+            .plane
+            .wait_leader(Duration::from_secs(5))
+            .expect("control-plane leader")
+    }
+
+    /// The replicated control plane: HA metrics (`controller.ha.*`),
+    /// leader identity, and the chaos `crash_leader` hook.
+    pub fn control_plane(&self) -> &ControlPlane {
+        &self.inner.plane
+    }
+
+    /// Registers a control-plane app on *every* controller replica (one
+    /// instance each, built by `factory`), so whichever replica leads
+    /// after a failover still runs it.
+    pub fn add_control_app(
+        &self,
+        factory: impl Fn() -> Box<dyn typhoon_controller::ControlPlaneApp>,
+    ) {
+        self.inner.plane.add_app_factory(factory);
     }
 
     /// The coordinator-backed global state.
@@ -495,7 +552,7 @@ impl TyphoonCluster {
         for rt in self.inner.hosts.values() {
             rt.agent.kill_all();
         }
-        self.inner.controller.shutdown();
+        self.inner.plane.shutdown();
         for rt in self.inner.hosts.values() {
             rt.switch.shutdown();
         }
@@ -518,6 +575,7 @@ impl std::fmt::Debug for TyphoonCluster {
 fn run_chaos_killer(
     global: &GlobalState,
     agents: &BTreeMap<HostId, Arc<WorkerAgent>>,
+    plane: &ControlPlane,
     handle: &ChaosHandle,
     shutdown: &AtomicBool,
 ) {
@@ -545,6 +603,17 @@ fn run_chaos_killer(
             return;
         }
         std::thread::sleep(Duration::from_millis(5)); // LINT: allow-sleep(chaos killer arming delay, bounded by the deadline)
+    }
+    // Controller kills need no worker victim: the target is whichever
+    // replica currently leads. The armed delay above still counts from
+    // the first running topology, so the kill lands mid-deployment-or-
+    // recovery exactly as the seed dictates.
+    if spec.class == KillClass::Controller {
+        if let Some(name) = plane.crash_leader() {
+            eprintln!("typhoon-chaos: killing controller leader {name} (seed {seed:#x})");
+            handle.stats().record_kill(KillClass::Controller);
+        }
+        return;
     }
     let (logical, physical) = match (global.get_logical(&topo), global.get_physical(&topo)) {
         (Ok(l), Ok(p)) => (l, p),
@@ -618,6 +687,9 @@ fn run_chaos_killer(
                 agent.crash_all_detached();
                 handle.stats().record_kill(KillClass::Host);
             }
+        }
+        KillClass::Controller => {
+            // Handled above, before victim selection.
         }
     }
 }

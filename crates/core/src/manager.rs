@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use typhoon_controller::apps::FAULTS;
-use typhoon_controller::{rules, ControlTuple, Controller};
+use typhoon_controller::{rules, ControlPlane, ControlTuple, Controller};
 use typhoon_coordinator::global::GlobalState;
 use typhoon_coordinator::CreateMode;
 use typhoon_diag::{rank, DiagMutex as Mutex};
@@ -97,26 +97,32 @@ impl Default for ManagerConfig {
     }
 }
 
+/// How long the manager waits for a control-plane leader before a call
+/// fails with a typed timeout. Comfortably longer than a failover window
+/// (session timeout + re-sync), far shorter than any test bound.
+const LEADER_WAIT: Duration = Duration::from_secs(5);
+
 /// The streaming manager.
 pub struct StreamingManager {
     global: GlobalState,
-    controller: Controller,
+    plane: ControlPlane,
     agents: BTreeMap<HostId, std::sync::Arc<WorkerAgent>>,
     config: ManagerConfig,
     next_app: Mutex<u16>,
 }
 
 impl StreamingManager {
-    /// Creates a manager over the cluster's agents.
+    /// Creates a manager over the cluster's agents. The manager talks to
+    /// whichever controller replica currently leads `plane`.
     pub fn new(
         global: GlobalState,
-        controller: Controller,
+        plane: ControlPlane,
         agents: BTreeMap<HostId, std::sync::Arc<WorkerAgent>>,
         config: ManagerConfig,
     ) -> Self {
         StreamingManager {
             global,
-            controller,
+            plane,
             agents,
             config,
             next_app: Mutex::with_rank(rank::CORE_APP_IDS, "core.manager.next_app", 1),
@@ -126,6 +132,15 @@ impl StreamingManager {
     /// The cluster's global state handle.
     pub fn global(&self) -> &GlobalState {
         &self.global
+    }
+
+    /// The current control-plane leader. Blocks (with backoff) across a
+    /// failover window; surfaces a typed timeout when no leader emerges —
+    /// callers leave their work records in place and retry later.
+    fn ctl(&self) -> Result<Controller> {
+        self.plane
+            .wait_leader(LEADER_WAIT)
+            .ok_or(CoreError::Timeout("control-plane leader"))
     }
 
     fn agent(&self, host: HostId) -> Result<&std::sync::Arc<WorkerAgent>> {
@@ -267,7 +282,9 @@ impl StreamingManager {
         self.global.set_logical(&logical)?;
         self.global.set_physical(&physical)?;
         // (iii) Network setup: Table 3 rules (+ acker channels).
-        self.controller.install_topology(&logical, &physical);
+        if !self.ctl()?.install_topology(&logical, &physical) {
+            return Err(CoreError::Timeout("topology install barrier"));
+        }
         if let Some(acker) = acker {
             self.install_ack_rules(&physical, acker);
         }
@@ -281,10 +298,10 @@ impl StreamingManager {
     }
 
     fn activate_spouts(&self, app: AppId, logical: &LogicalTopology, physical: &PhysicalTopology) {
+        let Ok(ctl) = self.ctl() else { return };
         for node in logical.nodes.iter().filter(|n| n.kind == NodeKind::Spout) {
             for task in physical.tasks_of(&node.name) {
-                self.controller
-                    .send_control(app, task, &ControlTuple::Activate);
+                ctl.send_control(app, task, &ControlTuple::Activate);
             }
         }
     }
@@ -297,29 +314,34 @@ impl StreamingManager {
         logical: &LogicalTopology,
         physical: &PhysicalTopology,
     ) {
+        let Ok(ctl) = self.ctl() else { return };
         for node in logical.nodes.iter().filter(|n| n.kind == NodeKind::Spout) {
             for task in physical.tasks_of(&node.name) {
-                self.controller
-                    .send_control(app, task, &ControlTuple::Deactivate);
+                ctl.send_control(app, task, &ControlTuple::Deactivate);
             }
         }
     }
 
-    fn install_ack_rules(&self, physical: &PhysicalTopology, acker: TaskId) {
+    /// Returns `false` when any send or barrier fails (e.g. the leader
+    /// died mid-install) — callers on retried paths propagate the failure.
+    fn install_ack_rules(&self, physical: &PhysicalTopology, acker: TaskId) -> bool {
+        let Ok(ctl) = self.ctl() else { return false };
+        let mut ok = true;
         for a in &physical.assignments {
             if a.task == acker {
                 continue;
             }
             for (host, fm) in rules::unicast_rules(physical, a.task, acker) {
-                self.controller.send_flow_mod(host, fm);
+                ok &= ctl.send_flow_mod(host, fm);
             }
             for (host, fm) in rules::unicast_rules(physical, acker, a.task) {
-                self.controller.send_flow_mod(host, fm);
+                ok &= ctl.send_flow_mod(host, fm);
             }
         }
-        for host in self.controller.hosts() {
-            self.controller.sync_switch(host, Duration::from_secs(5));
+        for host in ctl.hosts() {
+            ok &= ctl.sync_switch(host, Duration::from_secs(5));
         }
+        ok
     }
 
     /// Incremental reschedule: preserve every surviving task's placement,
@@ -450,8 +472,9 @@ impl StreamingManager {
         // 2. Notification + network setup for the new shape.
         self.global.set_logical(&new_logical)?;
         self.global.set_physical(&new_physical)?;
-        self.controller
-            .install_topology(&new_logical, &new_physical);
+        if !self.ctl()?.install_topology(&new_logical, &new_physical) {
+            return Err(CoreError::Timeout("reconfiguration install barrier"));
+        }
         if let Some(acker) = acker {
             self.install_ack_rules(&new_physical, acker);
         }
@@ -463,17 +486,17 @@ impl StreamingManager {
 
     /// Applies the control-tuple + removal phases of a stable update.
     fn execute_plan(&self, app: AppId, plan: &UpdatePlan) -> Result<()> {
+        let ctl = self.ctl()?;
         // 3a. SIGNAL stateful workers so caches flush under old routing.
         for &task in &plan.signals {
-            self.controller
-                .send_control(app, task, &ControlTuple::Signal);
+            ctl.send_control(app, task, &ControlTuple::Signal);
         }
         if !plan.signals.is_empty() {
             std::thread::sleep(self.config.signal_wait); // LINT: allow-sleep(reconfiguration quiesce wait from the live-migration protocol)
         }
         // 3b/3c. Re-route the predecessors via ROUTING control tuples.
         for (task, downstream, hops) in &plan.routing_updates {
-            self.controller.send_control(
+            ctl.send_control(
                 app,
                 *task,
                 &ControlTuple::Routing {
@@ -484,7 +507,7 @@ impl StreamingManager {
             );
         }
         for (task, downstream, grouping, keys) in &plan.policy_updates {
-            self.controller.send_control(
+            ctl.send_control(
                 app,
                 *task,
                 &ControlTuple::Routing {
@@ -502,11 +525,9 @@ impl StreamingManager {
                     agent.kill(app, assignment.task);
                 }
                 let mac = MacAddr::worker(app.0, assignment.task);
-                for host in self.controller.hosts() {
-                    self.controller
-                        .send_flow_mod(host, FlowMod::delete(FlowMatch::any().dl_dst(mac)));
-                    self.controller
-                        .send_flow_mod(host, FlowMod::delete(FlowMatch::any().dl_src(mac)));
+                for host in ctl.hosts() {
+                    ctl.send_flow_mod(host, FlowMod::delete(FlowMatch::any().dl_dst(mac)));
+                    ctl.send_flow_mod(host, FlowMod::delete(FlowMatch::any().dl_src(mac)));
                 }
             }
         }
@@ -549,7 +570,7 @@ impl StreamingManager {
                 agent.kill(physical.app, assignment.task);
             }
         }
-        self.controller.uninstall_topology(&logical, &physical);
+        self.ctl()?.uninstall_topology(&logical, &physical);
         self.global.remove_topology(name)?;
         Ok(())
     }
@@ -793,9 +814,18 @@ impl RecoveryManager {
         m.global.set_physical(&physical)?;
         let reschedule = t0.elapsed();
         // (2) Network setup: steer the dead task's MAC to its new port.
-        m.controller.install_topology(&logical, &physical);
+        // A failed install (the leader died mid-re-steer) propagates as an
+        // error, leaving the fault record in place: the next sweep retries
+        // against the successor leader, which has already re-synced the
+        // previously installed rules from the ledger.
+        let ctl = m.ctl()?;
+        if !ctl.install_topology(&logical, &physical) {
+            return Err(CoreError::Timeout("recovery re-steer barrier"));
+        }
         if let Some(acker) = acker {
-            m.install_ack_rules(&physical, acker);
+            if !m.install_ack_rules(&physical, acker) {
+                return Err(CoreError::Timeout("recovery ack-rule barrier"));
+            }
         }
         // (3) Restart with restore: the worker loads its latest checkpoint
         // during init, before signalling ready.
@@ -817,16 +847,19 @@ impl RecoveryManager {
             .map(|n| n.kind == NodeKind::Spout)
             .unwrap_or(false);
         if is_spout {
-            m.controller
-                .send_control(app, task, &ControlTuple::Activate);
+            ctl.send_control(app, task, &ControlTuple::Activate);
         }
         // (4) Un-shrink predecessors back to the full hop set. (The fault
         // detector only shrank stateless nodes' predecessors; re-sending
-        // the full set is idempotent for the rest.)
+        // the full set is idempotent for the rest.) From here on, failed
+        // control sends mean the leader died mid-re-steer: propagate an
+        // error so the fault record stays and the successor retries —
+        // every step below is idempotent under replay dedup.
+        let mut sends_ok = true;
         let hops = physical.tasks_of(&dead.node);
         for pred in logical.predecessors(&dead.node) {
             for pt in physical.tasks_of(pred) {
-                m.controller.send_control(
+                sends_ok &= ctl.send_control(
                     app,
                     pt,
                     &ControlTuple::Routing {
@@ -845,7 +878,7 @@ impl RecoveryManager {
         for node in logical.nodes.iter().filter(|n| n.stateful) {
             for st in physical.tasks_of(&node.name) {
                 if st != task {
-                    m.controller.send_control(app, st, &ControlTuple::Restate);
+                    sends_ok &= ctl.send_control(app, st, &ControlTuple::Restate);
                 }
             }
         }
@@ -854,8 +887,11 @@ impl RecoveryManager {
         // ledger; the rest re-fold — counts come out exact.
         for node in logical.nodes.iter().filter(|n| n.kind == NodeKind::Spout) {
             for st in physical.tasks_of(&node.name) {
-                m.controller.send_control(app, st, &ControlTuple::Replay);
+                sends_ok &= ctl.send_control(app, st, &ControlTuple::Replay);
             }
+        }
+        if !sends_ok {
+            return Err(CoreError::Timeout("recovery re-steer control channel"));
         }
         let replay = t2.elapsed();
         Ok(Some(RecoveryReport {

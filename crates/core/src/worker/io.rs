@@ -359,8 +359,11 @@ mod tests {
         let mut io = IoLayer::new(dst, port, &IoConfig::default(), Registry::new());
         let src = MacAddr::worker(1, TaskId(9));
         let packetizer = Packetizer::new(9000);
-        for frame in packetizer.pack(src, dst, &[Bytes::from_static(b"hi"), Bytes::from_static(b"ho")])
-        {
+        for frame in packetizer.pack(
+            src,
+            dst,
+            &[Bytes::from_static(b"hi"), Bytes::from_static(b"ho")],
+        ) {
             sw_tx.push(frame).unwrap();
         }
         let mut out = Vec::new();

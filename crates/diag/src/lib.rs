@@ -188,6 +188,15 @@ pub mod rank {
     pub const CTRL_APPS: LockRank = LockRank(295);
     /// `typhoon-coordinator` `global.rs` — coordination service façade.
     pub const COORD_GLOBAL: LockRank = LockRank(300);
+    /// `typhoon-controller` `ha.rs` — replicated-control-plane state
+    /// (current leader, replica roster, switch handles). Ranked below
+    /// `COORD_STORE` so leadership bookkeeping may consult the
+    /// coordinator while held.
+    pub const CTRL_HA: LockRank = LockRank(380);
+    /// `typhoon-controller` `ha.rs` — the write-through rule ledger.
+    /// Ranked below `COORD_STORE` so a ledger flush may write the
+    /// persisted blob to the coordinator while held.
+    pub const CTRL_LEDGER: LockRank = LockRank(390);
     /// `typhoon-coordinator` `store.rs` — znode tree + watches.
     pub const COORD_STORE: LockRank = LockRank(400);
     /// `typhoon-controller` `controller.rs` — port-stats cache.
@@ -214,6 +223,11 @@ pub mod rank {
     /// `Tunnel::send`/`recv_batch`, so it stays below `CHAOS_STATE` and
     /// `TUNNEL`.
     pub const DP_TUNNELS: LockRank = LockRank(650);
+    /// `typhoon-switch` `datapath.rs` — the controller link (channel
+    /// endpoints, fencing term, headless event queue). A leaf among the
+    /// datapath locks: every other `DP_*` lock may be held when a frame
+    /// or event reaches the link, and the link never takes them back.
+    pub const DP_CTRL: LockRank = LockRank(655);
     /// `typhoon-net` `fault.rs` — fault-injector state; held across
     /// inner tunnel sends, so it sits between `DP_TUNNELS` and `TUNNEL`.
     pub const CHAOS_STATE: LockRank = LockRank(660);

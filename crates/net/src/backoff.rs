@@ -1,0 +1,311 @@
+//! Shared retry/timeout/exponential-backoff-with-jitter for control-plane
+//! RPC paths.
+//!
+//! Every control-plane interaction that can transiently fail — the
+//! controller↔switch channel during a failover, the REST command path,
+//! coordinator session acquisition, waiting for a leader to be elected —
+//! retries through one [`BackoffPolicy`] instead of hand-rolled sleep
+//! loops. The delay sequence is exponential with multiplicative jitter,
+//! and the jitter is drawn from a [`SmallRng`] seeded by the caller, so a
+//! chaos run's retry timing replays deterministically from its
+//! `CHAOS_SEED`.
+//!
+//! Giving up is a *typed* outcome ([`RetryError`]) carrying the attempt
+//! count, the elapsed wall time and the last underlying error — callers
+//! surface it instead of silently degrading. Metric naming for retry
+//! observability lives in docs/OBSERVABILITY.md under `net.backoff.*`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Retry/timeout envelope for one class of control-plane call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the second attempt (the first runs immediately).
+    pub initial: Duration,
+    /// Upper bound on any single delay.
+    pub max: Duration,
+    /// Growth factor between consecutive delays.
+    pub multiplier: f64,
+    /// Jitter fraction in `0..=1`: each delay is scaled by a factor drawn
+    /// uniformly from `1 - jitter ..= 1 + jitter`.
+    pub jitter: f64,
+    /// Give up after this many attempts (`0` = bounded by `deadline`
+    /// alone).
+    pub max_attempts: u32,
+    /// Give up once this much wall time has elapsed (`None` = bounded by
+    /// `max_attempts` alone).
+    pub deadline: Option<Duration>,
+}
+
+impl BackoffPolicy {
+    /// The default envelope for intra-process control-plane calls:
+    /// 1 ms → 128 ms exponential, ±25% jitter, capped at 30 attempts or
+    /// 5 s of wall time — comfortably longer than a leader election, far
+    /// shorter than any test bound.
+    pub fn control_plane() -> Self {
+        BackoffPolicy {
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(128),
+            multiplier: 2.0,
+            jitter: 0.25,
+            max_attempts: 30,
+            deadline: Some(Duration::from_secs(5)),
+        }
+    }
+
+    /// A tight envelope for paths that must fail fast (e.g. probing
+    /// whether a leader exists without blocking a tick loop).
+    pub fn fail_fast() -> Self {
+        BackoffPolicy {
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+            multiplier: 2.0,
+            jitter: 0.25,
+            max_attempts: 4,
+            deadline: Some(Duration::from_millis(50)),
+        }
+    }
+
+    /// Builder: override the attempt bound.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n;
+        self
+    }
+
+    /// Builder: override the wall-time bound.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// The jittered delay to sleep before attempt `attempt + 1`
+    /// (attempts are 0-indexed; attempt 0 runs immediately).
+    fn delay(&self, attempt: u32, rng: &mut SmallRng) -> Duration {
+        let base = self.initial.as_secs_f64() * self.multiplier.powi(attempt as i32);
+        let capped = base.min(self.max.as_secs_f64());
+        let jitter = if self.jitter > 0.0 {
+            rng.gen_range(1.0 - self.jitter..1.0 + self.jitter)
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((capped * jitter).max(0.0))
+    }
+}
+
+/// Why a retried operation was abandoned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetryError<E> {
+    /// Every allowed attempt failed; `last` is the final error.
+    AttemptsExhausted {
+        /// Attempts actually made.
+        attempts: u32,
+        /// Wall time spent retrying.
+        elapsed: Duration,
+        /// The error from the last attempt.
+        last: E,
+    },
+    /// The wall-time deadline passed; `last` is the most recent error.
+    DeadlineExceeded {
+        /// Attempts actually made.
+        attempts: u32,
+        /// Wall time spent retrying.
+        elapsed: Duration,
+        /// The error from the last attempt.
+        last: E,
+    },
+}
+
+impl<E> RetryError<E> {
+    /// Attempts made before giving up.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RetryError::AttemptsExhausted { attempts, .. }
+            | RetryError::DeadlineExceeded { attempts, .. } => *attempts,
+        }
+    }
+
+    /// The last underlying error.
+    pub fn last(&self) -> &E {
+        match self {
+            RetryError::AttemptsExhausted { last, .. }
+            | RetryError::DeadlineExceeded { last, .. } => last,
+        }
+    }
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::AttemptsExhausted {
+                attempts,
+                elapsed,
+                last,
+            } => write!(f, "gave up after {attempts} attempts ({elapsed:?}): {last}"),
+            RetryError::DeadlineExceeded {
+                attempts,
+                elapsed,
+                last,
+            } => write!(
+                f,
+                "deadline exceeded after {attempts} attempts ({elapsed:?}): {last}"
+            ),
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for RetryError<E> {}
+
+/// Runs `op` under `policy`, sleeping a jittered exponential delay between
+/// failures. `op` receives the 0-indexed attempt number. Returns the first
+/// success, or a typed [`RetryError`] when the policy is exhausted.
+///
+/// `seed` drives the jitter; derive it from the run seed (plus a call-site
+/// discriminator) so chaos runs replay with identical timing.
+pub fn retry<T, E>(
+    policy: &BackoffPolicy,
+    seed: u64,
+    mut op: impl FnMut(u32) -> std::result::Result<T, E>,
+) -> std::result::Result<T, RetryError<E>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                attempt += 1;
+                let elapsed = start.elapsed();
+                if policy.max_attempts > 0 && attempt >= policy.max_attempts {
+                    return Err(RetryError::AttemptsExhausted {
+                        attempts: attempt,
+                        elapsed,
+                        last: e,
+                    });
+                }
+                let delay = policy.delay(attempt - 1, &mut rng);
+                if let Some(deadline) = policy.deadline {
+                    if elapsed + delay >= deadline {
+                        return Err(RetryError::DeadlineExceeded {
+                            attempts: attempt,
+                            elapsed,
+                            last: e,
+                        });
+                    }
+                }
+                // LINT: allow-sleep(backoff delay between control-plane retry attempts, bounded by the policy deadline)
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_success_returns_immediately() {
+        let policy = BackoffPolicy::control_plane();
+        let r: std::result::Result<u32, RetryError<&str>> = retry(&policy, 7, |_| Ok(42u32));
+        assert_eq!(r.unwrap(), 42);
+    }
+
+    #[test]
+    fn retries_until_success_and_reports_attempt_numbers() {
+        let policy = BackoffPolicy {
+            initial: Duration::from_micros(50),
+            max: Duration::from_micros(200),
+            multiplier: 2.0,
+            jitter: 0.25,
+            max_attempts: 10,
+            deadline: None,
+        };
+        let mut seen = Vec::new();
+        let r: std::result::Result<u32, RetryError<&str>> = retry(&policy, 1, |attempt| {
+            seen.push(attempt);
+            if attempt < 3 {
+                Err("not yet")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(r.unwrap(), 3);
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn attempts_exhausted_is_typed_with_counts() {
+        let policy = BackoffPolicy {
+            initial: Duration::from_micros(10),
+            max: Duration::from_micros(20),
+            multiplier: 2.0,
+            jitter: 0.0,
+            max_attempts: 4,
+            deadline: None,
+        };
+        let r: std::result::Result<(), RetryError<&str>> = retry(&policy, 3, |_| Err("down"));
+        match r {
+            Err(RetryError::AttemptsExhausted { attempts, last, .. }) => {
+                assert_eq!(attempts, 4);
+                assert_eq!(last, "down");
+            }
+            other => panic!("expected AttemptsExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_exceeded_is_typed() {
+        let policy = BackoffPolicy {
+            initial: Duration::from_millis(20),
+            max: Duration::from_millis(20),
+            multiplier: 1.0,
+            jitter: 0.0,
+            max_attempts: 0,
+            deadline: Some(Duration::from_millis(30)),
+        };
+        let r: std::result::Result<(), RetryError<&str>> = retry(&policy, 9, |_| Err("down"));
+        match r {
+            Err(RetryError::DeadlineExceeded { attempts, .. }) => assert!(attempts >= 1),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(r.unwrap_err().attempts() >= 1);
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_jitter_and_cap() {
+        let policy = BackoffPolicy {
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+            multiplier: 2.0,
+            jitter: 0.25,
+            max_attempts: 0,
+            deadline: None,
+        };
+        let mut rng = SmallRng::seed_from_u64(0xfeed);
+        for attempt in 0..10 {
+            let d = policy.delay(attempt, &mut rng).as_secs_f64();
+            let base = (0.001f64 * 2f64.powi(attempt as i32)).min(0.008);
+            assert!(
+                d >= base * 0.75 - 1e-9,
+                "attempt {attempt}: {d} < {base}*0.75"
+            );
+            assert!(
+                d <= base * 1.25 + 1e-9,
+                "attempt {attempt}: {d} > {base}*1.25"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_delay_sequence() {
+        let policy = BackoffPolicy::control_plane();
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..6).map(|a| policy.delay(a, &mut rng)).collect()
+        };
+        assert_eq!(seq(42), seq(42));
+        assert_ne!(seq(42), seq(43));
+    }
+}

@@ -166,7 +166,9 @@ mod tests {
         // BATCH_SIZE lowered below what is already buffered: the batch must
         // flush on the next poll, not wait for another push or the timer.
         knob.store(3, Ordering::Relaxed);
-        let batch = b.poll_flush_at(t0 + Duration::from_millis(1)).expect("retune flush");
+        let batch = b
+            .poll_flush_at(t0 + Duration::from_millis(1))
+            .expect("retune flush");
         assert_eq!(batch, vec![0, 1, 2, 3, 4]);
         assert!(b.is_empty());
         // The deadline clock must have been reset by that flush too.

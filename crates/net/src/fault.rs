@@ -104,6 +104,10 @@ pub enum KillClass {
     /// placement. The host's switch stays up as SDN substrate — that is
     /// what lets port-status detection outrun heartbeats (Fig. 10).
     Host,
+    /// Kill one controller replica (the leader when one exists). The
+    /// data plane must keep forwarding headless on installed rules while
+    /// the surviving replicas elect a new leader and re-sync.
+    Controller,
 }
 
 /// A seeded, one-shot process-kill fault. Unlike the per-frame tunnel
@@ -132,6 +136,15 @@ impl KillSpec {
     pub fn host(after: Duration) -> Self {
         KillSpec {
             class: KillClass::Host,
+            after,
+        }
+    }
+
+    /// Kill one controller replica `after` the topology starts (the
+    /// leader when one exists; otherwise a seeded choice of replica).
+    pub fn controller(after: Duration) -> Self {
+        KillSpec {
+            class: KillClass::Controller,
             after,
         }
     }
@@ -221,6 +234,9 @@ pub struct ChaosStats {
     pub killed_workers: AtomicU64,
     /// Hosts killed by the chaos runtime (`chaos.killed_hosts`).
     pub killed_hosts: AtomicU64,
+    /// Controller replicas killed by the chaos runtime
+    /// (`chaos.killed_controllers`).
+    pub killed_controllers: AtomicU64,
 }
 
 impl ChaosStats {
@@ -246,6 +262,10 @@ impl ChaosStats {
                 "chaos.killed_hosts",
                 self.killed_hosts.load(Ordering::Relaxed),
             ),
+            (
+                "chaos.killed_controllers",
+                self.killed_controllers.load(Ordering::Relaxed),
+            ),
         ]
     }
 
@@ -254,6 +274,7 @@ impl ChaosStats {
         match class {
             KillClass::Worker => self.killed_workers.fetch_add(1, Ordering::Relaxed),
             KillClass::Host => self.killed_hosts.fetch_add(1, Ordering::Relaxed),
+            KillClass::Controller => self.killed_controllers.fetch_add(1, Ordering::Relaxed),
         };
     }
 }

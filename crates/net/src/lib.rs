@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod batch;
 pub mod fault;
 pub mod frame;
@@ -33,6 +34,7 @@ pub mod packetize;
 pub mod ring;
 pub mod tunnel;
 
+pub use backoff::{retry, BackoffPolicy, RetryError};
 pub use batch::Batcher;
 pub use fault::{
     ChaosHandle, ChaosStats, FaultInjector, FaultPlan, FaultSpec, KillClass, KillSpec,

@@ -366,7 +366,10 @@ mod tests {
         // drained frames must be kept, not traded for the error.
         assert_eq!(rx.pop_batch(&mut out, 100).unwrap(), 5);
         assert_eq!(out.len(), 5);
-        assert_eq!(rx.pop_batch(&mut out, 100).unwrap_err(), NetError::Disconnected);
+        assert_eq!(
+            rx.pop_batch(&mut out, 100).unwrap_err(),
+            NetError::Disconnected
+        );
     }
 
     #[test]

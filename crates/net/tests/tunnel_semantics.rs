@@ -264,7 +264,9 @@ fn ring_batched_producer_drop_loses_nothing() {
         let mut sent = 0usize;
         while sent < N {
             let chunk = (N - sent).min(8);
-            let mut batch: Vec<Frame> = (0..chunk).map(|i| frame(((sent + i) % 251) as u8)).collect();
+            let mut batch: Vec<Frame> = (0..chunk)
+                .map(|i| frame(((sent + i) % 251) as u8))
+                .collect();
             let res = tx.push_batch(&mut batch);
             assert!(!res.disconnected, "receiver never closes in this test");
             assert_eq!(res.dropped, 0, "ring sized to avoid overflow");
@@ -320,7 +322,10 @@ fn ring_push_batch_vs_concurrent_close_keeps_exact_accounting() {
                 assert_eq!(again.len(), 1, "refused frames stay with the caller");
                 return enqueued;
             }
-            assert!(batch.is_empty(), "fully consumed batches leave nothing behind");
+            assert!(
+                batch.is_empty(),
+                "fully consumed batches leave nothing behind"
+            );
         }
     });
     // Drain a couple of batches, then close mid-stream.

@@ -302,8 +302,7 @@ impl FlowCache {
             return self.miss(packets);
         }
 
-        if (sk0, sk1, sk2) != (k0, k1, k2)
-            || generation != self.generation.load(Ordering::Acquire)
+        if (sk0, sk1, sk2) != (k0, k1, k2) || generation != self.generation.load(Ordering::Acquire)
         {
             return self.miss(packets);
         }
@@ -323,7 +322,12 @@ impl FlowCache {
         slot.pending_packets.fetch_add(packets, Ordering::Relaxed);
         slot.pending_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.counters.hits.fetch_add(packets, Ordering::Relaxed);
-        Probe::Hit(packed[..nact as usize].iter().map(|&v| unpack_action(v)).collect())
+        Probe::Hit(
+            packed[..nact as usize]
+                .iter()
+                .map(|&v| unpack_action(v))
+                .collect(),
+        )
     }
 
     fn miss(&self, packets: u64) -> Probe {
@@ -561,7 +565,10 @@ mod tests {
             c.probe(&m, 1, 1, t0 + Duration::from_millis(49)),
             Probe::Hit(_)
         ));
-        assert_eq!(c.probe(&m, 1, 1, t0 + Duration::from_millis(51)), Probe::Miss);
+        assert_eq!(
+            c.probe(&m, 1, 1, t0 + Duration::from_millis(51)),
+            Probe::Miss
+        );
     }
 
     #[test]

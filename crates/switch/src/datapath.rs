@@ -12,8 +12,8 @@ use crate::group_table::GroupTable;
 use crate::port::{Ports, WorkerPort};
 use crate::table::FlowTable;
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
-use std::collections::HashMap;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,6 +63,66 @@ pub struct ControlChannel {
     pub from_switch: Receiver<Bytes>,
 }
 
+/// A reconnect attempt carried a fencing term older than the one already
+/// connected — the reconnecting controller is a stale leader and must not
+/// be allowed to reprogram the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleLeader {
+    /// Term offered by the reconnecting controller.
+    pub offered: u64,
+    /// Term of the leader the switch is (or was last) bound to.
+    pub current: u64,
+}
+
+impl std::fmt::Display for StaleLeader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale leader rejected: offered term {} < current term {}",
+            self.offered, self.current
+        )
+    }
+}
+
+impl std::error::Error for StaleLeader {}
+
+/// Bound on controller-bound events buffered while headless; oldest
+/// events are shed first (a newer `PortStatus`/`PacketIn` supersedes an
+/// older one for every consumer we have).
+const HEADLESS_QUEUE_CAP: usize = 4096;
+
+/// The switch's side of the controller connection, swappable on failover.
+///
+/// `term` is the fencing token from the controller election: term 0 is
+/// the boot channel handed out by [`Switch::new`] (a switch that has only
+/// ever seen term 0 keeps the legacy standalone semantics — dropped
+/// events, live expiry — so controller-less tests and tools behave as
+/// before). Once a real leader (term ≥ 1) has connected, losing the
+/// channel flips the switch into *headless mode*: forwarding continues on
+/// installed rules and the megaflow cache, rule expiry is suppressed, and
+/// controller-bound events queue here until the next leader reconnects
+/// and replays them.
+struct ControllerLink {
+    term: u64,
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    headless: bool,
+    headless_since: Option<Instant>,
+    queued: VecDeque<Bytes>,
+    dropped: u64,
+}
+
+impl ControllerLink {
+    /// Queues an encoded event for replay, shedding the oldest on overflow.
+    fn queue(&mut self, bytes: Bytes) {
+        if self.queued.len() >= HEADLESS_QUEUE_CAP {
+            self.queued.pop_front();
+            self.dropped += 1;
+        }
+        self.queued.push_back(bytes);
+    }
+}
+
 struct Inner {
     config: SwitchConfig,
     ports: Mutex<Ports>,
@@ -76,8 +136,15 @@ struct Inner {
     misses: AtomicU64,
     /// Installed-rule count, refreshed after every table mutation.
     rules: AtomicU64,
-    ctrl_tx: Sender<Bytes>,
-    ctrl_rx: Receiver<Bytes>,
+    link: Mutex<ControllerLink>,
+    /// Mirror of `link.headless` so the expiry path (and metrics scrapes)
+    /// never take the link lock.
+    headless: AtomicBool,
+    /// Milliseconds spent headless across completed windows
+    /// (observability: `switch.headless_ms`).
+    headless_ms: AtomicU64,
+    /// Events replayed to reconnecting leaders.
+    replayed: AtomicU64,
     shutdown: AtomicBool,
     last_expire: Mutex<Instant>,
     trace: Mutex<TraceCtx>,
@@ -124,8 +191,22 @@ impl Switch {
                 tunnel_downs: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 rules: AtomicU64::new(0),
-                ctrl_tx: from_switch_tx,
-                ctrl_rx: to_switch_rx,
+                link: Mutex::with_rank(
+                    rank::DP_CTRL,
+                    "switch.datapath.link",
+                    ControllerLink {
+                        term: 0,
+                        tx: from_switch_tx,
+                        rx: to_switch_rx,
+                        headless: false,
+                        headless_since: None,
+                        queued: VecDeque::new(),
+                        dropped: 0,
+                    },
+                ),
+                headless: AtomicBool::new(false),
+                headless_ms: AtomicU64::new(0),
+                replayed: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 last_expire: Mutex::with_rank(
                     rank::DP_EXPIRE,
@@ -244,9 +325,147 @@ impl Switch {
     }
 
     fn send_event(&self, msg: OfMessage) {
-        // A congested/absent controller must never stall the data plane;
-        // events are best-effort like real OpenFlow async messages.
-        let _ = self.inner.ctrl_tx.try_send(wire::encode(&msg));
+        let bytes = wire::encode(&msg);
+        let mut link = self.inner.link.lock();
+        if link.headless {
+            link.queue(bytes);
+            return;
+        }
+        // LINT: allow-send-under-lock(try_send on a bounded channel never blocks; the link lock is a leaf among the datapath locks)
+        match link.tx.try_send(bytes) {
+            // A congested controller must never stall the data plane;
+            // events are best-effort like real OpenFlow async messages.
+            Ok(()) | Err(TrySendError::Full(_)) => {}
+            Err(TrySendError::Disconnected(bytes)) => {
+                // The boot channel (term 0) going away keeps the legacy
+                // standalone semantics — events are simply dropped — so
+                // controller-less tests and tools behave as before. Losing
+                // an elected leader (term ≥ 1) flips us headless instead.
+                if link.term >= 1 {
+                    self.enter_headless(&mut link);
+                    link.queue(bytes);
+                }
+            }
+        }
+    }
+
+    /// Sends a reply to a controller *request*. Unlike async events,
+    /// replies are never queued for replay: the requester is gone, and a
+    /// new leader re-syncs state rather than consuming stale replies.
+    fn send_reply(&self, msg: OfMessage) {
+        let link = self.inner.link.lock();
+        if link.headless {
+            return;
+        }
+        // LINT: allow-send-under-lock(try_send on a bounded channel never blocks; the link lock is a leaf among the datapath locks)
+        let _ = link.tx.try_send(wire::encode(&msg));
+    }
+
+    /// Marks the link headless (caller holds the link lock). Forwarding
+    /// continues on installed rules and the flow cache; rule expiry is
+    /// suppressed and events queue until the next leader connects.
+    fn enter_headless(&self, link: &mut ControllerLink) {
+        if link.headless {
+            return;
+        }
+        link.headless = true;
+        link.headless_since = Some(Instant::now());
+        self.inner.headless.store(true, Ordering::Relaxed);
+    }
+
+    /// Reconnect handshake from a (new) controller leader carrying its
+    /// election `term` as a fencing token. A term older than the one this
+    /// switch is already bound to means the caller is a *stale leader* —
+    /// deposed, but unaware — and is rejected so it can never reprogram
+    /// the datapath behind the real leader's back. Equal terms are
+    /// accepted (same leader, fresh channel).
+    ///
+    /// On success the switch leaves headless mode, accounts the headless
+    /// window, and replays every queued event to the new leader in
+    /// arrival order.
+    pub fn connect_controller(&self, term: u64) -> Result<ControlChannel, StaleLeader> {
+        let (to_switch_tx, to_switch_rx) = bounded(65536);
+        let (from_switch_tx, from_switch_rx) = bounded(65536);
+        // Table before link: rank(DATAPATH) < rank(DP_CTRL).
+        let mut table = self.inner.table.lock();
+        let mut link = self.inner.link.lock();
+        if term < link.term {
+            return Err(StaleLeader {
+                offered: term,
+                current: link.term,
+            });
+        }
+        if let Some(since) = link.headless_since.take() {
+            let window = since.elapsed();
+            // The leaderless window must not count against any rule
+            // timeout (expiry was suspended): shift every expiry clock
+            // forward by its duration before time resumes.
+            table.shift_clocks(window);
+            self.inner
+                .headless_ms
+                .fetch_add(window.as_millis() as u64, Ordering::Relaxed);
+        }
+        drop(table);
+        link.term = term;
+        link.tx = from_switch_tx;
+        link.rx = to_switch_rx;
+        link.headless = false;
+        self.inner.headless.store(false, Ordering::Relaxed);
+        let replay: Vec<Bytes> = link.queued.drain(..).collect();
+        for bytes in replay {
+            // LINT: allow-send-under-lock(try_send on a freshly created bounded channel never blocks; the link lock is a leaf among the datapath locks)
+            if link.tx.try_send(bytes).is_err() {
+                link.dropped += 1;
+            } else {
+                self.inner.replayed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(ControlChannel {
+            to_switch: to_switch_tx,
+            from_switch: from_switch_rx,
+        })
+    }
+
+    /// True while the switch forwards without a live controller
+    /// (observability: `switch.headless`).
+    pub fn is_headless(&self) -> bool {
+        self.inner.headless.load(Ordering::Relaxed)
+    }
+
+    /// The election term of the leader this switch is bound to (0 until a
+    /// real leader has connected).
+    pub fn controller_term(&self) -> u64 {
+        self.inner.link.lock().term
+    }
+
+    /// Events currently queued for replay to the next leader.
+    pub fn headless_queue_len(&self) -> usize {
+        self.inner.link.lock().queued.len()
+    }
+
+    /// Events shed from the bounded headless queue (oldest-first).
+    pub fn headless_dropped(&self) -> u64 {
+        self.inner.link.lock().dropped
+    }
+
+    /// Total milliseconds spent headless: completed windows plus the
+    /// ongoing one, if any (observability: `switch.headless_ms`).
+    pub fn headless_ms(&self) -> u64 {
+        let completed = self.inner.headless_ms.load(Ordering::Relaxed);
+        let ongoing = self
+            .inner
+            .link
+            .lock()
+            .headless_since
+            .map(|s| s.elapsed().as_millis() as u64)
+            .unwrap_or(0);
+        completed + ongoing
+    }
+
+    /// Events replayed to reconnecting leaders (observability:
+    /// `switch.replayed_events`).
+    pub fn replayed_events(&self) -> u64 {
+        self.inner.replayed.load(Ordering::Relaxed)
     }
 
     /// Runs one poll round: control messages, port RX, tunnel RX, expiry.
@@ -261,19 +480,33 @@ impl Switch {
     }
 
     fn handle_control(&self) -> bool {
-        let mut busy = false;
-        for _ in 0..self.inner.config.poll_budget {
-            let raw = match self.inner.ctrl_rx.try_recv() {
-                Ok(b) => b,
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            };
-            busy = true;
+        // Drain raw messages under the link lock, then apply them with the
+        // lock released: applying takes the table/group/port locks, and a
+        // PacketOut can re-enter `send_event`.
+        let mut raws = Vec::new();
+        {
+            let mut link = self.inner.link.lock();
+            for _ in 0..self.inner.config.poll_budget {
+                match link.rx.try_recv() {
+                    Ok(b) => raws.push(b),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        if link.term >= 1 {
+                            self.enter_headless(&mut link);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        let busy = !raws.is_empty();
+        for raw in raws {
             let msg = match wire::decode(raw) {
                 Ok((m, _)) => m,
                 Err(_) => continue, // corrupt control message: drop
             };
             if let Some(reply) = self.apply_control(msg) {
-                let _ = self.inner.ctrl_tx.try_send(wire::encode(&reply));
+                self.send_reply(reply);
             }
         }
         busy
@@ -289,19 +522,29 @@ impl Switch {
             }),
             OfMessage::FlowMod(fm) => {
                 let now = Instant::now();
-                {
+                let changed = {
                     let mut table = self.inner.table.lock();
-                    // Finalize cached hit counters against the pre-change
-                    // rules (a Modify/Delete must not lose or misroute them).
-                    self.inner
-                        .cache
-                        .drain_pending(|meta, p, b| table.credit(meta, p, b, now));
-                    table.apply(&fm, now);
-                    self.inner
-                        .rules
-                        .store(table.len() as u64, Ordering::Relaxed);
+                    if table.would_change(&fm, now) {
+                        // Finalize cached hit counters against the pre-change
+                        // rules (a Modify/Delete must not lose or misroute them).
+                        self.inner
+                            .cache
+                            .drain_pending(|meta, p, b| table.credit(meta, p, b, now));
+                        table.apply(&fm, now);
+                        self.inner
+                            .rules
+                            .store(table.len() as u64, Ordering::Relaxed);
+                        true
+                    } else {
+                        // A failover re-sync replays the full rule set;
+                        // byte-identical re-installs must not flush the
+                        // megaflow cache's hot entries.
+                        false
+                    }
+                };
+                if changed {
+                    self.inner.cache.invalidate_all();
                 }
-                self.inner.cache.invalidate_all();
                 None
             }
             OfMessage::GroupMod(gm) => {
@@ -377,6 +620,13 @@ impl Switch {
     }
 
     fn maybe_expire(&self) {
+        // Headless: nobody exists to re-install a rule whose flow happens
+        // to go quiet during the failover window, so an expiry sweep here
+        // would silently break forwarding with no controller to repair it.
+        // Expiry is suppressed until a leader reconnects (§3.5).
+        if self.inner.headless.load(Ordering::Relaxed) {
+            return;
+        }
         let now = Instant::now();
         let mut last = self.inner.last_expire.lock();
         if now.saturating_duration_since(*last) >= self.inner.config.expire_interval {
@@ -489,10 +739,24 @@ impl Switch {
         }
     }
 
+    /// The instant expiry decisions are made against. While headless, time
+    /// is frozen at the moment the leader was lost: a rule (or cache
+    /// entry) that was alive when the controller died keeps forwarding for
+    /// the whole leaderless window, however long failover takes — nobody
+    /// exists to re-install it if its flow goes momentarily quiet.
+    fn now_for_expiry(&self) -> Instant {
+        if self.inner.headless.load(Ordering::Relaxed) {
+            if let Some(since) = self.inner.link.lock().headless_since {
+                return since;
+            }
+        }
+        Instant::now()
+    }
+
     /// Resolves a run's actions: flow cache first, table on a miss (which
     /// also installs the result — positive or negative — for the next run).
     fn resolve(&self, meta: &FrameMeta, packets: u64, bytes: u64) -> Option<Vec<Action>> {
-        let now = Instant::now();
+        let now = self.now_for_expiry();
         match self.inner.cache.probe(meta, packets, bytes, now) {
             Probe::Hit(actions) => Some(actions),
             Probe::NegativeHit => {
@@ -1158,7 +1422,13 @@ mod tests {
         send_ctrl(&ch, local_rule(11, 1, 30, 3));
         sw.process_round();
         // Interleave two flows in one port batch: A A B B A.
-        for (src, dst, n) in [(10, 20, 0), (10, 20, 1), (11, 30, 2), (11, 30, 3), (10, 20, 4)] {
+        for (src, dst, n) in [
+            (10, 20, 0),
+            (10, 20, 1),
+            (11, 30, 2),
+            (11, 30, 3),
+            (10, 20, 4),
+        ] {
             wp1.tx
                 .push(Frame::typhoon(w(src), w(dst), Bytes::from(vec![n; 8])))
                 .unwrap();
@@ -1173,6 +1443,177 @@ mod tests {
             b += 1;
         }
         assert_eq!((a, b), (3, 2));
+    }
+
+    #[test]
+    fn losing_the_term_zero_boot_channel_keeps_legacy_semantics() {
+        let (sw, ch) = Switch::new(SwitchConfig::new(1));
+        drop(ch); // standalone use: nobody ever connected a real leader
+        sw.attach_worker(PortNo(1)); // event hits the dead boot channel
+        sw.process_round();
+        assert!(!sw.is_headless(), "term 0 never goes headless");
+        assert_eq!(sw.headless_queue_len(), 0, "events dropped, not queued");
+        assert_eq!(sw.controller_term(), 0);
+    }
+
+    #[test]
+    fn losing_an_elected_leader_enters_headless_and_keeps_forwarding() {
+        let (sw, boot) = Switch::new(SwitchConfig::new(1));
+        drop(boot);
+        let ch = sw.connect_controller(1).unwrap();
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        send_ctrl(&ch, local_rule(10, 1, 20, 2));
+        sw.process_round();
+        let _ = drain_events(&ch);
+        drop(ch); // the leader dies
+        let _wp3 = sw.attach_worker(PortNo(3)); // next event finds the dead link
+        assert!(sw.is_headless());
+        assert_eq!(sw.controller_term(), 1);
+        // Forwarding continues on the installed rule the whole window.
+        wp1.tx.push(data_frame(10, w(20), 7)).unwrap();
+        sw.process_round();
+        assert!(wp2.rx.pop().unwrap().is_some(), "headless forwarding works");
+        assert!(sw.headless_queue_len() >= 1, "event queued for replay");
+    }
+
+    #[test]
+    fn stale_leader_reconnect_is_rejected() {
+        let (sw, _boot) = Switch::new(SwitchConfig::new(1));
+        let _ch5 = sw.connect_controller(5).unwrap();
+        let err = sw.connect_controller(3).unwrap_err();
+        assert_eq!(
+            err,
+            StaleLeader {
+                offered: 3,
+                current: 5
+            }
+        );
+        assert_eq!(sw.controller_term(), 5, "stale term did not bind");
+        // Equal term is a legitimate reconnect (same leader, new channel).
+        assert!(sw.connect_controller(5).is_ok());
+    }
+
+    #[test]
+    fn queued_events_replay_to_the_new_leader_in_order() {
+        let (sw, boot) = Switch::new(SwitchConfig::new(1));
+        drop(boot);
+        let ch = sw.connect_controller(1).unwrap();
+        drop(ch);
+        sw.attach_worker(PortNo(1));
+        sw.attach_worker(PortNo(2));
+        assert!(sw.is_headless());
+        assert_eq!(sw.headless_queue_len(), 2);
+        let ch2 = sw.connect_controller(2).unwrap();
+        assert!(!sw.is_headless());
+        assert_eq!(sw.replayed_events(), 2);
+        assert_eq!(sw.headless_queue_len(), 0);
+        assert!(sw.headless_ms() < 60_000, "window was accounted and closed");
+        let events = drain_events(&ch2);
+        match &events[..] {
+            [OfMessage::PortStatus {
+                reason: PortStatusReason::Add,
+                port: p1,
+            }, OfMessage::PortStatus {
+                reason: PortStatusReason::Add,
+                port: p2,
+            }] => {
+                assert_eq!((*p1, *p2), (PortNo(1), PortNo(2)), "arrival order");
+            }
+            other => panic!("expected two replayed PortStatus adds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn headless_suppresses_rule_expiry_until_reconnect() {
+        let mut cfg = SwitchConfig::new(1);
+        cfg.expire_interval = Duration::from_millis(0); // sweep every round
+        let (sw, boot) = Switch::new(cfg);
+        drop(boot);
+        let ch = sw.connect_controller(1).unwrap();
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        send_ctrl(
+            &ch,
+            OfMessage::FlowMod(
+                FlowMod::add(
+                    10,
+                    FlowMatch::any().in_port(PortNo(1)).dl_dst(w(20)),
+                    vec![Action::Output(PortNo(2))],
+                )
+                .with_idle_timeout(Duration::from_millis(1)),
+            ),
+        );
+        sw.process_round();
+        assert_eq!(sw.rule_count(), 1);
+        drop(ch); // leader dies
+        sw.attach_worker(PortNo(9)); // discover the dead link
+        assert!(sw.is_headless());
+        std::thread::sleep(Duration::from_millis(5));
+        sw.process_round(); // would expire the idle rule if not headless
+        assert_eq!(sw.rule_count(), 1, "expiry suppressed while headless");
+        wp1.tx.push(data_frame(10, w(20), 1)).unwrap();
+        sw.process_round();
+        assert!(wp2.rx.pop().unwrap().is_some(), "idle rule still forwards");
+        // A new leader connects: expiry resumes and reaps the idle rule.
+        let _ch2 = sw.connect_controller(2).unwrap();
+        assert!(!sw.is_headless());
+        std::thread::sleep(Duration::from_millis(5));
+        sw.process_round();
+        assert_eq!(sw.rule_count(), 0, "expiry resumed after reconnect");
+    }
+
+    /// Satellite regression: a failover re-sync re-installs byte-identical
+    /// rules; the megaflow cache must keep its hot entries — the hit
+    /// ratio survives the failover — instead of being flushed by no-ops.
+    #[test]
+    fn identical_rule_reinstall_keeps_the_cache_warm() {
+        let (sw, boot) = Switch::new(SwitchConfig::new(1));
+        drop(boot);
+        let ch = sw.connect_controller(1).unwrap();
+        let wp1 = sw.attach_worker(PortNo(1));
+        let wp2 = sw.attach_worker(PortNo(2));
+        send_ctrl(&ch, local_rule(10, 1, 20, 2));
+        sw.process_round();
+        // Warm the cache: round one is the cold miss, round two hits.
+        for round in 0..2u8 {
+            wp1.tx.push(data_frame(10, w(20), round)).unwrap();
+            sw.process_round();
+        }
+        let before = sw.cache_stats();
+        assert_eq!(before.hits, 1);
+        // The leader dies; the new leader re-syncs the identical rule set.
+        drop(ch);
+        sw.attach_worker(PortNo(9)); // discover the dead link → headless
+        let ch2 = sw.connect_controller(2).unwrap();
+        send_ctrl(&ch2, local_rule(10, 1, 20, 2));
+        sw.process_round();
+        let after = sw.cache_stats();
+        assert_eq!(
+            after.invalidations, before.invalidations,
+            "no-op re-install must not flush the cache"
+        );
+        // The warm entry keeps hitting across the failover.
+        wp1.tx.push(data_frame(10, w(20), 9)).unwrap();
+        sw.process_round();
+        assert_eq!(sw.cache_stats().hits, before.hits + 1);
+        assert!(sw.cache_stats().hit_ratio() > 0.5);
+        while let Ok(Some(_)) = wp2.rx.pop() {}
+    }
+
+    #[test]
+    fn headless_queue_is_bounded_and_sheds_oldest() {
+        let (sw, boot) = Switch::new(SwitchConfig::new(1));
+        drop(boot);
+        let ch = sw.connect_controller(1).unwrap();
+        drop(ch);
+        sw.attach_worker(PortNo(1)); // → headless
+        assert!(sw.is_headless());
+        for i in 0..(HEADLESS_QUEUE_CAP as u32 + 10) {
+            sw.send_event(OfMessage::EchoRequest(u64::from(i)));
+        }
+        assert_eq!(sw.headless_queue_len(), HEADLESS_QUEUE_CAP);
+        assert!(sw.headless_dropped() >= 10, "oldest events shed");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod port;
 pub mod table;
 
 pub use cache::{CacheStats, FlowCache};
-pub use datapath::{ControlChannel, Switch, SwitchConfig, SwitchHandle};
+pub use datapath::{ControlChannel, StaleLeader, Switch, SwitchConfig, SwitchHandle};
 pub use group_table::GroupTable;
 pub use port::WorkerPort;
 pub use table::{FlowEntry, FlowTable};

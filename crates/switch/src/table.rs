@@ -88,6 +88,46 @@ impl FlowTable {
         self.entries.is_empty()
     }
 
+    /// True when applying `fm` would actually change table behaviour.
+    ///
+    /// The failover re-sync path re-installs every rule a new leader
+    /// recovered from the coordinator; most are byte-identical to what the
+    /// switch already holds, and flushing the megaflow cache for each
+    /// would destroy the hot-path hit ratio for nothing. A `FlowMod` is a
+    /// no-op when:
+    ///
+    /// * `Add` — an unexpired entry with the identical match, priority,
+    ///   actions, cookie and (both zero) timeouts already exists. Rules
+    ///   with nonzero timeouts are never no-ops: a re-add legitimately
+    ///   refreshes their idle/hard clocks.
+    /// * `Modify` — every subsumed entry already carries the new actions.
+    /// * `Delete` — nothing is subsumed (respecting strict-priority).
+    pub fn would_change(&self, fm: &FlowMod, now: Instant) -> bool {
+        match fm.command {
+            FlowModCommand::Add => {
+                let identical = self.entries.iter().any(|e| {
+                    !e.is_expired(now)
+                        && e.matcher == fm.matcher
+                        && e.priority == fm.priority
+                        && e.actions == fm.actions
+                        && e.cookie == fm.cookie
+                        && e.idle_timeout.is_zero()
+                        && e.hard_timeout.is_zero()
+                        && fm.idle_timeout.is_zero()
+                        && fm.hard_timeout.is_zero()
+                });
+                !identical
+            }
+            FlowModCommand::Modify => self
+                .entries
+                .iter()
+                .any(|e| fm.matcher.subsumes(&e.matcher) && e.actions != fm.actions),
+            FlowModCommand::Delete => self.entries.iter().any(|e| {
+                fm.matcher.subsumes(&e.matcher) && (fm.priority == 0 || fm.priority == e.priority)
+            }),
+        }
+    }
+
     /// Applies a `FlowMod` (§3.4). `Add` replaces a rule with an identical
     /// match and priority; `Modify` rewrites actions of every rule the match
     /// subsumes; `Delete` removes every rule the match subsumes.
@@ -210,6 +250,16 @@ impl FlowTable {
             e.packets += packets;
             e.bytes += bytes;
             e.last_hit = now;
+        }
+    }
+
+    /// Shifts every entry's expiry clocks forward by `delta`, so a window
+    /// during which expiry was suspended (the switch ran headless between
+    /// controller leaders) does not count against idle or hard timeouts.
+    pub fn shift_clocks(&mut self, delta: Duration) {
+        for e in &mut self.entries {
+            e.installed += delta;
+            e.last_hit += delta;
         }
     }
 
@@ -459,6 +509,63 @@ mod tests {
         assert_eq!(t.entries()[0].packets, 100);
         assert_eq!(t.expire(t0 + Duration::from_millis(2100)), 0);
         assert_eq!(t.expire(t0 + Duration::from_millis(4000)), 1);
+    }
+
+    #[test]
+    fn identical_readd_is_a_noop_but_any_difference_is_not() {
+        let mut t = FlowTable::new();
+        let now = Instant::now();
+        let rule = FlowMod::add(
+            10,
+            FlowMatch::any().in_port(PortNo(1)).dl_dst(w(2)),
+            vec![Action::Output(PortNo(2))],
+        );
+        assert!(
+            t.would_change(&rule, now),
+            "first install changes the table"
+        );
+        t.apply(&rule, now);
+        assert!(
+            !t.would_change(&rule, now),
+            "byte-identical re-add is a no-op"
+        );
+        // Any divergence — actions, priority, cookie, a timeout — changes it.
+        let mut other = rule.clone();
+        other.actions = vec![Action::Output(PortNo(3))];
+        assert!(t.would_change(&other, now));
+        let mut other = rule.clone();
+        other.priority = 11;
+        assert!(t.would_change(&other, now));
+        let mut other = rule.clone();
+        other.cookie = 7;
+        assert!(t.would_change(&other, now));
+        let timed = rule.clone().with_idle_timeout(Duration::from_secs(1));
+        assert!(
+            t.would_change(&timed, now),
+            "a timed re-add refreshes clocks and is never a no-op"
+        );
+    }
+
+    #[test]
+    fn noop_check_covers_modify_and_delete() {
+        let mut t = FlowTable::new();
+        let now = Instant::now();
+        let rule = FlowMod::add(
+            10,
+            FlowMatch::any().in_port(PortNo(1)),
+            vec![Action::Output(PortNo(2))],
+        );
+        t.apply(&rule, now);
+        // Modify to the same actions: no-op. To different actions: change.
+        let mut same = rule.clone();
+        same.command = FlowModCommand::Modify;
+        assert!(!t.would_change(&same, now));
+        let mut diff = same.clone();
+        diff.actions = vec![Action::Output(PortNo(4))];
+        assert!(t.would_change(&diff, now));
+        // Delete of something subsumed: change. Of nothing: no-op.
+        assert!(t.would_change(&FlowMod::delete(FlowMatch::any()), now));
+        assert!(!t.would_change(&FlowMod::delete(FlowMatch::any().in_port(PortNo(9))), now));
     }
 
     #[test]

@@ -417,7 +417,12 @@ mod tests {
     fn batch_encoder_shares_one_allocation_across_tuples() {
         let stats = SerStats::default();
         let tuples: Vec<Tuple> = (0..4)
-            .map(|i| Tuple::new(TaskId(i), vec![Value::Int(i as i64), Value::Str("w".into())]))
+            .map(|i| {
+                Tuple::new(
+                    TaskId(i),
+                    vec![Value::Int(i as i64), Value::Str("w".into())],
+                )
+            })
             .collect();
         let mut enc = BatchEncoder::new();
         for t in &tuples {

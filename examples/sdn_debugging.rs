@@ -101,7 +101,7 @@ fn main() {
     println!("\nattaching switch-level mirror source→probe (no app changes)…");
     let mut debugger = LiveDebugger::new();
     debugger.mirror_task(
-        cluster.controller(),
+        &cluster.controller(),
         handle.app(),
         physical.assignment(src).unwrap().host,
         src,
@@ -115,7 +115,7 @@ fn main() {
         println!("  {line}");
     }
 
-    debugger.unmirror(cluster.controller());
+    debugger.unmirror(&cluster.controller());
     // Let in-flight mirrored frames drain, then confirm the tap is silent.
     std::thread::sleep(Duration::from_millis(500));
     let snapshot = captured.lock().len();
